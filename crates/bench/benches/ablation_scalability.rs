@@ -1,0 +1,69 @@
+//! Ablation: pipeline scalability beyond the paper's graph sizes.
+//!
+//! The paper's largest MDG has 33 compute nodes. This harness pushes the
+//! same pipeline to multi-level Strassen (203 compute nodes at 2 levels)
+//! and large random graphs, reporting wall time for the allocation solve
+//! and the schedule, plus the quality retained (T_psa vs the naive all-p
+//! SPMD execution).
+
+use paradigm_bench::banner;
+use paradigm_core::prelude::*;
+use paradigm_mdg::{random_layered_mdg, strassen_mdg_multilevel, RandomMdgConfig};
+use paradigm_sched::spmd_schedule;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "ablation_scalability",
+        "scalability: the pipeline on graphs far larger than the paper's",
+        "solve+schedule wall time should stay in engineering range; quality should persist",
+    );
+
+    let p = 64u32;
+    let machine = Machine::cm5(p);
+    let table = KernelCostTable::cm5();
+
+    let mut workloads: Vec<(String, Mdg)> = vec![
+        ("strassen L1 (128)".into(), strassen_mdg_multilevel(128, 1, &table)),
+        ("strassen L2 (256)".into(), strassen_mdg_multilevel(256, 2, &table)),
+    ];
+    for (label, layers, width) in [("random 100-node", 10usize, 10usize), ("random 300-node", 20, 15)] {
+        let cfg = RandomMdgConfig {
+            layers,
+            width_min: width,
+            width_max: width,
+            tau_range: (0.02, 0.4),
+            ..RandomMdgConfig::default()
+        };
+        workloads.push((label.to_string(), random_layered_mdg(&cfg, 1)));
+    }
+
+    println!("\n  workload           | nodes | solve (ms) | sched (ms) |  Phi (s) | T_psa (s) | vs SPMD");
+    println!("  -------------------+-------+------------+------------+----------+-----------+--------");
+    for (name, g) in &workloads {
+        let t0 = Instant::now();
+        let sol = allocate(g, machine, &SolverConfig::fast());
+        let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let res = psa_schedule(g, machine, &sol.alloc, &PsaConfig::default());
+        let sched_ms = t1.elapsed().as_secs_f64() * 1e3;
+        res.schedule.validate(g, &res.weights).expect("valid schedule at scale");
+        let (spmd, _) = spmd_schedule(g, machine);
+        println!(
+            "  {:<18} | {:>5} | {:>10.1} | {:>10.2} | {:>8.4} | {:>9.4} | {:>5.2}x",
+            name,
+            g.compute_node_count(),
+            solve_ms,
+            sched_ms,
+            sol.phi.phi,
+            res.t_psa,
+            spmd.makespan / res.t_psa
+        );
+        assert!(res.t_psa <= spmd.makespan * 1.01, "{name}: pipeline lost to SPMD");
+        assert!(
+            paradigm_sched::theorem3_factor(p, res.pb) * sol.phi.phi >= res.t_psa,
+            "{name}: Theorem 3 violated at scale"
+        );
+    }
+    println!("\nresult: the pipeline handles 200+-node MDGs with validated schedules and\nTheorem-3 certificates; mixed parallelism keeps beating SPMD at scale");
+}

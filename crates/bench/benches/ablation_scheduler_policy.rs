@@ -1,0 +1,86 @@
+//! Ablation: the PSA's lowest-EST priority versus classic
+//! Highest-Level-First (critical path) list scheduling.
+//!
+//! The paper names its scheduler PSA "because of the implicit
+//! prioritization in Step 4 where a node with the lowest EST is picked".
+//! This harness asks how much that choice matters against the HLF
+//! priority used by much of the list-scheduling literature.
+
+use paradigm_bench::{banner, PAPER_SIZES};
+use paradigm_core::prelude::*;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+use paradigm_sched::SchedPolicy;
+
+fn main() {
+    banner(
+        "ablation_scheduler_policy",
+        "design choice: lowest-EST (PSA) vs highest-level-first ready-queue priority",
+        "both are Theorem-1 list schedulers; the paper picks lowest EST",
+    );
+
+    let table = KernelCostTable::cm5();
+    println!("\n[1] paper workloads:");
+    println!("  program   |  p | PSA T_psa (s) | HLF T_psa (s) | HLF/PSA");
+    println!("  ----------+----+---------------+---------------+--------");
+    for prog in TestProgram::paper_suite() {
+        let g = prog.build(&table);
+        for &p in &PAPER_SIZES {
+            let m = Machine::cm5(p);
+            let sol = allocate(&g, m, &SolverConfig::default());
+            let est = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+            let hlf = psa_schedule(
+                &g,
+                m,
+                &sol.alloc,
+                &PsaConfig { policy: SchedPolicy::HighestLevelFirst, ..PsaConfig::default() },
+            );
+            est.schedule.validate(&g, &est.weights).expect("valid PSA schedule");
+            hlf.schedule.validate(&g, &hlf.weights).expect("valid HLF schedule");
+            println!(
+                "  {:<9} | {:>2} | {:>13.4} | {:>13.4} | {:>6.3}x",
+                prog.name().split(' ').next().unwrap_or("?"),
+                p,
+                est.t_psa,
+                hlf.t_psa,
+                hlf.t_psa / est.t_psa
+            );
+        }
+    }
+
+    println!("\n[2] random layered MDGs (p = 32):");
+    let m = Machine::cm5(32);
+    let cfg = RandomMdgConfig { layers: 5, width_min: 2, width_max: 5, ..RandomMdgConfig::default() };
+    let mut est_sum = 0.0;
+    let mut hlf_sum = 0.0;
+    let mut est_wins = 0;
+    let mut hlf_wins = 0;
+    for seed in 0..12u64 {
+        let g = random_layered_mdg(&cfg, seed);
+        let sol = allocate(&g, m, &SolverConfig::fast());
+        let est = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+        let hlf = psa_schedule(
+            &g,
+            m,
+            &sol.alloc,
+            &PsaConfig { policy: SchedPolicy::HighestLevelFirst, ..PsaConfig::default() },
+        );
+        est_sum += est.t_psa;
+        hlf_sum += hlf.t_psa;
+        if est.t_psa < hlf.t_psa - 1e-12 {
+            est_wins += 1;
+        } else if hlf.t_psa < est.t_psa - 1e-12 {
+            hlf_wins += 1;
+        }
+    }
+    println!("  mean T_psa: PSA {:.4} s, HLF {:.4} s", est_sum / 12.0, hlf_sum / 12.0);
+    println!("  strict wins: PSA {est_wins}, HLF {hlf_wins}, ties {}", 12 - est_wins - hlf_wins);
+    let ratio: f64 = est_sum / hlf_sum;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "policies should be within 20 % of each other on average, got {ratio}"
+    );
+    println!(
+        "\nresult: both priorities land in the same Theorem-1 regime; the lowest-EST\nchoice is not load-bearing for the paper's results (within ~{:.0}% on average)",
+        100.0 * (ratio - 1.0).abs()
+    );
+}

@@ -1,0 +1,99 @@
+//! Ablation: convex solver quality and configuration.
+//!
+//! 1. Against the brute-force power-of-two oracle on small random MDGs:
+//!    the continuous optimum must never be worse than the oracle's.
+//! 2. Sharpness-annealing and multi-start settings: cheaper schedules
+//!    should cost little solution quality (the problem is convex — the
+//!    safeguards are for the max-kinks only).
+//! 3. A numeric convexity probe of the objective, supporting the paper's
+//!    Section-2 convex-programming claim.
+
+use paradigm_bench::banner;
+use paradigm_core::prelude::*;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+use paradigm_solver::convexity::{probe_midpoint_convexity, probe_points};
+use paradigm_solver::{brute_force_pow2, MdgObjective};
+
+fn main() {
+    banner(
+        "ablation_solver_quality",
+        "design choice: smoothed projected-gradient convex solver",
+        "solver <= pow2 oracle on every instance; annealing/multistart are safety nets",
+    );
+
+    let machine = Machine::cm5(8);
+    let cfg_small = RandomMdgConfig { layers: 3, width_min: 1, width_max: 2, ..RandomMdgConfig::default() };
+
+    println!("\n[1] solver vs brute-force pow2 oracle (random MDGs, p = 8):");
+    println!("  seed | nodes |  oracle Phi |  solver Phi | solver/oracle");
+    println!("  -----+-------+-------------+-------------+--------------");
+    let mut worst: f64 = 0.0;
+    for seed in 0..8u64 {
+        let g = random_layered_mdg(&cfg_small, seed);
+        if g.compute_node_count() > 7 {
+            continue;
+        }
+        let oracle = brute_force_pow2(&g, machine, 5_000_000).expect("small instance");
+        let sol = allocate(&g, machine, &SolverConfig::default());
+        let ratio = sol.phi.phi / oracle.phi.phi;
+        worst = worst.max(ratio);
+        println!(
+            "  {:>4} | {:>5} | {:>11.5} | {:>11.5} | {:>12.5}",
+            seed,
+            g.compute_node_count(),
+            oracle.phi.phi,
+            sol.phi.phi,
+            ratio
+        );
+        assert!(ratio <= 1.0 + 1e-9, "continuous optimum must be <= pow2 optimum");
+    }
+    println!("  worst solver/oracle ratio: {worst:.6} (<= 1 expected)");
+
+    println!("\n[2] solver configuration sweep (Strassen 128, p = 32):");
+    let g = strassen_mdg(128, &KernelCostTable::cm5());
+    let m32 = Machine::cm5(32);
+    let reference = allocate(&g, m32, &SolverConfig::default()).phi.phi;
+    let configs: [(&str, SolverConfig); 4] = [
+        ("default (4 stages, 3 rand starts)", SolverConfig::default()),
+        ("fast (2 stages, 1 rand start)", SolverConfig::fast()),
+        (
+            "single stage s=64, no random starts",
+            SolverConfig {
+                sharpness_schedule: vec![64.0],
+                random_starts: 0,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no annealing, exact-only polish",
+            SolverConfig { sharpness_schedule: vec![], random_starts: 0, ..SolverConfig::default() },
+        ),
+    ];
+    println!("  configuration                        |    Phi (S) | vs default");
+    println!("  -------------------------------------+------------+-----------");
+    for (name, cfg) in configs {
+        let sol = allocate(&g, m32, &cfg);
+        println!(
+            "  {:<36} | {:>10.5} | {:>8.4}x",
+            name,
+            sol.phi.phi,
+            sol.phi.phi / reference
+        );
+        assert!(sol.phi.phi / reference < 1.10, "{name}: quality loss above 10 %");
+    }
+
+    println!("\n[3] numeric convexity probe of the objective (CMM, p = 16):");
+    let gc = complex_matmul_mdg(64, &KernelCostTable::cm5());
+    let m16 = Machine::cm5(16);
+    let obj = MdgObjective::new(&gc, m16);
+    let pts = probe_points(gc.node_count(), obj.x_upper(), 14);
+    let viols = probe_midpoint_convexity(
+        |x| obj.eval(x, paradigm_solver::expr::Sharpness::Exact).phi,
+        &pts,
+        1e-9,
+    );
+    println!("  segments probed: {}, violations: {}", 14 * 13 / 2, viols.len());
+    assert!(viols.is_empty(), "objective must be convex in log space");
+
+    println!("\nresult: solver dominates the pow2 oracle, config robustness confirmed,\nconvexity of the Section-2 formulation verified numerically");
+}

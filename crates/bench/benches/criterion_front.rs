@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks: front-end throughput (lex/parse/lower)
+//! and the value-level interpreters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradigm_front::{compile_source, interpret, interpret_distributed, parse};
+use paradigm_mdg::KernelCostTable;
+use std::hint::black_box;
+
+fn big_source(statements: usize) -> String {
+    let mut src = String::from("program big\nmatrix ");
+    let names: Vec<String> = (0..statements).map(|i| format!("M{i}")).collect();
+    src.push_str(&names.iter().map(|n| format!("{n}(64,64)")).collect::<Vec<_>>().join(", "));
+    src.push('\n');
+    src.push_str("M0 = init()\nM1 = init()\n");
+    for k in 2..statements {
+        let op = ["*", "+", "-"][k % 3];
+        src.push_str(&format!("M{k} = M{} {op} M{}\n", k - 1, k - 2));
+    }
+    src
+}
+
+fn bench_front(c: &mut Criterion) {
+    let src = big_source(200);
+    let table = KernelCostTable::cm5();
+    c.bench_function("front/parse_200_statements", |b| {
+        b.iter(|| black_box(parse(&src).unwrap().stmts.len()))
+    });
+    c.bench_function("front/compile_200_statements", |b| {
+        b.iter(|| black_box(compile_source(&src, &table).unwrap().node_count()))
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let src = big_source(24);
+    let program = parse(&src).unwrap();
+    c.bench_function("front/interpret_24_statements_64x64", |b| {
+        b.iter(|| black_box(interpret(&program, 1).len()))
+    });
+    let groups = vec![8usize; program.stmts.len()];
+    c.bench_function("front/interpret_distributed_24_statements", |b| {
+        b.iter(|| black_box(interpret_distributed(&program, &groups, 1).len()))
+    });
+}
+
+criterion_group!(benches, bench_front, bench_interp);
+criterion_main!(benches);

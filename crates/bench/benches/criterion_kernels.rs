@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: the numeric matrix kernels (naive vs
+//! blocked vs Strassen) and redistribution planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradigm_kernels::{redistribution_plan, strassen_multiply, strassen_one_level, BlockDist, ComplexMatrix, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.mul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.mul_blocked(&b, 32)))
+        });
+        group.bench_with_input(BenchmarkId::new("strassen_one_level", n), &n, |bch, _| {
+            bch.iter(|| black_box(strassen_one_level(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("strassen_full_c32", n), &n, |bch, _| {
+            bch.iter(|| black_box(strassen_multiply(&a, &b, 32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_complex(c: &mut Criterion) {
+    let a = ComplexMatrix::random(64, 64, 3);
+    let b = ComplexMatrix::random(64, 64, 4);
+    c.bench_function("complex_mul/4m2a_64", |bch| b_iter(bch, &a, &b));
+    fn b_iter(bch: &mut criterion::Bencher<'_>, a: &ComplexMatrix, b: &ComplexMatrix) {
+        bch.iter(|| black_box(a.mul_4m2a(b)));
+    }
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    c.bench_function("redistribution_plan/row2col_32x32procs", |b| {
+        b.iter(|| {
+            black_box(redistribution_plan(1024, 1024, 32, BlockDist::Row, 32, BlockDist::Col).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_complex, bench_redistribution);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: PSA scheduling throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradigm_cost::{Allocation, Machine};
+use paradigm_mdg::{random_layered_mdg, strassen_mdg, KernelCostTable, RandomMdgConfig};
+use paradigm_sched::{psa_schedule, spmd_schedule, PsaConfig};
+use std::hint::black_box;
+
+fn bench_psa(c: &mut Criterion) {
+    let machine = Machine::cm5(64);
+    let strassen = strassen_mdg(128, &KernelCostTable::cm5());
+    let alloc = Allocation::uniform(&strassen, 16.0);
+    c.bench_function("psa/strassen128_p64", |b| {
+        b.iter(|| black_box(psa_schedule(&strassen, machine, &alloc, &PsaConfig::default()).t_psa))
+    });
+
+    let mut group = c.benchmark_group("psa/random");
+    for layers in [8usize, 16, 32] {
+        let g = random_layered_mdg(
+            &RandomMdgConfig { layers, width_min: 4, width_max: 8, ..RandomMdgConfig::default() },
+            7,
+        );
+        let a = Allocation::uniform(&g, 8.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", g.compute_node_count())),
+            &g,
+            |b, g| b.iter(|| black_box(psa_schedule(g, machine, &a, &PsaConfig::default()).t_psa)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spmd(c: &mut Criterion) {
+    let machine = Machine::cm5(64);
+    let strassen = strassen_mdg(128, &KernelCostTable::cm5());
+    c.bench_function("spmd_schedule/strassen128_p64", |b| {
+        b.iter(|| black_box(spmd_schedule(&strassen, machine).0.makespan))
+    });
+}
+
+criterion_group!(benches, bench_psa, bench_spmd);
+criterion_main!(benches);

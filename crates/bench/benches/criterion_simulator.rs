@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: simulator throughput (message-level
+//! execution of lowered MPMD/SPMD programs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradigm_cost::{Allocation, Machine};
+use paradigm_mdg::{random_layered_mdg, strassen_mdg, KernelCostTable, RandomMdgConfig};
+use paradigm_sched::{psa_schedule, PsaConfig};
+use paradigm_sim::{lower_mpmd, lower_spmd, simulate, simulate_event_driven, TrueMachine};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let machine = Machine::cm5(64);
+    let truth = TrueMachine::cm5(64);
+    let strassen = strassen_mdg(128, &KernelCostTable::cm5());
+    let res = psa_schedule(&strassen, machine, &Allocation::uniform(&strassen, 16.0), &PsaConfig::default());
+    let mpmd = lower_mpmd(&strassen, &res.schedule);
+    c.bench_function("simulate/strassen_mpmd_p64", |b| {
+        b.iter(|| black_box(simulate(&mpmd, &truth).makespan))
+    });
+
+    let spmd = lower_spmd(&strassen, 64);
+    c.bench_function("simulate/strassen_spmd_p64", |b| {
+        b.iter(|| black_box(simulate(&spmd, &truth).makespan))
+    });
+
+    // A large random program stresses the message path.
+    let g = random_layered_mdg(
+        &RandomMdgConfig { layers: 20, width_min: 4, width_max: 8, ..RandomMdgConfig::default() },
+        3,
+    );
+    let res = psa_schedule(&g, machine, &Allocation::uniform(&g, 8.0), &PsaConfig::default());
+    let prog = lower_mpmd(&g, &res.schedule);
+    c.bench_function("simulate/random_large_mpmd_p64", |b| {
+        b.iter(|| black_box(simulate(&prog, &truth).makespan))
+    });
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    // The sweep engine vs the event-driven reference engine on the same
+    // program (they produce identical results; this measures the cost of
+    // generality).
+    let machine = Machine::cm5(64);
+    let truth = TrueMachine::cm5(64);
+    let strassen = strassen_mdg(128, &KernelCostTable::cm5());
+    let res = psa_schedule(&strassen, machine, &Allocation::uniform(&strassen, 16.0), &PsaConfig::default());
+    let prog = lower_mpmd(&strassen, &res.schedule);
+    c.bench_function("simulate_event_driven/strassen_mpmd_p64", |b| {
+        b.iter(|| black_box(simulate_event_driven(&prog, &truth).makespan))
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let machine = Machine::cm5(64);
+    let strassen = strassen_mdg(128, &KernelCostTable::cm5());
+    let res = psa_schedule(&strassen, machine, &Allocation::uniform(&strassen, 16.0), &PsaConfig::default());
+    c.bench_function("lower_mpmd/strassen_p64", |b| {
+        b.iter(|| black_box(lower_mpmd(&strassen, &res.schedule).messages.len()))
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_event_engine, bench_lowering);
+criterion_main!(benches);

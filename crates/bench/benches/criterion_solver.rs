@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: convex allocation solver throughput on
+//! the paper's workloads and on larger random MDGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradigm_cost::Machine;
+use paradigm_mdg::{
+    complex_matmul_mdg, random_layered_mdg, strassen_mdg, KernelCostTable, RandomMdgConfig,
+};
+use paradigm_solver::{allocate, MdgObjective, SolverConfig};
+use std::hint::black_box;
+
+fn bench_allocate(c: &mut Criterion) {
+    let table = KernelCostTable::cm5();
+    let machine = Machine::cm5(64);
+    let cfg = SolverConfig::fast();
+
+    let cmm = complex_matmul_mdg(64, &table);
+    c.bench_function("allocate/cmm64_p64", |b| {
+        b.iter(|| black_box(allocate(&cmm, machine, &cfg).phi.phi))
+    });
+
+    let strassen = strassen_mdg(128, &table);
+    c.bench_function("allocate/strassen128_p64", |b| {
+        b.iter(|| black_box(allocate(&strassen, machine, &cfg).phi.phi))
+    });
+
+    let mut group = c.benchmark_group("allocate/random");
+    for layers in [4usize, 8] {
+        let g = random_layered_mdg(
+            &RandomMdgConfig { layers, width_min: 3, width_max: 6, ..RandomMdgConfig::default() },
+            42,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", g.compute_node_count())),
+            &g,
+            |b, g| b.iter(|| black_box(allocate(g, machine, &cfg).phi.phi)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_objective_eval(c: &mut Criterion) {
+    let table = KernelCostTable::cm5();
+    let machine = Machine::cm5(64);
+    let g = strassen_mdg(128, &table);
+    let obj = MdgObjective::new(&g, machine);
+    let x = vec![1.0_f64; g.node_count()];
+    c.bench_function("objective/eval_grad_strassen", |b| {
+        b.iter(|| black_box(obj.eval_grad(&x, paradigm_solver::expr::Sharpness::Smooth(64.0)).0.phi))
+    });
+}
+
+criterion_group!(benches, bench_allocate, bench_objective_eval);
+criterion_main!(benches);

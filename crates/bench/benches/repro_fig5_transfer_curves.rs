@@ -1,0 +1,55 @@
+//! Reproduces the paper's **Figure 5**: actual (simulated, message-level)
+//! versus predicted (Eq. 2/3 with fitted constants) data-transfer costs,
+//! for both the 1D and the 2D redistribution types, across group sizes
+//! and array sizes.
+
+use paradigm_bench::banner;
+use paradigm_cost::regression::fit_transfer;
+use paradigm_cost::transfer::transfer_components;
+use paradigm_mdg::TransferKind;
+use paradigm_sim::measure::{measure_one_transfer, measure_transfers};
+use paradigm_sim::TrueMachine;
+
+fn main() {
+    banner(
+        "repro_fig5_transfer_curves",
+        "Figure 5 (actual vs predicted costs for data transfer)",
+        "predicted transfer costs closely track the measured ones for 1D and 2D",
+    );
+
+    let truth = TrueMachine::cm5(64);
+    // Fit the model first (as the paper does), then compare predictions
+    // against fresh measurements.
+    let fit = fit_transfer(&measure_transfers(
+        &truth,
+        &[4096, 16384, 65536, 262144],
+        &[1, 2, 4, 8, 16, 32],
+    ));
+
+    let bytes = 64 * 64 * 8u64; // one 64x64 matrix, as in the test programs
+    for kind in [TransferKind::OneD, TransferKind::TwoD] {
+        println!("\n{kind:?} transfer of a 64x64 matrix ({bytes} bytes):");
+        println!("  p_i -> p_j | measured total (uS) | predicted total (uS) | rel err");
+        println!("  -----------+---------------------+----------------------+--------");
+        let mut worst: f64 = 0.0;
+        for &(pi, pj) in &[(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (2, 8), (8, 2), (4, 16)] {
+            let m = measure_one_transfer(&truth, kind, bytes, pi, pj, (pi * 97 + pj) as u64);
+            let measured = m.send_time + m.net_time + m.recv_time;
+            let c = transfer_components(kind, bytes, pi as f64, pj as f64, &fit.params);
+            let predicted = c.total();
+            let rel = (predicted - measured).abs() / measured;
+            worst = worst.max(rel);
+            println!(
+                "  {:>4} -> {:<3} | {:>19.1} | {:>20.1} | {:>6.2}%",
+                pi,
+                pj,
+                1e6 * measured,
+                1e6 * predicted,
+                100.0 * rel
+            );
+        }
+        assert!(worst < 0.08, "{kind:?}: worst error {worst}");
+        println!("  worst relative error: {:.2}%", 100.0 * worst);
+    }
+    println!("\nresult: Figure 5 shape reproduced (model tracks message-level measurements)");
+}

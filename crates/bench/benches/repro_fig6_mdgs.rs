@@ -1,0 +1,32 @@
+//! Reproduces the paper's **Figure 6**: the MDGs of the two test
+//! programs — Complex Matrix Multiply (64x64) and Strassen's Matrix
+//! Multiply (128x128) — printed as adjacency listings, summary
+//! statistics, and Graphviz DOT (pipe into `dot -Tpng` to draw them).
+
+use paradigm_bench::banner;
+use paradigm_core::prelude::*;
+use paradigm_mdg::{dot, stats::MdgStats};
+
+fn main() {
+    banner(
+        "repro_fig6_mdgs",
+        "Figure 6 (MDGs used for performance evaluation)",
+        "CMM: 10 loops in 3 stages; Strassen: 33 loops, all transfers 1D",
+    );
+
+    let table = KernelCostTable::cm5();
+    for prog in TestProgram::paper_suite() {
+        let g = prog.build(&table);
+        println!("\n{}", "-".repeat(70));
+        println!("{}", MdgStats::of(&g).render(&prog.name()));
+        println!("{}", dot::to_ascii(&g));
+        println!("Graphviz DOT:\n{}", dot::to_dot(&g));
+        // Structural facts asserted against the paper's description.
+        for (_, e) in g.edges() {
+            for t in &e.transfers {
+                assert_eq!(t.kind, TransferKind::OneD, "all transfers must be 1D");
+            }
+        }
+    }
+    println!("result: both MDGs constructed; every data transfer is 1D as the paper states");
+}

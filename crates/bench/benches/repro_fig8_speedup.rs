@@ -1,0 +1,48 @@
+//! Reproduces the paper's **Figure 8**: speedup and efficiency of the
+//! SPMD (pure data parallel) versus MPMD (functional + data parallel)
+//! versions of both test programs at 16/32/64 processors, measured on
+//! the simulated CM-5. The paper's claim: "speedups obtained for the
+//! MPMD programs are much higher as compared to SPMD versions,
+//! especially for larger systems".
+
+use paradigm_bench::{banner, PAPER_SIZES};
+use paradigm_core::prelude::*;
+use paradigm_core::report::render_fig8;
+
+fn main() {
+    banner(
+        "repro_fig8_speedup",
+        "Figure 8 (speedup and efficiency, SPMD vs MPMD)",
+        "MPMD > SPMD for both programs; the gap grows with system size",
+    );
+
+    let table = KernelCostTable::cm5();
+    let cfg = CompileConfig::default();
+    for prog in TestProgram::paper_suite() {
+        let rows = fig8_speedups(prog, &PAPER_SIZES, &table, &cfg);
+        println!("\n{}", render_fig8(&prog.name(), &rows));
+        // Shape assertions.
+        let gains: Vec<f64> = rows.iter().map(|r| r.mpmd_speedup / r.spmd_speedup).collect();
+        println!("  MPMD/SPMD speedup gain: {}",
+            gains.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>().join(", "));
+        for (r, gain) in rows.iter().zip(&gains) {
+            assert!(
+                *gain >= 0.98,
+                "{} p={}: MPMD must not lose to SPMD (gain {gain})",
+                prog.name(),
+                r.procs
+            );
+        }
+        assert!(
+            gains.last().unwrap() > &1.1,
+            "{}: gain at 64 procs should exceed 10 %",
+            prog.name()
+        );
+        assert!(
+            gains.last().unwrap() >= gains.first().unwrap(),
+            "{}: the MPMD advantage should grow with system size",
+            prog.name()
+        );
+    }
+    println!("\nresult: Figure 8 shape reproduced (MPMD wins, gap grows with p)");
+}

@@ -1,0 +1,297 @@
+//! Hand-rolled argument parsing (std only, unit-testable).
+
+/// The selected subcommand with its options.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `info <file>`: print graph statistics.
+    Info {
+        /// MDG file path.
+        file: String,
+    },
+    /// `compile <file> -p N [...]`: allocate and schedule.
+    Compile {
+        /// MDG file path.
+        file: String,
+        /// Machine size.
+        procs: u32,
+        /// Explicit PB (None = Corollary 1).
+        pb: Option<u32>,
+        /// Use the HLF ready-queue priority instead of lowest-EST.
+        hlf: bool,
+        /// Print the Gantt chart.
+        gantt: bool,
+        /// Print the schedule as CSV.
+        csv: bool,
+        /// Print the schedule as an SVG Gantt chart.
+        svg: bool,
+        /// Run the post-PSA reallocation refinement.
+        refine: bool,
+    },
+    /// `simulate <file> -p N [...]`: compile, lower, execute.
+    Simulate {
+        /// MDG file path.
+        file: String,
+        /// Machine size.
+        procs: u32,
+        /// Run the SPMD lowering instead of the compiled MPMD one.
+        spmd: bool,
+        /// Print the per-task predicted-vs-actual trace.
+        trace: bool,
+    },
+    /// `calibrate [-p N]`: run the training campaign and print fits.
+    Calibrate {
+        /// Machine size.
+        procs: u32,
+    },
+    /// `transform <file> [--fuse] [--reduce]`: apply graph transforms
+    /// and print the result as MDG text.
+    Transform {
+        /// Graph file path.
+        file: String,
+        /// Fuse serial chains (bottom-up coalescing).
+        fuse: bool,
+        /// Remove transitively redundant precedence edges.
+        reduce: bool,
+    },
+    /// `build <file.mini>`: compile a mini-language program to MDG text.
+    Build {
+        /// Mini-language source path.
+        file: String,
+    },
+    /// `demo <name>`: print a built-in graph in the text format.
+    Demo {
+        /// One of `fig1`, `cmm`, `strassen`.
+        which: String,
+    },
+    /// `help`.
+    Help,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The command to run.
+    pub command: Command,
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+paradigm — convex-programming allocation & PSA scheduling for MDGs
+
+USAGE:
+  paradigm info <file.mdg>
+  paradigm compile <file.mdg> -p <procs> [--pb <n>] [--hlf] [--refine] [--gantt] [--csv] [--svg]
+  paradigm simulate <file.mdg> -p <procs> [--spmd] [--trace]
+  paradigm calibrate [-p <procs>]
+  paradigm build <file.mini>
+  paradigm transform <file> [--fuse] [--reduce]
+  paradigm demo <fig1|cmm|strassen>
+  paradigm help
+
+Graph inputs may be .mdg files (graph text format) or .mini files
+(matrix-program language, compiled on the fly).
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, UsageError> {
+    it.next().ok_or_else(|| UsageError(format!("flag {flag} needs a value")))
+}
+
+fn parse_procs(v: &str) -> Result<u32, UsageError> {
+    let p: u32 = v.parse().map_err(|_| UsageError(format!("bad processor count `{v}`")))?;
+    if p == 0 {
+        return Err(UsageError("processor count must be positive".into()));
+    }
+    Ok(p)
+}
+
+/// Parse `argv[1..]`.
+pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
+    let toks: Vec<&str> = argv.iter().map(|s| s.as_ref()).collect();
+    let Some((&cmd, rest)) = toks.split_first() else {
+        return Ok(ParsedArgs { command: Command::Help });
+    };
+    let mut it = rest.iter().copied();
+    let command = match cmd {
+        "help" | "--help" | "-h" => Command::Help,
+        "info" => {
+            let file = it.next().ok_or(UsageError("info needs a file".into()))?.to_string();
+            Command::Info { file }
+        }
+        "transform" => {
+            let file = it.next().ok_or(UsageError("transform needs a file".into()))?.to_string();
+            let (mut fuse, mut reduce) = (false, false);
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--fuse" => fuse = true,
+                    "--reduce" => reduce = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if !fuse && !reduce {
+                return Err(UsageError("transform needs --fuse and/or --reduce".into()));
+            }
+            Command::Transform { file, fuse, reduce }
+        }
+        "build" => {
+            let file = it.next().ok_or(UsageError("build needs a file".into()))?.to_string();
+            Command::Build { file }
+        }
+        "demo" => {
+            let which = it.next().ok_or(UsageError("demo needs a name".into()))?.to_string();
+            if !["fig1", "cmm", "strassen"].contains(&which.as_str()) {
+                return Err(UsageError(format!("unknown demo `{which}`")));
+            }
+            Command::Demo { which }
+        }
+        "calibrate" => {
+            let mut procs = 64u32;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-p" | "--procs" => procs = parse_procs(take_value(flag, &mut it)?)?,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::Calibrate { procs }
+        }
+        "compile" => {
+            let file = it.next().ok_or(UsageError("compile needs a file".into()))?.to_string();
+            let mut procs = None;
+            let mut pb = None;
+            let (mut hlf, mut gantt, mut csv, mut svg, mut refine) =
+                (false, false, false, false, false);
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-p" | "--procs" => procs = Some(parse_procs(take_value(flag, &mut it)?)?),
+                    "--pb" => pb = Some(parse_procs(take_value(flag, &mut it)?)?),
+                    "--hlf" => hlf = true,
+                    "--gantt" => gantt = true,
+                    "--csv" => csv = true,
+                    "--svg" => svg = true,
+                    "--refine" => refine = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            let procs = procs.ok_or(UsageError("compile needs -p <procs>".into()))?;
+            Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine }
+        }
+        "simulate" => {
+            let file = it.next().ok_or(UsageError("simulate needs a file".into()))?.to_string();
+            let mut procs = None;
+            let (mut spmd, mut trace) = (false, false);
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-p" | "--procs" => procs = Some(parse_procs(take_value(flag, &mut it)?)?),
+                    "--spmd" => spmd = true,
+                    "--trace" => trace = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            let procs = procs.ok_or(UsageError("simulate needs -p <procs>".into()))?;
+            Command::Simulate { file, procs, spmd, trace }
+        }
+        other => return Err(UsageError(format!("unknown command `{other}`"))),
+    };
+    Ok(ParsedArgs { command })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_argv_is_help() {
+        let p = parse_args::<&str>(&[]).unwrap();
+        assert_eq!(p.command, Command::Help);
+    }
+
+    #[test]
+    fn compile_full_flags() {
+        let p = parse_args(&["compile", "g.mdg", "-p", "64", "--pb", "16", "--hlf", "--gantt"])
+            .unwrap();
+        assert_eq!(
+            p.command,
+            Command::Compile {
+                file: "g.mdg".into(),
+                procs: 64,
+                pb: Some(16),
+                hlf: true,
+                gantt: true,
+                csv: false,
+                svg: false,
+                refine: false,
+            }
+        );
+    }
+
+    #[test]
+    fn compile_requires_procs() {
+        let e = parse_args(&["compile", "g.mdg"]).unwrap_err();
+        assert!(e.0.contains("-p"));
+    }
+
+    #[test]
+    fn simulate_flags() {
+        let p = parse_args(&["simulate", "g.mdg", "--procs", "32", "--spmd"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Simulate { file: "g.mdg".into(), procs: 32, spmd: true, trace: false }
+        );
+    }
+
+    #[test]
+    fn bad_procs_rejected() {
+        assert!(parse_args(&["compile", "g", "-p", "zero"]).is_err());
+        assert!(parse_args(&["compile", "g", "-p", "0"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_flag_rejected() {
+        assert!(parse_args(&["frobnicate"]).is_err());
+        assert!(parse_args(&["info"]).is_err());
+        assert!(parse_args(&["compile", "g", "-p", "4", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn demo_names_validated() {
+        assert!(parse_args(&["demo", "cmm"]).is_ok());
+        assert!(parse_args(&["demo", "nope"]).is_err());
+    }
+
+    #[test]
+    fn transform_command_parses() {
+        let p = parse_args(&["transform", "g.mdg", "--fuse", "--reduce"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Transform { file: "g.mdg".into(), fuse: true, reduce: true }
+        );
+        assert!(parse_args(&["transform", "g.mdg"]).is_err(), "needs a flag");
+    }
+
+    #[test]
+    fn build_command_parses() {
+        let p = parse_args(&["build", "prog.mini"]).unwrap();
+        assert_eq!(p.command, Command::Build { file: "prog.mini".into() });
+        assert!(parse_args(&["build"]).is_err());
+    }
+
+    #[test]
+    fn calibrate_defaults_to_64() {
+        let p = parse_args(&["calibrate"]).unwrap();
+        assert_eq!(p.command, Command::Calibrate { procs: 64 });
+    }
+}

@@ -1,0 +1,302 @@
+//! Command implementations. Each returns the text it would print, so
+//! the test-suite can drive them without spawning processes; `main`
+//! prints the result.
+
+use crate::args::{Command, USAGE};
+use paradigm_core::calibrate::{calibrate, CalibrationConfig};
+use paradigm_core::report::render_calibration;
+use paradigm_core::{compile, CompileConfig};
+use paradigm_cost::Machine;
+use paradigm_mdg::stats::MdgStats;
+use paradigm_mdg::{
+    complex_matmul_mdg, example_fig1_mdg, from_text, strassen_mdg, to_text, KernelCostTable, Mdg,
+};
+use paradigm_sched::{gantt_svg, idle_profile, to_csv, PsaConfig, SchedPolicy};
+use paradigm_sim::{compare_schedule_vs_sim, lower_spmd, render_trace, simulate, TrueMachine};
+
+/// Any failure a command can produce.
+#[derive(Debug)]
+pub enum CliError {
+    /// File system problem.
+    Io(std::io::Error),
+    /// MDG parse problem.
+    Parse(paradigm_mdg::textfmt::ParseError),
+    /// Mini-language front-end problem.
+    Front(paradigm_front::FrontError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Front(e) => write!(f, "front-end error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Load a graph: `.mini` sources are compiled by the front end, anything
+/// else is parsed as the MDG text format.
+fn load(file: &str) -> Result<Mdg, CliError> {
+    let text = std::fs::read_to_string(file).map_err(CliError::Io)?;
+    if file.ends_with(".mini") {
+        paradigm_front::compile_source(&text, &KernelCostTable::cm5()).map_err(CliError::Front)
+    } else {
+        from_text(&text).map_err(CliError::Parse)
+    }
+}
+
+/// Execute a parsed command, returning its output text.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Demo { which } => {
+            let table = KernelCostTable::cm5();
+            let g = match which.as_str() {
+                "fig1" => example_fig1_mdg(),
+                "cmm" => complex_matmul_mdg(64, &table),
+                "strassen" => strassen_mdg(128, &table),
+                other => unreachable!("validated by the parser: {other}"),
+            };
+            Ok(to_text(&g))
+        }
+        Command::Transform { file, fuse, reduce } => {
+            let mut g = load(file)?;
+            let mut notes = Vec::new();
+            if *fuse {
+                let (f, merges) = paradigm_mdg::fuse_serial_chains(&g);
+                notes.push(format!("# fuse_serial_chains: {merges} merges"));
+                g = f;
+            }
+            if *reduce {
+                let (r, removed) = paradigm_mdg::transitive_reduction(&g);
+                notes.push(format!("# transitive_reduction: {removed} edges removed"));
+                g = r;
+            }
+            let mut out = notes.join("\n");
+            out.push('\n');
+            out.push_str(&to_text(&g));
+            Ok(out)
+        }
+        Command::Build { file } => {
+            let text = std::fs::read_to_string(file).map_err(CliError::Io)?;
+            let g = paradigm_front::compile_source(&text, &KernelCostTable::cm5())
+                .map_err(CliError::Front)?;
+            Ok(to_text(&g))
+        }
+        Command::Info { file } => {
+            let g = load(file)?;
+            let mut out = MdgStats::of(&g).render(g.name());
+            out.push('\n');
+            out.push_str(&paradigm_mdg::dot::to_ascii(&g));
+            Ok(out)
+        }
+        Command::Calibrate { procs } => {
+            let truth = TrueMachine::cm5(*procs);
+            let cal = calibrate(&truth, &CalibrationConfig::default());
+            Ok(render_calibration(&cal))
+        }
+        Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine } => {
+            let g = load(file)?;
+            let machine = Machine::cm5(*procs);
+            let cfg = CompileConfig {
+                psa: PsaConfig {
+                    pb: *pb,
+                    skip_rounding: false,
+                    policy: if *hlf {
+                        SchedPolicy::HighestLevelFirst
+                    } else {
+                        SchedPolicy::LowestEst
+                    },
+                },
+                refine: *refine,
+                ..CompileConfig::default()
+            };
+            let c = compile(&g, machine, &cfg);
+            let mut out = String::new();
+            out.push_str(&format!(
+                "compiled `{}` for {} processors (PB = {})\n",
+                g.name(),
+                procs,
+                c.psa.pb
+            ));
+            out.push_str(&format!(
+                "Phi = {:.6} s, T_psa = {:.6} s ({:+.2}% above Phi)\n",
+                c.phi.phi,
+                c.t_psa,
+                c.deviation_percent()
+            ));
+            out.push_str("\nallocation:\n");
+            for (id, n) in g.nodes() {
+                if !n.is_structural() {
+                    out.push_str(&format!(
+                        "  {:<24} {:>8.3} -> {}\n",
+                        n.name,
+                        c.solve.alloc.get(id),
+                        c.psa.bounded.as_u32(id)
+                    ));
+                }
+            }
+            let prof = idle_profile(&c.psa.schedule, c.psa.pb);
+            out.push_str(&format!(
+                "\nschedule utilization {:.1}% (idle {:.6} proc-s, idling-situation time {:.6} s)\n",
+                100.0 * prof.utilization(),
+                prof.idle_area,
+                prof.idling_situation_time
+            ));
+            if *gantt {
+                out.push('\n');
+                out.push_str(&c.psa.schedule.gantt(&g, 64));
+            }
+            if *csv {
+                out.push('\n');
+                out.push_str(&to_csv(&c.psa.schedule, &g));
+            }
+            if *svg {
+                out.push('\n');
+                out.push_str(&gantt_svg(&c.psa.schedule, &g));
+            }
+            Ok(out)
+        }
+        Command::Simulate { file, procs, spmd, trace } => {
+            let g = load(file)?;
+            let machine = Machine::cm5(*procs);
+            let truth = TrueMachine::cm5(*procs);
+            let c = compile(&g, machine, &CompileConfig::default());
+            let mut out = String::new();
+            if *spmd {
+                let prog = lower_spmd(&g, *procs);
+                let sim = simulate(&prog, &truth);
+                out.push_str(&format!(
+                    "SPMD execution of `{}` on {} processors: {:.6} s (utilization {:.1}%)\n",
+                    g.name(),
+                    procs,
+                    sim.makespan,
+                    100.0 * sim.utilization()
+                ));
+            } else {
+                let sim = simulate(&c.mpmd, &truth);
+                out.push_str(&format!(
+                    "MPMD execution of `{}` on {} processors: {:.6} s (predicted {:.6} s, {:+.2}%)\n",
+                    g.name(),
+                    procs,
+                    sim.makespan,
+                    c.t_psa,
+                    100.0 * (c.t_psa - sim.makespan) / sim.makespan
+                ));
+                if *trace {
+                    let diffs = compare_schedule_vs_sim(&g, &c.psa.schedule, &c.mpmd, &sim);
+                    out.push('\n');
+                    out.push_str(&render_trace(&diffs));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmp_mdg() -> String {
+        let g = example_fig1_mdg();
+        let path = std::env::temp_dir().join(format!("paradigm-cli-test-{}.mdg", std::process::id()));
+        std::fs::write(&path, to_text(&g)).expect("write temp mdg");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn demo_emits_parsable_graph() {
+        for which in ["fig1", "cmm", "strassen"] {
+            let out = run(&Command::Demo { which: which.into() }).unwrap();
+            let g = from_text(&out).expect("demo output must parse");
+            assert!(g.compute_node_count() >= 3);
+        }
+    }
+
+    #[test]
+    fn info_on_file() {
+        let path = tmp_mdg();
+        let out = run(&Command::Info { file: path.clone() }).unwrap();
+        assert!(out.contains("3 compute"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compile_roundtrip_via_parser() {
+        let path = tmp_mdg();
+        let parsed =
+            parse_args(&["compile", &path, "-p", "4", "--gantt", "--csv", "--svg"]).unwrap();
+        let out = run(&parsed.command).unwrap();
+        assert!(out.contains("T_psa = 14.3"), "{out}");
+        assert!(out.contains("Gantt"));
+        assert!(out.contains("node,name,procs,start,finish"));
+        assert!(out.contains("<svg "));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn simulate_mpmd_and_spmd() {
+        let path = tmp_mdg();
+        let mpmd = run(&Command::Simulate { file: path.clone(), procs: 4, spmd: false, trace: true })
+            .unwrap();
+        assert!(mpmd.contains("MPMD execution"));
+        assert!(mpmd.contains("worst finish-time error"));
+        let spmd = run(&Command::Simulate { file: path.clone(), procs: 4, spmd: true, trace: false })
+            .unwrap();
+        assert!(spmd.contains("SPMD execution"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn build_and_load_mini_source() {
+        let src = "program demo\nmatrix A(64,64), B(64,64), C(64,64)\nA = init()\nB = init()\nC = A * B\n";
+        let path = std::env::temp_dir()
+            .join(format!("paradigm-cli-test-{}.mini", std::process::id()));
+        std::fs::write(&path, src).expect("write temp mini");
+        let p = path.to_string_lossy().into_owned();
+        // build: emits parsable .mdg text.
+        let out = run(&Command::Build { file: p.clone() }).unwrap();
+        assert!(from_text(&out).is_ok(), "{out}");
+        // info: loads the .mini directly.
+        let info = run(&Command::Info { file: p.clone() }).unwrap();
+        assert!(info.contains("3 compute"), "{info}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn transform_emits_parsable_graph() {
+        let path = tmp_mdg();
+        let out = run(&Command::Transform { file: path.clone(), fuse: true, reduce: true })
+            .unwrap();
+        assert!(out.contains("fuse_serial_chains"));
+        // Strip the note comments; the remainder must reparse.
+        let body: String =
+            out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        assert!(from_text(&body).is_ok(), "{body}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run(&Command::Info { file: "/nonexistent/x.mdg".into() }).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn calibrate_renders_tables() {
+        let out = run(&Command::Calibrate { procs: 16 }).unwrap();
+        assert!(out.contains("Table 1"));
+        assert!(out.contains("t_ss"));
+    }
+}

@@ -1,0 +1,19 @@
+//! `paradigm` — thin shim over the testable library commands.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match paradigm_cli::parse_args(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", paradigm_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match paradigm_cli::run(&parsed.command) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Training-sets style parameter fitting (paper Section 4, following
+//! Balasundaram et al.): run measurement kernels on the target machine,
+//! then recover the cost-model constants by linear regression.
+//!
+//! * **Processing** (Table 1): `t(q) = alpha*tau + (1-alpha)*tau / q` is
+//!   linear in the basis `[1, 1/q]`; from the coefficients
+//!   `(c0, c1)` we recover `tau = c0 + c1` and `alpha = c0 / tau`.
+//! * **Transfer** (Table 2): the send / network / receive components of
+//!   Eq. 2–3 are linear in `(t_ss, t_ps)`, `(t_n)` and `(t_sr, t_pr)`
+//!   respectively once the configuration `(kind, L, p_i, p_j)` is known,
+//!   so each parameter pair is a small least-squares problem over the
+//!   whole measurement campaign (both 1D and 2D samples jointly).
+
+use crate::linalg::{least_squares, ols_covariance, r_squared};
+use paradigm_mdg::{AmdahlParams, TransferKind};
+
+/// One processing-cost measurement: a loop ran on `q` processors in
+/// `time` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessingSample {
+    /// Processor count used.
+    pub q: f64,
+    /// Measured execution time, seconds.
+    pub time: f64,
+}
+
+/// Result of fitting Amdahl's law to processing measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedAmdahl {
+    /// Recovered parameters.
+    pub params: AmdahlParams,
+    /// Coefficient of determination of the linear fit.
+    pub r2: f64,
+    /// Standard error of `alpha` (delta method through the linear fit's
+    /// covariance; 0 for an exact fit).
+    pub alpha_stderr: f64,
+    /// Standard error of `tau`.
+    pub tau_stderr: f64,
+}
+
+/// Fit `alpha, tau` from measurements (paper Table 1 methodology).
+///
+/// # Panics
+/// Panics with fewer than two samples (the model has two parameters).
+pub fn fit_amdahl(samples: &[ProcessingSample]) -> FittedAmdahl {
+    assert!(samples.len() >= 2, "need at least two samples to fit Amdahl's law");
+    let m = samples.len();
+    let mut x = Vec::with_capacity(m * 2);
+    let mut y = Vec::with_capacity(m);
+    for s in samples {
+        assert!(s.q >= 1.0 && s.time.is_finite(), "bad sample {s:?}");
+        x.extend_from_slice(&[1.0, 1.0 / s.q]);
+        y.push(s.time);
+    }
+    let beta = least_squares(&x, &y, m, 2);
+    let r2 = r_squared(&x, &y, &beta, m, 2);
+    let (c0, c1) = (beta[0], beta[1]);
+    let tau = (c0 + c1).max(0.0);
+    let alpha = if tau > 0.0 { (c0 / tau).clamp(0.0, 1.0) } else { 0.0 };
+    // Delta method: tau = c0 + c1 (gradient [1, 1]);
+    // alpha = c0/(c0+c1) (gradient [c1, -c0]/tau^2).
+    let cov = ols_covariance(&x, &y, &beta, m, 2);
+    let var_tau = (cov[0] + cov[3] + 2.0 * cov[1]).max(0.0);
+    let var_alpha = if tau > 0.0 {
+        let (ga, gb) = (c1 / (tau * tau), -c0 / (tau * tau));
+        (ga * ga * cov[0] + 2.0 * ga * gb * cov[1] + gb * gb * cov[3]).max(0.0)
+    } else {
+        0.0
+    };
+    FittedAmdahl {
+        params: AmdahlParams::new(alpha, tau),
+        r2,
+        alpha_stderr: var_alpha.sqrt(),
+        tau_stderr: var_tau.sqrt(),
+    }
+}
+
+/// One data-transfer measurement: an `bytes`-byte array moved from a
+/// `pi`-processor group to a `pj`-processor group with redistribution
+/// shape `kind`; the three component times were measured separately
+/// (per-processor maxima, matching the cost model's per-processor view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferSample {
+    /// Redistribution shape.
+    pub kind: TransferKind,
+    /// Array size in bytes.
+    pub bytes: u64,
+    /// Sending group size.
+    pub pi: f64,
+    /// Receiving group size.
+    pub pj: f64,
+    /// Measured send component, seconds.
+    pub send_time: f64,
+    /// Measured network component, seconds.
+    pub net_time: f64,
+    /// Measured receive component, seconds.
+    pub recv_time: f64,
+}
+
+/// Result of fitting the five Table-2 constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedTransfer {
+    /// Recovered constants.
+    pub params: crate::machine::TransferParams,
+    /// R^2 of the send-component fit.
+    pub r2_send: f64,
+    /// R^2 of the receive-component fit.
+    pub r2_recv: f64,
+    /// R^2 of the network-component fit (0 when all network times are 0,
+    /// by the `r_squared` constant-target convention — check `t_n`).
+    pub r2_net: f64,
+    /// Standard errors of `(t_ss, t_ps, t_sr, t_pr, t_n)`.
+    pub stderr: [f64; 5],
+}
+
+/// Fit `(t_ss, t_ps, t_sr, t_pr, t_n)` from a measurement campaign
+/// (paper Table 2 methodology). Negative estimates are clamped to zero —
+/// on machines like the CM-5 the network term genuinely is zero and noise
+/// may push the estimate slightly negative.
+///
+/// # Panics
+/// Panics with fewer than three samples.
+pub fn fit_transfer(samples: &[TransferSample]) -> FittedTransfer {
+    assert!(samples.len() >= 3, "need at least three transfer samples");
+    let m = samples.len();
+
+    // Send: t^S = a * t_ss + b * t_ps with (a, b) per Eq. 2/3.
+    let mut xs = Vec::with_capacity(m * 2);
+    let mut ys = Vec::with_capacity(m);
+    // Receive: t^R = a * t_sr + b * t_pr.
+    let mut xr = Vec::with_capacity(m * 2);
+    let mut yr = Vec::with_capacity(m);
+    // Network: t^D = a * t_n.
+    let mut xn = Vec::with_capacity(m);
+    let mut yn = Vec::with_capacity(m);
+
+    for s in samples {
+        let l = s.bytes as f64;
+        let (pi, pj) = (s.pi, s.pj);
+        let (send_a, send_b, net_a, recv_a, recv_b) = match s.kind {
+            TransferKind::OneD => {
+                let mx = pi.max(pj);
+                (mx / pi, l / pi, l / mx, mx / pj, l / pj)
+            }
+            TransferKind::TwoD => (pj, l / pi, l / (pi * pj), pi, l / pj),
+        };
+        xs.extend_from_slice(&[send_a, send_b]);
+        ys.push(s.send_time);
+        xr.extend_from_slice(&[recv_a, recv_b]);
+        yr.push(s.recv_time);
+        xn.push(net_a);
+        yn.push(s.net_time);
+    }
+
+    let bs = least_squares(&xs, &ys, m, 2);
+    let br = least_squares(&xr, &yr, m, 2);
+    let bn = least_squares(&xn, &yn, m, 1);
+    let r2_send = r_squared(&xs, &ys, &bs, m, 2);
+    let r2_recv = r_squared(&xr, &yr, &br, m, 2);
+    let r2_net = r_squared(&xn, &yn, &bn, m, 1);
+    let cs = ols_covariance(&xs, &ys, &bs, m, 2);
+    let cr = ols_covariance(&xr, &yr, &br, m, 2);
+    let cn = ols_covariance(&xn, &yn, &bn, m, 1);
+    let stderr = [
+        cs[0].max(0.0).sqrt(),
+        cs[3].max(0.0).sqrt(),
+        cr[0].max(0.0).sqrt(),
+        cr[3].max(0.0).sqrt(),
+        cn[0].max(0.0).sqrt(),
+    ];
+
+    FittedTransfer {
+        params: crate::machine::TransferParams {
+            t_ss: bs[0].max(0.0),
+            t_ps: bs[1].max(0.0),
+            t_sr: br[0].max(0.0),
+            t_pr: br[1].max(0.0),
+            t_n: bn[0].max(0.0),
+        },
+        r2_send,
+        r2_recv,
+        r2_net,
+        stderr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::TransferParams;
+    use crate::transfer::transfer_components;
+
+    #[test]
+    fn amdahl_fit_recovers_exact_parameters() {
+        let truth = AmdahlParams::new(0.121, 298.47e-3);
+        let samples: Vec<ProcessingSample> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&q| ProcessingSample { q, time: truth.cost(q) })
+            .collect();
+        let fit = fit_amdahl(&samples);
+        assert!((fit.params.alpha - 0.121).abs() < 1e-9);
+        assert!((fit.params.tau - 298.47e-3).abs() < 1e-9);
+        assert!(fit.r2 > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn amdahl_fit_is_robust_to_noise() {
+        let truth = AmdahlParams::new(0.067, 3.73e-3);
+        let samples: Vec<ProcessingSample> = (0..14)
+            .map(|i| {
+                let q = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][i % 7];
+                let noise = if i % 2 == 0 { 1.015 } else { 0.985 };
+                ProcessingSample { q, time: truth.cost(q) * noise }
+            })
+            .collect();
+        let fit = fit_amdahl(&samples);
+        assert!((fit.params.alpha - 0.067).abs() < 0.01);
+        assert!((fit.params.tau - 3.73e-3).abs() < 0.1e-3);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn amdahl_fit_clamps_alpha() {
+        // A pathological "superlinear" data set: time decreases faster
+        // than 1/q. The fit clamps alpha to 0 rather than going negative.
+        let samples = [
+            ProcessingSample { q: 1.0, time: 1.0 },
+            ProcessingSample { q: 2.0, time: 0.3 },
+            ProcessingSample { q: 4.0, time: 0.1 },
+        ];
+        let fit = fit_amdahl(&samples);
+        assert!(fit.params.alpha >= 0.0);
+    }
+
+    fn campaign(truth: &TransferParams) -> Vec<TransferSample> {
+        let mut out = Vec::new();
+        for &kind in &[TransferKind::OneD, TransferKind::TwoD] {
+            for &bytes in &[4096u64, 32768, 131072] {
+                for &pi in &[1.0, 2.0, 4.0, 8.0] {
+                    for &pj in &[1.0, 4.0, 16.0] {
+                        let c = transfer_components(kind, bytes, pi, pj, truth);
+                        out.push(TransferSample {
+                            kind,
+                            bytes,
+                            pi,
+                            pj,
+                            send_time: c.send,
+                            net_time: c.network,
+                            recv_time: c.recv,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transfer_fit_recovers_cm5_constants() {
+        let truth = TransferParams::cm5();
+        let fit = fit_transfer(&campaign(&truth));
+        assert!((fit.params.t_ss - truth.t_ss).abs() / truth.t_ss < 1e-9);
+        assert!((fit.params.t_ps - truth.t_ps).abs() / truth.t_ps < 1e-9);
+        assert!((fit.params.t_sr - truth.t_sr).abs() / truth.t_sr < 1e-9);
+        assert!((fit.params.t_pr - truth.t_pr).abs() / truth.t_pr < 1e-9);
+        assert!(fit.params.t_n.abs() < 1e-15, "CM-5 network constant is zero");
+        assert!(fit.r2_send > 1.0 - 1e-12);
+        assert!(fit.r2_recv > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn transfer_fit_recovers_mesh_constants() {
+        let truth = TransferParams::synthetic_mesh();
+        let fit = fit_transfer(&campaign(&truth));
+        assert!((fit.params.t_n - truth.t_n).abs() / truth.t_n < 1e-9);
+        assert!(fit.r2_net > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn transfer_fit_with_noise_stays_close() {
+        let truth = TransferParams::cm5();
+        let mut samples = campaign(&truth);
+        for (i, s) in samples.iter_mut().enumerate() {
+            let f = if i % 2 == 0 { 1.02 } else { 0.98 };
+            s.send_time *= f;
+            s.recv_time *= f;
+        }
+        let fit = fit_transfer(&samples);
+        assert!((fit.params.t_ss - truth.t_ss).abs() / truth.t_ss < 0.1);
+        assert!((fit.params.t_ps - truth.t_ps).abs() / truth.t_ps < 0.1);
+        assert!(fit.r2_send > 0.98);
+    }
+
+    #[test]
+    fn stderr_zero_on_exact_data_and_positive_under_noise() {
+        let truth = AmdahlParams::new(0.121, 298.47e-3);
+        let exact: Vec<ProcessingSample> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&q| ProcessingSample { q, time: truth.cost(q) })
+            .collect();
+        let fit = fit_amdahl(&exact);
+        assert!(fit.alpha_stderr < 1e-9);
+        assert!(fit.tau_stderr < 1e-9);
+        let noisy: Vec<ProcessingSample> = exact
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ProcessingSample {
+                q: s.q,
+                time: s.time * if i % 2 == 0 { 1.01 } else { 0.99 },
+            })
+            .collect();
+        let fit_n = fit_amdahl(&noisy);
+        assert!(fit_n.alpha_stderr > 0.0);
+        assert!(fit_n.tau_stderr > 0.0);
+        // The truth lies within a few standard errors of the estimate.
+        assert!((fit_n.params.alpha - truth.alpha).abs() < 6.0 * fit_n.alpha_stderr);
+        assert!((fit_n.params.tau - truth.tau).abs() < 6.0 * fit_n.tau_stderr);
+    }
+
+    #[test]
+    fn transfer_stderr_tracks_noise() {
+        let truth = TransferParams::cm5();
+        let exact = fit_transfer(&campaign(&truth));
+        assert!(exact.stderr.iter().all(|&s| s < 1e-12));
+        let mut noisy = campaign(&truth);
+        for (i, s) in noisy.iter_mut().enumerate() {
+            let f = if i % 2 == 0 { 1.03 } else { 0.97 };
+            s.send_time *= f;
+            s.recv_time *= f;
+        }
+        let fit = fit_transfer(&noisy);
+        assert!(fit.stderr[0] > 0.0 && fit.stderr[2] > 0.0);
+        assert!((fit.params.t_ss - truth.t_ss).abs() < 6.0 * fit.stderr[0].max(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn amdahl_fit_needs_samples() {
+        let _ = fit_amdahl(&[ProcessingSample { q: 1.0, time: 1.0 }]);
+    }
+}

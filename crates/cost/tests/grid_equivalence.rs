@@ -1,0 +1,66 @@
+//! Pins the numerical equivalence between this crate's Eq. 2/3 cost
+//! functions and the general grid-distribution cost of
+//! `paradigm_kernels::grid` on the degenerate (1D) grids — i.e. the
+//! paper's formulas are exactly the `r x 1` / `1 x c` special cases of
+//! the general extension.
+
+use paradigm_cost::{transfer_components, TransferParams};
+use paradigm_kernels::grid::paradigm_cost_params as mirror;
+use paradigm_kernels::{grid_transfer_cost, GridDist};
+use paradigm_mdg::TransferKind;
+
+fn to_mirror(x: &TransferParams) -> mirror::TransferParams {
+    mirror::TransferParams { t_ss: x.t_ss, t_ps: x.t_ps, t_sr: x.t_sr, t_pr: x.t_pr, t_n: x.t_n }
+}
+
+#[test]
+fn row_to_row_grids_equal_eq2() {
+    let x = TransferParams::cm5();
+    let (rows, cols) = (64usize, 64usize);
+    let bytes = (rows * cols * 8) as u64;
+    for (pi, pj) in [(1usize, 1usize), (2, 8), (8, 2), (4, 4), (16, 16)] {
+        let model = transfer_components(TransferKind::OneD, bytes, pi as f64, pj as f64, &x);
+        let grid =
+            grid_transfer_cost(rows, cols, GridDist::row(pi), GridDist::row(pj), &to_mirror(&x));
+        assert!((model.send - grid.send).abs() < 1e-12 * model.send.max(1e-12), "{pi}->{pj} send");
+        assert!((model.recv - grid.recv).abs() < 1e-12 * model.recv.max(1e-12), "{pi}->{pj} recv");
+    }
+}
+
+#[test]
+fn row_to_col_grids_equal_eq3() {
+    let x = TransferParams::cm5();
+    let (rows, cols) = (64usize, 64usize);
+    let bytes = (rows * cols * 8) as u64;
+    for (pi, pj) in [(2usize, 2usize), (4, 8), (8, 4)] {
+        let model = transfer_components(TransferKind::TwoD, bytes, pi as f64, pj as f64, &x);
+        let grid =
+            grid_transfer_cost(rows, cols, GridDist::row(pi), GridDist::col(pj), &to_mirror(&x));
+        assert!((model.send - grid.send).abs() < 1e-12 * model.send.max(1e-12), "{pi}->{pj} send");
+        assert!((model.recv - grid.recv).abs() < 1e-12 * model.recv.max(1e-12), "{pi}->{pj} recv");
+    }
+}
+
+#[test]
+fn mesh_network_term_agrees_on_1d() {
+    let x = TransferParams::synthetic_mesh();
+    let (rows, cols) = (64usize, 64usize);
+    let bytes = (rows * cols * 8) as u64;
+    let (pi, pj) = (4usize, 8usize);
+    // Eq. 2 network: L / max(pi,pj) * t_n = the largest single message
+    // times t_n under the planner (each message is L/max bytes).
+    let model = transfer_components(TransferKind::OneD, bytes, pi as f64, pj as f64, &x);
+    let grid = grid_transfer_cost(rows, cols, GridDist::row(pi), GridDist::row(pj), &to_mirror(&x));
+    assert!((model.network - grid.network).abs() < 1e-15);
+}
+
+#[test]
+fn general_grid_is_cheaper_than_worst_1d_flip_for_square_grids() {
+    // The extension's point: a 2x2 -> 2x2 same-grid move costs far less
+    // than the ROW -> COL flip of the same data over 4 processors.
+    let x = to_mirror(&TransferParams::cm5());
+    let same = grid_transfer_cost(64, 64, GridDist::new(2, 2), GridDist::new(2, 2), &x);
+    let flip = grid_transfer_cost(64, 64, GridDist::row(4), GridDist::col(4), &x);
+    assert!(same.send < flip.send, "grid locality must pay off");
+    assert!(same.recv < flip.recv);
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the cost models: posynomial structure
+//! (log-space convexity), monotonicity laws, regression round-trips, and
+//! the Section-2 weight identities.
+
+use paradigm_cost::regression::{fit_amdahl, fit_transfer, ProcessingSample, TransferSample};
+use paradigm_cost::{
+    network_cost, recv_cost, send_cost, transfer_components, Allocation, Machine, MdgWeights,
+    TransferParams,
+};
+use paradigm_mdg::{random_layered_mdg, AmdahlParams, RandomMdgConfig, TransferKind};
+use proptest::prelude::*;
+
+fn arb_amdahl() -> impl Strategy<Value = AmdahlParams> {
+    (0.0f64..=0.9, 0.001f64..100.0).prop_map(|(a, t)| AmdahlParams::new(a, t))
+}
+
+fn arb_kind() -> impl Strategy<Value = TransferKind> {
+    prop_oneof![Just(TransferKind::OneD), Just(TransferKind::TwoD)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn processing_cost_monotone_decreasing(p in arb_amdahl(), q1 in 1.0f64..64.0, dq in 0.1f64..64.0) {
+        let q2 = q1 + dq;
+        prop_assert!(p.cost(q2) <= p.cost(q1) + 1e-12);
+    }
+
+    #[test]
+    fn processing_area_monotone_increasing(p in arb_amdahl(), q1 in 1.0f64..64.0, dq in 0.1f64..64.0) {
+        let q2 = q1 + dq;
+        prop_assert!(p.area(q2) >= p.area(q1) - 1e-12);
+    }
+
+    #[test]
+    fn processing_cost_bracketed(p in arb_amdahl(), q in 1.0f64..1e6) {
+        // alpha*tau <= t(q) <= tau for q >= 1.
+        let c = p.cost(q);
+        prop_assert!(c <= p.tau + 1e-12);
+        prop_assert!(c >= p.alpha * p.tau - 1e-12);
+    }
+
+    #[test]
+    fn transfer_components_positive_and_finite(
+        kind in arb_kind(),
+        bytes in 1u64..10_000_000,
+        pi in 1.0f64..64.0,
+        pj in 1.0f64..64.0,
+    ) {
+        let m = TransferParams::cm5();
+        let c = transfer_components(kind, bytes, pi, pj, &m);
+        prop_assert!(c.send > 0.0 && c.send.is_finite());
+        prop_assert!(c.recv > 0.0 && c.recv.is_finite());
+        prop_assert!(c.network >= 0.0);
+    }
+
+    #[test]
+    fn transfer_send_decreases_with_more_senders_1d(
+        bytes in 1024u64..1_000_000,
+        pi in 1.0f64..32.0,
+        pj in 1.0f64..32.0,
+    ) {
+        // With pj fixed, doubling the senders cannot increase the 1D
+        // per-sender cost.
+        let m = TransferParams::cm5();
+        let c1 = send_cost(TransferKind::OneD, bytes, pi, pj, &m);
+        let c2 = send_cost(TransferKind::OneD, bytes, pi * 2.0, pj, &m);
+        prop_assert!(c2 <= c1 + 1e-12);
+    }
+
+    #[test]
+    fn transfer_recv_grows_with_senders_2d(
+        bytes in 1024u64..1_000_000,
+        pi in 1.0f64..32.0,
+        pj in 1.0f64..32.0,
+    ) {
+        // 2D receive pays one startup per sender.
+        let m = TransferParams::cm5();
+        let c1 = recv_cost(TransferKind::TwoD, bytes, pi, pj, &m);
+        let c2 = recv_cost(TransferKind::TwoD, bytes, pi + 1.0, pj, &m);
+        prop_assert!(c2 >= c1 - 1e-15);
+    }
+
+    #[test]
+    fn network_cost_zero_on_cm5(kind in arb_kind(), bytes in 1u64..1_000_000, pi in 1.0f64..64.0, pj in 1.0f64..64.0) {
+        let m = TransferParams::cm5();
+        prop_assert_eq!(network_cost(kind, bytes, pi, pj, &m), 0.0);
+    }
+
+    #[test]
+    fn amdahl_fit_roundtrip(p in arb_amdahl()) {
+        let samples: Vec<ProcessingSample> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&q| ProcessingSample { q, time: p.cost(q) })
+            .collect();
+        let fit = fit_amdahl(&samples);
+        prop_assert!((fit.params.alpha - p.alpha).abs() < 1e-6,
+            "alpha {} vs {}", fit.params.alpha, p.alpha);
+        prop_assert!((fit.params.tau - p.tau).abs() < 1e-6 * p.tau.max(1.0));
+    }
+
+    #[test]
+    fn transfer_fit_roundtrip(
+        t_ss in 1e-6f64..1e-2,
+        t_ps in 1e-10f64..1e-6,
+        t_sr in 1e-6f64..1e-2,
+        t_pr in 1e-10f64..1e-6,
+        t_n in 0.0f64..1e-7,
+    ) {
+        let truth = TransferParams { t_ss, t_ps, t_sr, t_pr, t_n };
+        let mut samples = Vec::new();
+        for &kind in &[TransferKind::OneD, TransferKind::TwoD] {
+            for &bytes in &[4096u64, 65536, 262144] {
+                for &pi in &[1.0f64, 2.0, 8.0] {
+                    for &pj in &[1.0f64, 4.0, 16.0] {
+                        let c = transfer_components(kind, bytes, pi, pj, &truth);
+                        samples.push(TransferSample {
+                            kind, bytes, pi, pj,
+                            send_time: c.send, net_time: c.network, recv_time: c.recv,
+                        });
+                    }
+                }
+            }
+        }
+        let fit = fit_transfer(&samples);
+        prop_assert!((fit.params.t_ss - t_ss).abs() < 1e-6 * t_ss.max(1e-9));
+        prop_assert!((fit.params.t_pr - t_pr).abs() < 1e-6 * t_pr.max(1e-12));
+    }
+
+    #[test]
+    fn weights_identities_on_random_graphs(seed in 0u64..5000, qk in 0u32..4) {
+        let cfg = RandomMdgConfig::default();
+        let g = random_layered_mdg(&cfg, seed);
+        let m = Machine::cm5(16);
+        let q = (1u32 << qk) as f64; // 1..8
+        let alloc = Allocation::uniform(&g, q);
+        let w = MdgWeights::compute(&g, &m, &alloc);
+        // T_i = recv + compute + send, everywhere.
+        for (id, _) in g.nodes() {
+            let total = w.node_recv[id.0] + w.node_compute[id.0] + w.node_send[id.0];
+            prop_assert!((w.node_weight(id) - total).abs() < 1e-12 * total.max(1.0));
+        }
+        // Phi = max(A_p, C_p) and finishes are monotone along edges.
+        let phi = w.phi(&g);
+        prop_assert!((phi.phi - phi.a_p.max(phi.c_p)).abs() < 1e-15);
+        for (eid, e) in g.edges() {
+            prop_assert!(
+                phi.finishes[e.dst] + 1e-9 >=
+                phi.finishes[e.src] + w.edge_weight(eid) + w.node_weight(paradigm_mdg::NodeId(e.dst))
+                    - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_allocation_ap_equals_area_over_p(seed in 0u64..5000) {
+        let g = random_layered_mdg(&RandomMdgConfig::default(), seed);
+        let m = Machine::cm5(8);
+        let alloc = Allocation::uniform(&g, 4.0);
+        let w = MdgWeights::compute(&g, &m, &alloc);
+        let manual: f64 = g
+            .nodes()
+            .map(|(id, _)| w.node_weight(id) * 4.0)
+            .sum::<f64>() / 8.0;
+        prop_assert!((w.average_finish_time() - manual).abs() < 1e-9 * manual.max(1.0));
+    }
+}

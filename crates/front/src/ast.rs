@@ -1,0 +1,155 @@
+//! Abstract syntax of the mini matrix language.
+
+/// A matrix declaration: `matrix A(64, 64)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixDecl {
+    /// Matrix name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Declaration line (for diagnostics).
+    pub line: usize,
+}
+
+/// A matrix operand, possibly used transposed (`A'`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operand {
+    /// Referenced matrix.
+    pub name: String,
+    /// True for `A'` — the consumer needs the other distribution
+    /// dimension, which the cost model prices as a 2D transfer.
+    pub transposed: bool,
+}
+
+/// Binary whole-matrix operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Matrix multiplication.
+    Mul,
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+}
+
+impl BinOp {
+    /// Source spelling.
+    pub fn symbol(self) -> char {
+        match self {
+            BinOp::Mul => '*',
+            BinOp::Add => '+',
+            BinOp::Sub => '-',
+        }
+    }
+}
+
+/// Right-hand sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `init()` — a matrix initialization loop.
+    Init,
+    /// `Y op Z`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `Y` or `Y'` — a copy (or transpose-copy) loop.
+    Copy {
+        /// Source operand.
+        src: Operand,
+    },
+}
+
+/// One statement: `target = expr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Defined matrix.
+    pub target: String,
+    /// Right-hand side.
+    pub expr: Expr,
+    /// Source line (for diagnostics and node naming).
+    pub line: usize,
+}
+
+impl Stmt {
+    /// Source-like rendering, used as the MDG node name.
+    pub fn render(&self) -> String {
+        let opnd = |o: &Operand| {
+            if o.transposed {
+                format!("{}'", o.name)
+            } else {
+                o.name.clone()
+            }
+        };
+        match &self.expr {
+            Expr::Init => format!("{} = init()", self.target),
+            Expr::Bin { op, lhs, rhs } => {
+                format!("{} = {} {} {}", self.target, opnd(lhs), op.symbol(), opnd(rhs))
+            }
+            Expr::Copy { src } => format!("{} = {}", self.target, opnd(src)),
+        }
+    }
+
+    /// The operands this statement reads.
+    pub fn uses(&self) -> Vec<&Operand> {
+        match &self.expr {
+            Expr::Init => Vec::new(),
+            Expr::Bin { lhs, rhs, .. } => vec![lhs, rhs],
+            Expr::Copy { src } => vec![src],
+        }
+    }
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (`program <name>`).
+    pub name: String,
+    /// Declarations, in order.
+    pub decls: Vec<MatrixDecl>,
+    /// Statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Look up a declaration.
+    pub fn decl(&self, name: &str) -> Option<&MatrixDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stmt_render_forms() {
+        let s = Stmt {
+            target: "C".into(),
+            expr: Expr::Bin {
+                op: BinOp::Mul,
+                lhs: Operand { name: "A".into(), transposed: false },
+                rhs: Operand { name: "B".into(), transposed: true },
+            },
+            line: 3,
+        };
+        assert_eq!(s.render(), "C = A * B'");
+        assert_eq!(s.uses().len(), 2);
+        let i = Stmt { target: "A".into(), expr: Expr::Init, line: 1 };
+        assert_eq!(i.render(), "A = init()");
+        assert!(i.uses().is_empty());
+    }
+
+    #[test]
+    fn op_symbols() {
+        assert_eq!(BinOp::Mul.symbol(), '*');
+        assert_eq!(BinOp::Add.symbol(), '+');
+        assert_eq!(BinOp::Sub.symbol(), '-');
+    }
+}

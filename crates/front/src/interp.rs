@@ -1,0 +1,223 @@
+//! Value-level interpreters for mini-language programs.
+//!
+//! Two executions of the same program:
+//!
+//! * [`interpret`] — the sequential reference: statements run in order on
+//!   whole matrices (deterministic random initialization per target).
+//! * [`interpret_distributed`] — the "compiled" execution: every operand
+//!   crosses a producer→consumer boundary the way the lowered MPMD
+//!   program moves it — scattered over the producer's processor group
+//!   (block rows), pushed through the exact redistribution plan
+//!   (ROW2ROW for 1D uses, ROW2COL for transposed/2D uses), and
+//!   reassembled at the consumer — with group sizes taken from a real
+//!   allocation.
+//!
+//! If the two agree element-for-element, the redistribution machinery the
+//! simulator charges time for is also *value*-correct: the compiler
+//! pipeline produces programs that compute the right answer, not just
+//! ones with plausible schedules. (`tests/` drive this with allocations
+//! produced by the actual convex solver.)
+
+use crate::ast::{BinOp, Expr, Operand, Program};
+use paradigm_kernels::{gather, redistribution_plan, scatter, BlockDist, Matrix};
+use std::collections::BTreeMap;
+
+/// Execute the program sequentially; returns the final value of every
+/// matrix (last definition wins). `init()` fills deterministically from
+/// `seed` and the statement index.
+pub fn interpret(program: &Program, seed: u64) -> BTreeMap<String, Matrix> {
+    let mut env: BTreeMap<String, Matrix> = BTreeMap::new();
+    for (k, stmt) in program.stmts.iter().enumerate() {
+        let value = eval_stmt(program, stmt, k, seed, &env, &mut |m, _, _| m.clone());
+        env.insert(stmt.target.clone(), value);
+    }
+    env
+}
+
+/// Execute the program with every operand routed through scatter →
+/// redistribution plan → gather, using per-statement processor counts
+/// from `groups` (one entry per statement, in order; the producer's
+/// group size applies on the sending side).
+///
+/// # Panics
+/// Panics if `groups.len() != program.stmts.len()` or any group is 0.
+pub fn interpret_distributed(
+    program: &Program,
+    groups: &[usize],
+    seed: u64,
+) -> BTreeMap<String, Matrix> {
+    assert_eq!(groups.len(), program.stmts.len(), "one group size per statement");
+    assert!(groups.iter().all(|&g| g >= 1), "groups must be non-empty");
+    // Producer statement index per matrix version.
+    let mut producer_of: BTreeMap<String, usize> = BTreeMap::new();
+    let mut env: BTreeMap<String, Matrix> = BTreeMap::new();
+    for (k, stmt) in program.stmts.iter().enumerate() {
+        let route = |m: &Matrix, operand: &Operand, consumer: usize| -> Matrix {
+            let src_procs = groups[*producer_of
+                .get(&operand.name)
+                .expect("lowering already checked def-before-use")];
+            let dst_procs = groups[consumer];
+            move_matrix(m, src_procs, dst_procs, operand.transposed)
+        };
+        let value = eval_stmt(program, stmt, k, seed, &env, &mut |m, op, consumer| {
+            route(m, op, consumer)
+        });
+        env.insert(stmt.target.clone(), value);
+        producer_of.insert(stmt.target.clone(), k);
+    }
+    env
+}
+
+/// Move a matrix from a `src`-processor group (block-row distributed) to
+/// a `dst`-processor group: ROW2ROW for plain uses, ROW2COL for
+/// transposed uses — executing the byte-exact redistribution plan on
+/// real data and reassembling. Returns the matrix as the consumer sees
+/// it (the transpose itself is applied by the consuming kernel, so the
+/// *values* are unchanged; only the path differs).
+fn move_matrix(m: &Matrix, src: usize, dst: usize, transposed: bool) -> Matrix {
+    let (rows, cols) = (m.rows(), m.cols());
+    let dst_dist = if transposed { BlockDist::Col } else { BlockDist::Row };
+    let pieces = scatter(m, BlockDist::Row, src);
+    let plan = redistribution_plan(rows, cols, src, BlockDist::Row, dst, dst_dist);
+    // Execute the plan: build each destination piece from messages.
+    let src_ranges = paradigm_kernels::block_ranges(rows, src);
+    let mut rebuilt: Vec<Matrix> = match dst_dist {
+        BlockDist::Row => paradigm_kernels::block_ranges(rows, dst)
+            .into_iter()
+            .map(|(_, l)| Matrix::zeros(l, cols))
+            .collect(),
+        BlockDist::Col => paradigm_kernels::block_ranges(cols, dst)
+            .into_iter()
+            .map(|(_, l)| Matrix::zeros(rows, l))
+            .collect(),
+    };
+    for msg in &plan {
+        let (r0, _rl) = src_ranges[msg.src as usize];
+        let piece = &pieces[msg.src as usize];
+        match dst_dist {
+            BlockDist::Row => {
+                let dst_ranges = paradigm_kernels::block_ranges(rows, dst);
+                let (d0, _) = dst_ranges[msg.dst as usize];
+                // Overlap rows between src block and dst block.
+                let lo = r0.max(d0);
+                let hi = (r0 + piece.rows()).min(d0 + rebuilt[msg.dst as usize].rows());
+                debug_assert_eq!(((hi - lo) * cols * 8) as u64, msg.bytes);
+                let sub = piece.block(lo - r0, 0, hi - lo, cols);
+                rebuilt[msg.dst as usize].set_block(lo - d0, 0, &sub);
+            }
+            BlockDist::Col => {
+                let dst_ranges = paradigm_kernels::block_ranges(cols, dst);
+                let (c0, cl) = dst_ranges[msg.dst as usize];
+                debug_assert_eq!((piece.rows() * cl * 8) as u64, msg.bytes);
+                let sub = piece.block(0, c0, piece.rows(), cl);
+                rebuilt[msg.dst as usize].set_block(r0, 0, &sub);
+            }
+        }
+    }
+    match dst_dist {
+        BlockDist::Row => gather(&rebuilt, BlockDist::Row, rows, cols),
+        BlockDist::Col => gather(&rebuilt, BlockDist::Col, rows, cols),
+    }
+}
+
+/// Evaluate one statement; `route` intercepts every operand fetch
+/// (identity for the reference interpreter, redistribution for the
+/// distributed one).
+fn eval_stmt(
+    program: &Program,
+    stmt: &crate::ast::Stmt,
+    index: usize,
+    seed: u64,
+    env: &BTreeMap<String, Matrix>,
+    route: &mut dyn FnMut(&Matrix, &Operand, usize) -> Matrix,
+) -> Matrix {
+    let decl = program.decl(&stmt.target).expect("lowering validated declarations");
+    let fetch = |op: &Operand, route: &mut dyn FnMut(&Matrix, &Operand, usize) -> Matrix| {
+        let raw = env.get(&op.name).expect("lowering validated def-before-use");
+        let moved = route(raw, op, index);
+        if op.transposed {
+            moved.transpose()
+        } else {
+            moved
+        }
+    };
+    match &stmt.expr {
+        Expr::Init => Matrix::random(decl.rows, decl.cols, seed ^ (index as u64) << 17),
+        Expr::Copy { src } => fetch(src, route),
+        Expr::Bin { op, lhs, rhs } => {
+            let a = fetch(lhs, route);
+            let b = fetch(rhs, route);
+            match op {
+                BinOp::Mul => a.mul(&b),
+                BinOp::Add => a.add(&b),
+                BinOp::Sub => a.sub(&b),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const PROG: &str = "\
+program interp_test
+matrix A(24,24), B(24,24), C(24,24), D(24,24), E(24,24)
+A = init()
+B = init()
+C = A * B
+D = A' + C
+E = D - B
+";
+
+    #[test]
+    fn reference_interpreter_computes_expected_values() {
+        let p = parse(PROG).unwrap();
+        let env = interpret(&p, 7);
+        let a = &env["A"];
+        let b = &env["B"];
+        let c = a.mul(b);
+        assert!(env["C"].approx_eq(&c, 1e-12));
+        let d = a.transpose().add(&c);
+        assert!(env["D"].approx_eq(&d, 1e-12));
+        assert!(env["E"].approx_eq(&d.sub(b), 1e-12));
+    }
+
+    #[test]
+    fn distributed_matches_reference_for_various_groups() {
+        let p = parse(PROG).unwrap();
+        let reference = interpret(&p, 42);
+        for groups in [
+            vec![1, 1, 1, 1, 1],
+            vec![4, 4, 4, 4, 4],
+            vec![2, 8, 3, 5, 1],
+            vec![24, 1, 7, 2, 16],
+        ] {
+            let dist = interpret_distributed(&p, &groups, 42);
+            for (name, want) in &reference {
+                assert!(
+                    dist[name].approx_eq(want, 1e-10),
+                    "{name} differs for groups {groups:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_values_deterministically() {
+        let p = parse(PROG).unwrap();
+        let a = interpret(&p, 1);
+        let b = interpret(&p, 1);
+        let c = interpret(&p, 2);
+        assert!(a["E"].approx_eq(&b["E"], 0.0));
+        assert!(!a["E"].approx_eq(&c["E"], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "one group size per statement")]
+    fn group_count_mismatch_rejected() {
+        let p = parse(PROG).unwrap();
+        let _ = interpret_distributed(&p, &[1, 2], 0);
+    }
+}

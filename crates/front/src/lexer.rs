@@ -1,0 +1,176 @@
+//! Lexer for the mini matrix language. Line-oriented; `#` starts a
+//! comment; identifiers are `[A-Za-z_][A-Za-z0-9_]*`.
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(usize),
+    /// `=`.
+    Equals,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `*`.
+    Star,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `'` (transpose suffix).
+    Prime,
+    /// End of one source line.
+    Newline,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Offending character.
+    pub ch: char,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: unexpected character `{}`", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize the whole source. Blank/comment-only lines produce no
+/// tokens; every non-empty line is terminated by a `Newline` token.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    for (ln, raw) in source.lines().enumerate() {
+        let line = ln + 1;
+        let text = raw.split('#').next().unwrap_or("");
+        let mut chars = text.chars().peekable();
+        let mut emitted = false;
+        while let Some(&c) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut ident = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token { kind: TokenKind::Ident(ident), line });
+                    emitted = true;
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n = 0usize;
+                    while let Some(&c) = chars.peek() {
+                        if let Some(d) = c.to_digit(10) {
+                            n = n * 10 + d as usize;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token { kind: TokenKind::Number(n), line });
+                    emitted = true;
+                }
+                _ => {
+                    let kind = match c {
+                        '=' => TokenKind::Equals,
+                        '(' => TokenKind::LParen,
+                        ')' => TokenKind::RParen,
+                        ',' => TokenKind::Comma,
+                        '*' => TokenKind::Star,
+                        '+' => TokenKind::Plus,
+                        '-' => TokenKind::Minus,
+                        '\'' => TokenKind::Prime,
+                        other => return Err(LexError { line, ch: other }),
+                    };
+                    chars.next();
+                    out.push(Token { kind, line });
+                    emitted = true;
+                }
+            }
+        }
+        if emitted {
+            out.push(Token { kind: TokenKind::Newline, line });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let k = kinds("matrix A(64, 64)");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("matrix".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::LParen,
+                TokenKind::Number(64),
+                TokenKind::Comma,
+                TokenKind::Number(64),
+                TokenKind::RParen,
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_statement_with_transpose() {
+        let k = kinds("C = A * B'");
+        assert!(k.contains(&TokenKind::Star));
+        assert!(k.contains(&TokenKind::Prime));
+        assert_eq!(k.last(), Some(&TokenKind::Newline));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let toks = tokenize("# only a comment\n\n  \nA = init()\n").unwrap();
+        assert_eq!(toks[0].line, 4, "first token on line 4");
+        assert!(toks.iter().all(|t| t.line == 4));
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let e = tokenize("A = init()\nB = A @ C\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.ch, '@');
+    }
+
+    #[test]
+    fn numbers_parse_multidigit() {
+        let k = kinds("matrix X(1024, 2048)");
+        assert!(k.contains(&TokenKind::Number(1024)));
+        assert!(k.contains(&TokenKind::Number(2048)));
+    }
+}

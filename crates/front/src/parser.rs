@@ -1,0 +1,285 @@
+//! Recursive-descent parser for the mini matrix language.
+//!
+//! Grammar (line oriented):
+//!
+//! ```text
+//! program   := "program" IDENT NL (decl | stmt)*
+//! decl      := "matrix" declitem ("," declitem)* NL
+//! declitem  := IDENT "(" NUMBER "," NUMBER ")"
+//! stmt      := IDENT "=" rhs NL
+//! rhs       := "init" "(" ")"
+//!            | operand (("*" | "+" | "-") operand)?
+//! operand   := IDENT "'"?
+//! ```
+
+use crate::ast::{BinOp, Expr, MatrixDecl, Operand, Program, Stmt};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// Any front-end failure (lexing, parsing, or lowering) with a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// 1-based source line (0 when no line applies).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl From<LexError> for FrontError {
+    fn from(e: LexError) -> Self {
+        FrontError { line: e.line, message: format!("unexpected character `{}`", e.ch) }
+    }
+}
+
+impl From<crate::lower::LowerError> for FrontError {
+    fn from(e: crate::lower::LowerError) -> Self {
+        FrontError { line: e.line, message: e.message }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map(|t| t.line).unwrap_or_else(|| {
+            self.toks.last().map(|t| t.line).unwrap_or(0)
+        })
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> FrontError {
+        FrontError { line: self.line(), message: message.into() }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), FrontError> {
+        match self.bump() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(FrontError {
+                line: t.line,
+                message: format!("expected {what}, found {:?}", t.kind),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize), FrontError> {
+        match self.bump() {
+            Some(Token { kind: TokenKind::Ident(s), line }) => Ok((s, line)),
+            Some(t) => Err(FrontError {
+                line: t.line,
+                message: format!("expected {what}, found {:?}", t.kind),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<usize, FrontError> {
+        match self.bump() {
+            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(n),
+            Some(t) => Err(FrontError {
+                line: t.line,
+                message: format!("expected {what}, found {:?}", t.kind),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn eat_newline(&mut self) -> Result<(), FrontError> {
+        self.expect(&TokenKind::Newline, "end of line")
+    }
+
+    fn operand(&mut self) -> Result<Operand, FrontError> {
+        let (name, _) = self.expect_ident("a matrix name")?;
+        let transposed = matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Prime));
+        if transposed {
+            self.bump();
+        }
+        Ok(Operand { name, transposed })
+    }
+}
+
+/// Parse a full program.
+pub fn parse(source: &str) -> Result<Program, FrontError> {
+    let toks = tokenize(source)?;
+    let mut p = Parser { toks, pos: 0 };
+
+    // Header.
+    let (kw, line) = p.expect_ident("the `program` keyword")?;
+    if kw != "program" {
+        return Err(FrontError { line, message: format!("expected `program`, found `{kw}`") });
+    }
+    let (name, _) = p.expect_ident("the program name")?;
+    p.eat_newline()?;
+
+    let mut decls: Vec<MatrixDecl> = Vec::new();
+    let mut stmts: Vec<Stmt> = Vec::new();
+    while p.peek().is_some() {
+        let (ident, line) = p.expect_ident("a declaration or statement")?;
+        if ident == "matrix" {
+            loop {
+                let (mname, mline) = p.expect_ident("a matrix name")?;
+                if decls.iter().any(|d| d.name == mname) {
+                    return Err(FrontError {
+                        line: mline,
+                        message: format!("matrix `{mname}` declared twice"),
+                    });
+                }
+                p.expect(&TokenKind::LParen, "`(`")?;
+                let rows = p.expect_number("the row count")?;
+                p.expect(&TokenKind::Comma, "`,`")?;
+                let cols = p.expect_number("the column count")?;
+                p.expect(&TokenKind::RParen, "`)`")?;
+                if rows == 0 || cols == 0 {
+                    return Err(FrontError {
+                        line: mline,
+                        message: format!("matrix `{mname}` has a zero dimension"),
+                    });
+                }
+                decls.push(MatrixDecl { name: mname, rows, cols, line: mline });
+                match p.peek().map(|t| &t.kind) {
+                    Some(TokenKind::Comma) => {
+                        p.bump();
+                    }
+                    _ => break,
+                }
+            }
+            p.eat_newline()?;
+        } else {
+            // Statement: ident already consumed is the target.
+            p.expect(&TokenKind::Equals, "`=`")?;
+            let expr = match p.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Ident(f)) if f == "init" => {
+                    // Lookahead: `init ( )` is the builtin; a bare
+                    // `init` identifier would be a copy — require parens.
+                    p.bump();
+                    p.expect(&TokenKind::LParen, "`(` after init")?;
+                    p.expect(&TokenKind::RParen, "`)`")?;
+                    Expr::Init
+                }
+                _ => {
+                    let lhs = p.operand()?;
+                    match p.peek().map(|t| t.kind.clone()) {
+                        Some(TokenKind::Star) | Some(TokenKind::Plus) | Some(TokenKind::Minus) => {
+                            let op = match p.bump().expect("peeked").kind {
+                                TokenKind::Star => BinOp::Mul,
+                                TokenKind::Plus => BinOp::Add,
+                                TokenKind::Minus => BinOp::Sub,
+                                _ => unreachable!(),
+                            };
+                            let rhs = p.operand()?;
+                            Expr::Bin { op, lhs, rhs }
+                        }
+                        _ => Expr::Copy { src: lhs },
+                    }
+                }
+            };
+            p.eat_newline()?;
+            stmts.push(Stmt { target: ident, expr, line });
+        }
+    }
+    if stmts.is_empty() {
+        return Err(FrontError { line, message: "program has no statements".into() });
+    }
+    Ok(Program { name, decls, stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CMM: &str = "\
+program cmm
+matrix Ar(64,64), Ai(64,64), Br(64,64), Bi(64,64)
+matrix M1(64,64), M2(64,64), M3(64,64), M4(64,64), Cr(64,64), Ci(64,64)
+Ar = init()
+Ai = init()
+Br = init()
+Bi = init()
+M1 = Ar * Br
+M2 = Ai * Bi
+M3 = Ar * Bi
+M4 = Ai * Br
+Cr = M1 - M2
+Ci = M3 + M4
+";
+
+    #[test]
+    fn parses_cmm() {
+        let p = parse(CMM).unwrap();
+        assert_eq!(p.name, "cmm");
+        assert_eq!(p.decls.len(), 10);
+        assert_eq!(p.stmts.len(), 10);
+        assert_eq!(p.stmts[4].render(), "M1 = Ar * Br");
+        assert_eq!(p.stmts[8].render(), "Cr = M1 - M2");
+    }
+
+    #[test]
+    fn parses_transpose_and_copy() {
+        let p = parse("program t\nmatrix A(4,8), B(8,4), C(8,4)\nA = init()\nB = A'\nC = B\n")
+            .unwrap();
+        assert_eq!(p.stmts[1].render(), "B = A'");
+        assert!(matches!(&p.stmts[1].expr, Expr::Copy { src } if src.transposed));
+        assert!(matches!(&p.stmts[2].expr, Expr::Copy { src } if !src.transposed));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let e = parse("matrix A(2,2)\nA = init()\n").unwrap_err();
+        assert!(e.message.contains("program"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = parse("program x\nmatrix A(2,2), A(3,3)\nA = init()\n").unwrap_err();
+        assert!(e.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let e = parse("program x\nmatrix A(0,2)\nA = init()\n").unwrap_err();
+        assert!(e.message.contains("zero dimension"));
+    }
+
+    #[test]
+    fn garbage_statement_reports_line() {
+        let e = parse("program x\nmatrix A(2,2)\nA = * B\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let e = parse("program x\nmatrix A(2,2)\n").unwrap_err();
+        assert!(e.message.contains("no statements"));
+    }
+
+    #[test]
+    fn init_requires_parens() {
+        // `A = init` (no parens) parses as a copy from a matrix named
+        // "init" — lowering will reject the undefined name; parser
+        // accepts the shape. But `A = init(` is a parse error.
+        let e = parse("program x\nmatrix A(2,2)\nA = init(\n").unwrap_err();
+        assert!(e.message.contains(")"), "{e}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the front end: randomly generated valid
+//! programs must always lex, parse, lower to invariant-satisfying MDGs,
+//! and round-trip through the MDG text format; random mutations of valid
+//! programs must fail with a line-numbered error, never a panic.
+
+use paradigm_front::{compile_source, emit, parse};
+use paradigm_mdg::validate::check_invariants;
+use paradigm_mdg::KernelCostTable;
+use proptest::prelude::*;
+
+/// Generate a random valid program: `n` square matrices of one size,
+/// a few inits, then a chain of random binary statements over already
+/// defined matrices.
+fn arb_program() -> impl Strategy<Value = String> {
+    (2usize..6, 1usize..5, 0usize..12, any::<u64>()).prop_map(|(inits, size_k, extra, seed)| {
+        let size = 16 << size_k; // 32..256
+        let total = inits + extra;
+        let mut src = String::from("program generated\n");
+        src.push_str("matrix ");
+        let names: Vec<String> = (0..total).map(|i| format!("M{i}")).collect();
+        src.push_str(
+            &names
+                .iter()
+                .map(|n| format!("{n}({size},{size})"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        src.push('\n');
+        for name in names.iter().take(inits) {
+            src.push_str(&format!("{name} = init()\n"));
+        }
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for (k, name) in names.iter().enumerate().skip(inits) {
+            let lhs = &names[next() % k];
+            let rhs = &names[next() % k];
+            let op = ["*", "+", "-"][next() % 3];
+            let t1 = if next() % 4 == 0 { "'" } else { "" };
+            let t2 = if next() % 4 == 0 { "'" } else { "" };
+            src.push_str(&format!("{name} = {lhs}{t1} {op} {rhs}{t2}\n"));
+        }
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_compile_to_valid_mdgs(src in arb_program()) {
+        // Square matrices make every op shape-valid (transposes included).
+        let g = compile_source(&src, &KernelCostTable::cm5())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert!(check_invariants(&g).is_ok());
+        // One node per statement.
+        let stmts = src.lines().filter(|l| l.contains('=')).count();
+        prop_assert_eq!(g.compute_node_count(), stmts);
+    }
+
+    #[test]
+    fn compiled_graphs_roundtrip_through_mdg_text(src in arb_program()) {
+        let g = compile_source(&src, &KernelCostTable::cm5()).expect("compiles");
+        let text = paradigm_mdg::to_text(&g);
+        let back = paradigm_mdg::from_text(&text).expect("reparses");
+        prop_assert_eq!(g.node_count(), back.node_count());
+        prop_assert_eq!(g.edge_count(), back.edge_count());
+    }
+
+    #[test]
+    fn emit_parse_is_identity_on_ast(src in arb_program()) {
+        let p1 = parse(&src).expect("generated programs parse");
+        let text = emit(&p1);
+        let p2 = parse(&text).expect("emitted text reparses");
+        prop_assert_eq!(p1.name, p2.name);
+        prop_assert_eq!(p1.decls.len(), p2.decls.len());
+        prop_assert_eq!(p1.stmts.len(), p2.stmts.len());
+        for (a, b) in p1.stmts.iter().zip(&p2.stmts) {
+            prop_assert_eq!(&a.target, &b.target);
+            prop_assert_eq!(&a.expr, &b.expr);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(src in arb_program(), cut in any::<prop::sample::Index>()) {
+        // Truncate at an arbitrary byte boundary: must return Ok or a
+        // structured error, never panic.
+        let n = cut.index(src.len().max(1));
+        let truncated: String = src.chars().take(n).collect();
+        let _ = parse(&truncated);
+        let _ = compile_source(&truncated, &KernelCostTable::cm5());
+    }
+
+    #[test]
+    fn junk_lines_fail_with_line_numbers(src in arb_program(), junk in "[a-z]{1,6}") {
+        let broken = format!("{src}{junk} {junk}\n");
+        match compile_source(&broken, &KernelCostTable::cm5()) {
+            Ok(_) => {
+                // `x y` only parses if it forms a valid statement, which
+                // requires an `=`; a two-ident line never does.
+                prop_assert!(false, "junk line accepted");
+            }
+            Err(e) => prop_assert!(e.line > 0),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Complex matrices as (real, imaginary) pairs — the paper's first test
+//! program multiplies two of these with four real multiplications and two
+//! real additions:
+//!
+//! ```text
+//! Cr = Ar·Br − Ai·Bi        Ci = Ar·Bi + Ai·Br
+//! ```
+
+use crate::matrix::Matrix;
+
+/// A complex matrix stored as two real matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    /// Real part.
+    pub re: Matrix,
+    /// Imaginary part.
+    pub im: Matrix,
+}
+
+impl ComplexMatrix {
+    /// Construct from parts.
+    ///
+    /// # Panics
+    /// Panics if the parts' shapes differ.
+    pub fn new(re: Matrix, im: Matrix) -> Self {
+        assert_eq!(
+            (re.rows(), re.cols()),
+            (im.rows(), im.cols()),
+            "real/imaginary shape mismatch"
+        );
+        ComplexMatrix { re, im }
+    }
+
+    /// Deterministic pseudo-random complex matrix.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        ComplexMatrix::new(Matrix::random(rows, cols, seed), Matrix::random(rows, cols, seed ^ 0xabcd))
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.re.rows()
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.re.cols()
+    }
+
+    /// The 4-multiply/2-addition product — the exact computation of the
+    /// paper's Complex Matrix Multiply MDG (M1..M4, Cr, Ci).
+    pub fn mul_4m2a(&self, other: &ComplexMatrix) -> ComplexMatrix {
+        let m1 = self.re.mul(&other.re); // Ar*Br
+        let m2 = self.im.mul(&other.im); // Ai*Bi
+        let m3 = self.re.mul(&other.im); // Ar*Bi
+        let m4 = self.im.mul(&other.re); // Ai*Br
+        ComplexMatrix::new(m1.sub(&m2), m3.add(&m4))
+    }
+
+    /// Reference product computed element-wise with complex arithmetic.
+    pub fn mul_reference(&self, other: &ComplexMatrix) -> ComplexMatrix {
+        assert_eq!(self.cols(), other.rows(), "inner dimension mismatch");
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut re = Matrix::zeros(m, n);
+        let mut im = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut r = 0.0;
+                let mut s = 0.0;
+                for kk in 0..k {
+                    let (ar, ai) = (self.re[(i, kk)], self.im[(i, kk)]);
+                    let (br, bi) = (other.re[(kk, j)], other.im[(kk, j)]);
+                    r += ar * br - ai * bi;
+                    s += ar * bi + ai * br;
+                }
+                re[(i, j)] = r;
+                im[(i, j)] = s;
+            }
+        }
+        ComplexMatrix::new(re, im)
+    }
+
+    /// Max absolute element difference across both parts.
+    pub fn max_abs_diff(&self, other: &ComplexMatrix) -> f64 {
+        self.re.max_abs_diff(&other.re).max(self.im.max_abs_diff(&other.im))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_mult_form_matches_reference() {
+        for n in [2usize, 8, 64] {
+            let a = ComplexMatrix::random(n, n, 1);
+            let b = ComplexMatrix::random(n, n, 2);
+            let fast = a.mul_4m2a(&b);
+            let slow = a.mul_reference(&b);
+            assert!(fast.max_abs_diff(&slow) < 1e-9 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multiply_by_complex_identity() {
+        let n = 6;
+        let a = ComplexMatrix::random(n, n, 3);
+        let eye = ComplexMatrix::new(
+            Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 }),
+            Matrix::zeros(n, n),
+        );
+        let prod = a.mul_4m2a(&eye);
+        assert!(prod.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn multiply_by_i_swaps_parts() {
+        // (iI) * A = i*A: re -> -im, im -> re.
+        let n = 5;
+        let a = ComplexMatrix::random(n, n, 4);
+        let i_mat = ComplexMatrix::new(
+            Matrix::zeros(n, n),
+            Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 }),
+        );
+        let prod = i_mat.mul_4m2a(&a);
+        let expect = ComplexMatrix::new(a.im.sub(&a.im).sub(&a.im).add(&a.im).sub(&a.im), a.re.clone());
+        // expect.re = -a.im (built via sub chain to stay in the API)
+        assert!(prod.im.approx_eq(&expect.im, 1e-12));
+        let neg_im = Matrix::zeros(n, n).sub(&a.im);
+        assert!(prod.re.approx_eq(&neg_im, 1e-12));
+    }
+
+    #[test]
+    fn rectangular_product_shapes() {
+        let a = ComplexMatrix::random(3, 5, 5);
+        let b = ComplexMatrix::random(5, 2, 6);
+        let c = a.mul_4m2a(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        assert!(c.max_abs_diff(&a.mul_reference(&b)) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_parts_rejected() {
+        let _ = ComplexMatrix::new(Matrix::zeros(2, 2), Matrix::zeros(3, 3));
+    }
+}

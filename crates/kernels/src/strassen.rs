@@ -1,0 +1,147 @@
+//! Strassen's matrix multiplication — the paper's second test program.
+//!
+//! [`strassen_one_level`] performs exactly one recursion level (seven
+//! half-size multiplications, eighteen quadrant additions/subtractions),
+//! matching the MDG of `paradigm_mdg::strassen_mdg` node for node.
+//! [`strassen_multiply`] recurses fully down to a cutoff.
+
+use crate::matrix::Matrix;
+
+/// The seven Strassen products and the quadrant recombination for one
+/// recursion level. Inner multiplications use the supplied `mul` closure
+/// (the naive kernel for one level; recursion for the full algorithm).
+///
+/// # Panics
+/// Panics unless both matrices are square with even dimension.
+fn strassen_level(a: &Matrix, b: &Matrix, mul: &dyn Fn(&Matrix, &Matrix) -> Matrix) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "Strassen needs square matrices");
+    assert_eq!(b.rows(), b.cols(), "Strassen needs square matrices");
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    assert!(a.rows().is_multiple_of(2), "Strassen needs an even dimension");
+    let h = a.rows() / 2;
+
+    let a11 = a.block(0, 0, h, h);
+    let a12 = a.block(0, h, h, h);
+    let a21 = a.block(h, 0, h, h);
+    let a22 = a.block(h, h, h, h);
+    let b11 = b.block(0, 0, h, h);
+    let b12 = b.block(0, h, h, h);
+    let b21 = b.block(h, 0, h, h);
+    let b22 = b.block(h, h, h, h);
+
+    // Pre-additions S1..S10 (names match the MDG builder).
+    let s1 = a11.add(&a22);
+    let s2 = b11.add(&b22);
+    let s3 = a21.add(&a22);
+    let s4 = b12.sub(&b22);
+    let s5 = b21.sub(&b11);
+    let s6 = a11.add(&a12);
+    let s7 = a21.sub(&a11);
+    let s8 = b11.add(&b12);
+    let s9 = a12.sub(&a22);
+    let s10 = b21.add(&b22);
+
+    // The seven products.
+    let m1 = mul(&s1, &s2);
+    let m2 = mul(&s3, &b11);
+    let m3 = mul(&a11, &s4);
+    let m4 = mul(&a22, &s5);
+    let m5 = mul(&s6, &b22);
+    let m6 = mul(&s7, &s8);
+    let m7 = mul(&s9, &s10);
+
+    // Quadrant recombination (binary-add decomposition as in the MDG).
+    let t1 = m1.add(&m4);
+    let t2 = t1.sub(&m5);
+    let c11 = t2.add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let t3 = m1.sub(&m2);
+    let t4 = t3.add(&m3);
+    let c22 = t4.add(&m6);
+
+    let n = a.rows();
+    let mut c = Matrix::zeros(n, n);
+    c.set_block(0, 0, &c11);
+    c.set_block(0, h, &c12);
+    c.set_block(h, 0, &c21);
+    c.set_block(h, h, &c22);
+    c
+}
+
+/// One recursion level of Strassen (inner products via the naive kernel)
+/// — exactly the computation of the paper's Strassen MDG.
+pub fn strassen_one_level(a: &Matrix, b: &Matrix) -> Matrix {
+    strassen_level(a, b, &|x, y| x.mul(y))
+}
+
+/// Fully recursive Strassen, falling back to the naive kernel at or below
+/// `cutoff` (or on odd dimensions).
+pub fn strassen_multiply(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert!(cutoff >= 1);
+    if a.rows() <= cutoff || !a.rows().is_multiple_of(2) {
+        return a.mul(b);
+    }
+    strassen_level(a, b, &|x, y| strassen_multiply(x, y, cutoff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_level_matches_naive() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let a = Matrix::random(n, n, n as u64);
+            let b = Matrix::random(n, n, n as u64 + 100);
+            let expect = a.mul(&b);
+            let got = strassen_one_level(&a, &b);
+            assert!(
+                got.approx_eq(&expect, 1e-9 * n as f64),
+                "n={n}: max diff {}",
+                got.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_matches_naive() {
+        let a = Matrix::random(64, 64, 7);
+        let b = Matrix::random(64, 64, 8);
+        let expect = a.mul(&b);
+        for cutoff in [1usize, 4, 16, 32] {
+            let got = strassen_multiply(&a, &b, cutoff);
+            assert!(got.approx_eq(&expect, 1e-8), "cutoff {cutoff}");
+        }
+    }
+
+    #[test]
+    fn odd_dimension_falls_back() {
+        let a = Matrix::random(31, 31, 9);
+        let b = Matrix::random(31, 31, 10);
+        assert!(strassen_multiply(&a, &b, 4).approx_eq(&a.mul(&b), 1e-9));
+    }
+
+    #[test]
+    fn paper_size_128() {
+        // The paper's Strassen test case: 128x128 with one level.
+        let a = Matrix::random(128, 128, 11);
+        let b = Matrix::random(128, 128, 12);
+        let got = strassen_one_level(&a, &b);
+        assert!(got.approx_eq(&a.mul(&b), 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn one_level_rejects_odd() {
+        let a = Matrix::random(3, 3, 1);
+        let _ = strassen_one_level(&a, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn one_level_rejects_rectangular() {
+        let a = Matrix::random(4, 6, 1);
+        let _ = strassen_one_level(&a, &a);
+    }
+}

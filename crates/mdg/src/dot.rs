@@ -1,0 +1,119 @@
+//! Graphviz DOT export and an ASCII adjacency rendering of MDGs.
+//!
+//! Used by the Figure-6 reproduction harness (`repro_fig6_mdgs`) so that
+//! the two test-program graphs can be inspected visually.
+
+use crate::graph::Mdg;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+/// Render the MDG in Graphviz DOT syntax. Node labels carry the loop name
+/// and its Amdahl parameters; edge labels carry the transfer volume.
+pub fn to_dot(g: &Mdg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (id, n) in g.nodes() {
+        let (shape, label) = match n.kind {
+            NodeKind::Start => ("ellipse", "START".to_string()),
+            NodeKind::Stop => ("ellipse", "STOP".to_string()),
+            NodeKind::Compute => (
+                "box",
+                format!(
+                    "{}\\n(alpha={:.3}, tau={:.4}s)",
+                    n.name, n.cost.alpha, n.cost.tau
+                ),
+            ),
+        };
+        let _ = writeln!(out, "  {} [shape={shape}, label=\"{label}\"];", id.0);
+    }
+    for (_, e) in g.edges() {
+        if e.transfers.is_empty() {
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", e.src, e.dst);
+        } else {
+            let kinds: Vec<&str> = e
+                .transfers
+                .iter()
+                .map(|t| match t.kind {
+                    crate::node::TransferKind::OneD => "1D",
+                    crate::node::TransferKind::TwoD => "2D",
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}B {}\"];",
+                e.src,
+                e.dst,
+                e.total_bytes(),
+                kinds.join(",")
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a plain-text adjacency listing, one line per node:
+/// `n3 [M1 = Ar*Br]  <- n1, n2   -> n7`.
+pub fn to_ascii(g: &Mdg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "MDG `{}` ({} nodes, {} edges)", g.name(), g.node_count(), g.edge_count());
+    for (id, n) in g.nodes() {
+        let preds: Vec<String> = g.preds(id).map(|p| p.to_string()).collect();
+        let succs: Vec<String> = g.succs(id).map(|s| s.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  {:<4} [{}]  <- [{}]  -> [{}]",
+            id.to_string(),
+            n.name,
+            preds.join(", "),
+            succs.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MdgBuilder;
+    use crate::node::{AmdahlParams, ArrayTransfer, TransferKind};
+
+    fn small() -> Mdg {
+        let mut b = MdgBuilder::new("dot-test");
+        let x = b.compute("x", AmdahlParams::new(0.05, 1.5));
+        let y = b.compute("y", AmdahlParams::new(0.05, 2.5));
+        b.edge(x, y, vec![ArrayTransfer::new(4096, TransferKind::TwoD)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = small();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"dot-test\""));
+        assert!(dot.contains("START"));
+        assert!(dot.contains("STOP"));
+        assert!(dot.contains("alpha=0.050"));
+        assert!(dot.contains("4096B 2D"));
+        // One line per node and per edge at minimum.
+        assert!(dot.lines().count() >= g.node_count() + g.edge_count());
+    }
+
+    #[test]
+    fn dot_marks_pure_precedence_edges_dashed() {
+        let g = small();
+        let dot = to_dot(&g);
+        assert!(dot.contains("style=dashed"), "START/STOP wiring edges should be dashed");
+    }
+
+    #[test]
+    fn ascii_lists_every_node() {
+        let g = small();
+        let txt = to_ascii(&g);
+        for (_, n) in g.nodes() {
+            assert!(txt.contains(&format!("[{}]", n.name)));
+        }
+    }
+}

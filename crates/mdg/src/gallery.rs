@@ -1,0 +1,313 @@
+//! A gallery of realistic workload MDGs beyond the paper's two test
+//! programs — the kinds of regular applications the PARADIGM project
+//! targeted. All builders parameterize over the [`KernelCostTable`] so
+//! costs stay consistent with the calibrated machine.
+//!
+//! * [`fft_2d_mdg`] — 2D FFT via the transpose method: row-block FFT
+//!   stages, a global transpose (**2D transfers** — the only gallery
+//!   workload that exercises the ROW2COL cost path), column-block FFT
+//!   stages.
+//! * [`block_lu_mdg`] — right-looking blocked LU factorization: the
+//!   classic factor → panel-solve → trailing-update task DAG whose width
+//!   shrinks as the factorization proceeds (a hard case for pure data
+//!   parallelism *and* for pure task parallelism).
+//! * [`stencil_mdg`] — iterated block-row stencil sweeps with
+//!   nearest-neighbour halo exchanges (Jacobi-style), a deep layered
+//!   graph with small transfers.
+
+use crate::builders::KernelCostTable;
+use crate::graph::{Mdg, MdgBuilder, NodeId};
+use crate::node::{AmdahlParams, ArrayTransfer, LoopClass, LoopMeta};
+
+fn scaled(params: AmdahlParams, factor: f64) -> AmdahlParams {
+    AmdahlParams::new(params.alpha, params.tau * factor)
+}
+
+/// 2D FFT of an `n x n` complex field by the transpose method, with the
+/// rows split into `blocks` independent row-band loops per stage:
+///
+/// ```text
+/// init → {row-FFT band}×blocks → transpose → {col-FFT band}×blocks → gather
+/// ```
+///
+/// The transpose edge carries 2D (ROW2COL) transfers; everything else is
+/// 1D. FFT band cost is modeled from the multiply class scaled by
+/// `(n log2 n) / n^3`-ish work per element (documented approximation:
+/// `tau_band = tau_mul(n) * log2(n) / n` relative weighting), which
+/// keeps the gallery self-calibrating against Table 1.
+pub fn fft_2d_mdg(n: usize, blocks: usize, costs: &KernelCostTable) -> Mdg {
+    assert!(n.is_power_of_two() && n >= 4, "FFT size must be a power of two >= 4");
+    assert!(blocks >= 1 && blocks <= n, "need 1..=n row bands");
+    let mut b = MdgBuilder::new(format!("fft2d-{n}x{n}-b{blocks}"));
+    let band_rows = n / blocks;
+    let mul = costs.params_for(&LoopClass::MatrixMultiply, n);
+    // Work per band: n/blocks rows, each an n-point FFT: ~ 5 n log2 n
+    // flops per row vs 2 n^2 per row of a matmul.
+    let fft_factor = (5.0 * (n as f64).log2()) / (2.0 * n as f64) / blocks as f64;
+    let band_cost = scaled(mul, fft_factor);
+    let init_p = costs.params_for(&LoopClass::MatrixInit, n);
+    let band_meta = |tag: &str| LoopMeta {
+        class: LoopClass::Custom(format!("fft-{tag}")),
+        rows: band_rows,
+        cols: n,
+    };
+    let band_bytes = (band_rows * n * 16) as u64; // complex = 2 f64
+
+    let init = b.compute_with_meta("init field", init_p, LoopMeta::square(LoopClass::MatrixInit, n));
+    let transpose = b.compute_with_meta(
+        "transpose",
+        costs.params_for(&LoopClass::MatrixAdd, n), // copy-like cost
+        LoopMeta::square(LoopClass::Custom("transpose".into()), n),
+    );
+    let gather = b.compute_with_meta(
+        "gather result",
+        costs.params_for(&LoopClass::MatrixInit, n),
+        LoopMeta::square(LoopClass::Custom("gather".into()), n),
+    );
+    for k in 0..blocks {
+        let row = b.compute_with_meta(format!("row-FFT band {k}"), band_cost, band_meta("row"));
+        b.edge(init, row, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)]);
+        // The transpose consumes every row band with a dimension flip.
+        b.edge(row, transpose, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::TwoD)]);
+        let col = b.compute_with_meta(format!("col-FFT band {k}"), band_cost, band_meta("col"));
+        b.edge(transpose, col, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)]);
+        b.edge(col, gather, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)]);
+    }
+    b.finish().expect("fft MDG must be a valid DAG")
+}
+
+/// Right-looking blocked LU factorization of an `nb x nb` grid of
+/// `bs x bs` blocks (no pivoting):
+///
+/// ```text
+/// for k in 0..nb:
+///   F_k   = factor A[k][k]                       (one node)
+///   S_kj  = solve  A[k][j] for j > k             (nb-k-1 nodes, need F_k)
+///   S_ik  = solve  A[i][k] for i > k             (nb-k-1 nodes, need F_k)
+///   U_ij  = A[i][j] -= A[i][k]·A[k][j], i,j > k  ((nb-k-1)^2 nodes,
+///                                                 need S_ik, S_kj, U_ij^(k-1))
+/// ```
+///
+/// Factor/solve costs use the multiply class at the block size scaled by
+/// 1/3 and 1/2 (the classic flop ratios); updates are full block
+/// multiplies. All transfers are 1D block transfers.
+pub fn block_lu_mdg(nb: usize, bs: usize, costs: &KernelCostTable) -> Mdg {
+    assert!(nb >= 2, "need at least a 2x2 block grid");
+    let mut b = MdgBuilder::new(format!("block-lu-{nb}x{nb}-bs{bs}"));
+    let gemm = costs.params_for(&LoopClass::MatrixMultiply, bs);
+    let factor_cost = scaled(gemm, 1.0 / 3.0);
+    let solve_cost = scaled(gemm, 0.5);
+    let block = || vec![ArrayTransfer::matrix_1d(bs, bs)];
+    let meta = |tag: &str| LoopMeta {
+        class: LoopClass::Custom(tag.to_string()),
+        rows: bs,
+        cols: bs,
+    };
+
+    // last_writer[i][j]: the node that last produced block (i, j).
+    let mut last_writer: Vec<Vec<Option<NodeId>>> = vec![vec![None; nb]; nb];
+    #[allow(clippy::needless_range_loop)] // i/j index the 2D last_writer grid
+    for k in 0..nb {
+        let f = b.compute_with_meta(format!("F{k}"), factor_cost, meta("lu-factor"));
+        if let Some(w) = last_writer[k][k] {
+            b.edge(w, f, block());
+        }
+        last_writer[k][k] = Some(f);
+        let mut row_solves = Vec::new();
+        let mut col_solves = Vec::new();
+        for j in (k + 1)..nb {
+            let s = b.compute_with_meta(format!("S{k},{j}"), solve_cost, meta("lu-solve"));
+            b.edge(f, s, block());
+            if let Some(w) = last_writer[k][j] {
+                b.edge(w, s, block());
+            }
+            last_writer[k][j] = Some(s);
+            row_solves.push((j, s));
+        }
+        for i in (k + 1)..nb {
+            let s = b.compute_with_meta(format!("S{i},{k}"), solve_cost, meta("lu-solve"));
+            b.edge(f, s, block());
+            if let Some(w) = last_writer[i][k] {
+                b.edge(w, s, block());
+            }
+            last_writer[i][k] = Some(s);
+            col_solves.push((i, s));
+        }
+        for &(i, si) in &col_solves {
+            for &(j, sj) in &row_solves {
+                let u = b.compute_with_meta(format!("U{i},{j}@{k}"), gemm, meta("lu-update"));
+                b.edge(si, u, block());
+                b.edge(sj, u, block());
+                if let Some(w) = last_writer[i][j] {
+                    b.edge(w, u, block());
+                }
+                last_writer[i][j] = Some(u);
+            }
+        }
+    }
+    b.finish().expect("LU MDG must be a valid DAG")
+}
+
+/// `iters` Jacobi-style sweeps over a field split into `bands` block
+/// rows; every sweep updates each band (add-class loops on
+/// `n/bands x n`) after exchanging halo rows with its neighbours.
+pub fn stencil_mdg(n: usize, bands: usize, iters: usize, costs: &KernelCostTable) -> Mdg {
+    assert!(bands >= 1 && iters >= 1);
+    assert!(n >= bands, "need at least one row per band");
+    let mut b = MdgBuilder::new(format!("stencil-{n}-b{bands}-i{iters}"));
+    let band_rows = n / bands;
+    // ~5-point stencil: a handful of flops per element, add-like class.
+    let update = scaled(costs.params_for(&LoopClass::MatrixAdd, n), 2.5 / bands as f64);
+    let halo_bytes = (n * 8) as u64; // one row of f64
+    let meta = LoopMeta { class: LoopClass::Custom("stencil".into()), rows: band_rows, cols: n };
+
+    let mut prev: Vec<NodeId> = (0..bands)
+        .map(|k| {
+            b.compute_with_meta(
+                format!("init band {k}"),
+                costs.params_for(&LoopClass::MatrixInit, n),
+                meta.clone(),
+            )
+        })
+        .collect();
+    for it in 0..iters {
+        let mut cur = Vec::with_capacity(bands);
+        for k in 0..bands {
+            let node =
+                b.compute_with_meta(format!("sweep {it} band {k}"), update, meta.clone());
+            // Own band plus halo rows from the neighbours.
+            b.edge(prev[k], node, vec![ArrayTransfer::new((band_rows * n * 8) as u64, crate::node::TransferKind::OneD)]);
+            if k > 0 {
+                b.edge(prev[k - 1], node, vec![ArrayTransfer::new(halo_bytes, crate::node::TransferKind::OneD)]);
+            }
+            if k + 1 < bands {
+                b.edge(prev[k + 1], node, vec![ArrayTransfer::new(halo_bytes, crate::node::TransferKind::OneD)]);
+            }
+            cur.push(node);
+        }
+        prev = cur;
+    }
+    b.finish().expect("stencil MDG must be a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TransferKind;
+    use crate::stats::MdgStats;
+    use crate::validate::assert_invariants;
+
+    fn table() -> KernelCostTable {
+        KernelCostTable::cm5()
+    }
+
+    #[test]
+    fn fft_structure() {
+        let g = fft_2d_mdg(64, 4, &table());
+        assert_invariants(&g);
+        // init + 4 row bands + transpose + 4 col bands + gather = 11.
+        assert_eq!(g.compute_node_count(), 11);
+        // The transpose input edges are the only 2D transfers.
+        let two_d = g
+            .edges()
+            .flat_map(|(_, e)| e.transfers.iter())
+            .filter(|t| t.kind == TransferKind::TwoD)
+            .count();
+        assert_eq!(two_d, 4);
+        let s = MdgStats::of(&g);
+        assert_eq!(s.max_width, 4);
+        assert!(s.inherent_parallelism() > 1.5, "bands are independent");
+    }
+
+    #[test]
+    fn fft_band_work_scales_with_log_n() {
+        let t = table();
+        let g64 = fft_2d_mdg(64, 1, &t);
+        let g256 = fft_2d_mdg(256, 1, &t);
+        let band_tau = |g: &Mdg| {
+            g.nodes()
+                .find(|(_, n)| n.name.starts_with("row-FFT"))
+                .map(|(_, n)| n.cost.tau)
+                .expect("has a band")
+        };
+        // Work ~ n^2 log2 n: ratio (256^2*8)/(64^2*6) = 16*8/6.
+        let ratio = band_tau(&g256) / band_tau(&g64);
+        let expect = (256.0_f64 * 256.0 * 8.0) / (64.0 * 64.0 * 6.0);
+        assert!((ratio - expect).abs() / expect < 1e-9, "{ratio} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let _ = fft_2d_mdg(100, 2, &table());
+    }
+
+    #[test]
+    fn lu_structure() {
+        let nb = 3;
+        let g = block_lu_mdg(nb, 64, &table());
+        assert_invariants(&g);
+        // Node count: sum_k 1 + 2(nb-k-1) + (nb-k-1)^2 for k=0..nb
+        // nb=3: k=0: 1+4+4=9; k=1: 1+2+1=4; k=2: 1 -> 14.
+        assert_eq!(g.compute_node_count(), 14);
+        let s = MdgStats::of(&g);
+        assert_eq!(*s.class_histogram.get("lu-factor").unwrap(), 3);
+        assert_eq!(*s.class_histogram.get("lu-solve").unwrap(), 6);
+        assert_eq!(*s.class_histogram.get("lu-update").unwrap(), 5);
+    }
+
+    #[test]
+    fn lu_dependency_chain_depth() {
+        // The factorization's critical path goes through every F_k:
+        // F_0 -> U_11@0 -> F_1 -> ... so depth >= 3 nb - 2 hops-ish;
+        // at minimum each F_k must be deeper than F_{k-1}.
+        let g = block_lu_mdg(4, 64, &table());
+        let depths = g.depths();
+        let mut f_depths = Vec::new();
+        for (id, n) in g.nodes() {
+            if n.name.starts_with('F') && !n.name.contains(',') {
+                f_depths.push((n.name.clone(), depths[id.0]));
+            }
+        }
+        f_depths.sort();
+        for w in f_depths.windows(2) {
+            assert!(w[1].1 > w[0].1, "{:?} not deeper than {:?}", w[1], w[0]);
+        }
+    }
+
+    #[test]
+    fn lu_width_shrinks_over_time() {
+        let g = block_lu_mdg(4, 64, &table());
+        let widths = g.level_widths();
+        let peak = *widths.iter().max().unwrap();
+        // The first trailing update is the widest phase; the tail is
+        // narrow.
+        assert!(peak >= 9, "peak width {peak}");
+        assert_eq!(*widths.last().unwrap(), 1, "STOP level");
+    }
+
+    #[test]
+    fn stencil_structure() {
+        let g = stencil_mdg(128, 4, 3, &table());
+        assert_invariants(&g);
+        // 4 init + 3*4 sweeps.
+        assert_eq!(g.compute_node_count(), 16);
+        let s = MdgStats::of(&g);
+        assert_eq!(s.depth, 4, "init + 3 sweep layers");
+        assert_eq!(s.max_width, 4);
+        // Halo edges: every interior band has two neighbours.
+        let halo_edges = g
+            .edges()
+            .filter(|(_, e)| e.transfers.len() == 1 && e.transfers[0].bytes == 128 * 8)
+            .count();
+        assert_eq!(halo_edges, 3 * (2 * 4 - 2));
+    }
+
+    #[test]
+    fn stencil_single_band_is_a_chain() {
+        let g = stencil_mdg(64, 1, 5, &table());
+        let s = MdgStats::of(&g);
+        assert!((s.inherent_parallelism() - 1.0).abs() < 1e-12);
+        assert_eq!(s.depth, 6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the MDG data structure and its graph
+//! algorithms over randomized layered graphs.
+
+use paradigm_mdg::validate::check_invariants;
+use paradigm_mdg::{random_layered_mdg, MdgStats, NodeId, RandomMdgConfig};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = RandomMdgConfig> {
+    (1usize..=6, 1usize..=5, 0.0f64..0.9).prop_map(|(layers, width, edge_prob)| {
+        RandomMdgConfig {
+            layers,
+            width_min: 1,
+            width_max: width,
+            edge_prob,
+            ..RandomMdgConfig::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn invariants_hold(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        prop_assert!(check_invariants(&g).is_ok());
+    }
+
+    #[test]
+    fn topo_order_is_a_permutation_respecting_edges(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let order = g.topo_order();
+        prop_assert_eq!(order.len(), g.node_count());
+        let mut pos = vec![usize::MAX; g.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            prop_assert_eq!(pos[v.0], usize::MAX, "duplicate in topo order");
+            pos[v.0] = i;
+        }
+        for (_, e) in g.edges() {
+            prop_assert!(pos[e.src] < pos[e.dst]);
+        }
+    }
+
+    #[test]
+    fn critical_path_at_most_serial_time(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let stats = MdgStats::of(&g);
+        prop_assert!(stats.single_proc_critical_path <= stats.serial_time + 1e-9);
+        prop_assert!(stats.inherent_parallelism() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn critical_path_monotone_in_node_weights(cfg in arb_cfg(), seed in 0u64..10_000, scale in 1.0f64..5.0) {
+        let g = random_layered_mdg(&cfg, seed);
+        let base = g.critical_path_with(|v| g.node(v).cost.tau, |_| 0.0);
+        let scaled = g.critical_path_with(|v| g.node(v).cost.tau * scale, |_| 0.0);
+        prop_assert!((scaled - base * scale).abs() < 1e-9 * scaled.max(1.0));
+    }
+
+    #[test]
+    fn edge_weights_only_increase_critical_path(cfg in arb_cfg(), seed in 0u64..10_000, w in 0.0f64..2.0) {
+        let g = random_layered_mdg(&cfg, seed);
+        let without = g.critical_path_with(|v| g.node(v).cost.tau, |_| 0.0);
+        let with = g.critical_path_with(|v| g.node(v).cost.tau, |_| w);
+        prop_assert!(with >= without - 1e-12);
+    }
+
+    #[test]
+    fn reachability_consistent_with_finish_times(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        // START reaches everything; everything reaches STOP.
+        for (id, _) in g.nodes() {
+            prop_assert!(g.reaches(g.start(), id));
+            prop_assert!(g.reaches(id, g.stop()));
+        }
+        // Finish times are monotone along reachability for positive
+        // node weights.
+        let ft = g.finish_times_with(|v| g.node(v).cost.tau + 0.01, |_| 0.0);
+        for (_, e) in g.edges() {
+            prop_assert!(ft[e.dst] > ft[e.src]);
+        }
+    }
+
+    #[test]
+    fn depths_bounded_by_node_count(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let depths = g.depths();
+        let n = g.node_count();
+        prop_assert!(depths.iter().all(|&d| d < n));
+        // Level widths sum to node count.
+        let widths = g.level_widths();
+        prop_assert_eq!(widths.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let dot = paradigm_mdg::dot::to_dot(&g);
+        for (id, _) in g.nodes() {
+            let needle = format!("  {} [", id.0);
+            let found = dot.contains(&needle);
+            prop_assert!(found, "node line missing: {}", needle);
+        }
+    }
+
+    #[test]
+    fn in_out_edge_counts_match_edge_list(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let total_in: usize = g.nodes().map(|(id, _)| g.in_edges(id).len()).sum();
+        let total_out: usize = g.nodes().map(|(id, _)| g.out_edges(id).len()).sum();
+        prop_assert_eq!(total_in, g.edge_count());
+        prop_assert_eq!(total_out, g.edge_count());
+        // And adjacency agrees with the edge payloads.
+        for (id, _) in g.nodes() {
+            for &e in g.in_edges(id) {
+                prop_assert_eq!(g.edge(e).dst, id.0);
+            }
+            for &e in g.out_edges(id) {
+                prop_assert_eq!(g.edge(e).src, id.0);
+            }
+        }
+    }
+
+    #[test]
+    fn start_stop_are_unique_extremes(cfg in arb_cfg(), seed in 0u64..10_000) {
+        let g = random_layered_mdg(&cfg, seed);
+        prop_assert_eq!(g.start(), NodeId(0));
+        prop_assert_eq!(g.stop(), NodeId(g.node_count() - 1));
+        prop_assert!(g.in_edges(g.start()).is_empty());
+        prop_assert!(g.out_edges(g.stop()).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Optimality bounds — paper Section 5 (Theorems 1–3, Corollary 1).
+//!
+//! * Theorem 1: `T_psa <= (1 + p/(p - PB + 1)) * T_opt^PB` — list
+//!   scheduling with a per-node processor bound, *including data transfer
+//!   costs* (the paper's novel part).
+//! * Theorem 2: `T_opt^PB <= (3/2)^2 * (p/PB)^2 * Phi` — the cost of the
+//!   rounding and bounding steps relative to the convex optimum.
+//! * Theorem 3 = product of the two.
+//! * Corollary 1: the `PB` to use is the power of two minimizing the
+//!   Theorem-3 factor.
+
+/// Theorem 1 factor: `1 + p / (p - PB + 1)`.
+///
+/// # Panics
+/// Panics unless `1 <= pb <= p`.
+pub fn theorem1_factor(p: u32, pb: u32) -> f64 {
+    assert!(pb >= 1 && pb <= p, "need 1 <= PB <= p, got PB={pb}, p={p}");
+    1.0 + p as f64 / (p - pb + 1) as f64
+}
+
+/// Theorem 2 factor: `(3/2)^2 * (p/PB)^2`.
+pub fn theorem2_factor(p: u32, pb: u32) -> f64 {
+    assert!(pb >= 1 && pb <= p, "need 1 <= PB <= p, got PB={pb}, p={p}");
+    2.25 * (p as f64 / pb as f64).powi(2)
+}
+
+/// Theorem 3 factor: `(1 + p/(p-PB+1)) * (3/2)^2 * (p/PB)^2`.
+pub fn theorem3_factor(p: u32, pb: u32) -> f64 {
+    theorem1_factor(p, pb) * theorem2_factor(p, pb)
+}
+
+/// Corollary 1: the power of two `PB <= p` minimizing the Theorem-3
+/// factor (ties resolved toward the larger `PB`, which wastes less
+/// parallelism inside a node).
+pub fn optimal_pb(p: u32) -> u32 {
+    assert!(p >= 1);
+    let mut best = 1u32;
+    let mut best_f = f64::INFINITY;
+    let mut pb = 1u32;
+    while pb <= p {
+        let f = theorem3_factor(p, pb);
+        if f <= best_f {
+            best_f = f;
+            best = pb;
+        }
+        if pb > p / 2 {
+            break;
+        }
+        pb *= 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_known_values() {
+        // p = 64, PB = 32: 1 + 64/33.
+        assert!((theorem1_factor(64, 32) - (1.0 + 64.0 / 33.0)).abs() < 1e-12);
+        // PB = p: 1 + p (the classic no-bound list-scheduling blowup).
+        assert!((theorem1_factor(16, 16) - 17.0).abs() < 1e-12);
+        // PB = 1: 1 + p/p = 2 (Graham's bound).
+        assert!((theorem1_factor(64, 1) - (1.0 + 64.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_known_values() {
+        assert!((theorem2_factor(64, 64) - 2.25).abs() < 1e-12);
+        assert!((theorem2_factor(64, 32) - 9.0).abs() < 1e-12);
+        assert!((theorem2_factor(64, 16) - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_is_product() {
+        for &(p, pb) in &[(64u32, 32u32), (16, 8), (4, 4), (8, 2)] {
+            assert!(
+                (theorem3_factor(p, pb) - theorem1_factor(p, pb) * theorem2_factor(p, pb)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_pb_for_paper_sizes() {
+        // Evaluated by hand: p=4 -> PB=4 (11.25 beats 21 at PB=2);
+        // p=16 -> PB=8; p=32 -> PB=16; p=64 -> PB=32.
+        assert_eq!(optimal_pb(4), 4);
+        assert_eq!(optimal_pb(16), 8);
+        assert_eq!(optimal_pb(32), 16);
+        assert_eq!(optimal_pb(64), 32);
+    }
+
+    #[test]
+    fn optimal_pb_trivial_machines() {
+        assert_eq!(optimal_pb(1), 1);
+        assert_eq!(optimal_pb(2), 2);
+    }
+
+    #[test]
+    fn optimal_pb_minimizes_over_all_pow2() {
+        for p in [4u32, 8, 16, 32, 64, 128] {
+            let pb = optimal_pb(p);
+            let f = theorem3_factor(p, pb);
+            let mut other = 1;
+            while other <= p {
+                assert!(f <= theorem3_factor(p, other) + 1e-12);
+                if other > p / 2 {
+                    break;
+                }
+                other *= 2;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PB")]
+    fn factor_rejects_pb_above_p() {
+        let _ = theorem1_factor(4, 8);
+    }
+}

@@ -1,0 +1,142 @@
+//! Step 1 and Step 2 of the PSA: rounding the continuous allocation to
+//! powers of two, and bounding it by `PB`.
+//!
+//! Rounding goes to the *arithmetically nearest* power of two (ties
+//! down), which is exactly the regime analyzed in Theorem 2: any `p_i`
+//! changes by at most a factor of `1/3` of its value — it can decrease to
+//! `2 p_i / 3` (e.g. `3 -> 2`) or increase to `4 p_i / 3` (e.g.
+//! `1.5+ε -> 2`) in the worst case.
+
+use paradigm_cost::Allocation;
+use paradigm_mdg::Mdg;
+
+/// Round a continuous processor count to the arithmetically nearest power
+/// of two (ties round down). Input must be `>= 1`.
+pub fn round_pow2(q: f64) -> u32 {
+    assert!(q.is_finite() && q >= 1.0, "processor count must be >= 1, got {q}");
+    let lower_exp = q.log2().floor() as u32;
+    let lower = 1u32 << lower_exp;
+    // Guard against floating error at exact powers of two.
+    if (lower as f64) >= q {
+        return lower;
+    }
+    let upper = lower.saturating_mul(2);
+    if q - lower as f64 <= upper as f64 - q {
+        lower
+    } else {
+        upper
+    }
+}
+
+/// Step 1: round every node's allocation to the nearest power of two.
+/// Structural nodes (START/STOP) keep allocation 1.
+pub fn round_allocation(g: &Mdg, alloc: &Allocation) -> Allocation {
+    let mut out = Vec::with_capacity(alloc.len());
+    for (id, node) in g.nodes() {
+        if node.is_structural() {
+            out.push(1.0);
+        } else {
+            out.push(round_pow2(alloc.get(id)) as f64);
+        }
+    }
+    Allocation::new(out)
+}
+
+/// Step 2: clamp every allocation to at most `pb` processors. `pb` must
+/// be a power of two (otherwise a re-round could push a node back above
+/// the bound — see the paper's discussion).
+pub fn bound_allocation(alloc: &Allocation, pb: u32) -> Allocation {
+    assert!(pb.is_power_of_two(), "PB must be a power of two, got {pb}");
+    Allocation::new(
+        alloc
+            .as_slice()
+            .iter()
+            .map(|&q| q.min(pb as f64))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradigm_mdg::{AmdahlParams, MdgBuilder, NodeId};
+
+    #[test]
+    fn round_exact_powers_unchanged() {
+        for k in 0..10 {
+            let q = (1u32 << k) as f64;
+            assert_eq!(round_pow2(q), 1 << k);
+        }
+    }
+
+    #[test]
+    fn round_nearest_arithmetic() {
+        assert_eq!(round_pow2(1.0), 1);
+        assert_eq!(round_pow2(1.4), 1);
+        assert_eq!(round_pow2(1.6), 2);
+        assert_eq!(round_pow2(3.0), 2, "tie rounds down");
+        assert_eq!(round_pow2(3.01), 4);
+        assert_eq!(round_pow2(5.9), 4);
+        assert_eq!(round_pow2(6.1), 8);
+        assert_eq!(round_pow2(47.9), 32, "48 is the 32/64 tie point");
+        assert_eq!(round_pow2(48.1), 64);
+    }
+
+    /// Theorem 2's premise: rounding changes any value by a factor in
+    /// `[2/3, 4/3]`.
+    #[test]
+    fn rounding_factor_within_theorem2_premise() {
+        let mut q = 1.0;
+        while q < 200.0 {
+            let r = round_pow2(q) as f64;
+            let factor = r / q;
+            assert!(
+                (2.0 / 3.0 - 1e-9..=4.0 / 3.0 + 1e-9).contains(&factor),
+                "q={q}: rounded to {r}, factor {factor}"
+            );
+            q += 0.013;
+        }
+    }
+
+    fn simple_graph() -> Mdg {
+        let mut b = MdgBuilder::new("g");
+        b.compute("a", AmdahlParams::new(0.1, 1.0));
+        b.compute("b", AmdahlParams::new(0.1, 1.0));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_allocation_handles_structural_nodes() {
+        let g = simple_graph();
+        let a = Allocation::new(vec![1.0, 2.7, 6.3, 1.0]);
+        let r = round_allocation(&g, &a);
+        assert_eq!(r.get(g.start()), 1.0);
+        assert_eq!(r.get(NodeId(1)), 2.0); // 2.7 -> 2 (dist .7 vs 1.3)
+        assert_eq!(r.get(NodeId(2)), 8.0); // 6.3 -> 8 (dist 2.3 vs 1.7 -> 8)
+        assert_eq!(r.get(g.stop()), 1.0);
+        assert!(r.is_power_of_two());
+    }
+
+    #[test]
+    fn bound_clamps_only_large_values() {
+        let a = Allocation::new(vec![1.0, 2.0, 16.0, 64.0]);
+        let b = bound_allocation(&a, 8);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bound_rejects_non_pow2() {
+        let a = Allocation::new(vec![1.0]);
+        let _ = bound_allocation(&a, 6);
+    }
+
+    #[test]
+    fn round_then_bound_stays_pow2() {
+        let g = simple_graph();
+        let a = Allocation::new(vec![1.0, 23.0, 51.0, 1.0]);
+        let r = bound_allocation(&round_allocation(&g, &a), 16);
+        assert!(r.is_power_of_two());
+        assert!(r.max() <= 16.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Lowering scheduled MDGs into executable task programs — the paper's
+//! Step 5 ("create an executable program for each processor"; MPMD from
+//! the PSA schedule, SPMD with every node on all processors).
+//!
+//! Message synthesis follows the redistribution model exactly:
+//!
+//! * **1D** transfers block-partition the payload over the source group
+//!   and over the destination group and send each overlap — at most
+//!   `p_i + p_j − 1` messages; each source processor issues
+//!   `≈ max(p_i, p_j)/p_i` of them, matching Eq. 2's premise;
+//! * **2D** transfers send one message per `(src, dst)` pair — the
+//!   all-pairs pattern of Eq. 3.
+//!
+//! Data-less precedence edges between compute nodes get a 1-byte token
+//! message so that the simulated program enforces the same ordering the
+//! schedule promised (a compiled MPMD program would use an equivalent
+//! synchronization).
+
+use crate::program::{ComputeSpec, SimMessage, SimTask, TaskProgram};
+use paradigm_kernels::block_ranges;
+use paradigm_mdg::{LoopClass, Mdg, NodeId, NodeKind, TransferKind};
+use paradigm_sched::Schedule;
+
+/// Synthesize the group-local message set of one array transfer.
+/// Returns `(src_rank, dst_rank, bytes)` triples; bytes sum to `bytes`.
+pub fn synthesize_transfer_messages(
+    bytes: u64,
+    kind: TransferKind,
+    src_procs: usize,
+    dst_procs: usize,
+) -> Vec<(u32, u32, u64)> {
+    let total = bytes as usize;
+    let mut out = Vec::new();
+    match kind {
+        TransferKind::OneD => {
+            let src_ranges = block_ranges(total, src_procs);
+            let dst_ranges = block_ranges(total, dst_procs);
+            for (i, &(s0, sl)) in src_ranges.iter().enumerate() {
+                if sl == 0 {
+                    continue;
+                }
+                for (j, &(d0, dl)) in dst_ranges.iter().enumerate() {
+                    let lo = s0.max(d0);
+                    let hi = (s0 + sl).min(d0 + dl);
+                    if hi > lo {
+                        out.push((i as u32, j as u32, (hi - lo) as u64));
+                    }
+                }
+            }
+        }
+        TransferKind::TwoD => {
+            let src_ranges = block_ranges(total, src_procs);
+            for (i, &(_, sl)) in src_ranges.iter().enumerate() {
+                if sl == 0 {
+                    continue;
+                }
+                for (j, &(_, dl)) in block_ranges(sl, dst_procs).iter().enumerate() {
+                    if dl > 0 {
+                        out.push((i as u32, j as u32, dl as u64));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compute spec for an MDG node: real kernels keep their class and
+/// extent; synthetic nodes (zero extent) carry their Amdahl parameters.
+fn compute_spec(g: &Mdg, id: NodeId) -> ComputeSpec {
+    let node = g.node(id);
+    match node.kind {
+        NodeKind::Start | NodeKind::Stop => ComputeSpec::None,
+        NodeKind::Compute => {
+            let known_kernel = matches!(
+                node.meta.class,
+                LoopClass::MatrixInit | LoopClass::MatrixAdd | LoopClass::MatrixMultiply
+            ) && node.meta.rows > 0
+                && node.meta.cols > 0;
+            if known_kernel {
+                ComputeSpec::Kernel {
+                    class: node.meta.class.clone(),
+                    rows: node.meta.rows,
+                    cols: node.meta.cols,
+                }
+            } else {
+                ComputeSpec::Explicit { params: node.cost }
+            }
+        }
+    }
+}
+
+/// Shared lowering core: tasks in the given per-node processor
+/// assignment and program order.
+fn lower(
+    g: &Mdg,
+    procs: u32,
+    assignment: impl Fn(NodeId) -> Vec<u32>,
+    order: &[NodeId],
+) -> TaskProgram {
+    let n = g.node_count();
+    let mut order_of = vec![usize::MAX; n];
+    for (pos, &v) in order.iter().enumerate() {
+        order_of[v.0] = pos;
+    }
+    let mut tasks = Vec::with_capacity(n);
+    let mut task_of_node = vec![usize::MAX; n];
+    for (idx, &v) in order.iter().enumerate() {
+        task_of_node[v.0] = idx;
+        let mut ps = assignment(v);
+        ps.sort_unstable();
+        tasks.push(SimTask {
+            node: v,
+            name: g.node(v).name.clone(),
+            procs: ps,
+            compute: compute_spec(g, v),
+            program_order: idx,
+        });
+    }
+
+    let mut messages = Vec::new();
+    for (_, e) in g.edges() {
+        let src_task = task_of_node[e.src];
+        let dst_task = task_of_node[e.dst];
+        let src_procs = &tasks[src_task].procs;
+        let dst_procs = &tasks[dst_task].procs;
+        if src_procs.is_empty() || dst_procs.is_empty() {
+            continue; // structural endpoint: schedule-order only
+        }
+        if e.transfers.is_empty() {
+            // Token message to enforce the precedence at runtime.
+            messages.push(SimMessage {
+                from_task: src_task,
+                to_task: dst_task,
+                src_proc: src_procs[0],
+                dst_proc: dst_procs[0],
+                bytes: 1,
+            });
+            continue;
+        }
+        for t in &e.transfers {
+            for (sr, dr, bytes) in
+                synthesize_transfer_messages(t.bytes, t.kind, src_procs.len(), dst_procs.len())
+            {
+                messages.push(SimMessage {
+                    from_task: src_task,
+                    to_task: dst_task,
+                    src_proc: src_procs[sr as usize],
+                    dst_proc: dst_procs[dr as usize],
+                    bytes,
+                });
+            }
+        }
+    }
+    TaskProgram { procs, tasks, messages }
+}
+
+/// Lower a PSA (or any valid) schedule to an MPMD task program: each node
+/// keeps its scheduled processor set; per-processor program order is the
+/// schedule's start-time order.
+pub fn lower_mpmd(g: &Mdg, schedule: &Schedule) -> TaskProgram {
+    let mut order: Vec<NodeId> = schedule.tasks.iter().map(|t| t.node).collect();
+    // Stabilize: by (start, node id). Schedule order already satisfies
+    // this for the PSA, but be robust to hand-built schedules.
+    order.sort_by(|&a, &b| {
+        let ta = schedule.task_for(a).expect("every node scheduled");
+        let tb = schedule.task_for(b).expect("every node scheduled");
+        ta.start
+            .partial_cmp(&tb.start)
+            .expect("finite start times")
+            .then(a.cmp(&b))
+    });
+    lower(
+        g,
+        schedule.machine_procs,
+        |v| schedule.task_for(v).expect("every node scheduled").procs.clone(),
+        &order,
+    )
+}
+
+/// Lower the SPMD execution: every compute node on all `procs`
+/// processors, topological program order.
+pub fn lower_spmd(g: &Mdg, procs: u32) -> TaskProgram {
+    let all: Vec<u32> = (0..procs).collect();
+    let order: Vec<NodeId> = g.topo_order().to_vec();
+    lower(
+        g,
+        procs,
+        |v| if g.node(v).kind == NodeKind::Compute { all.clone() } else { Vec::new() },
+        &order,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradigm_cost::{Allocation, Machine};
+    use paradigm_mdg::{complex_matmul_mdg, example_fig1_mdg, KernelCostTable};
+    use paradigm_sched::{psa_schedule, PsaConfig};
+
+    #[test]
+    fn one_d_message_synthesis_matches_model_counts() {
+        // p_i = 2 -> p_j = 8: 8 messages, each src proc sends 4.
+        let msgs = synthesize_transfer_messages(32768, TransferKind::OneD, 2, 8);
+        assert_eq!(msgs.len(), 8);
+        let from0 = msgs.iter().filter(|m| m.0 == 0).count();
+        assert_eq!(from0, 4);
+        let total: u64 = msgs.iter().map(|m| m.2).sum();
+        assert_eq!(total, 32768);
+    }
+
+    #[test]
+    fn one_d_equal_groups_is_rank_to_rank() {
+        let msgs = synthesize_transfer_messages(32768, TransferKind::OneD, 4, 4);
+        assert_eq!(msgs.len(), 4);
+        assert!(msgs.iter().all(|m| m.0 == m.1));
+    }
+
+    #[test]
+    fn two_d_all_pairs() {
+        let msgs = synthesize_transfer_messages(32768, TransferKind::TwoD, 3, 5);
+        assert_eq!(msgs.len(), 15);
+        let total: u64 = msgs.iter().map(|m| m.2).sum();
+        assert_eq!(total, 32768);
+    }
+
+    #[test]
+    fn mpmd_lowering_is_valid() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let res = psa_schedule(&g, m, &Allocation::uniform(&g, 4.0), &PsaConfig::default());
+        let prog = lower_mpmd(&g, &res.schedule);
+        prog.validate().unwrap();
+        assert_eq!(prog.tasks.len(), g.node_count());
+        assert!(prog.messages.len() >= 12, "every data edge produces messages");
+    }
+
+    #[test]
+    fn spmd_lowering_is_valid_and_all_local_for_1d() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let prog = lower_spmd(&g, 16);
+        prog.validate().unwrap();
+        // Same group, same (1D) distribution: every message is local.
+        assert!(prog.messages.iter().all(|m| m.is_local()));
+    }
+
+    #[test]
+    fn token_messages_for_dataless_edges() {
+        let g = example_fig1_mdg(); // edges carry no transfers
+        let prog = lower_spmd(&g, 4);
+        prog.validate().unwrap();
+        // Two compute-compute edges -> two token messages.
+        assert_eq!(prog.messages.len(), 2);
+        assert!(prog.messages.iter().all(|m| m.bytes == 1));
+    }
+
+    #[test]
+    fn mpmd_tasks_ordered_by_schedule_start() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let res = psa_schedule(&g, m, &Allocation::uniform(&g, 4.0), &PsaConfig::default());
+        let prog = lower_mpmd(&g, &res.schedule);
+        for w in prog.tasks.windows(2) {
+            let sa = res.schedule.task_for(w[0].node).unwrap().start;
+            let sb = res.schedule.task_for(w[1].node).unwrap().start;
+            assert!(sa <= sb);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The execution engine: a deterministic per-processor program-order
+//! sweep.
+//!
+//! Because an MPMD program's per-processor instruction order is fixed at
+//! compile time, execution can be simulated by visiting tasks in program
+//! order and advancing per-processor clocks — no speculative event queue
+//! is needed, yet the result is exactly what an event-driven simulation
+//! of the same static program would produce. Each task executes in three
+//! phases:
+//!
+//! 1. **receive** — every processor of the task processes the messages
+//!    addressed to it (startup + per-byte each, in availability order;
+//!    local copies pay the reduced memory-copy cost); the CM-5-style
+//!    receive-side network transfer means a message only becomes
+//!    available after its *send* completed, plus `t_n` network delay
+//!    (zero on the CM-5);
+//! 2. **compute** — a barrier across the task's processors, then the
+//!    ground-truth kernel time;
+//! 3. **send** — every processor injects its outgoing messages
+//!    (startup + per-byte each) and records their completion times.
+
+use crate::program::{ComputeSpec, TaskProgram};
+use crate::truth::TrueMachine;
+
+/// Result of simulating a task program.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time at which the last processor went idle — the measured
+    /// execution time of the program.
+    pub makespan: f64,
+    /// Per-task compute-phase start (0 for structural tasks).
+    pub task_start: Vec<f64>,
+    /// Per-task finish (end of send phase, max over the task's procs).
+    pub task_finish: Vec<f64>,
+    /// Busy seconds per processor (receive + compute + send, no waits).
+    pub proc_busy: Vec<f64>,
+    /// Number of real (cross-processor) messages executed.
+    pub messages_sent: usize,
+    /// Number of local copies executed.
+    pub local_copies: usize,
+    /// Per-task processor-time spent in the three phases
+    /// `(receive, compute, send)`, summed over the task's processors.
+    pub task_phase_times: Vec<(f64, f64, f64)>,
+}
+
+impl SimResult {
+    /// Average processor utilization: busy time over `p * makespan`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.proc_busy.iter().sum();
+        busy / (self.proc_busy.len() as f64 * self.makespan)
+    }
+}
+
+/// Execute `prog` on the ground-truth machine.
+///
+/// ```
+/// use paradigm_mdg::{complex_matmul_mdg, KernelCostTable};
+/// use paradigm_sim::{lower_spmd, simulate, TrueMachine};
+///
+/// let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+/// let prog = lower_spmd(&g, 16);
+/// let result = simulate(&prog, &TrueMachine::cm5(16));
+/// assert!(result.makespan > 0.0);
+/// assert!(result.utilization() <= 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if the program fails validation.
+pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
+    prog.validate().unwrap_or_else(|e| panic!("invalid task program: {e}"));
+    let nt = prog.tasks.len();
+    let np = prog.procs as usize;
+
+    // Visit order: program order (producers always precede consumers).
+    let mut order: Vec<usize> = (0..nt).collect();
+    order.sort_by_key(|&t| prog.tasks[t].program_order);
+
+    // Pre-index messages by consumer and producer.
+    let mut inbound: Vec<Vec<usize>> = vec![Vec::new(); nt];
+    let mut outbound: Vec<Vec<usize>> = vec![Vec::new(); nt];
+    for (k, m) in prog.messages.iter().enumerate() {
+        inbound[m.to_task].push(k);
+        outbound[m.from_task].push(k);
+    }
+    // Senders emit in consumer program order (the order codegen laid the
+    // sends out in the per-processor program).
+    for outs in outbound.iter_mut() {
+        outs.sort_by_key(|&k| (prog.tasks[prog.messages[k].to_task].program_order, k));
+    }
+
+    let mut clock = vec![0.0_f64; np];
+    let mut busy = vec![0.0_f64; np];
+    let mut avail = vec![f64::NAN; prog.messages.len()];
+    let mut task_start = vec![0.0_f64; nt];
+    let mut task_finish = vec![0.0_f64; nt];
+    let mut messages_sent = 0usize;
+    let mut local_copies = 0usize;
+    let mut task_phase_times = vec![(0.0_f64, 0.0_f64, 0.0_f64); nt];
+
+    for &t in &order {
+        let task = &prog.tasks[t];
+        if task.procs.is_empty() {
+            // Structural: nothing to execute.
+            continue;
+        }
+        // Phase 1: receive, per processor, in availability order.
+        let mut recv_done = Vec::with_capacity(task.procs.len());
+        for &pid in &task.procs {
+            let mut msgs: Vec<usize> = inbound[t]
+                .iter()
+                .copied()
+                .filter(|&k| prog.messages[k].dst_proc == pid)
+                .collect();
+            msgs.sort_by(|&a, &b| {
+                avail[a].partial_cmp(&avail[b]).expect("finite availability").then(a.cmp(&b))
+            });
+            let mut now = clock[pid as usize];
+            for k in msgs {
+                let m = &prog.messages[k];
+                debug_assert!(avail[k].is_finite(), "message consumed before production");
+                let cost = if m.is_local() {
+                    local_copies += 1;
+                    truth.local_copy_time(m.bytes, k as u64)
+                } else {
+                    messages_sent += 1;
+                    truth.recv_time(m.bytes, k as u64)
+                };
+                now = now.max(avail[k]) + cost;
+                busy[pid as usize] += cost;
+                task_phase_times[t].0 += cost;
+            }
+            recv_done.push(now);
+        }
+        // Phase 2: barrier + compute.
+        let start = recv_done.iter().copied().fold(0.0_f64, f64::max);
+        let q = task.procs.len() as u32;
+        let comp = match &task.compute {
+            ComputeSpec::Kernel { class, rows, cols } => {
+                truth.kernel_time(class, *rows, *cols, q, t as u64)
+            }
+            ComputeSpec::Explicit { params } => truth.explicit_time(*params, q, 0.0, t as u64),
+            ComputeSpec::None => 0.0,
+        };
+        let end_compute = start + comp;
+        task_start[t] = start;
+        for &pid in &task.procs {
+            busy[pid as usize] += comp;
+            task_phase_times[t].1 += comp;
+        }
+        // Phase 3: send, per processor, in program order of consumers.
+        let mut finish = end_compute;
+        for &pid in &task.procs {
+            let mut now = end_compute;
+            for &k in &outbound[t] {
+                let m = &prog.messages[k];
+                if m.src_proc != pid {
+                    continue;
+                }
+                if m.is_local() {
+                    // Local copy: paid on the receive side; available as
+                    // soon as the data exists.
+                    avail[k] = end_compute;
+                } else {
+                    let cost = truth.send_time(m.bytes, k as u64);
+                    now += cost;
+                    busy[pid as usize] += cost;
+                    task_phase_times[t].2 += cost;
+                    avail[k] = now + truth.net_delay(m.bytes);
+                }
+            }
+            clock[pid as usize] = now;
+            finish = finish.max(now);
+        }
+        task_finish[t] = finish;
+    }
+
+    let makespan = clock.iter().copied().fold(0.0_f64, f64::max);
+    SimResult {
+        makespan,
+        task_start,
+        task_finish,
+        proc_busy: busy,
+        messages_sent,
+        local_copies,
+        task_phase_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{lower_mpmd, lower_spmd};
+    use crate::program::{SimMessage, SimTask};
+    use paradigm_cost::{Allocation, Machine};
+    use paradigm_mdg::{
+        complex_matmul_mdg, example_fig1_mdg, AmdahlParams, KernelCostTable, NodeId,
+    };
+    use paradigm_sched::{psa_schedule, spmd_schedule, PsaConfig};
+
+    #[test]
+    fn empty_program_has_zero_makespan() {
+        let prog = TaskProgram { procs: 4, tasks: vec![], messages: vec![] };
+        let r = simulate(&prog, &TrueMachine::ideal(4));
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn single_task_time_matches_truth() {
+        let params = AmdahlParams::new(0.1, 2.0);
+        let prog = TaskProgram {
+            procs: 4,
+            tasks: vec![SimTask {
+                node: NodeId(1),
+                name: "solo".into(),
+                procs: vec![0, 1, 2, 3],
+                compute: ComputeSpec::Explicit { params },
+                program_order: 0,
+            }],
+            messages: vec![],
+        };
+        let truth = TrueMachine::ideal(4);
+        let r = simulate(&prog, &truth);
+        assert!((r.makespan - params.cost(4.0)).abs() < 1e-12);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_costs_appear_on_both_sides() {
+        let params = AmdahlParams::new(0.0, 1.0);
+        let task = |node: usize, procs: Vec<u32>, ord: usize| SimTask {
+            node: NodeId(node),
+            name: format!("t{node}"),
+            procs,
+            compute: ComputeSpec::Explicit { params },
+            program_order: ord,
+        };
+        let prog = TaskProgram {
+            procs: 2,
+            tasks: vec![task(1, vec![0], 0), task(2, vec![1], 1)],
+            messages: vec![SimMessage {
+                from_task: 0,
+                to_task: 1,
+                src_proc: 0,
+                dst_proc: 1,
+                bytes: 32768,
+            }],
+        };
+        let truth = TrueMachine::ideal(2);
+        let r = simulate(&prog, &truth);
+        // t1 computes 1s, sends (t_ss + L t_ps); t2 receives then computes.
+        let expect = 1.0 + truth.send_time(32768, 0) + truth.recv_time(32768, 0) + 1.0;
+        assert!((r.makespan - expect).abs() < 1e-12, "{} vs {expect}", r.makespan);
+        assert_eq!(r.messages_sent, 1);
+        assert_eq!(r.local_copies, 0);
+    }
+
+    #[test]
+    fn local_copy_is_cheap_and_ordering_preserving() {
+        let params = AmdahlParams::new(0.0, 1.0);
+        let task = |node: usize, ord: usize| SimTask {
+            node: NodeId(node),
+            name: format!("t{node}"),
+            procs: vec![0],
+            compute: ComputeSpec::Explicit { params },
+            program_order: ord,
+        };
+        let prog = TaskProgram {
+            procs: 1,
+            tasks: vec![task(1, 0), task(2, 1)],
+            messages: vec![SimMessage {
+                from_task: 0,
+                to_task: 1,
+                src_proc: 0,
+                dst_proc: 0,
+                bytes: 32768,
+            }],
+        };
+        let truth = TrueMachine::ideal(1);
+        let r = simulate(&prog, &truth);
+        let copy = truth.local_copy_time(32768, 0);
+        assert!((r.makespan - (2.0 + copy)).abs() < 1e-12);
+        assert_eq!(r.local_copies, 1);
+    }
+
+    #[test]
+    fn parallel_tasks_overlap_in_time() {
+        let params = AmdahlParams::new(0.0, 1.0);
+        let task = |node: usize, procs: Vec<u32>, ord: usize| SimTask {
+            node: NodeId(node),
+            name: format!("t{node}"),
+            procs,
+            compute: ComputeSpec::Explicit { params },
+            program_order: ord,
+        };
+        let prog = TaskProgram {
+            procs: 2,
+            tasks: vec![task(1, vec![0], 0), task(2, vec![1], 1)],
+            messages: vec![],
+        };
+        let r = simulate(&prog, &TrueMachine::ideal(2));
+        // Independent tasks on different processors: both finish at 1s.
+        assert!((r.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_mpmd_simulation_close_to_schedule_prediction() {
+        let g = example_fig1_mdg();
+        let m = Machine::cm5(4);
+        let mut alloc = Allocation::uniform(&g, 1.0);
+        alloc.set(NodeId(1), 4.0);
+        alloc.set(NodeId(2), 2.0);
+        alloc.set(NodeId(3), 2.0);
+        let res = psa_schedule(&g, m, &alloc, &PsaConfig::default());
+        let prog = lower_mpmd(&g, &res.schedule);
+        let r = simulate(&prog, &TrueMachine::cm5(4));
+        // Truth wobble/noise is a few percent; the token messages are
+        // negligible. Predicted 14.3 s.
+        let rel = (r.makespan - res.t_psa).abs() / res.t_psa;
+        assert!(rel < 0.05, "simulated {} vs predicted {}", r.makespan, res.t_psa);
+    }
+
+    #[test]
+    fn cmm_spmd_simulation_close_to_spmd_prediction() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let (sched, _w) = spmd_schedule(&g, m);
+        let prog = lower_spmd(&g, 16);
+        let r = simulate(&prog, &TrueMachine::cm5(16));
+        // SPMD's 1D transfers all become local copies, which the model
+        // charges as full messages — the simulation should come in at or
+        // below the prediction, within a modest band.
+        assert!(r.makespan <= sched.makespan * 1.05, "{} vs {}", r.makespan, sched.makespan);
+        assert!(r.makespan >= sched.makespan * 0.5, "{} vs {}", r.makespan, sched.makespan);
+    }
+
+    #[test]
+    fn mpmd_beats_spmd_in_simulation_cmm64() {
+        // The headline claim (Figure 8), at the simulator level.
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let p = 64u32;
+        let m = Machine::cm5(p);
+        let sol = paradigm_solver::allocate(&g, m, &paradigm_solver::SolverConfig::fast());
+        let res = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+        let truth = TrueMachine::cm5(p);
+        let mpmd = simulate(&lower_mpmd(&g, &res.schedule), &truth);
+        let spmd = simulate(&lower_spmd(&g, p), &truth);
+        assert!(
+            mpmd.makespan < spmd.makespan,
+            "MPMD {} should beat SPMD {}",
+            mpmd.makespan,
+            spmd.makespan
+        );
+    }
+
+    #[test]
+    fn busy_time_never_exceeds_makespan_per_proc() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let prog = lower_spmd(&g, 8);
+        let r = simulate(&prog, &TrueMachine::cm5(8));
+        for (pid, &b) in r.proc_busy.iter().enumerate() {
+            assert!(b <= r.makespan + 1e-9, "proc {pid} busy {b} > makespan {}", r.makespan);
+        }
+        assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! An independent, event-driven reference engine.
+//!
+//! [`crate::engine::simulate`] exploits the static program order to
+//! compute all times in a single sweep. This module executes the same
+//! task program the way a real machine would: every processor holds an
+//! *instruction stream* (receive / barrier / compute / send slices of
+//! its tasks) and an event loop advances whichever processor is ready
+//! next. Both engines implement the same semantics, so they must agree
+//! **to the bit** — the test-suite and the property tests enforce that,
+//! which protects the timing bookkeeping of both implementations (the
+//! same trick as the coordinate-descent cross-check in the solver).
+
+use crate::engine::SimResult;
+use crate::program::{ComputeSpec, TaskProgram};
+use crate::truth::TrueMachine;
+
+/// One instruction in a processor's compiled stream.
+#[derive(Debug, Clone, PartialEq)]
+enum Instr {
+    /// Process the given inbound messages (global message indices),
+    /// in availability order.
+    Recv { task: usize, msgs: Vec<usize> },
+    /// Arrive at the task barrier, then execute the kernel.
+    BarrierAndCompute { task: usize },
+    /// Inject the given outbound messages, in program order.
+    Send { task: usize, msgs: Vec<usize> },
+}
+
+/// Execute `prog` with the event-driven engine. Produces exactly the
+/// same [`SimResult`] as [`crate::engine::simulate`].
+///
+/// # Panics
+/// Panics if the program fails validation (same contract as the sweep
+/// engine) or if the instruction streams deadlock (impossible for a
+/// validated program).
+pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
+    prog.validate().unwrap_or_else(|e| panic!("invalid task program: {e}"));
+    let np = prog.procs as usize;
+    let nt = prog.tasks.len();
+
+    // Compile per-processor instruction streams in program order.
+    let mut order: Vec<usize> = (0..nt).collect();
+    order.sort_by_key(|&t| prog.tasks[t].program_order);
+    let mut outbound: Vec<Vec<usize>> = vec![Vec::new(); nt];
+    let mut inbound: Vec<Vec<usize>> = vec![Vec::new(); nt];
+    for (k, m) in prog.messages.iter().enumerate() {
+        outbound[m.from_task].push(k);
+        inbound[m.to_task].push(k);
+    }
+    for outs in outbound.iter_mut() {
+        outs.sort_by_key(|&k| (prog.tasks[prog.messages[k].to_task].program_order, k));
+    }
+
+    let mut streams: Vec<Vec<Instr>> = vec![Vec::new(); np];
+    for &t in &order {
+        for &pid in &prog.tasks[t].procs {
+            let my_in: Vec<usize> = inbound[t]
+                .iter()
+                .copied()
+                .filter(|&k| prog.messages[k].dst_proc == pid)
+                .collect();
+            streams[pid as usize].push(Instr::Recv { task: t, msgs: my_in });
+            streams[pid as usize].push(Instr::BarrierAndCompute { task: t });
+            let my_out: Vec<usize> = outbound[t]
+                .iter()
+                .copied()
+                .filter(|&k| prog.messages[k].src_proc == pid)
+                .collect();
+            streams[pid as usize].push(Instr::Send { task: t, msgs: my_out });
+        }
+    }
+
+    // Runtime state.
+    let mut pc = vec![0usize; np];
+    let mut clock = vec![0.0_f64; np];
+    let mut busy = vec![0.0_f64; np];
+    let mut avail: Vec<Option<f64>> = vec![None; prog.messages.len()];
+    // Barrier bookkeeping: per task, per-rank arrival flags/times and
+    // the resolved compute window once everyone arrived.
+    let mut arrived: Vec<Vec<Option<f64>>> =
+        prog.tasks.iter().map(|t| vec![None; t.procs.len()]).collect();
+    let mut compute_window: Vec<Option<(f64, f64)>> = vec![None; nt];
+    let mut task_start = vec![0.0_f64; nt];
+    let mut task_finish = vec![0.0_f64; nt];
+    let mut messages_sent = 0usize;
+    let mut local_copies = 0usize;
+    let mut task_phase_times = vec![(0.0_f64, 0.0_f64, 0.0_f64); nt];
+
+    let mut remaining: usize = streams.iter().map(Vec::len).sum();
+    while remaining > 0 {
+        let mut progressed = false;
+        for pid in 0..np {
+            let Some(instr) = streams[pid].get(pc[pid]) else { continue };
+            match instr {
+                Instr::Recv { task, msgs } => {
+                    let t_id = *task;
+                    // Ready only when all producers have sent.
+                    if msgs.iter().any(|&k| avail[k].is_none()) {
+                        continue;
+                    }
+                    let mut sorted = msgs.clone();
+                    sorted.sort_by(|&a, &b| {
+                        avail[a]
+                            .expect("checked")
+                            .partial_cmp(&avail[b].expect("checked"))
+                            .expect("finite availability")
+                            .then(a.cmp(&b))
+                    });
+                    let mut now = clock[pid];
+                    for k in sorted {
+                        let m = &prog.messages[k];
+                        let cost = if m.is_local() {
+                            local_copies += 1;
+                            truth.local_copy_time(m.bytes, k as u64)
+                        } else {
+                            messages_sent += 1;
+                            truth.recv_time(m.bytes, k as u64)
+                        };
+                        now = now.max(avail[k].expect("checked")) + cost;
+                        busy[pid] += cost;
+                        task_phase_times[t_id].0 += cost;
+                    }
+                    clock[pid] = now;
+                    pc[pid] += 1;
+                    remaining -= 1;
+                    progressed = true;
+                }
+                Instr::BarrierAndCompute { task } => {
+                    let t = *task;
+                    let q = prog.tasks[t].procs.len();
+                    if let Some((start, end)) = compute_window[t] {
+                        // Barrier already resolved; join the window.
+                        busy[pid] += end - start;
+                        task_phase_times[t].1 += end - start;
+                        clock[pid] = end;
+                        pc[pid] += 1;
+                        remaining -= 1;
+                        progressed = true;
+                    } else {
+                        // Record this processor's arrival (once).
+                        let rank = prog.tasks[t]
+                            .procs
+                            .iter()
+                            .position(|&x| x as usize == pid)
+                            .expect("pid belongs to the task");
+                        if arrived[t][rank].is_none() {
+                            arrived[t][rank] = Some(clock[pid]);
+                        }
+                        if arrived[t].iter().all(Option::is_some) {
+                            let start = arrived[t]
+                                .iter()
+                                .map(|a| a.expect("all arrived"))
+                                .fold(0.0_f64, f64::max);
+                            let comp = match &prog.tasks[t].compute {
+                                ComputeSpec::Kernel { class, rows, cols } => {
+                                    truth.kernel_time(class, *rows, *cols, q as u32, t as u64)
+                                }
+                                ComputeSpec::Explicit { params } => {
+                                    truth.explicit_time(*params, q as u32, 0.0, t as u64)
+                                }
+                                ComputeSpec::None => 0.0,
+                            };
+                            task_start[t] = start;
+                            compute_window[t] = Some((start, start + comp));
+                            // This processor proceeds immediately.
+                            busy[pid] += comp;
+                            task_phase_times[t].1 += comp;
+                            clock[pid] = start + comp;
+                            pc[pid] += 1;
+                            remaining -= 1;
+                            progressed = true;
+                        }
+                        // Not everyone arrived: stay blocked.
+                    }
+                }
+                Instr::Send { task, msgs } => {
+                    let t = *task;
+                    let end_compute = compute_window[t].map(|w| w.1).unwrap_or(clock[pid]);
+                    let mut now = clock[pid];
+                    for &k in msgs {
+                        let m = &prog.messages[k];
+                        if m.is_local() {
+                            avail[k] = Some(end_compute);
+                        } else {
+                            let cost = truth.send_time(m.bytes, k as u64);
+                            now += cost;
+                            busy[pid] += cost;
+                            task_phase_times[t].2 += cost;
+                            avail[k] = Some(now + truth.net_delay(m.bytes));
+                        }
+                    }
+                    clock[pid] = now;
+                    task_finish[t] = task_finish[t].max(now).max(end_compute);
+                    pc[pid] += 1;
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+        }
+        assert!(progressed, "event-driven engine deadlocked — invalid program?");
+    }
+
+    let makespan = clock.iter().copied().fold(0.0_f64, f64::max);
+    SimResult {
+        makespan,
+        task_start,
+        task_finish,
+        proc_busy: busy,
+        messages_sent,
+        local_copies,
+        task_phase_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{lower_mpmd, lower_spmd};
+    use crate::engine::simulate;
+    use paradigm_cost::{Allocation, Machine};
+    use paradigm_mdg::{
+        complex_matmul_mdg, example_fig1_mdg, random_layered_mdg, strassen_mdg, KernelCostTable,
+        RandomMdgConfig,
+    };
+    use paradigm_sched::{psa_schedule, PsaConfig};
+
+    fn assert_engines_agree(prog: &TaskProgram, truth: &TrueMachine) {
+        let a = simulate(prog, truth);
+        let b = simulate_event_driven(prog, truth);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "makespan differs");
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.local_copies, b.local_copies);
+        for (x, y) in a.proc_busy.iter().zip(&b.proc_busy) {
+            assert!((x - y).abs() < 1e-12, "busy time differs: {x} vs {y}");
+        }
+        for (i, (x, y)) in a.task_start.iter().zip(&b.task_start).enumerate() {
+            assert!((x - y).abs() < 1e-12, "task {i} start differs: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_fig1() {
+        let g = example_fig1_mdg();
+        let m = Machine::cm5(4);
+        let res = psa_schedule(&g, m, &Allocation::uniform(&g, 2.0), &PsaConfig::default());
+        assert_engines_agree(&lower_mpmd(&g, &res.schedule), &TrueMachine::cm5(4));
+    }
+
+    #[test]
+    fn engines_agree_on_paper_programs() {
+        let table = KernelCostTable::cm5();
+        for g in [complex_matmul_mdg(64, &table), strassen_mdg(128, &table)] {
+            for p in [16u32, 64] {
+                let m = Machine::cm5(p);
+                let res =
+                    psa_schedule(&g, m, &Allocation::uniform(&g, 8.0), &PsaConfig::default());
+                assert_engines_agree(&lower_mpmd(&g, &res.schedule), &TrueMachine::cm5(p));
+                assert_engines_agree(&lower_spmd(&g, p), &TrueMachine::cm5(p));
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_programs() {
+        let cfg = RandomMdgConfig::default();
+        for seed in 0..10 {
+            let g = random_layered_mdg(&cfg, seed);
+            let p = 8u32;
+            let m = Machine::cm5(p);
+            let res = psa_schedule(&g, m, &Allocation::uniform(&g, 3.0), &PsaConfig::default());
+            assert_engines_agree(&lower_mpmd(&g, &res.schedule), &TrueMachine::cm5(p));
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_mesh_machine_with_network_delays() {
+        // t_n > 0 exercises the avail = sent + net_delay path in both
+        // engines.
+        let truth = TrueMachine::mesh(16);
+        assert!(truth.net_delay(1024) > 0.0);
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::synthetic_mesh(16);
+        let res = psa_schedule(&g, m, &Allocation::uniform(&g, 4.0), &PsaConfig::default());
+        assert_engines_agree(&lower_mpmd(&g, &res.schedule), &truth);
+        // Network delays must strictly lengthen the execution vs the
+        // same message pattern with t_n = 0.
+        let no_net = TrueMachine::custom(
+            Machine::cm5(16),
+            KernelCostTable::cm5(),
+            truth.noise,
+            truth.wobble,
+            truth.seed,
+        );
+        let prog = lower_mpmd(&g, &res.schedule);
+        let with = simulate(&prog, &truth).makespan;
+        let without = simulate(&prog, &no_net).makespan;
+        // (The mesh machine also has different startup costs, so compare
+        // only qualitatively: both positive and finite, and the mesh run
+        // reflects its cheaper startups + added delays consistently
+        // across engines — the bit-exact agreement above is the real
+        // assertion. Sanity:)
+        assert!(with > 0.0 && without > 0.0);
+    }
+
+    #[test]
+    fn empty_program() {
+        let prog = TaskProgram { procs: 2, tasks: vec![], messages: vec![] };
+        let r = simulate_event_driven(&prog, &TrueMachine::ideal(2));
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Task-program representation — the simulator's executable format.
+//!
+//! A [`TaskProgram`] is what the paper's Step 5 ("create an executable
+//! program for each processor") produces: every task knows its processor
+//! set, its compute kernel, and the exact point-to-point messages it
+//! receives. Per-processor program order is fixed at codegen time (field
+//! [`SimTask::program_order`]), exactly like a compiled MPMD binary —
+//! runtime timing variations can stretch the execution but never reorder
+//! it.
+
+use paradigm_mdg::{AmdahlParams, LoopClass, NodeId};
+
+/// What a task computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeSpec {
+    /// A real kernel: timed by the ground-truth machine's kernel model.
+    Kernel {
+        /// Loop class.
+        class: LoopClass,
+        /// Row extent.
+        rows: usize,
+        /// Column extent.
+        cols: usize,
+    },
+    /// A synthetic node with explicit Amdahl parameters.
+    Explicit {
+        /// The node's nominal parameters.
+        params: AmdahlParams,
+    },
+    /// Structural (START/STOP): zero work, zero processors.
+    None,
+}
+
+/// One point-to-point message, with **global** processor endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimMessage {
+    /// Index of the producing task in [`TaskProgram::tasks`].
+    pub from_task: usize,
+    /// Index of the consuming task.
+    pub to_task: usize,
+    /// Global id of the sending processor.
+    pub src_proc: u32,
+    /// Global id of the receiving processor.
+    pub dst_proc: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+impl SimMessage {
+    /// True if the endpoints coincide — executed as a local memory copy.
+    pub fn is_local(&self) -> bool {
+        self.src_proc == self.dst_proc
+    }
+}
+
+/// One task of the program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTask {
+    /// MDG node this task realizes.
+    pub node: NodeId,
+    /// Display name.
+    pub name: String,
+    /// Global processor ids this task occupies (empty for structural).
+    pub procs: Vec<u32>,
+    /// The compute work.
+    pub compute: ComputeSpec,
+    /// Per-processor program position: tasks sharing a processor execute
+    /// in increasing `program_order`. Ties across different processors
+    /// are fine.
+    pub program_order: usize,
+}
+
+/// An executable task program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskProgram {
+    /// Machine size.
+    pub procs: u32,
+    /// All tasks; `program_order` fields must be consistent with the
+    /// message dataflow (producers before consumers).
+    pub tasks: Vec<SimTask>,
+    /// All messages.
+    pub messages: Vec<SimMessage>,
+}
+
+impl TaskProgram {
+    /// Messages consumed by task `t`.
+    pub fn inbound(&self, t: usize) -> impl Iterator<Item = &SimMessage> {
+        self.messages.iter().filter(move |m| m.to_task == t)
+    }
+
+    /// Messages produced by task `t`.
+    pub fn outbound(&self, t: usize) -> impl Iterator<Item = &SimMessage> {
+        self.messages.iter().filter(move |m| m.from_task == t)
+    }
+
+    /// Validate internal consistency: endpoint processors belong to the
+    /// right tasks, program order respects dataflow, processor ids are in
+    /// range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.tasks.iter().enumerate() {
+            for &p in &t.procs {
+                if p >= self.procs {
+                    return Err(format!("task {i} uses invalid processor {p}"));
+                }
+            }
+            let distinct: std::collections::HashSet<u32> = t.procs.iter().copied().collect();
+            if distinct.len() != t.procs.len() {
+                return Err(format!("task {i} lists a processor twice"));
+            }
+        }
+        for (k, m) in self.messages.iter().enumerate() {
+            let from = self.tasks.get(m.from_task).ok_or(format!("msg {k}: bad from_task"))?;
+            let to = self.tasks.get(m.to_task).ok_or(format!("msg {k}: bad to_task"))?;
+            if !from.procs.contains(&m.src_proc) {
+                return Err(format!("msg {k}: src proc {} not in sender", m.src_proc));
+            }
+            if !to.procs.contains(&m.dst_proc) {
+                return Err(format!("msg {k}: dst proc {} not in receiver", m.dst_proc));
+            }
+            if from.program_order >= to.program_order {
+                return Err(format!(
+                    "msg {k}: producer order {} >= consumer order {}",
+                    from.program_order, to.program_order
+                ));
+            }
+            if m.bytes == 0 {
+                return Err(format!("msg {k}: zero bytes"));
+            }
+        }
+        // Per-processor order keys must be unique (a processor cannot run
+        // two tasks at the same program position).
+        let mut seen: std::collections::HashSet<(u32, usize)> = std::collections::HashSet::new();
+        for t in &self.tasks {
+            for &p in &t.procs {
+                if !seen.insert((p, t.program_order)) {
+                    return Err(format!(
+                        "processor {p} has two tasks at program order {}",
+                        t.program_order
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_task_program() -> TaskProgram {
+        TaskProgram {
+            procs: 4,
+            tasks: vec![
+                SimTask {
+                    node: NodeId(1),
+                    name: "a".into(),
+                    procs: vec![0, 1],
+                    compute: ComputeSpec::Explicit { params: AmdahlParams::new(0.1, 1.0) },
+                    program_order: 0,
+                },
+                SimTask {
+                    node: NodeId(2),
+                    name: "b".into(),
+                    procs: vec![2, 3],
+                    compute: ComputeSpec::Explicit { params: AmdahlParams::new(0.1, 1.0) },
+                    program_order: 1,
+                },
+            ],
+            messages: vec![SimMessage {
+                from_task: 0,
+                to_task: 1,
+                src_proc: 0,
+                dst_proc: 2,
+                bytes: 1024,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        two_task_program().validate().unwrap();
+    }
+
+    #[test]
+    fn message_from_foreign_processor_rejected() {
+        let mut p = two_task_program();
+        p.messages[0].src_proc = 3; // belongs to task 1, not task 0
+        assert!(p.validate().unwrap_err().contains("src proc"));
+    }
+
+    #[test]
+    fn order_violation_rejected() {
+        let mut p = two_task_program();
+        p.tasks[1].program_order = 0;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("order"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_processor_rejected() {
+        let mut p = two_task_program();
+        p.tasks[0].procs = vec![0, 0];
+        assert!(p.validate().unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn local_message_detection() {
+        let m =
+            SimMessage { from_task: 0, to_task: 1, src_proc: 3, dst_proc: 3, bytes: 8 };
+        assert!(m.is_local());
+    }
+
+    #[test]
+    fn inbound_outbound_iterators() {
+        let p = two_task_program();
+        assert_eq!(p.inbound(1).count(), 1);
+        assert_eq!(p.outbound(0).count(), 1);
+        assert_eq!(p.inbound(0).count(), 0);
+    }
+}

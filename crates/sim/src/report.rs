@@ -1,0 +1,172 @@
+//! "Where does the time go" reports: decompose a simulated execution
+//! into compute / send / receive / idle processor-time, overall and per
+//! loop class. This is the diagnostic a performance engineer reaches for
+//! when Figure-8-style speedups disappoint.
+
+use crate::engine::SimResult;
+use crate::program::TaskProgram;
+use paradigm_mdg::{LoopClass, Mdg};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate processor-time decomposition of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBreakdown {
+    /// Total processor-time rectangle (`p * makespan`).
+    pub total_area: f64,
+    /// Processor-time in receive phases (messages + local copies).
+    pub recv: f64,
+    /// Processor-time computing kernels.
+    pub compute: f64,
+    /// Processor-time in send phases.
+    pub send: f64,
+    /// Idle processor-time (everything else: waits + unused processors).
+    pub idle: f64,
+    /// Compute processor-time per loop-class tag, descending.
+    pub compute_by_class: Vec<(String, f64)>,
+}
+
+impl TimeBreakdown {
+    /// Fraction of the machine rectangle spent computing.
+    pub fn compute_fraction(&self) -> f64 {
+        if self.total_area > 0.0 {
+            self.compute / self.total_area
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction spent on communication (send + receive).
+    pub fn communication_fraction(&self) -> f64 {
+        if self.total_area > 0.0 {
+            (self.send + self.recv) / self.total_area
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Decompose a simulation result over its program and graph.
+pub fn time_breakdown(g: &Mdg, prog: &TaskProgram, sim: &SimResult) -> TimeBreakdown {
+    let total_area = sim.makespan * prog.procs as f64;
+    let mut recv = 0.0;
+    let mut compute = 0.0;
+    let mut send = 0.0;
+    let mut by_class: BTreeMap<String, f64> = BTreeMap::new();
+    for (t, task) in prog.tasks.iter().enumerate() {
+        let (r, c, s) = sim.task_phase_times[t];
+        recv += r;
+        compute += c;
+        send += s;
+        if c > 0.0 {
+            let tag = match &g.node(task.node).meta.class {
+                LoopClass::Custom(name) => name.clone(),
+                other => other.tag().to_string(),
+            };
+            *by_class.entry(tag).or_insert(0.0) += c;
+        }
+    }
+    let mut compute_by_class: Vec<(String, f64)> = by_class.into_iter().collect();
+    compute_by_class
+        .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite times").then(a.0.cmp(&b.0)));
+    TimeBreakdown {
+        total_area,
+        recv,
+        compute,
+        send,
+        idle: (total_area - recv - compute - send).max(0.0),
+        compute_by_class,
+    }
+}
+
+/// Render the breakdown as a small table.
+pub fn render_breakdown(b: &TimeBreakdown) -> String {
+    let mut s = String::new();
+    let pct = |v: f64| 100.0 * v / b.total_area.max(f64::MIN_POSITIVE);
+    let _ = writeln!(s, "  processor-time breakdown ({:.4} proc-s total):", b.total_area);
+    let _ = writeln!(s, "    compute : {:>9.4} proc-s ({:>5.1}%)", b.compute, pct(b.compute));
+    let _ = writeln!(s, "    receive : {:>9.4} proc-s ({:>5.1}%)", b.recv, pct(b.recv));
+    let _ = writeln!(s, "    send    : {:>9.4} proc-s ({:>5.1}%)", b.send, pct(b.send));
+    let _ = writeln!(s, "    idle    : {:>9.4} proc-s ({:>5.1}%)", b.idle, pct(b.idle));
+    let _ = writeln!(s, "  compute time by loop class:");
+    for (tag, v) in &b.compute_by_class {
+        let _ = writeln!(s, "    {:<12} {:>9.4} proc-s ({:>5.1}% of compute)", tag, v, 100.0 * v / b.compute.max(f64::MIN_POSITIVE));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{lower_mpmd, lower_spmd};
+    use crate::engine::simulate;
+    use crate::truth::TrueMachine;
+    use paradigm_cost::{Allocation, Machine};
+    use paradigm_mdg::{complex_matmul_mdg, KernelCostTable};
+    use paradigm_sched::{psa_schedule, PsaConfig};
+
+    fn setup(p: u32) -> (Mdg, TaskProgram, SimResult) {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(p);
+        let res = psa_schedule(&g, m, &Allocation::uniform(&g, 4.0), &PsaConfig::default());
+        let prog = lower_mpmd(&g, &res.schedule);
+        let sim = simulate(&prog, &TrueMachine::cm5(p));
+        (g, prog, sim)
+    }
+
+    #[test]
+    fn breakdown_areas_are_consistent() {
+        let (g, prog, sim) = setup(16);
+        let b = time_breakdown(&g, &prog, &sim);
+        let sum = b.recv + b.compute + b.send + b.idle;
+        assert!((sum - b.total_area).abs() < 1e-6 * b.total_area);
+        // Phase sums must equal the engine's busy accounting.
+        let busy: f64 = sim.proc_busy.iter().sum();
+        assert!((b.recv + b.compute + b.send - busy).abs() < 1e-9 * busy.max(1.0));
+    }
+
+    #[test]
+    fn multiplies_dominate_cmm_compute() {
+        let (g, prog, sim) = setup(16);
+        let b = time_breakdown(&g, &prog, &sim);
+        assert_eq!(b.compute_by_class[0].0, "mul");
+        assert!(b.compute_by_class[0].1 / b.compute > 0.9);
+        assert!(b.compute_fraction() > 0.3);
+    }
+
+    #[test]
+    fn spmd_communication_share_is_smaller_than_mpmd() {
+        // SPMD's 1D same-group transfers become local copies (cheap),
+        // while MPMD moves data between groups: the communication share
+        // must reflect that.
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let p = 16u32;
+        let truth = TrueMachine::cm5(p);
+        let spmd_prog = lower_spmd(&g, p);
+        let spmd = simulate(&spmd_prog, &truth);
+        let b_spmd = time_breakdown(&g, &spmd_prog, &spmd);
+        let (_, mpmd_prog, mpmd) = setup(p);
+        let b_mpmd = time_breakdown(&g, &mpmd_prog, &mpmd);
+        assert!(b_mpmd.send > b_spmd.send, "MPMD pays real sends");
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let (g, prog, sim) = setup(8);
+        let txt = render_breakdown(&time_breakdown(&g, &prog, &sim));
+        for needle in ["compute :", "receive :", "send    :", "idle    :", "loop class"] {
+            assert!(txt.contains(needle), "missing {needle}:\n{txt}");
+        }
+    }
+
+    #[test]
+    fn phase_times_agree_across_engines() {
+        let (_, prog, sim) = setup(16);
+        let sim2 = crate::engine_event::simulate_event_driven(&prog, &TrueMachine::cm5(16));
+        for (a, b) in sim.task_phase_times.iter().zip(&sim2.task_phase_times) {
+            assert!((a.0 - b.0).abs() < 1e-12);
+            assert!((a.1 - b.1).abs() < 1e-12);
+            assert!((a.2 - b.2).abs() < 1e-12);
+        }
+    }
+}

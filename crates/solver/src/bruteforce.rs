@@ -1,0 +1,143 @@
+//! Exact enumeration oracle: try every power-of-two allocation for every
+//! compute node and return the allocation with the smallest exact `Phi`.
+//!
+//! Exponential (`k^m` for `m` compute nodes and `k = log2(p) + 1`
+//! choices), so only usable on small graphs — which is precisely its job:
+//! validating the convex solver and the rounding step in tests and
+//! ablations.
+
+use crate::objective::MdgObjective;
+use paradigm_cost::{Allocation, Machine, PhiBreakdown};
+use paradigm_mdg::Mdg;
+
+/// The oracle's result.
+#[derive(Debug, Clone)]
+pub struct BruteForceResult {
+    /// The best power-of-two allocation.
+    pub alloc: Allocation,
+    /// Its exact objective breakdown.
+    pub phi: PhiBreakdown,
+    /// Number of allocations evaluated.
+    pub evaluated: usize,
+}
+
+/// Error: the search space exceeds `limit` allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooLarge {
+    /// The number of combinations that would have to be evaluated.
+    pub combinations: u128,
+}
+
+impl std::fmt::Display for TooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "brute force would evaluate {} allocations", self.combinations)
+    }
+}
+
+impl std::error::Error for TooLarge {}
+
+/// Enumerate every power-of-two allocation (`p_i ∈ {1, 2, 4, …, 2^k}`,
+/// `2^k <= p`) over the compute nodes of `g`, refusing if more than
+/// `limit` combinations would be needed.
+pub fn brute_force_pow2(g: &Mdg, machine: Machine, limit: usize) -> Result<BruteForceResult, TooLarge> {
+    let choices: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut q = 1u32;
+        while q <= machine.procs {
+            v.push(q as f64);
+            if q > machine.procs / 2 {
+                break;
+            }
+            q *= 2;
+        }
+        v
+    };
+    let compute: Vec<usize> = g
+        .nodes()
+        .filter(|(_, n)| !n.is_structural())
+        .map(|(id, _)| id.0)
+        .collect();
+    let k = choices.len() as u128;
+    let combos = k.checked_pow(compute.len() as u32).unwrap_or(u128::MAX);
+    if combos > limit as u128 {
+        return Err(TooLarge { combinations: combos });
+    }
+
+    let obj = MdgObjective::new(g, machine);
+    let mut alloc = Allocation::uniform(g, 1.0);
+    let mut idx = vec![0usize; compute.len()];
+    let mut best: Option<(Allocation, PhiBreakdown)> = None;
+    let mut evaluated = 0usize;
+    loop {
+        for (slot, &node) in idx.iter().zip(&compute) {
+            alloc.set(paradigm_mdg::NodeId(node), choices[*slot]);
+        }
+        let phi = obj.exact_phi(&alloc);
+        evaluated += 1;
+        let better = best.as_ref().map(|(_, b)| phi.phi < b.phi).unwrap_or(true);
+        if better {
+            best = Some((alloc.clone(), phi));
+        }
+        // Odometer increment.
+        let mut carry = true;
+        for slot in idx.iter_mut() {
+            if carry {
+                *slot += 1;
+                if *slot == choices.len() {
+                    *slot = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    let (alloc, phi) = best.expect("at least one combination evaluated");
+    Ok(BruteForceResult { alloc, phi, evaluated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradigm_mdg::{example_fig1_mdg, AmdahlParams, MdgBuilder, NodeId};
+
+    #[test]
+    fn fig1_oracle_finds_paper_schedule() {
+        let g = example_fig1_mdg();
+        let r = brute_force_pow2(&g, Machine::cm5(4), usize::MAX).unwrap();
+        // Optimal pow2 allocation: N1 on 4, N2/N3 on 2 -> Phi = 14.3.
+        assert!((r.phi.phi - 14.3).abs() < 1e-9, "Phi = {}", r.phi.phi);
+        assert_eq!(r.alloc.as_u32(NodeId(1)), 4);
+        assert_eq!(r.alloc.as_u32(NodeId(2)), 2);
+        assert_eq!(r.alloc.as_u32(NodeId(3)), 2);
+        // 3 choices (1,2,4) ^ 3 nodes = 27 combos.
+        assert_eq!(r.evaluated, 27);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let g = example_fig1_mdg();
+        let err = brute_force_pow2(&g, Machine::cm5(4), 10).unwrap_err();
+        assert_eq!(err.combinations, 27);
+    }
+
+    #[test]
+    fn single_node_gets_whole_machine_when_efficient() {
+        // alpha = 0: perfect speedup, more processors always better.
+        let mut b = MdgBuilder::new("solo");
+        b.compute("solo", AmdahlParams::new(0.0, 8.0));
+        let g = b.finish().unwrap();
+        let r = brute_force_pow2(&g, Machine::cm5(8), usize::MAX).unwrap();
+        assert_eq!(r.alloc.as_u32(NodeId(1)), 8);
+        assert!((r.phi.phi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_result_is_power_of_two() {
+        let g = example_fig1_mdg();
+        let r = brute_force_pow2(&g, Machine::cm5(4), usize::MAX).unwrap();
+        assert!(r.alloc.is_power_of_two());
+    }
+}

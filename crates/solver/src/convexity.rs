@@ -1,0 +1,110 @@
+//! Numeric convexity probes.
+//!
+//! The paper's correctness argument rests on the objective being a convex
+//! program after the log substitution. These helpers test that claim
+//! empirically on arbitrary objectives: sample segment midpoints and
+//! report any violation of midpoint convexity. They are used by unit
+//! tests, the property-test suite, and the `ablation_solver_quality`
+//! bench.
+
+/// A detected violation of midpoint convexity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexityViolation {
+    /// Index of the first segment endpoint in the probe set.
+    pub i: usize,
+    /// Index of the second segment endpoint.
+    pub j: usize,
+    /// `f(midpoint)`.
+    pub mid_value: f64,
+    /// `(f(a) + f(b)) / 2`.
+    pub chord_value: f64,
+}
+
+/// Check midpoint convexity of `f` over all pairs from `points`.
+/// Violations beyond `rel_tol` (relative to the chord value) are
+/// collected; an empty vector is consistent with convexity.
+pub fn probe_midpoint_convexity<F>(
+    f: F,
+    points: &[Vec<f64>],
+    rel_tol: f64,
+) -> Vec<ConvexityViolation>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut violations = Vec::new();
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let mid: Vec<f64> =
+                points[i].iter().zip(&points[j]).map(|(a, b)| (a + b) / 2.0).collect();
+            let mid_value = f(&mid);
+            let chord_value = 0.5 * (f(&points[i]) + f(&points[j]));
+            if mid_value > chord_value + rel_tol * chord_value.abs().max(1e-300) {
+                violations.push(ConvexityViolation { i, j, mid_value, chord_value });
+            }
+        }
+    }
+    violations
+}
+
+/// Deterministic low-discrepancy probe points inside `[0, ub]^n`
+/// (a simple Weyl/Kronecker sequence — good spread, no RNG dependency).
+pub fn probe_points(n: usize, ub: f64, count: usize) -> Vec<Vec<f64>> {
+    // Irrational stride per dimension (fractional powers of the plastic
+    // constant generalization).
+    let mut points = Vec::with_capacity(count);
+    let g = 1.324_717_957_244_746_f64; // plastic number
+    let alphas: Vec<f64> = (1..=n).map(|d| (1.0 / g.powi(d as i32)).fract()).collect();
+    for k in 1..=count {
+        let p: Vec<f64> = alphas.iter().map(|a| ((k as f64) * a).fract() * ub).collect();
+        points.push(p);
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convex_function_has_no_violations() {
+        let pts = probe_points(3, 4.0, 10);
+        let v = probe_midpoint_convexity(
+            |x| x.iter().map(|a| a * a).sum::<f64>(),
+            &pts,
+            1e-12,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn concave_function_is_flagged() {
+        let pts = probe_points(2, 4.0, 8);
+        let v = probe_midpoint_convexity(
+            |x| -(x.iter().map(|a| a * a).sum::<f64>()),
+            &pts,
+            1e-12,
+        );
+        assert!(!v.is_empty());
+        let first = &v[0];
+        assert!(first.mid_value > first.chord_value);
+    }
+
+    #[test]
+    fn probe_points_stay_in_box() {
+        let pts = probe_points(5, 2.5, 40);
+        assert_eq!(pts.len(), 40);
+        for p in &pts {
+            assert_eq!(p.len(), 5);
+            assert!(p.iter().all(|&x| (0.0..=2.5).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn probe_points_are_spread() {
+        // Not all identical, and distinct across indices.
+        let pts = probe_points(2, 1.0, 16);
+        let distinct: std::collections::HashSet<String> =
+            pts.iter().map(|p| format!("{:.6},{:.6}", p[0], p[1])).collect();
+        assert_eq!(distinct.len(), 16);
+    }
+}

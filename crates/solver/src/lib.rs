@@ -1,0 +1,42 @@
+//! # paradigm-solver — convex programming allocation
+//!
+//! Solves the paper's Section 2 allocation problem: choose (continuous)
+//! processor counts `p_i ∈ [1, p]` for every MDG node, minimizing
+//!
+//! ```text
+//! Phi = max(A_p, C_p)
+//! A_p = (1/p) Σ T_i p_i                      (average finish time)
+//! C_p = y_STOP,  y_i = max_{m∈PRED}(y_m + t^D_mi) + T_i
+//! ```
+//!
+//! Under the substitution `x_i = ln p_i`, every cost component is a
+//! *generalized posynomial* (sums and pointwise maxima of monomials), so
+//! both `A_p` and `C_p` — and hence `Phi` — are convex in `x`
+//! (Section 2's claim; the one exception, the 1D network term when
+//! `t_n > 0`, is replaced by a monomial upper bound; see
+//! [`objective`]). A convex function over a box has no spurious local
+//! minima, so a projected-gradient method with a smoothed `max` finds the
+//! global optimum.
+//!
+//! Module map:
+//! * [`expr`] — generalized posynomial expression trees with smoothed
+//!   evaluation and gradients in log-space;
+//! * [`objective`] — assembles `Phi` for an (MDG, machine) pair;
+//! * [`solve`] — projected gradient with Armijo line search, sharpness
+//!   annealing, and multi-start;
+//! * [`bruteforce`] — exact power-of-two enumeration oracle for small
+//!   graphs (used to validate solver quality);
+//! * [`convexity`] — numeric convexity probes used by tests/ablations.
+
+pub mod bruteforce;
+pub mod coordinate;
+pub mod convexity;
+pub mod expr;
+pub mod objective;
+pub mod solve;
+
+pub use bruteforce::{brute_force_pow2, BruteForceResult};
+pub use coordinate::{allocate_coordinate, CoordinateConfig, CoordinateResult};
+pub use expr::{Expr, Monomial};
+pub use objective::MdgObjective;
+pub use solve::{allocate, optimality_residual, AllocationResult, SolverConfig};

@@ -1,0 +1,457 @@
+//! Assembles the allocation objective `Phi = max(A_p, C_p)` for an
+//! (MDG, machine) pair as generalized posynomial expressions over the
+//! log-allocation variables `x_i = ln p_i` (one variable per MDG node;
+//! START/STOP variables never appear in any term because structural edges
+//! carry no data).
+//!
+//! The network edge weight needs one care point: for 1D transfers the
+//! exact cost is `L t_n / max(p_i, p_j)`, which is a *min* of monomials
+//! and not log-convex. The objective substitutes the monomial upper bound
+//! `L t_n / sqrt(p_i p_j)` (exact whenever `p_i = p_j`, conservative
+//! otherwise). On the CM-5, `t_n = 0` and the substitution is vacuous —
+//! every paper experiment is unaffected. Exactness is restored in the
+//! final reported numbers because allocations are always re-scored with
+//! `paradigm-cost`'s exact evaluator.
+
+use crate::expr::{smax_weights, Expr, Monomial, Sharpness};
+use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
+use paradigm_mdg::{Mdg, NodeId, TransferKind};
+
+/// The evaluated objective components at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveParts {
+    /// Smoothed `Phi`.
+    pub phi: f64,
+    /// Smoothed average finish time `A_p`.
+    pub a_p: f64,
+    /// Smoothed critical path time `C_p`.
+    pub c_p: f64,
+}
+
+/// The symbolic objective for one (MDG, machine) pair.
+pub struct MdgObjective<'g> {
+    g: &'g Mdg,
+    machine: Machine,
+    /// `T_i` per node, as an expression over `x`.
+    node_t: Vec<Expr>,
+    /// `t^D` per edge (zero when `t_n = 0`).
+    edge_d: Vec<Expr>,
+    /// `A_p` as a single expression.
+    area: Expr,
+}
+
+impl<'g> MdgObjective<'g> {
+    /// Build the expressions. `O(nodes + edges)` monomials.
+    pub fn new(g: &'g Mdg, machine: Machine) -> Self {
+        let x = &machine.xfer;
+        let n = g.node_count();
+        let mut node_terms: Vec<Vec<Expr>> = vec![Vec::new(); n];
+
+        // Processing costs: t^C_i = alpha*tau + (1-alpha)*tau / p_i.
+        for (id, node) in g.nodes() {
+            let a = node.cost.alpha;
+            let tau = node.cost.tau;
+            if tau > 0.0 {
+                node_terms[id.0].push(Expr::Mono(Monomial::constant(a * tau)));
+                node_terms[id.0].push(Expr::Mono(Monomial::single((1.0 - a) * tau, id.0, -1.0)));
+            }
+        }
+
+        // Transfer costs: send into the source's T, receive into the
+        // destination's T, network onto the edge.
+        let mut edge_d = Vec::with_capacity(g.edge_count());
+        for (_, e) in g.edges() {
+            let (i, j) = (e.src, e.dst); // sender i, receiver j
+            let mut d_terms: Vec<Expr> = Vec::new();
+            for t in &e.transfers {
+                let l = t.bytes as f64;
+                match t.kind {
+                    TransferKind::OneD => {
+                        // t^S = max(p_i,p_j)/p_i * t_ss + L/p_i * t_ps
+                        node_terms[i].push(Expr::sum(vec![
+                            Expr::max(vec![
+                                Expr::Mono(Monomial::constant(x.t_ss)),
+                                Expr::Mono(Monomial::pair(x.t_ss, j, 1.0, i, -1.0)),
+                            ]),
+                            Expr::Mono(Monomial::single(l * x.t_ps, i, -1.0)),
+                        ]));
+                        // t^R = max(p_i,p_j)/p_j * t_sr + L/p_j * t_pr
+                        node_terms[j].push(Expr::sum(vec![
+                            Expr::max(vec![
+                                Expr::Mono(Monomial::constant(x.t_sr)),
+                                Expr::Mono(Monomial::pair(x.t_sr, i, 1.0, j, -1.0)),
+                            ]),
+                            Expr::Mono(Monomial::single(l * x.t_pr, j, -1.0)),
+                        ]));
+                        // t^D = L t_n / max(p_i,p_j) ~ L t_n / sqrt(p_i p_j)
+                        if x.t_n > 0.0 {
+                            d_terms.push(Expr::Mono(Monomial::pair(
+                                l * x.t_n,
+                                i,
+                                -0.5,
+                                j,
+                                -0.5,
+                            )));
+                        }
+                    }
+                    TransferKind::TwoD => {
+                        // t^S = p_j * t_ss + L/p_i * t_ps
+                        node_terms[i].push(Expr::sum(vec![
+                            Expr::Mono(Monomial::single(x.t_ss, j, 1.0)),
+                            Expr::Mono(Monomial::single(l * x.t_ps, i, -1.0)),
+                        ]));
+                        // t^R = p_i * t_sr + L/p_j * t_pr
+                        node_terms[j].push(Expr::sum(vec![
+                            Expr::Mono(Monomial::single(x.t_sr, i, 1.0)),
+                            Expr::Mono(Monomial::single(l * x.t_pr, j, -1.0)),
+                        ]));
+                        // t^D = L t_n / (p_i p_j) — already a monomial.
+                        if x.t_n > 0.0 {
+                            d_terms.push(Expr::Mono(Monomial::pair(l * x.t_n, i, -1.0, j, -1.0)));
+                        }
+                    }
+                }
+            }
+            edge_d.push(Expr::sum(d_terms));
+        }
+
+        let node_t: Vec<Expr> = node_terms.into_iter().map(Expr::sum).collect();
+
+        // A_p = (1/p) Σ T_i p_i.
+        let inv_p = 1.0 / machine.procs as f64;
+        let area = Expr::sum(
+            node_t
+                .iter()
+                .enumerate()
+                .map(|(i, t)| t.mul_mono(&Monomial::single(inv_p, i, 1.0)))
+                .collect(),
+        );
+
+        MdgObjective { g, machine, node_t, edge_d, area }
+    }
+
+    /// The graph this objective was built for.
+    pub fn graph(&self) -> &Mdg {
+        self.g
+    }
+
+    /// The machine this objective was built for.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of log-variables (== node count).
+    pub fn num_vars(&self) -> usize {
+        self.g.node_count()
+    }
+
+    /// Upper bound for every variable: `ln p`.
+    pub fn x_upper(&self) -> f64 {
+        (self.machine.procs as f64).ln()
+    }
+
+    /// The `T_i` expression of a node (for inspection/tests).
+    pub fn node_expr(&self, id: NodeId) -> &Expr {
+        &self.node_t[id.0]
+    }
+
+    /// Evaluate `Phi` (and parts) at `x` with the given sharpness, without
+    /// gradients.
+    pub fn eval(&self, x: &[f64], sharp: Sharpness) -> ObjectiveParts {
+        let a_p = self.area.eval(x, sharp);
+        // DAG recurrence for C_p.
+        let n = self.g.node_count();
+        let mut y = vec![0.0_f64; n];
+        for &v in self.g.topo_order() {
+            let mut cands: Vec<f64> = Vec::new();
+            for &e in self.g.in_edges(v) {
+                let m = self.g.edge(e).src;
+                cands.push(y[m] + self.edge_d[e.0].eval(x, sharp));
+            }
+            let start = crate::expr::smax(&cands, sharp);
+            y[v.0] = start + self.node_t[v.0].eval(x, sharp);
+        }
+        let c_p = y[self.g.stop().0];
+        let phi = crate::expr::smax(&[a_p, c_p], sharp);
+        ObjectiveParts { phi, a_p, c_p }
+    }
+
+    /// Evaluate `Phi` and its gradient w.r.t. `x`.
+    pub fn eval_grad(&self, x: &[f64], sharp: Sharpness) -> (ObjectiveParts, Vec<f64>) {
+        let n = self.g.node_count();
+        let mut grad_a = vec![0.0; n];
+        let a_p = self.area.eval_grad(x, sharp, 1.0, &mut grad_a);
+
+        // Forward pass with per-node adjoint accumulation. Each node's
+        // finish time carries a dense gradient vector.
+        let mut y_val = vec![0.0_f64; n];
+        let mut y_grad: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for &v in self.g.topo_order() {
+            let in_edges = self.g.in_edges(v);
+            let mut cand_vals = Vec::with_capacity(in_edges.len());
+            let mut cand_grads: Vec<Vec<f64>> = Vec::with_capacity(in_edges.len());
+            for &e in in_edges {
+                let m = self.g.edge(e).src;
+                let mut ge = vec![0.0; n];
+                let de = self.edge_d[e.0].eval_grad(x, sharp, 1.0, &mut ge);
+                for (gi, &gm) in ge.iter_mut().zip(&y_grad[m]) {
+                    *gi += gm;
+                }
+                cand_vals.push(y_val[m] + de);
+                cand_grads.push(ge);
+            }
+            let (start, weights) = smax_weights(&cand_vals, sharp);
+            let mut g_here = vec![0.0; n];
+            for (w, cg) in weights.iter().zip(&cand_grads) {
+                if *w != 0.0 {
+                    for (gi, &ci) in g_here.iter_mut().zip(cg) {
+                        *gi += w * ci;
+                    }
+                }
+            }
+            let t_val = self.node_t[v.0].eval_grad(x, sharp, 1.0, &mut g_here);
+            y_val[v.0] = start + t_val;
+            y_grad[v.0] = g_here;
+        }
+        let c_p = y_val[self.g.stop().0];
+        let grad_c = std::mem::take(&mut y_grad[self.g.stop().0]);
+
+        let (phi, w) = smax_weights(&[a_p, c_p], sharp);
+        let grad: Vec<f64> = grad_a
+            .iter()
+            .zip(&grad_c)
+            .map(|(&ga, &gc)| w[0] * ga + w[1] * gc)
+            .collect();
+        (ObjectiveParts { phi, a_p, c_p }, grad)
+    }
+
+    /// Like [`MdgObjective::eval_grad`], but returns the gradients of
+    /// `A_p` and `C_p` separately (needed for the minimax stationarity
+    /// test in [`crate::solve::optimality_residual`], where the correct
+    /// multiplier between the two active pieces is unknown a priori).
+    pub fn eval_grad_parts(
+        &self,
+        x: &[f64],
+        sharp: Sharpness,
+    ) -> (ObjectiveParts, Vec<f64>, Vec<f64>) {
+        let n = self.g.node_count();
+        let mut grad_a = vec![0.0; n];
+        let a_p = self.area.eval_grad(x, sharp, 1.0, &mut grad_a);
+        let mut y_val = vec![0.0_f64; n];
+        let mut y_grad: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for &v in self.g.topo_order() {
+            let in_edges = self.g.in_edges(v);
+            let mut cand_vals = Vec::with_capacity(in_edges.len());
+            let mut cand_grads: Vec<Vec<f64>> = Vec::with_capacity(in_edges.len());
+            for &e in in_edges {
+                let m = self.g.edge(e).src;
+                let mut ge = vec![0.0; n];
+                let de = self.edge_d[e.0].eval_grad(x, sharp, 1.0, &mut ge);
+                for (gi, &gm) in ge.iter_mut().zip(&y_grad[m]) {
+                    *gi += gm;
+                }
+                cand_vals.push(y_val[m] + de);
+                cand_grads.push(ge);
+            }
+            let (start, weights) = smax_weights(&cand_vals, sharp);
+            let mut g_here = vec![0.0; n];
+            for (w, cg) in weights.iter().zip(&cand_grads) {
+                if *w != 0.0 {
+                    for (gi, &ci) in g_here.iter_mut().zip(cg) {
+                        *gi += w * ci;
+                    }
+                }
+            }
+            let t_val = self.node_t[v.0].eval_grad(x, sharp, 1.0, &mut g_here);
+            y_val[v.0] = start + t_val;
+            y_grad[v.0] = g_here;
+        }
+        let c_p = y_val[self.g.stop().0];
+        let grad_c = std::mem::take(&mut y_grad[self.g.stop().0]);
+        let phi = crate::expr::smax(&[a_p, c_p], sharp);
+        (ObjectiveParts { phi, a_p, c_p }, grad_a, grad_c)
+    }
+
+    /// Convert a log-space point to an [`Allocation`] (clamped to
+    /// `[1, p]`).
+    pub fn allocation_from_x(&self, x: &[f64]) -> Allocation {
+        let pmax = self.machine.procs as f64;
+        Allocation::new(x.iter().map(|&xi| xi.exp().clamp(1.0, pmax)).collect())
+    }
+
+    /// Exact (non-smoothed, true-`max`) `Phi` breakdown for an allocation,
+    /// via `paradigm-cost`'s ground-truth evaluator.
+    pub fn exact_phi(&self, alloc: &Allocation) -> PhiBreakdown {
+        MdgWeights::compute(self.g, &self.machine, alloc).phi(self.g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradigm_mdg::{
+        complex_matmul_mdg, example_fig1_mdg, AmdahlParams, ArrayTransfer, KernelCostTable,
+        MdgBuilder,
+    };
+
+    fn fig1() -> Mdg {
+        example_fig1_mdg()
+    }
+
+    #[test]
+    fn exact_eval_matches_cost_crate() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let obj = MdgObjective::new(&g, m);
+        for q in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+            let x = vec![q.ln(); g.node_count()];
+            let parts = obj.eval(&x, Sharpness::Exact);
+            let alloc = Allocation::uniform(&g, q);
+            let exact = obj.exact_phi(&alloc);
+            assert!(
+                (parts.phi - exact.phi).abs() < 1e-12 * exact.phi.max(1.0),
+                "q={q}: {} vs {}",
+                parts.phi,
+                exact.phi
+            );
+            assert!((parts.a_p - exact.a_p).abs() < 1e-12 * exact.a_p.max(1.0));
+            assert!((parts.c_p - exact.c_p).abs() < 1e-12 * exact.c_p.max(1.0));
+        }
+    }
+
+    #[test]
+    fn smooth_upper_bounds_exact() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(32);
+        let obj = MdgObjective::new(&g, m);
+        let x = vec![4.0_f64.ln(); g.node_count()];
+        let exact = obj.eval(&x, Sharpness::Exact);
+        for s in [2.0, 8.0, 32.0] {
+            let smooth = obj.eval(&x, Sharpness::Smooth(s));
+            assert!(smooth.phi >= exact.phi - 1e-12);
+            assert!(smooth.c_p >= exact.c_p - 1e-12);
+        }
+        // Sharper smoothing is tighter.
+        let s8 = obj.eval(&x, Sharpness::Smooth(8.0));
+        let s64 = obj.eval(&x, Sharpness::Smooth(64.0));
+        assert!(s64.phi <= s8.phi + 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let obj = MdgObjective::new(&g, m);
+        let n = g.node_count();
+        let sharp = Sharpness::Smooth(8.0);
+        // A generic interior point.
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.1 * (i as f64).sin()).collect();
+        let (_, grad) = obj.eval_grad(&x, sharp);
+        let h = 1e-6;
+        for j in 0..n {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[j] += h;
+            xm[j] -= h;
+            let fd = (obj.eval(&xp, sharp).phi - obj.eval(&xm, sharp).phi) / (2.0 * h);
+            assert!(
+                (grad[j] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "var {j}: analytic {} vs fd {}",
+                grad[j],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn structural_variables_have_zero_gradient() {
+        let g = fig1();
+        let obj = MdgObjective::new(&g, Machine::cm5(4));
+        let x = vec![0.5; g.node_count()];
+        let (_, grad) = obj.eval_grad(&x, Sharpness::Smooth(8.0));
+        assert_eq!(grad[g.start().0], 0.0);
+        assert_eq!(grad[g.stop().0], 0.0);
+    }
+
+    #[test]
+    fn fig1_objective_prefers_mixed_allocation() {
+        // At the paper's mixed allocation (N1 on 4, N2/N3 on 2) the exact
+        // C_p equals 14.3 s and A_p = (5.2*4 + 9.1*2 + 9.1*2)/4 = 14.3 s.
+        let g = fig1();
+        let obj = MdgObjective::new(&g, Machine::cm5(4));
+        let mut alloc = Allocation::uniform(&g, 1.0);
+        alloc.set(NodeId(1), 4.0);
+        alloc.set(NodeId(2), 2.0);
+        alloc.set(NodeId(3), 2.0);
+        let mixed = obj.exact_phi(&alloc);
+        assert!((mixed.c_p - 14.3).abs() < 1e-9);
+        assert!((mixed.a_p - 14.3).abs() < 1e-9);
+        // The all-4 allocation has a *lower bound* Phi of max(A_p, C_p)
+        // with A_p = 15.6 (area) — worse than mixed.
+        let all4 = obj.exact_phi(&Allocation::uniform(&g, 4.0));
+        assert!((all4.a_p - 15.6).abs() < 1e-9);
+        assert!(all4.phi > mixed.phi);
+    }
+
+    #[test]
+    fn objective_is_logspace_convex_on_cm5() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let obj = MdgObjective::new(&g, m);
+        let n = g.node_count();
+        let ub = obj.x_upper();
+        let pts: Vec<Vec<f64>> = (0..6)
+            .map(|k| {
+                (0..n)
+                    .map(|i| ((k * 31 + i * 7) % 97) as f64 / 97.0 * ub)
+                    .collect()
+            })
+            .collect();
+        for sharp in [Sharpness::Exact, Sharpness::Smooth(16.0)] {
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let mid: Vec<f64> =
+                        pts[i].iter().zip(&pts[j]).map(|(a, b)| (a + b) / 2.0).collect();
+                    let lhs = obj.eval(&mid, sharp).phi;
+                    let rhs = 0.5 * (obj.eval(&pts[i], sharp).phi + obj.eval(&pts[j], sharp).phi);
+                    assert!(
+                        lhs <= rhs + 1e-9 * rhs.abs(),
+                        "objective not convex at pair ({i},{j}) with {sharp:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_transfers_build_without_max_nodes() {
+        let mut b = MdgBuilder::new("2d");
+        let x = b.compute("x", AmdahlParams::new(0.1, 1.0));
+        let y = b.compute("y", AmdahlParams::new(0.1, 1.0));
+        b.edge(x, y, vec![ArrayTransfer::matrix_2d(64, 64)]);
+        let g = b.finish().unwrap();
+        let obj = MdgObjective::new(&g, Machine::cm5(8));
+        // 2D costs are pure posynomials: no Max nodes in T expressions.
+        fn has_max(e: &Expr) -> bool {
+            match e {
+                Expr::Mono(_) => false,
+                Expr::Sum(v) => v.iter().any(has_max),
+                Expr::Max(_) => true,
+            }
+        }
+        for (id, _) in g.nodes() {
+            assert!(!has_max(obj.node_expr(id)), "2D transfer produced a Max node");
+        }
+    }
+
+    #[test]
+    fn allocation_from_x_clamps() {
+        let g = fig1();
+        let obj = MdgObjective::new(&g, Machine::cm5(4));
+        let x = vec![-1.0, 10.0, 0.5, 0.0, 0.0];
+        let a = obj.allocation_from_x(&x);
+        assert_eq!(a.get(NodeId(0)), 1.0);
+        assert_eq!(a.get(NodeId(1)), 4.0);
+        assert!((a.get(NodeId(2)) - 0.5_f64.exp()).abs() < 1e-12);
+    }
+}

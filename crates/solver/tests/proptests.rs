@@ -1,0 +1,139 @@
+//! Property-based tests of the convex solver: convexity of the
+//! objective, smoothing bounds, gradient correctness, feasibility, and
+//! dominance over the power-of-two oracle.
+
+use paradigm_cost::Machine;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+use paradigm_solver::convexity::{probe_midpoint_convexity, probe_points};
+use paradigm_solver::expr::Sharpness;
+use paradigm_solver::{allocate, brute_force_pow2, MdgObjective, SolverConfig};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = RandomMdgConfig> {
+    (1usize..=3, 1usize..=3, 0.0f64..0.7, 0.0f64..1.0).prop_map(
+        |(layers, width, edge_prob, two_d_prob)| RandomMdgConfig {
+            layers,
+            width_min: 1,
+            width_max: width,
+            edge_prob,
+            two_d_prob,
+            ..RandomMdgConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn objective_is_convex_in_log_space(cfg in arb_cfg(), seed in 0u64..2000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(16));
+        let pts = probe_points(g.node_count(), obj.x_upper(), 8);
+        let viols = probe_midpoint_convexity(
+            |x| obj.eval(x, Sharpness::Exact).phi,
+            &pts,
+            1e-9,
+        );
+        prop_assert!(viols.is_empty(), "{} violations", viols.len());
+    }
+
+    #[test]
+    fn smoothing_upper_bounds_and_tightens(cfg in arb_cfg(), seed in 0u64..2000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(16));
+        let x = vec![0.7; g.node_count()];
+        let exact = obj.eval(&x, Sharpness::Exact).phi;
+        let mut prev = f64::INFINITY;
+        for s in [2.0, 8.0, 32.0, 128.0] {
+            let v = obj.eval(&x, Sharpness::Smooth(s)).phi;
+            prop_assert!(v >= exact - 1e-12, "smoothing must upper-bound exact");
+            prop_assert!(v <= prev + 1e-12, "sharper smoothing must tighten");
+            prev = v;
+        }
+        prop_assert!((prev - exact) / exact < 0.2, "s=128 should be close to exact");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference(cfg in arb_cfg(), seed in 0u64..2000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(8));
+        let n = g.node_count();
+        let x: Vec<f64> = (0..n).map(|i| 0.4 + 0.2 * ((i * 7 % 5) as f64) / 5.0).collect();
+        let sharp = Sharpness::Smooth(8.0);
+        let (_, grad) = obj.eval_grad(&x, sharp);
+        let h = 1e-6;
+        for j in 0..n {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[j] += h;
+            xm[j] -= h;
+            let fd = (obj.eval(&xp, sharp).phi - obj.eval(&xm, sharp).phi) / (2.0 * h);
+            prop_assert!(
+                (grad[j] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "var {j}: {} vs {}", grad[j], fd
+            );
+        }
+    }
+
+    #[test]
+    fn solver_feasible_and_finite(cfg in arb_cfg(), seed in 0u64..2000, pk in 1u32..=6) {
+        let g = random_layered_mdg(&cfg, seed);
+        let p = 1u32 << pk;
+        let res = allocate(&g, Machine::cm5(p), &SolverConfig::fast());
+        prop_assert!(res.phi.phi.is_finite() && res.phi.phi > 0.0);
+        for (id, _) in g.nodes() {
+            let q = res.alloc.get(id);
+            prop_assert!((1.0..=p as f64 + 1e-9).contains(&q));
+        }
+    }
+
+    #[test]
+    fn solver_dominates_pow2_oracle(cfg in arb_cfg(), seed in 0u64..2000) {
+        let g = random_layered_mdg(&cfg, seed);
+        if g.compute_node_count() > 6 {
+            return Ok(()); // keep the oracle tractable
+        }
+        let m = Machine::cm5(8);
+        let oracle = brute_force_pow2(&g, m, 5_000_000).expect("small");
+        let sol = allocate(&g, m, &SolverConfig::default());
+        prop_assert!(
+            sol.phi.phi <= oracle.phi.phi * (1.0 + 1e-9),
+            "solver {} vs oracle {}",
+            sol.phi.phi,
+            oracle.phi.phi
+        );
+    }
+
+    #[test]
+    fn solution_is_stationary_under_perturbation(cfg in arb_cfg(), seed in 0u64..2000) {
+        // Perturbing the solution in random directions inside the box
+        // must not significantly decrease the exact Phi (approximate
+        // global optimality of a convex minimum).
+        let g = random_layered_mdg(&cfg, seed);
+        let m = Machine::cm5(16);
+        let sol = allocate(&g, m, &SolverConfig::default());
+        let obj = MdgObjective::new(&g, m);
+        let ub = obj.x_upper();
+        let x0: Vec<f64> = g
+            .nodes()
+            .map(|(id, _)| sol.alloc.get(id).ln())
+            .collect();
+        let base = sol.phi.phi;
+        for dir in 0..6 {
+            let x: Vec<f64> = x0
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let delta = 0.05 * (((i * 13 + dir * 7) % 11) as f64 / 11.0 - 0.5);
+                    (v + delta).clamp(0.0, ub)
+                })
+                .collect();
+            let perturbed = obj.exact_phi(&obj.allocation_from_x(&x)).phi;
+            prop_assert!(
+                perturbed >= base * (1.0 - 5e-3),
+                "perturbation improved Phi: {base} -> {perturbed}"
+            );
+        }
+    }
+}

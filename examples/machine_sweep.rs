@@ -1,0 +1,51 @@
+//! Sweep the machine size and the machine *kind* to see where mixed
+//! parallelism pays off: the Phi lower bound, the scheduled T_psa, and
+//! the SPMD baseline across p = 1..128, on the CM-5 constants and on a
+//! synthetic mesh with a non-zero network term.
+//!
+//! Run with: `cargo run --release --example machine_sweep`
+
+use paradigm_core::prelude::*;
+use paradigm_cost::Machine as M;
+use paradigm_sched::{serial_schedule, spmd_schedule};
+
+fn sweep(name: &str, make: impl Fn(u32) -> M) {
+    let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+    let serial = serial_schedule(&g);
+    println!("\n{name}: Complex Matrix Multiply 64x64 (serial time {serial:.4} s)");
+    println!("  procs |    Phi (s) |  T_psa (s) |   SPMD (s) | T_psa speedup | SPMD speedup");
+    println!("  ------+------------+------------+------------+---------------+-------------");
+    let mut prev_gain = 0.0;
+    for k in 0..8 {
+        let p = 1u32 << k;
+        let machine = make(p);
+        let compiled = compile(&g, machine, &CompileConfig::fast());
+        let (spmd, _) = spmd_schedule(&g, machine);
+        println!(
+            "  {:>5} | {:>10.4} | {:>10.4} | {:>10.4} | {:>13.2} | {:>12.2}",
+            p,
+            compiled.phi.phi,
+            compiled.t_psa,
+            spmd.makespan,
+            serial / compiled.t_psa,
+            serial / spmd.makespan
+        );
+        let gain = spmd.makespan / compiled.t_psa;
+        if gain > 1.05 && prev_gain <= 1.05 {
+            println!("        ^-- crossover: mixed parallelism starts paying off here");
+        }
+        prev_gain = gain;
+    }
+}
+
+fn main() {
+    sweep("CM-5 constants (t_n = 0)", M::cm5);
+    sweep("synthetic mesh (t_n > 0: network delays on edges)", M::synthetic_mesh);
+    sweep("Intel Paragon-class constants (illustrative)", M::intel_paragon);
+    sweep("IBM SP-1-class constants (illustrative)", M::ibm_sp1);
+    println!(
+        "\nReading: at small p the machine is the bottleneck and SPMD ~ MPMD; once the\n\
+         machine outgrows a single loop's scalability, the schedule runs independent\n\
+         loops side by side and T_psa pulls ahead — the paper's central claim."
+    );
+}

@@ -1,0 +1,59 @@
+//! The library on workloads beyond the paper: random layered MDGs of
+//! varying shape, compiled and executed end to end. Prints how much the
+//! convex+PSA pipeline buys over pure data parallelism as the graphs get
+//! wider (more functional parallelism to exploit).
+//!
+//! Run with: `cargo run --release --example random_workloads`
+
+use paradigm_core::prelude::*;
+use paradigm_mdg::stats::MdgStats;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+
+fn main() {
+    let p = 64u32;
+    let machine = Machine::cm5(p);
+    let truth = TrueMachine::cm5(p);
+
+    println!("random layered MDGs on a {p}-processor simulated CM-5\n");
+    println!("  shape        | nodes | inherent par | MPMD run (s) | SPMD run (s) | gain");
+    println!("  -------------+-------+--------------+--------------+--------------+------");
+    for (label, width) in [("narrow", 1usize), ("medium", 3), ("wide", 6), ("very wide", 10)] {
+        let cfg = RandomMdgConfig {
+            layers: 4,
+            width_min: width,
+            width_max: width,
+            tau_range: (0.05, 0.5),
+            two_d_prob: 0.3,
+            ..RandomMdgConfig::default()
+        };
+        let mut gains = Vec::new();
+        let mut nodes = 0;
+        let mut par = 0.0;
+        for seed in 0..3u64 {
+            let g = random_layered_mdg(&cfg, seed);
+            let stats = MdgStats::of(&g);
+            nodes = g.compute_node_count();
+            par = stats.inherent_parallelism();
+            let compiled = compile(&g, machine, &CompileConfig::fast());
+            let mpmd = run_mpmd(&g, &compiled, &truth);
+            let spmd = run_spmd(&g, &truth);
+            gains.push((mpmd.makespan, spmd.makespan));
+        }
+        let mpmd: f64 = gains.iter().map(|g| g.0).sum::<f64>() / gains.len() as f64;
+        let spmd: f64 = gains.iter().map(|g| g.1).sum::<f64>() / gains.len() as f64;
+        println!(
+            "  {:<12} | {:>5} | {:>12.2} | {:>12.4} | {:>12.4} | {:>4.2}x",
+            label,
+            nodes,
+            par,
+            mpmd,
+            spmd,
+            spmd / mpmd
+        );
+    }
+    println!(
+        "\nReading: the wider the graph (more inherent functional parallelism), the more\n\
+         the mixed-parallelism schedule gains over SPMD — with a narrow chain there is\n\
+         nothing to exploit and the two coincide."
+    );
+}

@@ -1,0 +1,101 @@
+//! Pins the paper's concrete numbers: every constant and every exact
+//! value the reproduction commits to (Tables 1–2, the Figure-1 example,
+//! the PB values of Corollary 1, the structure of Figure 6's MDGs).
+
+use paradigm_core::prelude::*;
+use paradigm_mdg::stats::MdgStats;
+use paradigm_sched::optimal_pb;
+
+#[test]
+fn table1_constants() {
+    let t = KernelCostTable::cm5();
+    assert_eq!(t.ref_n, 64);
+    assert!((t.add.alpha - 0.067).abs() < 1e-12); // 6.7 %
+    assert!((t.add.tau - 3.73e-3).abs() < 1e-12); // 3.73 mS
+    assert!((t.mul.alpha - 0.121).abs() < 1e-12); // 12.1 %
+    assert!((t.mul.tau - 298.47e-3).abs() < 1e-12); // 298.47 mS
+}
+
+#[test]
+fn table2_constants() {
+    let x = TransferParams::cm5();
+    assert!((x.t_ss - 777.56e-6).abs() < 1e-12);
+    assert!((x.t_ps - 486.98e-9).abs() < 1e-15);
+    assert!((x.t_sr - 465.58e-6).abs() < 1e-12);
+    assert!((x.t_pr - 426.25e-9).abs() < 1e-15);
+    assert_eq!(x.t_n, 0.0);
+}
+
+#[test]
+fn figure1_example_numbers() {
+    let g = example_fig1_mdg();
+    let params = g.node(NodeId(1)).cost;
+    // Naive: 3 * t(4) = 15.6; mixed: t(4) + t(2) = 5.2 + 9.1 = 14.3.
+    assert!((params.cost(4.0) - 5.2).abs() < 1e-9);
+    assert!((params.cost(2.0) - 9.1).abs() < 1e-9);
+    assert!((3.0 * params.cost(4.0) - 15.6).abs() < 1e-9);
+    assert!((params.cost(4.0) + params.cost(2.0) - 14.3).abs() < 1e-9);
+}
+
+#[test]
+fn corollary1_pb_values_for_paper_sizes() {
+    assert_eq!(optimal_pb(4), 4);
+    assert_eq!(optimal_pb(16), 8);
+    assert_eq!(optimal_pb(32), 16);
+    assert_eq!(optimal_pb(64), 32);
+}
+
+#[test]
+fn figure6_cmm_structure() {
+    let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+    let s = MdgStats::of(&g);
+    assert_eq!(s.compute_nodes, 10, "4 inits + 4 multiplies + 2 adds");
+    assert_eq!(s.depth, 3);
+    assert_eq!(*s.class_histogram.get("mul").unwrap(), 4);
+    assert_eq!(*s.class_histogram.get("add").unwrap(), 2);
+    // All 1D, as the paper states.
+    for (_, e) in g.edges() {
+        for t in &e.transfers {
+            assert_eq!(t.kind, TransferKind::OneD);
+        }
+    }
+}
+
+#[test]
+fn figure6_strassen_structure() {
+    let g = strassen_mdg(128, &KernelCostTable::cm5());
+    let s = MdgStats::of(&g);
+    assert_eq!(s.compute_nodes, 33, "8 inits + 10 pre-adds + 7 muls + 8 post-adds");
+    assert_eq!(*s.class_histogram.get("mul").unwrap(), 7);
+    // Strassen's multiplies operate on 64x64 quadrants of the 128 input.
+    let mul_node = g
+        .nodes()
+        .find(|(_, n)| n.name.starts_with("M1"))
+        .map(|(_, n)| n.meta.clone())
+        .unwrap();
+    assert_eq!((mul_node.rows, mul_node.cols), (64, 64));
+}
+
+#[test]
+fn strassen_work_ratio_versus_classic() {
+    // One Strassen level does 7 multiplies instead of 8: the serial
+    // multiply time must be 7/8 of a classic blocked product's.
+    let t = KernelCostTable::cm5();
+    let g = strassen_mdg(128, &t);
+    let mul_time: f64 = g
+        .nodes()
+        .filter(|(_, n)| matches!(n.meta.class, paradigm_mdg::LoopClass::MatrixMultiply))
+        .map(|(_, n)| n.cost.tau)
+        .sum();
+    let classic_eight = 8.0 * t.mul.tau; // eight 64x64 quadrant products
+    assert!((mul_time / classic_eight - 7.0 / 8.0).abs() < 1e-12);
+}
+
+#[test]
+fn theorem_factors_at_paper_operating_points() {
+    use paradigm_sched::{theorem1_factor, theorem2_factor, theorem3_factor};
+    // p = 64, PB = 32 — the pipeline's operating point at full machine.
+    assert!((theorem1_factor(64, 32) - (1.0 + 64.0 / 33.0)).abs() < 1e-12);
+    assert!((theorem2_factor(64, 32) - 9.0).abs() < 1e-12);
+    assert!((theorem3_factor(64, 32) - (1.0 + 64.0 / 33.0) * 9.0).abs() < 1e-12);
+}

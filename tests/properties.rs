@@ -1,0 +1,109 @@
+//! Cross-crate property-based tests (proptest): for randomized MDG
+//! shapes and machine sizes, the pipeline's structural invariants must
+//! hold — schedules validate, bounds hold, simulation stays consistent
+//! with its program.
+
+use paradigm_core::prelude::*;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+use paradigm_sched::theorem3_factor;
+use paradigm_sim::lower_mpmd;
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = RandomMdgConfig> {
+    (1usize..=4, 1usize..=4, 0.0f64..0.8, 0.0f64..1.0).prop_map(
+        |(layers, width, edge_prob, two_d_prob)| RandomMdgConfig {
+            layers,
+            width_min: 1,
+            width_max: width.max(1),
+            edge_prob,
+            two_d_prob,
+            ..RandomMdgConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn psa_schedule_always_validates(cfg in arb_cfg(), seed in 0u64..1000, pk in 1u32..=7) {
+        let g = random_layered_mdg(&cfg, seed);
+        let p = 1u32 << pk; // 2..=128
+        let m = Machine::cm5(p);
+        let sol = allocate(&g, m, &SolverConfig::fast());
+        let res = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+        prop_assert!(res.schedule.validate(&g, &res.weights).is_ok());
+        // Theorem 3 holds.
+        prop_assert!(res.t_psa <= theorem3_factor(p, res.pb) * sol.phi.phi * (1.0 + 1e-9));
+        // Phi is a lower bound up to the fast config's convergence
+        // slack (the same slack behind the paper's small negative
+        // Table-3 entries; the default config tightens it to ~0).
+        prop_assert!(res.t_psa >= sol.phi.phi * (1.0 - 1e-2));
+    }
+
+    #[test]
+    fn allocations_feasible_and_pow2_after_psa(cfg in arb_cfg(), seed in 0u64..1000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let m = Machine::cm5(32);
+        let sol = allocate(&g, m, &SolverConfig::fast());
+        for (id, _) in g.nodes() {
+            let q = sol.alloc.get(id);
+            prop_assert!((1.0..=32.0 + 1e-9).contains(&q), "continuous alloc out of box: {q}");
+        }
+        let res = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+        prop_assert!(res.bounded.is_power_of_two());
+        prop_assert!(res.bounded.max() <= res.pb as f64);
+    }
+
+    #[test]
+    fn simulation_consistent_with_program(cfg in arb_cfg(), seed in 0u64..1000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let p = 16u32;
+        let m = Machine::cm5(p);
+        let sol = allocate(&g, m, &SolverConfig::fast());
+        let res = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+        let prog = lower_mpmd(&g, &res.schedule);
+        prop_assert!(prog.validate().is_ok());
+        let truth = TrueMachine::cm5(p);
+        let sim = simulate(&prog, &truth);
+        // Simulated time is positive and within a broad factor of the
+        // schedule prediction (truth wobble is small; message-level
+        // effects and token costs stay bounded).
+        prop_assert!(sim.makespan > 0.0);
+        let ratio = sim.makespan / res.t_psa;
+        prop_assert!((0.3..=2.0).contains(&ratio), "sim/predicted = {ratio}");
+        // Busy time per processor never exceeds the makespan.
+        for &b in &sim.proc_busy {
+            prop_assert!(b <= sim.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spmd_and_serial_bracket_mpmd(cfg in arb_cfg(), seed in 0u64..1000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let p = 32u32;
+        let truth = TrueMachine::cm5(p);
+        let m = Machine::cm5(p);
+        let sol = allocate(&g, m, &SolverConfig::fast());
+        let res = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
+        let mpmd = simulate(&lower_mpmd(&g, &res.schedule), &truth);
+        // The simulated makespan can never beat the serial fraction of the
+        // heaviest node executed at full machine width (a crude but sound
+        // lower bound).
+        let min_possible = g
+            .nodes()
+            .map(|(_, n)| n.cost.alpha * n.cost.tau)
+            .fold(0.0_f64, f64::max);
+        prop_assert!(mpmd.makespan >= min_possible * 0.9);
+    }
+
+    #[test]
+    fn phi_monotone_in_machine_size(cfg in arb_cfg(), seed in 0u64..1000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let phi16 = allocate(&g, Machine::cm5(16), &SolverConfig::fast()).phi.phi;
+        let phi64 = allocate(&g, Machine::cm5(64), &SolverConfig::fast()).phi.phi;
+        // A bigger machine can always emulate the smaller one's
+        // allocation, so Phi must not increase (small solver slack).
+        prop_assert!(phi64 <= phi16 * 1.02, "Phi grew with machine size: {phi16} -> {phi64}");
+    }
+}
