@@ -1,0 +1,38 @@
+//! # paradigm-analyze — static analysis for the PARADIGM pipeline
+//!
+//! Three independent passes that check, rather than compute, the
+//! pipeline's load-bearing claims:
+//!
+//! * [`posynomial`] — **symbolic convexity certification**. Walks the
+//!   solver's expression IR and proves each expression is a monomial /
+//!   posynomial / generalized posynomial (returning the derivation tree),
+//!   or produces the minimal counterexample path. [`certify_objective`]
+//!   extends this compositionally to the full `Phi = max(A_p, C_p)`
+//!   objective through the completion recurrence, which is the paper's
+//!   Section 2 convexity claim made machine-checkable.
+//! * [`schedule_check`] — **schedule race/precedence analysis**. A
+//!   structured, report-everything validator for [`paradigm_sched`]
+//!   schedules: sweep-line race detection per processor, precedence with
+//!   network delays, allocation/duration consistency, and a cross-check
+//!   of the reported makespan against the re-derived `y_i` recurrence.
+//! * [`lint`] — **MDG lints**. Pluggable diagnostics over graph cost
+//!   metadata (degenerate Amdahl fractions, NaN weights, shape
+//!   mismatches, ...) with compiler-style rendering.
+//!
+//! The passes are pure functions over the existing data structures; they
+//! are wired into `paradigm front` lowering, `paradigm-core`'s compile
+//! pipeline (under `debug_assertions`), and the `paradigm analyze` CLI
+//! subcommand.
+
+pub mod lint;
+pub mod posynomial;
+pub mod schedule_check;
+
+pub use lint::{
+    has_errors, lint_mdg, render_diagnostics, Diagnostic, Lint, LintLocation, LintSet, Severity,
+};
+pub use posynomial::{
+    certify, certify_in, certify_objective, Certificate, Defect, ExprClass, NonPosynomial,
+    ObjectiveCertificate, ObjectiveCounterexample, ObjectivePart, Rule,
+};
+pub use schedule_check::{analyze_schedule, ScheduleReport, ScheduleViolation};

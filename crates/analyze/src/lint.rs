@@ -1,0 +1,514 @@
+//! A pluggable lint framework for Macro Dataflow Graphs.
+//!
+//! MDGs reach the pipeline from several producers — the hand-written
+//! builders, the `.mdg` text parser, the mini-language front end, graph
+//! transforms — and the structural invariants `MdgBuilder::finish`
+//! enforces (acyclicity, START/STOP wiring) say nothing about the *cost
+//! metadata* riding on nodes and edges. A graph with `alpha = 1.7` or a
+//! NaN `tau` sails through construction and silently poisons the convex
+//! program. Each [`Lint`] inspects one such property and emits
+//! [`Diagnostic`]s with a severity, a node/edge location, and a fix
+//! hint; [`render_diagnostics`] prints them compiler-style.
+//!
+//! [`LintSet::default_set`] bundles the built-in lints; callers can add
+//! their own by implementing [`Lint`] and pushing it onto the set.
+
+use paradigm_mdg::{EdgeId, Mdg, NodeId, NodeKind};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth a look, harmless to the pipeline.
+    Note,
+    /// Suspicious: likely a modelling mistake, pipeline still sound.
+    Warning,
+    /// Broken: the cost model or solver will misbehave on this graph.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What part of the graph a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLocation {
+    /// The graph as a whole.
+    Graph,
+    /// One node.
+    Node(NodeId),
+    /// One edge.
+    Edge(EdgeId),
+}
+
+/// One finding from one lint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The lint's kebab-case name (stable, greppable).
+    pub lint: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it is.
+    pub location: LintLocation,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the lint knows.
+    pub hint: Option<String>,
+}
+
+/// A single diagnostic pass over an MDG.
+pub trait Lint {
+    /// Stable kebab-case name, used in rendered output (`error[name]`).
+    fn name(&self) -> &'static str;
+    /// Inspect `g` and append findings to `out`.
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lints run as one pass.
+#[derive(Default)]
+pub struct LintSet {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl LintSet {
+    /// The built-in lints, in severity-descending order of importance.
+    pub fn default_set() -> Self {
+        LintSet {
+            lints: vec![
+                Box::new(UnreachableNode),
+                Box::new(NonFiniteWeight),
+                Box::new(DegenerateAmdahl),
+                Box::new(StructuralTransfer),
+                Box::new(RedistributionMismatch),
+                Box::new(ZeroTau),
+                Box::new(IsolatedNode),
+            ],
+        }
+    }
+
+    /// Add a custom lint.
+    pub fn with(mut self, lint: Box<dyn Lint>) -> Self {
+        self.lints.push(lint);
+        self
+    }
+
+    /// Names of the registered lints, in run order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.lints.iter().map(|l| l.name()).collect()
+    }
+
+    /// Run every lint over `g`.
+    pub fn run(&self, g: &Mdg) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for l in &self.lints {
+            l.check(g, &mut out);
+        }
+        out
+    }
+}
+
+/// Run the default lint set over a graph.
+pub fn lint_mdg(g: &Mdg) -> Vec<Diagnostic> {
+    LintSet::default_set().run(g)
+}
+
+/// True when any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Render diagnostics compiler-style:
+///
+/// ```text
+/// warning[zero-tau]: compute node has zero sequential time
+///   --> `cmm`, node n3 (M1 = Ar*Br)
+///   help: measure the loop or fold the node into a neighbour
+/// ```
+pub fn render_diagnostics(g: &Mdg, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("{}[{}]: {}\n", d.severity, d.lint, d.message));
+        match d.location {
+            LintLocation::Graph => {
+                out.push_str(&format!("  --> `{}`\n", g.name()));
+            }
+            LintLocation::Node(id) => {
+                out.push_str(&format!("  --> `{}`, node {id} ({})\n", g.name(), g.node(id).name));
+            }
+            LintLocation::Edge(eid) => {
+                let e = g.edge(eid);
+                out.push_str(&format!("  --> `{}`, edge n{} -> n{}\n", g.name(), e.src, e.dst));
+            }
+        }
+        if let Some(h) = &d.hint {
+            out.push_str(&format!("  help: {h}\n"));
+        }
+    }
+    if !diags.is_empty() {
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        let warns = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+        out.push_str(&format!(
+            "{} diagnostic(s): {} error(s), {} warning(s)\n",
+            diags.len(),
+            errors,
+            warns
+        ));
+    }
+    out
+}
+
+/// Compute node not reachable from START or not reaching STOP. The
+/// builder wires both directions, so a hit means the graph bypassed it.
+pub struct UnreachableNode;
+
+impl Lint for UnreachableNode {
+    fn name(&self) -> &'static str {
+        "unreachable-node"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (id, node) in g.nodes() {
+            if node.is_structural() {
+                continue;
+            }
+            let from_start = g.reaches(g.start(), id);
+            let to_stop = g.reaches(id, g.stop());
+            if !from_start || !to_stop {
+                let dir =
+                    if !from_start { "is unreachable from START" } else { "never reaches STOP" };
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Error,
+                    location: LintLocation::Node(id),
+                    message: format!("compute node {dir}"),
+                    hint: Some("rebuild the graph through MdgBuilder::finish".to_string()),
+                });
+            }
+        }
+    }
+}
+
+/// NaN/infinite `alpha` or `tau`, or negative `tau`: every downstream
+/// cost is garbage.
+pub struct NonFiniteWeight;
+
+impl Lint for NonFiniteWeight {
+    fn name(&self) -> &'static str {
+        "nonfinite-weight"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (id, node) in g.nodes() {
+            let c = node.cost;
+            if !c.tau.is_finite() || c.tau < 0.0 || !c.alpha.is_finite() {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Error,
+                    location: LintLocation::Node(id),
+                    message: format!(
+                        "cost parameters are not finite non-negative (alpha = {}, tau = {})",
+                        c.alpha, c.tau
+                    ),
+                    hint: Some(
+                        "construct costs via AmdahlParams::new, which validates".to_string(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Serial fraction outside `[0, 1]`: Amdahl's law loses its meaning and
+/// the monomial coefficients `alpha*tau`, `(1-alpha)*tau` of Eq. (1) go
+/// negative — the objective stops being a posynomial.
+pub struct DegenerateAmdahl;
+
+impl Lint for DegenerateAmdahl {
+    fn name(&self) -> &'static str {
+        "degenerate-amdahl"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (id, node) in g.nodes() {
+            let a = node.cost.alpha;
+            if a.is_finite() && !(0.0..=1.0).contains(&a) {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Error,
+                    location: LintLocation::Node(id),
+                    message: format!("serial fraction alpha = {a} lies outside [0, 1]"),
+                    hint: Some(
+                        "alpha is the Amdahl serial fraction; refit the node's cost model"
+                            .to_string(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Data transfers on a START/STOP edge: the objective assumes structural
+/// edges carry none (their variables must not appear in any cost term).
+pub struct StructuralTransfer;
+
+impl Lint for StructuralTransfer {
+    fn name(&self) -> &'static str {
+        "structural-transfer"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (eid, e) in g.edges() {
+            let touches_structural =
+                g.node(NodeId(e.src)).is_structural() || g.node(NodeId(e.dst)).is_structural();
+            if touches_structural && !e.transfers.is_empty() {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Error,
+                    location: LintLocation::Edge(eid),
+                    message: "START/STOP edge carries array transfers".to_string(),
+                    hint: Some("move the transfer onto a compute-to-compute edge".to_string()),
+                });
+            }
+        }
+    }
+}
+
+/// A transfer claims more bytes than the producing node's declared
+/// matrix holds — the redistribution shape and the kernel metadata
+/// disagree.
+pub struct RedistributionMismatch;
+
+impl Lint for RedistributionMismatch {
+    fn name(&self) -> &'static str {
+        "redistribution-mismatch"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (eid, e) in g.edges() {
+            let src = g.node(NodeId(e.src));
+            // Allow up to 16 bytes per element (complex double, the
+            // widest element the kernels move) before calling a shape
+            // mismatch, so complex-valued producers don't false-alarm.
+            let declared = (src.meta.rows * src.meta.cols) as u64 * 16;
+            if declared == 0 {
+                continue; // synthetic metadata: nothing to check against
+            }
+            for t in &e.transfers {
+                if t.bytes > declared {
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        location: LintLocation::Edge(eid),
+                        message: format!(
+                            "transfer of {} bytes exceeds the {}x{} matrix ({declared} bytes at 16 B/element) its producer declares",
+                            t.bytes, src.meta.rows, src.meta.cols
+                        ),
+                        hint: Some(
+                            "check the ArrayTransfer size against the producer's LoopMeta"
+                                .to_string(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Compute node with `tau == 0`: it costs nothing under any allocation,
+/// so it is either a placeholder or a missing measurement.
+pub struct ZeroTau;
+
+impl Lint for ZeroTau {
+    fn name(&self) -> &'static str {
+        "zero-tau"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (id, node) in g.nodes() {
+            if node.kind == NodeKind::Compute && node.cost.tau == 0.0 {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    location: LintLocation::Node(id),
+                    message: "compute node has zero sequential time".to_string(),
+                    hint: Some("measure the loop, or fuse the node into a neighbour".to_string()),
+                });
+            }
+        }
+    }
+}
+
+/// Compute node whose only neighbours are START and STOP: it takes part
+/// in no dataflow, which is legal but usually means a lost edge.
+pub struct IsolatedNode;
+
+impl Lint for IsolatedNode {
+    fn name(&self) -> &'static str {
+        "isolated-node"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (id, node) in g.nodes() {
+            if node.is_structural() {
+                continue;
+            }
+            let lonely = g.preds(id).all(|p| g.node(p).is_structural())
+                && g.succs(id).all(|s| g.node(s).is_structural());
+            // A single-node graph is legitimately lonely.
+            if lonely && g.compute_node_count() > 1 {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Note,
+                    location: LintLocation::Node(id),
+                    message: "compute node exchanges no data with any other compute node"
+                        .to_string(),
+                    hint: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradigm_mdg::{
+        complex_matmul_mdg, example_fig1_mdg, AmdahlParams, ArrayTransfer, KernelCostTable,
+        LoopClass, LoopMeta, MdgBuilder, TransferKind,
+    };
+
+    #[test]
+    fn clean_graphs_produce_no_errors() {
+        for g in [example_fig1_mdg(), complex_matmul_mdg(64, &KernelCostTable::cm5())] {
+            let diags = lint_mdg(&g);
+            assert!(!has_errors(&diags), "{}", render_diagnostics(&g, &diags));
+        }
+    }
+
+    #[test]
+    fn degenerate_alpha_is_an_error() {
+        let mut b = MdgBuilder::new("bad-alpha");
+        // Bypass AmdahlParams::new's validation via the public fields —
+        // exactly the hole the lint exists to catch.
+        b.compute("ok", AmdahlParams::new(0.5, 1.0));
+        b.compute("bad", AmdahlParams { alpha: 1.7, tau: 1.0 });
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        assert!(has_errors(&diags));
+        let d = diags.iter().find(|d| d.lint == "degenerate-amdahl").unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(matches!(d.location, LintLocation::Node(NodeId(2))));
+        assert!(d.message.contains("1.7"));
+    }
+
+    #[test]
+    fn nonfinite_and_negative_weights_are_errors() {
+        let mut b = MdgBuilder::new("bad-weights");
+        b.compute("nan-tau", AmdahlParams { alpha: 0.1, tau: f64::NAN });
+        b.compute("neg-tau", AmdahlParams { alpha: 0.1, tau: -2.0 });
+        b.compute("inf-alpha", AmdahlParams { alpha: f64::INFINITY, tau: 1.0 });
+        let g = b.finish().unwrap();
+        let hits: Vec<_> =
+            lint_mdg(&g).into_iter().filter(|d| d.lint == "nonfinite-weight").collect();
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn zero_tau_is_a_warning_not_error() {
+        let mut b = MdgBuilder::new("zero");
+        b.compute("empty", AmdahlParams::new(0.0, 0.0));
+        b.compute("real", AmdahlParams::new(0.1, 1.0));
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        assert!(!has_errors(&diags));
+        assert!(diags.iter().any(|d| d.lint == "zero-tau" && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn oversized_transfer_is_flagged() {
+        let mut b = MdgBuilder::new("oversized");
+        let a = b.compute_with_meta(
+            "a",
+            AmdahlParams::new(0.1, 1.0),
+            LoopMeta::square(LoopClass::MatrixInit, 8), // 8x8 f64 = 512 bytes
+        );
+        let c = b.compute("c", AmdahlParams::new(0.1, 1.0));
+        b.edge(a, c, vec![ArrayTransfer::new(4096, TransferKind::OneD)]);
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        let d = diags.iter().find(|d| d.lint == "redistribution-mismatch").unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(matches!(d.location, LintLocation::Edge(_)));
+        assert!(d.message.contains("4096"));
+    }
+
+    #[test]
+    fn isolated_node_is_a_note() {
+        let mut b = MdgBuilder::new("island");
+        let a = b.compute("a", AmdahlParams::new(0.1, 1.0));
+        let c = b.compute("c", AmdahlParams::new(0.1, 1.0));
+        b.edge(a, c, vec![]);
+        b.compute("loner", AmdahlParams::new(0.1, 1.0));
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        let d = diags.iter().find(|d| d.lint == "isolated-node").unwrap();
+        assert_eq!(d.severity, Severity::Note);
+    }
+
+    #[test]
+    fn single_node_graph_is_not_isolated() {
+        let mut b = MdgBuilder::new("solo");
+        b.compute("only", AmdahlParams::new(0.1, 1.0));
+        let g = b.finish().unwrap();
+        assert!(lint_mdg(&g).iter().all(|d| d.lint != "isolated-node"));
+    }
+
+    #[test]
+    fn custom_lints_compose() {
+        struct NameLint;
+        impl Lint for NameLint {
+            fn name(&self) -> &'static str {
+                "graph-name"
+            }
+            fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+                if g.name().is_empty() {
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Note,
+                        location: LintLocation::Graph,
+                        message: "graph has no name".to_string(),
+                        hint: None,
+                    });
+                }
+            }
+        }
+        let set = LintSet::default_set().with(Box::new(NameLint));
+        assert!(set.names().contains(&"graph-name"));
+        let mut b = MdgBuilder::new("");
+        b.compute("x", AmdahlParams::new(0.1, 1.0));
+        let g = b.finish().unwrap();
+        assert!(set.run(&g).iter().any(|d| d.lint == "graph-name"));
+    }
+
+    #[test]
+    fn rendering_is_compiler_style() {
+        let mut b = MdgBuilder::new("r");
+        b.compute("bad", AmdahlParams { alpha: -0.5, tau: 1.0 });
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        let txt = render_diagnostics(&g, &diags);
+        assert!(txt.contains("error[degenerate-amdahl]"), "{txt}");
+        assert!(txt.contains("--> `r`, node n1 (bad)"), "{txt}");
+        assert!(txt.contains("help:"), "{txt}");
+        assert!(txt.contains("error(s)"), "{txt}");
+        assert!(render_diagnostics(&g, &[]).is_empty());
+    }
+}

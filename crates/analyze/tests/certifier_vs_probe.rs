@@ -1,0 +1,78 @@
+//! Cross-validation of the symbolic certifier against the numeric
+//! convexity probe: whenever the certifier issues a certificate, the
+//! midpoint probe must find no violation (soundness on random
+//! objectives); and on deliberately broken expressions where the probe
+//! *can* see non-convexity, the certifier must refuse a certificate.
+
+use paradigm_analyze::{certify, certify_objective};
+use paradigm_cost::Machine;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+use paradigm_solver::convexity::{probe_midpoint_convexity, probe_points};
+use paradigm_solver::expr::{Expr, Monomial, Sharpness};
+use paradigm_solver::MdgObjective;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Certified random objectives never fail the numeric probe.
+    #[test]
+    fn certified_objectives_pass_numeric_probe(
+        seed in 0u64..5000,
+        layers in 1usize..=4,
+        width in 1usize..=3,
+        pk in 2u32..=5,
+    ) {
+        let cfg = RandomMdgConfig {
+            layers,
+            width_min: 1,
+            width_max: width,
+            ..RandomMdgConfig::default()
+        };
+        let g = random_layered_mdg(&cfg, seed);
+        let p = 1u32 << pk;
+        // The mesh model has nonzero t_n, exercising the edge exprs too.
+        let m = Machine::synthetic_mesh(p);
+        let obj = MdgObjective::new(&g, m);
+        let cert = certify_objective(&obj);
+        prop_assert!(cert.is_ok(), "refuted: {}", cert.unwrap_err());
+
+        let pts = probe_points(obj.num_vars(), obj.x_upper(), 8);
+        let violations = probe_midpoint_convexity(
+            |x| obj.eval(x, Sharpness::Exact).phi,
+            &pts,
+            1e-9,
+        );
+        prop_assert!(violations.is_empty(), "probe found {violations:?}");
+    }
+
+    /// A planted negative term makes the expression concave somewhere;
+    /// the certifier must refuse it, and (as a sanity check on the
+    /// probe itself) the probe flags the same expression when the
+    /// negative term dominates.
+    #[test]
+    fn planted_defects_are_refuted(c in 0.5f64..8.0, var in 0usize..3) {
+        let broken = Expr::Sum(vec![
+            Expr::Mono(Monomial { coeff: 1.0, exps: vec![(var, 1.0)] }),
+            // Invalid by construction: bypasses the checked constructors.
+            Expr::Mono(Monomial { coeff: -c, exps: vec![(var, 2.0)] }),
+        ]);
+        prop_assert!(certify(&broken).is_err());
+
+        // -c * e^{2x} dominates for large x, so midpoint convexity fails
+        // on a segment reaching into that region.
+        let pts: Vec<Vec<f64>> = (0..6)
+            .map(|k| {
+                let mut p = vec![0.0; 3];
+                p[var] = k as f64;
+                p
+            })
+            .collect();
+        let violations = probe_midpoint_convexity(
+            |x| broken.eval(x, Sharpness::Exact),
+            &pts,
+            1e-9,
+        );
+        prop_assert!(!violations.is_empty(), "probe blind to planted concavity (c = {c})");
+    }
+}

@@ -10,8 +10,8 @@
 
 use paradigm_bench::banner;
 use paradigm_core::prelude::*;
-use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
 use paradigm_mdg::stats::MdgStats;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
 
 fn main() {
     banner(
@@ -39,9 +39,8 @@ fn main() {
         let g = random_layered_mdg(&cfg, seed);
         let width = MdgStats::of(&g).max_width.max(1);
         let sol = allocate(&g, machine, &SolverConfig::fast());
-        let psa = |alloc: &Allocation| {
-            psa_schedule(&g, machine, alloc, &PsaConfig::default()).t_psa
-        };
+        let psa =
+            |alloc: &Allocation| psa_schedule(&g, machine, alloc, &PsaConfig::default()).t_psa;
         let t_convex = psa(&sol.alloc);
         let t_allp = psa(&Allocation::uniform(&g, p as f64));
         let split = ((p as usize / width).max(1)) as f64;
@@ -76,10 +75,17 @@ fn main() {
             "seed {seed}: convex allocation more than 25 % behind the best policy"
         );
     }
-    println!("\n  mean T_psa: convex {:.4}, all-p {:.4}, eq-split {:.4}, single {:.4}",
-        sums[0] / total as f64, sums[1] / total as f64, sums[2] / total as f64, sums[3] / total as f64);
+    println!(
+        "\n  mean T_psa: convex {:.4}, all-p {:.4}, eq-split {:.4}, single {:.4}",
+        sums[0] / total as f64,
+        sums[1] / total as f64,
+        sums[2] / total as f64,
+        sums[3] / total as f64
+    );
     println!("  convex strictly best (or tied) on {convex_wins}/{total} instances");
-    assert!(sums[0] <= sums[1] && sums[0] <= sums[2] && sums[0] <= sums[3],
-        "convex allocation must win on average");
+    assert!(
+        sums[0] <= sums[1] && sums[0] <= sums[2] && sums[0] <= sums[3],
+        "convex allocation must win on average"
+    );
     println!("\nresult: convex allocation dominates the naive policies on synthetic MDGs");
 }

@@ -29,7 +29,12 @@ fn main() {
         println!("  ----+--------------+-----------+----------");
         let mut best_actual = (0u32, f64::INFINITY);
         for pb in [4u32, 8, 16, 32, 64] {
-            let res = psa_schedule(&g, machine, &sol.alloc, &PsaConfig { pb: Some(pb), skip_rounding: false, ..PsaConfig::default() });
+            let res = psa_schedule(
+                &g,
+                machine,
+                &sol.alloc,
+                &PsaConfig { pb: Some(pb), skip_rounding: false, ..PsaConfig::default() },
+            );
             let factor = theorem3_factor(p, pb);
             let ratio = res.t_psa / sol.phi.phi;
             let marker = if pb == pb_star { " <- Corollary 1" } else { "" };

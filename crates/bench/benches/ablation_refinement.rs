@@ -14,8 +14,12 @@ fn main() {
     );
 
     let table = KernelCostTable::cm5();
-    println!("\n  program   |  p |  Phi (s) | T_psa (s) | refined (s) | gap before | gap after | moves");
-    println!("  ----------+----+----------+-----------+-------------+------------+-----------+------");
+    println!(
+        "\n  program   |  p |  Phi (s) | T_psa (s) | refined (s) | gap before | gap after | moves"
+    );
+    println!(
+        "  ----------+----+----------+-----------+-------------+------------+-----------+------"
+    );
     let mut total_closed = 0.0;
     let mut cases = 0;
     for prog in TestProgram::paper_suite() {

@@ -19,7 +19,9 @@ fn main() {
 
     let table = KernelCostTable::cm5();
     let cfg = CompileConfig::default();
-    println!("\n  program   |  p | PB |   Phi (S) | rounded (S) | bounded (S) | blowup | Thm2 bound");
+    println!(
+        "\n  program   |  p | PB |   Phi (S) | rounded (S) | bounded (S) | blowup | Thm2 bound"
+    );
     println!("  ----------+----+----+-----------+-------------+-------------+--------+-----------");
     for prog in TestProgram::paper_suite() {
         let g = prog.build(&table);

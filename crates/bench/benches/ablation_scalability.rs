@@ -27,7 +27,9 @@ fn main() {
         ("strassen L1 (128)".into(), strassen_mdg_multilevel(128, 1, &table)),
         ("strassen L2 (256)".into(), strassen_mdg_multilevel(256, 2, &table)),
     ];
-    for (label, layers, width) in [("random 100-node", 10usize, 10usize), ("random 300-node", 20, 15)] {
+    for (label, layers, width) in
+        [("random 100-node", 10usize, 10usize), ("random 300-node", 20, 15)]
+    {
         let cfg = RandomMdgConfig {
             layers,
             width_min: width,
@@ -38,8 +40,12 @@ fn main() {
         workloads.push((label.to_string(), random_layered_mdg(&cfg, 1)));
     }
 
-    println!("\n  workload           | nodes | solve (ms) | sched (ms) |  Phi (s) | T_psa (s) | vs SPMD");
-    println!("  -------------------+-------+------------+------------+----------+-----------+--------");
+    println!(
+        "\n  workload           | nodes | solve (ms) | sched (ms) |  Phi (s) | T_psa (s) | vs SPMD"
+    );
+    println!(
+        "  -------------------+-------+------------+------------+----------+-----------+--------"
+    );
     for (name, g) in &workloads {
         let t0 = Instant::now();
         let sol = allocate(g, machine, &SolverConfig::fast());

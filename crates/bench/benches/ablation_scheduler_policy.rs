@@ -49,7 +49,8 @@ fn main() {
 
     println!("\n[2] random layered MDGs (p = 32):");
     let m = Machine::cm5(32);
-    let cfg = RandomMdgConfig { layers: 5, width_min: 2, width_max: 5, ..RandomMdgConfig::default() };
+    let cfg =
+        RandomMdgConfig { layers: 5, width_min: 2, width_max: 5, ..RandomMdgConfig::default() };
     let mut est_sum = 0.0;
     let mut hlf_sum = 0.0;
     let mut est_wins = 0;

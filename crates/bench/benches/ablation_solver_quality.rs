@@ -22,7 +22,8 @@ fn main() {
     );
 
     let machine = Machine::cm5(8);
-    let cfg_small = RandomMdgConfig { layers: 3, width_min: 1, width_max: 2, ..RandomMdgConfig::default() };
+    let cfg_small =
+        RandomMdgConfig { layers: 3, width_min: 1, width_max: 2, ..RandomMdgConfig::default() };
 
     println!("\n[1] solver vs brute-force pow2 oracle (random MDGs, p = 8):");
     println!("  seed | nodes |  oracle Phi |  solver Phi | solver/oracle");
@@ -66,19 +67,18 @@ fn main() {
         ),
         (
             "no annealing, exact-only polish",
-            SolverConfig { sharpness_schedule: vec![], random_starts: 0, ..SolverConfig::default() },
+            SolverConfig {
+                sharpness_schedule: vec![],
+                random_starts: 0,
+                ..SolverConfig::default()
+            },
         ),
     ];
     println!("  configuration                        |    Phi (S) | vs default");
     println!("  -------------------------------------+------------+-----------");
     for (name, cfg) in configs {
         let sol = allocate(&g, m32, &cfg);
-        println!(
-            "  {:<36} | {:>10.5} | {:>8.4}x",
-            name,
-            sol.phi.phi,
-            sol.phi.phi / reference
-        );
+        println!("  {:<36} | {:>10.5} | {:>8.4}x", name, sol.phi.phi, sol.phi.phi / reference);
         assert!(sol.phi.phi / reference < 1.10, "{name}: quality loss above 10 %");
     }
 

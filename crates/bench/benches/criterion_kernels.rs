@@ -2,7 +2,9 @@
 //! blocked vs Strassen) and redistribution planning.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paradigm_kernels::{redistribution_plan, strassen_multiply, strassen_one_level, BlockDist, ComplexMatrix, Matrix};
+use paradigm_kernels::{
+    redistribution_plan, strassen_multiply, strassen_one_level, BlockDist, ComplexMatrix, Matrix,
+};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {

@@ -12,7 +12,12 @@ fn bench_simulate(c: &mut Criterion) {
     let machine = Machine::cm5(64);
     let truth = TrueMachine::cm5(64);
     let strassen = strassen_mdg(128, &KernelCostTable::cm5());
-    let res = psa_schedule(&strassen, machine, &Allocation::uniform(&strassen, 16.0), &PsaConfig::default());
+    let res = psa_schedule(
+        &strassen,
+        machine,
+        &Allocation::uniform(&strassen, 16.0),
+        &PsaConfig::default(),
+    );
     let mpmd = lower_mpmd(&strassen, &res.schedule);
     c.bench_function("simulate/strassen_mpmd_p64", |b| {
         b.iter(|| black_box(simulate(&mpmd, &truth).makespan))
@@ -42,7 +47,12 @@ fn bench_event_engine(c: &mut Criterion) {
     let machine = Machine::cm5(64);
     let truth = TrueMachine::cm5(64);
     let strassen = strassen_mdg(128, &KernelCostTable::cm5());
-    let res = psa_schedule(&strassen, machine, &Allocation::uniform(&strassen, 16.0), &PsaConfig::default());
+    let res = psa_schedule(
+        &strassen,
+        machine,
+        &Allocation::uniform(&strassen, 16.0),
+        &PsaConfig::default(),
+    );
     let prog = lower_mpmd(&strassen, &res.schedule);
     c.bench_function("simulate_event_driven/strassen_mpmd_p64", |b| {
         b.iter(|| black_box(simulate_event_driven(&prog, &truth).makespan))
@@ -52,7 +62,12 @@ fn bench_event_engine(c: &mut Criterion) {
 fn bench_lowering(c: &mut Criterion) {
     let machine = Machine::cm5(64);
     let strassen = strassen_mdg(128, &KernelCostTable::cm5());
-    let res = psa_schedule(&strassen, machine, &Allocation::uniform(&strassen, 16.0), &PsaConfig::default());
+    let res = psa_schedule(
+        &strassen,
+        machine,
+        &Allocation::uniform(&strassen, 16.0),
+        &PsaConfig::default(),
+    );
     c.bench_function("lower_mpmd/strassen_p64", |b| {
         b.iter(|| black_box(lower_mpmd(&strassen, &res.schedule).messages.len()))
     });

@@ -46,7 +46,9 @@ fn bench_objective_eval(c: &mut Criterion) {
     let obj = MdgObjective::new(&g, machine);
     let x = vec![1.0_f64; g.node_count()];
     c.bench_function("objective/eval_grad_strassen", |b| {
-        b.iter(|| black_box(obj.eval_grad(&x, paradigm_solver::expr::Sharpness::Smooth(64.0)).0.phi))
+        b.iter(|| {
+            black_box(obj.eval_grad(&x, paradigm_solver::expr::Sharpness::Smooth(64.0)).0.phi)
+        })
     });
 }
 

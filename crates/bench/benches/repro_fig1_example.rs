@@ -33,11 +33,7 @@ fn main() {
 
     // Scheme 2: functional + data parallelism via the full pipeline.
     let compiled = compile(&g, machine, &CompileConfig::default());
-    compiled
-        .psa
-        .schedule
-        .validate(&g, &compiled.psa.weights)
-        .expect("valid PSA schedule");
+    compiled.psa.schedule.validate(&g, &compiled.psa.weights).expect("valid PSA schedule");
     println!("\nScheme 2 — functional + data parallelism (convex + PSA):");
     println!("{}", compiled.psa.schedule.gantt(&g, 52));
     println!("  finish time: {:.1} s (paper: 14.3 s)", compiled.t_psa);

@@ -30,12 +30,9 @@ fn main() {
         println!("  ------+---------------+----------------+--------");
         let mut worst: f64 = 0.0;
         for &q in &qs {
-            let measured: f64 = samples
-                .iter()
-                .filter(|s| s.q == q as f64)
-                .map(|s| s.time)
-                .sum::<f64>()
-                / samples.iter().filter(|s| s.q == q as f64).count() as f64;
+            let measured: f64 =
+                samples.iter().filter(|s| s.q == q as f64).map(|s| s.time).sum::<f64>()
+                    / samples.iter().filter(|s| s.q == q as f64).count() as f64;
             let predicted = fit.params.cost(q as f64);
             let rel = (predicted - measured).abs() / measured;
             worst = worst.max(rel);

@@ -32,7 +32,9 @@ fn main() {
         println!("  p_i -> p_j | measured total (uS) | predicted total (uS) | rel err");
         println!("  -----------+---------------------+----------------------+--------");
         let mut worst: f64 = 0.0;
-        for &(pi, pj) in &[(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (2, 8), (8, 2), (4, 16)] {
+        for &(pi, pj) in
+            &[(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (2, 8), (8, 2), (4, 16)]
+        {
             let m = measure_one_transfer(&truth, kind, bytes, pi, pj, (pi * 97 + pj) as u64);
             let measured = m.send_time + m.net_time + m.recv_time;
             let c = transfer_components(kind, bytes, pi as f64, pj as f64, &fit.params);

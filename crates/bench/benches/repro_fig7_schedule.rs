@@ -33,15 +33,15 @@ fn main() {
         );
     }
     println!("\n  PB (Corollary 1 for p = 4): {}", compiled.psa.pb);
-    println!("  Phi = {:.4} s, T_psa = {:.4} s ({:+.1}%)",
-        compiled.phi.phi, compiled.t_psa, compiled.deviation_percent());
+    println!(
+        "  Phi = {:.4} s, T_psa = {:.4} s ({:+.1}%)",
+        compiled.phi.phi,
+        compiled.t_psa,
+        compiled.deviation_percent()
+    );
 
     println!("\n{}", compiled.psa.schedule.gantt(&g, 64));
-    compiled
-        .psa
-        .schedule
-        .validate(&g, &compiled.psa.weights)
-        .expect("schedule must validate");
+    compiled.psa.schedule.validate(&g, &compiled.psa.weights).expect("schedule must validate");
 
     // Shape assertions: the four multiplies are the bulk of the makespan.
     let muls: Vec<_> = g
@@ -51,10 +51,7 @@ fn main() {
         .collect();
     let mul_time: f64 = muls.iter().map(|t| t.duration() * t.procs.len() as f64).sum();
     let area = compiled.t_psa * 4.0;
-    println!(
-        "multiply processor-time share of the schedule: {:.0}%",
-        100.0 * mul_time / area
-    );
+    println!("multiply processor-time share of the schedule: {:.0}%", 100.0 * mul_time / area);
     assert!(mul_time / area > 0.5, "multiplies must dominate");
     println!("\nresult: Figure 7 reproduced (allocation table + Gantt above)");
 }

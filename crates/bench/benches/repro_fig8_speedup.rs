@@ -23,8 +23,10 @@ fn main() {
         println!("\n{}", render_fig8(&prog.name(), &rows));
         // Shape assertions.
         let gains: Vec<f64> = rows.iter().map(|r| r.mpmd_speedup / r.spmd_speedup).collect();
-        println!("  MPMD/SPMD speedup gain: {}",
-            gains.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>().join(", "));
+        println!(
+            "  MPMD/SPMD speedup gain: {}",
+            gains.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>().join(", ")
+        );
         for (r, gain) in rows.iter().zip(&gains) {
             assert!(
                 *gain >= 0.98,

@@ -22,8 +22,13 @@ fn main() {
     let sizes = [4096u64, 16384, 65536, 262144];
     let groups = [1usize, 2, 4, 8, 16, 32];
     let samples = measure_transfers(&truth, &sizes, &groups);
-    println!("\nmeasurement campaign: {} samples (1D + 2D, {} sizes x {} x {} groups)",
-        samples.len(), sizes.len(), groups.len(), groups.len());
+    println!(
+        "\nmeasurement campaign: {} samples (1D + 2D, {} sizes x {} x {} groups)",
+        samples.len(),
+        sizes.len(),
+        groups.len(),
+        groups.len()
+    );
 
     let fit = fit_transfer(&samples);
     let paper = TransferParams::cm5();

@@ -50,9 +50,6 @@ fn main() {
             max_dev[k] = max_dev[k].max(r.percent_change.abs());
         }
     }
-    println!(
-        "\nmax |deviation|: CMM {:.1}% vs Strassen {:.1}%",
-        max_dev[0], max_dev[1]
-    );
+    println!("\nmax |deviation|: CMM {:.1}% vs Strassen {:.1}%", max_dev[0], max_dev[1]);
     println!("result: Table 3 shape reproduced (near-optimal schedules; deviations small)");
 }

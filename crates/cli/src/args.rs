@@ -63,6 +63,19 @@ pub enum Command {
         /// One of `fig1`, `cmm`, `strassen`.
         which: String,
     },
+    /// `analyze [<file>] [-p N] [--gallery] [--cert]`: lint the graph,
+    /// certify the objective's convexity, and check the schedules the
+    /// pipeline produces for it.
+    Analyze {
+        /// MDG file path; `None` requires `--gallery`.
+        file: Option<String>,
+        /// Machine size the objective/schedules are analyzed for.
+        procs: u32,
+        /// Analyze every built-in gallery graph instead of a file.
+        gallery: bool,
+        /// Print the full derivation tree of the `A_p` certificate.
+        cert: bool,
+    },
     /// `help`.
     Help,
 }
@@ -98,6 +111,8 @@ USAGE:
   paradigm build <file.mini>
   paradigm transform <file> [--fuse] [--reduce]
   paradigm demo <fig1|cmm|strassen>
+  paradigm analyze <file.mdg> [-p <procs>] [--cert]
+  paradigm analyze --gallery [-p <procs>]
   paradigm help
 
 Graph inputs may be .mdg files (graph text format) or .mini files
@@ -135,7 +150,7 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
         "transform" => {
             let file = it.next().ok_or(UsageError("transform needs a file".into()))?.to_string();
             let (mut fuse, mut reduce) = (false, false);
-            while let Some(flag) = it.next() {
+            for flag in it.by_ref() {
                 match flag {
                     "--fuse" => fuse = true,
                     "--reduce" => reduce = true,
@@ -157,6 +172,30 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                 return Err(UsageError(format!("unknown demo `{which}`")));
             }
             Command::Demo { which }
+        }
+        "analyze" => {
+            let mut file = None;
+            let mut procs = 16u32;
+            let (mut gallery, mut cert) = (false, false);
+            while let Some(tok) = it.next() {
+                match tok {
+                    "-p" | "--procs" => procs = parse_procs(take_value(tok, &mut it)?)?,
+                    "--gallery" => gallery = true,
+                    "--cert" => cert = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(UsageError(format!("unknown flag `{flag}`")))
+                    }
+                    path => {
+                        if file.replace(path.to_string()).is_some() {
+                            return Err(UsageError("analyze takes at most one file".into()));
+                        }
+                    }
+                }
+            }
+            if file.is_none() && !gallery {
+                return Err(UsageError("analyze needs a file or --gallery".into()));
+            }
+            Command::Analyze { file, procs, gallery, cert }
         }
         "calibrate" => {
             let mut procs = 64u32;
@@ -287,6 +326,23 @@ mod tests {
         let p = parse_args(&["build", "prog.mini"]).unwrap();
         assert_eq!(p.command, Command::Build { file: "prog.mini".into() });
         assert!(parse_args(&["build"]).is_err());
+    }
+
+    #[test]
+    fn analyze_command_parses() {
+        let p = parse_args(&["analyze", "g.mdg", "-p", "32", "--cert"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Analyze { file: Some("g.mdg".into()), procs: 32, gallery: false, cert: true }
+        );
+        let p = parse_args(&["analyze", "--gallery"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Analyze { file: None, procs: 16, gallery: true, cert: false }
+        );
+        assert!(parse_args(&["analyze"]).is_err(), "needs a file or --gallery");
+        assert!(parse_args(&["analyze", "a.mdg", "b.mdg"]).is_err());
+        assert!(parse_args(&["analyze", "g.mdg", "--wat"]).is_err());
     }
 
     #[test]

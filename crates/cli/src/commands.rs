@@ -3,16 +3,24 @@
 //! prints the result.
 
 use crate::args::{Command, USAGE};
+use paradigm_analyze::{
+    analyze_schedule, certify_objective, has_errors, lint_mdg, render_diagnostics,
+};
 use paradigm_core::calibrate::{calibrate, CalibrationConfig};
 use paradigm_core::report::render_calibration;
 use paradigm_core::{compile, CompileConfig};
-use paradigm_cost::Machine;
+use paradigm_cost::{Machine, MdgWeights};
 use paradigm_mdg::stats::MdgStats;
 use paradigm_mdg::{
-    complex_matmul_mdg, example_fig1_mdg, from_text, strassen_mdg, to_text, KernelCostTable, Mdg,
+    block_lu_mdg, complex_matmul_mdg, example_fig1_mdg, fft_2d_mdg, from_text, stencil_mdg,
+    strassen_mdg, strassen_mdg_multilevel, to_text, KernelCostTable, Mdg,
 };
-use paradigm_sched::{gantt_svg, idle_profile, to_csv, PsaConfig, SchedPolicy};
+use paradigm_sched::{
+    gantt_svg, idle_profile, spmd_schedule, task_parallel_schedule, to_csv, PsaConfig, SchedPolicy,
+    Schedule,
+};
 use paradigm_sim::{compare_schedule_vs_sim, lower_spmd, render_trace, simulate, TrueMachine};
+use paradigm_solver::MdgObjective;
 
 /// Any failure a command can produce.
 #[derive(Debug)]
@@ -194,6 +202,85 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Analyze { file, procs, gallery, cert } => {
+            let machine = Machine::cm5(*procs);
+            let mut graphs = Vec::new();
+            if let Some(f) = file {
+                graphs.push(load(f)?);
+            }
+            if *gallery {
+                graphs.extend(gallery_graphs());
+            }
+            let mut out = String::new();
+            for g in &graphs {
+                analyze_graph(g, machine, *cert, &mut out);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// The built-in graphs swept by `analyze --gallery`.
+fn gallery_graphs() -> Vec<Mdg> {
+    let t = KernelCostTable::cm5();
+    vec![
+        example_fig1_mdg(),
+        complex_matmul_mdg(64, &t),
+        strassen_mdg(128, &t),
+        strassen_mdg_multilevel(128, 2, &t),
+        fft_2d_mdg(64, 4, &t),
+        block_lu_mdg(4, 32, &t),
+        stencil_mdg(64, 2, 3, &t),
+    ]
+}
+
+/// Append the three analysis passes (lints, convexity certification,
+/// schedule checks) for one graph to `out`.
+fn analyze_graph(g: &Mdg, machine: Machine, cert: bool, out: &mut String) {
+    out.push_str(&format!("== `{}` on {} processors ==\n", g.name(), machine.procs));
+    let diags = lint_mdg(g);
+    if diags.is_empty() {
+        out.push_str("lints: clean\n");
+    } else {
+        out.push_str(&render_diagnostics(g, &diags));
+    }
+    match certify_objective(&MdgObjective::new(g, machine)) {
+        Ok(c) => {
+            out.push_str(&format!("objective: {}\n", c.summary()));
+            if cert {
+                out.push_str("A_p certificate:\n");
+                out.push_str(&c.area.render());
+            }
+        }
+        Err(ce) => out.push_str(&format!("objective: REFUTED -- {ce}\n")),
+    }
+    if has_errors(&diags) {
+        // Weights derived from a graph with error-level lints (NaN
+        // costs, degenerate Amdahl fractions) would make the schedule
+        // verdicts meaningless.
+        out.push_str("schedules: skipped (graph has lint errors)\n\n");
+        return;
+    }
+    let c = compile(g, machine, &CompileConfig::default());
+    report_schedule("psa", g, &c.psa.weights, &c.psa.schedule, out);
+    let (s, w) = spmd_schedule(g, machine);
+    report_schedule("spmd", g, &w, &s, out);
+    let tp = task_parallel_schedule(g, machine);
+    report_schedule("task-parallel", g, &tp.weights, &tp.schedule, out);
+    out.push('\n');
+}
+
+/// Append one schedule's analyzer verdict to `out`.
+fn report_schedule(label: &str, g: &Mdg, w: &MdgWeights, s: &Schedule, out: &mut String) {
+    let rep = analyze_schedule(g, w, s);
+    if rep.is_clean() {
+        out.push_str(&format!(
+            "schedule {label}: clean ({} tasks, makespan {:.6} s)\n",
+            s.tasks.len(),
+            s.makespan
+        ));
+    } else {
+        out.push_str(&format!("schedule {label}: VIOLATIONS\n{}", rep.render()));
     }
 }
 
@@ -204,7 +291,8 @@ mod tests {
 
     fn tmp_mdg() -> String {
         let g = example_fig1_mdg();
-        let path = std::env::temp_dir().join(format!("paradigm-cli-test-{}.mdg", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("paradigm-cli-test-{}.mdg", std::process::id()));
         std::fs::write(&path, to_text(&g)).expect("write temp mdg");
         path.to_string_lossy().into_owned()
     }
@@ -248,12 +336,14 @@ mod tests {
     #[test]
     fn simulate_mpmd_and_spmd() {
         let path = tmp_mdg();
-        let mpmd = run(&Command::Simulate { file: path.clone(), procs: 4, spmd: false, trace: true })
-            .unwrap();
+        let mpmd =
+            run(&Command::Simulate { file: path.clone(), procs: 4, spmd: false, trace: true })
+                .unwrap();
         assert!(mpmd.contains("MPMD execution"));
         assert!(mpmd.contains("worst finish-time error"));
-        let spmd = run(&Command::Simulate { file: path.clone(), procs: 4, spmd: true, trace: false })
-            .unwrap();
+        let spmd =
+            run(&Command::Simulate { file: path.clone(), procs: 4, spmd: true, trace: false })
+                .unwrap();
         assert!(spmd.contains("SPMD execution"));
         let _ = std::fs::remove_file(path);
     }
@@ -261,8 +351,8 @@ mod tests {
     #[test]
     fn build_and_load_mini_source() {
         let src = "program demo\nmatrix A(64,64), B(64,64), C(64,64)\nA = init()\nB = init()\nC = A * B\n";
-        let path = std::env::temp_dir()
-            .join(format!("paradigm-cli-test-{}.mini", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("paradigm-cli-test-{}.mini", std::process::id()));
         std::fs::write(&path, src).expect("write temp mini");
         let p = path.to_string_lossy().into_owned();
         // build: emits parsable .mdg text.
@@ -277,8 +367,8 @@ mod tests {
     #[test]
     fn transform_emits_parsable_graph() {
         let path = tmp_mdg();
-        let out = run(&Command::Transform { file: path.clone(), fuse: true, reduce: true })
-            .unwrap();
+        let out =
+            run(&Command::Transform { file: path.clone(), fuse: true, reduce: true }).unwrap();
         assert!(out.contains("fuse_serial_chains"));
         // Strip the note comments; the remainder must reparse.
         let body: String =
@@ -291,6 +381,37 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = run(&Command::Info { file: "/nonexistent/x.mdg".into() }).unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn analyze_file_reports_all_three_passes() {
+        let path = tmp_mdg();
+        let parsed = parse_args(&["analyze", &path, "-p", "4", "--cert"]).unwrap();
+        let out = run(&parsed.command).unwrap();
+        assert!(out.contains("lints: clean"), "{out}");
+        assert!(out.contains("generalized-posynomial"), "{out}");
+        assert!(out.contains("schedule psa: clean"), "{out}");
+        assert!(out.contains("schedule spmd: clean"), "{out}");
+        assert!(out.contains("schedule task-parallel: clean"), "{out}");
+        // --cert prints the derivation tree of the area certificate.
+        assert!(out.contains("A_p certificate:"), "{out}");
+        assert!(out.contains("monomial"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_gallery_certifies_every_graph() {
+        let out =
+            run(&Command::Analyze { file: None, procs: 16, gallery: true, cert: false }).unwrap();
+        // One header per gallery graph, each certified and clean.
+        assert_eq!(out.matches("== `").count(), 7, "{out}");
+        assert_eq!(
+            out.matches("objective: Phi certified generalized-posynomial").count(),
+            7,
+            "{out}"
+        );
+        assert!(!out.contains("REFUTED"), "{out}");
+        assert!(!out.contains("VIOLATIONS"), "{out}");
     }
 
     #[test]

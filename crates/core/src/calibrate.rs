@@ -65,12 +65,8 @@ pub fn calibrate(truth: &TrueMachine, cfg: &CalibrationConfig) -> Calibration {
         }
         kernel_fits.push((class, fit));
     }
-    let groups: Vec<usize> = cfg
-        .groups
-        .iter()
-        .copied()
-        .filter(|&g| g <= truth.machine.procs as usize)
-        .collect();
+    let groups: Vec<usize> =
+        cfg.groups.iter().copied().filter(|&g| g <= truth.machine.procs as usize).collect();
     let transfer_samples = measure_transfers(truth, &cfg.sizes, &groups);
     let transfer_fit = fit_transfer(&transfer_samples);
     let machine = Machine::new(truth.machine.procs, transfer_fit.params);

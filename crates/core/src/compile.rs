@@ -58,15 +58,21 @@ pub fn compile(g: &Mdg, machine: Machine, cfg: &CompileConfig) -> Compiled {
     if cfg.refine {
         psa = refine_allocation(g, machine, &psa, &RefineConfig::default()).best;
     }
-    let mpmd = lower_mpmd(g, &psa.schedule);
-    Compiled {
-        machine,
-        phi: solve.phi.clone(),
-        t_psa: psa.t_psa,
-        solve,
-        psa,
-        mpmd,
+    // In debug builds, every schedule the pipeline emits goes through the
+    // full static analyzer (races, precedence, recurrence lower bound) —
+    // far stricter than `Schedule::validate`'s first-error check.
+    #[cfg(debug_assertions)]
+    {
+        let report = paradigm_analyze::analyze_schedule(g, &psa.weights, &psa.schedule);
+        assert!(
+            report.is_clean(),
+            "pipeline produced an invalid schedule for `{}`:\n{}",
+            g.name(),
+            report.render()
+        );
     }
+    let mpmd = lower_mpmd(g, &psa.schedule);
+    Compiled { machine, phi: solve.phi.clone(), t_psa: psa.t_psa, solve, psa, mpmd }
 }
 
 /// Execute the compiled MPMD program on the ground-truth machine.
@@ -124,11 +130,8 @@ mod tests {
     fn refine_flag_improves_or_matches() {
         let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
         let base = compile(&g, Machine::cm5(64), &CompileConfig::fast());
-        let refined = compile(
-            &g,
-            Machine::cm5(64),
-            &CompileConfig { refine: true, ..CompileConfig::fast() },
-        );
+        let refined =
+            compile(&g, Machine::cm5(64), &CompileConfig { refine: true, ..CompileConfig::fast() });
         assert!(refined.t_psa <= base.t_psa + 1e-12);
         refined.psa.schedule.validate(&g, &refined.psa.weights).unwrap();
     }

@@ -40,7 +40,7 @@ pub mod programs;
 pub mod report;
 
 pub use calibrate::{calibrate, Calibration};
-pub use compile::{compile, run_mpmd, run_spmd, Compiled, CompileConfig};
+pub use compile::{compile, run_mpmd, run_spmd, CompileConfig, Compiled};
 pub use experiments::{
     fig8_speedups, fig9_predicted_vs_actual, table3_deviation, Fig8Row, Fig9Row, Table3Row,
 };
@@ -49,7 +49,7 @@ pub use programs::TestProgram;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::calibrate::{calibrate, Calibration};
-    pub use crate::compile::{compile, run_mpmd, run_spmd, Compiled, CompileConfig};
+    pub use crate::compile::{compile, run_mpmd, run_spmd, CompileConfig, Compiled};
     pub use crate::experiments::*;
     pub use crate::programs::TestProgram;
     pub use paradigm_cost::{Allocation, Machine, MdgWeights, TransferParams};

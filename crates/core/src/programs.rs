@@ -85,24 +85,14 @@ mod tests {
         for prog in TestProgram::paper_suite() {
             for seed in [1u64, 42, 1994] {
                 let err = prog.verify_numerics(seed);
-                assert!(
-                    err < 1e-8,
-                    "{} seed {seed}: max element error {err}",
-                    prog.name()
-                );
+                assert!(err < 1e-8, "{} seed {seed}: max element error {err}", prog.name());
             }
         }
     }
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(
-            TestProgram::ComplexMatMul { n: 64 }.name(),
-            "Complex Matrix Multiply (64x64)"
-        );
-        assert_eq!(
-            TestProgram::Strassen { n: 128 }.name(),
-            "Strassen's Matrix Multiply (128x128)"
-        );
+        assert_eq!(TestProgram::ComplexMatMul { n: 64 }.name(), "Complex Matrix Multiply (64x64)");
+        assert_eq!(TestProgram::Strassen { n: 128 }.name(), "Strassen's Matrix Multiply (128x128)");
     }
 }

@@ -9,12 +9,8 @@ use crate::experiments::{Fig8Row, Fig9Row, Table3Row};
 pub fn render_fig8(program_name: &str, rows: &[Fig8Row]) -> String {
     let mut s = String::new();
     s.push_str(&format!("{program_name}: SPMD vs MPMD (simulated CM-5)\n"));
-    s.push_str(
-        "  procs |  SPMD time |  MPMD time | SPMD spd | MPMD spd | SPMD eff | MPMD eff\n",
-    );
-    s.push_str(
-        "  ------+------------+------------+----------+----------+----------+---------\n",
-    );
+    s.push_str("  procs |  SPMD time |  MPMD time | SPMD spd | MPMD spd | SPMD eff | MPMD eff\n");
+    s.push_str("  ------+------------+------------+----------+----------+----------+---------\n");
     for r in rows {
         s.push_str(&format!(
             "  {:>5} | {:>9.4}s | {:>9.4}s | {:>8.2} | {:>8.2} | {:>7.1}% | {:>7.1}%\n",

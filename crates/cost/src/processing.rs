@@ -62,10 +62,7 @@ mod tests {
             let h = 1e-6 * q;
             let fd = (processing_cost(p, q + h) - processing_cost(p, q - h)) / (2.0 * h);
             let an = processing_cost_dq(p, q);
-            assert!(
-                (fd - an).abs() <= 1e-6 * an.abs().max(1e-12),
-                "q={q}: fd={fd}, analytic={an}"
-            );
+            assert!((fd - an).abs() <= 1e-6 * an.abs().max(1e-12), "q={q}: fd={fd}, analytic={an}");
         }
     }
 

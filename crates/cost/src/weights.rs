@@ -125,10 +125,7 @@ impl MdgWeights {
         let pmax = machine.procs as f64;
         for (id, _) in g.nodes() {
             let q = alloc.get(id);
-            assert!(
-                q <= pmax + 1e-9,
-                "allocation for {id} ({q}) exceeds machine size {pmax}"
-            );
+            assert!(q <= pmax + 1e-9, "allocation for {id} ({q}) exceeds machine size {pmax}");
         }
         let n = g.node_count();
         let mut node_recv = vec![0.0; n];
@@ -150,9 +147,8 @@ impl MdgWeights {
             node_recv[e.dst] += c.recv;
             edge_network[eid.0] = c.network;
         }
-        let node_total: Vec<f64> = (0..n)
-            .map(|i| node_recv[i] + node_compute[i] + node_send[i])
-            .collect();
+        let node_total: Vec<f64> =
+            (0..n).map(|i| node_recv[i] + node_compute[i] + node_send[i]).collect();
         MdgWeights {
             node_total,
             node_recv,
@@ -176,22 +172,15 @@ impl MdgWeights {
 
     /// Average finish time `A_p = (1/p) Σ T_i p_i`.
     pub fn average_finish_time(&self) -> f64 {
-        let sum: f64 = self
-            .node_total
-            .iter()
-            .zip(self.alloc.as_slice())
-            .map(|(&t, &q)| t * q)
-            .sum();
+        let sum: f64 =
+            self.node_total.iter().zip(self.alloc.as_slice()).map(|(&t, &q)| t * q).sum();
         sum / self.machine_procs as f64
     }
 
     /// Critical path time `C_p = y_n` via the paper's recurrence, together
     /// with all per-node finish times `y_i`.
     pub fn critical_path_time(&self, g: &Mdg) -> (f64, Vec<f64>) {
-        let finishes = g.finish_times_with(
-            |v| self.node_total[v.0],
-            |e| self.edge_network[e.0],
-        );
+        let finishes = g.finish_times_with(|v| self.node_total[v.0], |e| self.edge_network[e.0]);
         (finishes[g.stop().0], finishes)
     }
 
@@ -253,12 +242,8 @@ mod tests {
         assert!(w.node_send[x.0] > 0.0, "x pays the send cost");
         assert!(w.node_recv[y.0] > 0.0, "y pays the receive cost");
         assert!(w.node_send[y.0] == 0.0);
-        assert!(
-            (w.node_weight(x) - (w.node_compute[x.0] + w.node_send[x.0])).abs() < 1e-15
-        );
-        assert!(
-            (w.node_weight(y) - (w.node_compute[y.0] + w.node_recv[y.0])).abs() < 1e-15
-        );
+        assert!((w.node_weight(x) - (w.node_compute[x.0] + w.node_send[x.0])).abs() < 1e-15);
+        assert!((w.node_weight(y) - (w.node_compute[y.0] + w.node_recv[y.0])).abs() < 1e-15);
         // CM-5: all edge weights zero.
         assert!(w.edge_network.iter().all(|&v| v == 0.0));
     }

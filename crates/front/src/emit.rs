@@ -2,7 +2,7 @@
 //! the parser this gives a full round trip, so programs can be
 //! programmatically constructed, normalized, and diffed.
 
-use crate::ast::{Expr, Program};
+use crate::ast::Program;
 use std::fmt::Write as _;
 
 /// Render a program in canonical form: header, one `matrix` line per

@@ -53,15 +53,13 @@ pub fn interpret_distributed(
     let mut env: BTreeMap<String, Matrix> = BTreeMap::new();
     for (k, stmt) in program.stmts.iter().enumerate() {
         let route = |m: &Matrix, operand: &Operand, consumer: usize| -> Matrix {
-            let src_procs = groups[*producer_of
-                .get(&operand.name)
-                .expect("lowering already checked def-before-use")];
+            let src_procs = groups
+                [*producer_of.get(&operand.name).expect("lowering already checked def-before-use")];
             let dst_procs = groups[consumer];
             move_matrix(m, src_procs, dst_procs, operand.transposed)
         };
-        let value = eval_stmt(program, stmt, k, seed, &env, &mut |m, op, consumer| {
-            route(m, op, consumer)
-        });
+        let value =
+            eval_stmt(program, stmt, k, seed, &env, &mut |m, op, consumer| route(m, op, consumer));
         env.insert(stmt.target.clone(), value);
         producer_of.insert(stmt.target.clone(), k);
     }
@@ -188,18 +186,12 @@ E = D - B
     fn distributed_matches_reference_for_various_groups() {
         let p = parse(PROG).unwrap();
         let reference = interpret(&p, 42);
-        for groups in [
-            vec![1, 1, 1, 1, 1],
-            vec![4, 4, 4, 4, 4],
-            vec![2, 8, 3, 5, 1],
-            vec![24, 1, 7, 2, 16],
-        ] {
+        for groups in
+            [vec![1, 1, 1, 1, 1], vec![4, 4, 4, 4, 4], vec![2, 8, 3, 5, 1], vec![24, 1, 7, 2, 16]]
+        {
             let dist = interpret_distributed(&p, &groups, 42);
             for (name, want) in &reference {
-                assert!(
-                    dist[name].approx_eq(want, 1e-10),
-                    "{name} differs for groups {groups:?}"
-                );
+                assert!(dist[name].approx_eq(want, 1e-10), "{name} differs for groups {groups:?}");
             }
         }
     }

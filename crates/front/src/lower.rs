@@ -39,7 +39,12 @@ fn err(line: usize, message: impl Into<String>) -> LowerError {
 }
 
 /// Effective shape of an operand use (transpose applied).
-fn use_shape(program: &Program, stmt: &Stmt, name: &str, transposed: bool) -> Result<(usize, usize), LowerError> {
+fn use_shape(
+    program: &Program,
+    stmt: &Stmt,
+    name: &str,
+    transposed: bool,
+) -> Result<(usize, usize), LowerError> {
     let d = program
         .decl(name)
         .ok_or_else(|| err(stmt.line, format!("matrix `{name}` is not declared")))?;
@@ -148,10 +153,7 @@ pub fn lower(program: &Program, costs: &KernelCostTable) -> Result<Mdg, LowerErr
         let mut per_producer: BTreeMap<NodeId, Vec<ArrayTransfer>> = BTreeMap::new();
         for operand in stmt.uses() {
             let producer = *last_def.get(operand.name.as_str()).ok_or_else(|| {
-                err(
-                    stmt.line,
-                    format!("matrix `{}` is used before it is defined", operand.name),
-                )
+                err(stmt.line, format!("matrix `{}` is used before it is defined", operand.name))
             })?;
             let d = program.decl(&operand.name).expect("checked by use_shape");
             let bytes = (d.rows * d.cols * std::mem::size_of::<f64>()) as u64;
@@ -204,10 +206,8 @@ mod tests {
             "program p\nmatrix A(64,64), B(64,64), C(64,64)\nA = init()\nB = init()\nC = A * B'\n",
         )
         .unwrap();
-        let kinds: Vec<TransferKind> = g
-            .edges()
-            .flat_map(|(_, e)| e.transfers.iter().map(|t| t.kind))
-            .collect();
+        let kinds: Vec<TransferKind> =
+            g.edges().flat_map(|(_, e)| e.transfers.iter().map(|t| t.kind)).collect();
         assert!(kinds.contains(&TransferKind::TwoD));
         assert!(kinds.contains(&TransferKind::OneD));
     }
@@ -230,11 +230,8 @@ mod tests {
     #[test]
     fn two_uses_same_producer_merge_into_one_edge() {
         let g = compile("program p\nmatrix A(8,8), B(8,8)\nA = init()\nB = A + A\n").unwrap();
-        let edge = g
-            .edges()
-            .find(|(_, e)| !e.transfers.is_empty())
-            .map(|(_, e)| e.clone())
-            .unwrap();
+        let edge =
+            g.edges().find(|(_, e)| !e.transfers.is_empty()).map(|(_, e)| e.clone()).unwrap();
         assert_eq!(edge.transfers.len(), 2, "both uses carried on one edge");
     }
 
@@ -291,10 +288,8 @@ mod tests {
 
     #[test]
     fn copy_and_transpose_nodes_get_custom_classes() {
-        let g = compile(
-            "program p\nmatrix A(8,4), B(4,8), C(8,4)\nA = init()\nB = A'\nC = B'\n",
-        )
-        .unwrap();
+        let g = compile("program p\nmatrix A(8,4), B(4,8), C(8,4)\nA = init()\nB = A'\nC = B'\n")
+            .unwrap();
         let classes: Vec<String> = g
             .nodes()
             .filter(|(_, n)| n.kind == NodeKind::Compute)

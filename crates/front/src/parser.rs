@@ -55,9 +55,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.peek().map(|t| t.line).unwrap_or_else(|| {
-            self.toks.last().map(|t| t.line).unwrap_or(0)
-        })
+        self.peek().map(|t| t.line).unwrap_or_else(|| self.toks.last().map(|t| t.line).unwrap_or(0))
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -236,8 +234,8 @@ Ci = M3 + M4
 
     #[test]
     fn parses_transpose_and_copy() {
-        let p = parse("program t\nmatrix A(4,8), B(8,4), C(8,4)\nA = init()\nB = A'\nC = B\n")
-            .unwrap();
+        let p =
+            parse("program t\nmatrix A(4,8), B(8,4), C(8,4)\nA = init()\nB = A'\nC = B\n").unwrap();
         assert_eq!(p.stmts[1].render(), "B = A'");
         assert!(matches!(&p.stmts[1].expr, Expr::Copy { src } if src.transposed));
         assert!(matches!(&p.stmts[2].expr, Expr::Copy { src } if !src.transposed));

@@ -83,10 +83,7 @@ fn cmm_from_source_schedules_identically() {
     let cfg = SolverConfig { parallel: false, ..SolverConfig::fast() };
     let phi_src = allocate(&compiled, m, &cfg).phi.phi;
     let phi_hand = allocate(&hand, m, &cfg).phi.phi;
-    assert!(
-        (phi_src - phi_hand).abs() < 1e-6 * phi_hand,
-        "Phi differs: {phi_src} vs {phi_hand}"
-    );
+    assert!((phi_src - phi_hand).abs() < 1e-6 * phi_hand, "Phi differs: {phi_src} vs {phi_hand}");
     let alloc = paradigm_cost::Allocation::uniform(&compiled, 4.0);
     let t_src = psa_schedule(&compiled, m, &alloc, &PsaConfig::default()).t_psa;
     let t_hand = psa_schedule(&hand, m, &alloc, &PsaConfig::default()).t_psa;
@@ -128,4 +125,17 @@ fn front_end_error_paths_are_user_grade() {
         assert!(e.message.contains(needle), "{src}: got {e}");
         assert!(e.line > 0);
     }
+}
+
+#[test]
+fn checked_compilation_lints_the_lowered_graph() {
+    let table = KernelCostTable::cm5();
+    let (g, diags) = paradigm_front::compile_source_checked(CMM_SOURCE, &table)
+        .expect("the paper's CMM program lowers to a lint-clean graph");
+    assert_eq!(MdgStats::of(&g).compute_nodes, 10);
+    // The CMM graph is fully connected compute-to-compute and uses
+    // measured costs, so no diagnostic of any severity should fire.
+    assert!(diags.is_empty(), "{diags:?}");
+    // Parse errors still surface as FrontError, not as lints.
+    assert!(paradigm_front::compile_source_checked("nope\n", &table).is_err());
 }

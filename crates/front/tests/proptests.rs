@@ -19,11 +19,7 @@ fn arb_program() -> impl Strategy<Value = String> {
         src.push_str("matrix ");
         let names: Vec<String> = (0..total).map(|i| format!("M{i}")).collect();
         src.push_str(
-            &names
-                .iter()
-                .map(|n| format!("{n}({size},{size})"))
-                .collect::<Vec<_>>()
-                .join(", "),
+            &names.iter().map(|n| format!("{n}({size},{size})")).collect::<Vec<_>>().join(", "),
         );
         src.push('\n');
         for name in names.iter().take(inits) {

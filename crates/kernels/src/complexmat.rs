@@ -23,17 +23,16 @@ impl ComplexMatrix {
     /// # Panics
     /// Panics if the parts' shapes differ.
     pub fn new(re: Matrix, im: Matrix) -> Self {
-        assert_eq!(
-            (re.rows(), re.cols()),
-            (im.rows(), im.cols()),
-            "real/imaginary shape mismatch"
-        );
+        assert_eq!((re.rows(), re.cols()), (im.rows(), im.cols()), "real/imaginary shape mismatch");
         ComplexMatrix { re, im }
     }
 
     /// Deterministic pseudo-random complex matrix.
     pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
-        ComplexMatrix::new(Matrix::random(rows, cols, seed), Matrix::random(rows, cols, seed ^ 0xabcd))
+        ComplexMatrix::new(
+            Matrix::random(rows, cols, seed),
+            Matrix::random(rows, cols, seed ^ 0xabcd),
+        )
     }
 
     /// Row count.
@@ -122,7 +121,8 @@ mod tests {
             Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 }),
         );
         let prod = i_mat.mul_4m2a(&a);
-        let expect = ComplexMatrix::new(a.im.sub(&a.im).sub(&a.im).add(&a.im).sub(&a.im), a.re.clone());
+        let expect =
+            ComplexMatrix::new(a.im.sub(&a.im).sub(&a.im).add(&a.im).sub(&a.im), a.re.clone());
         // expect.re = -a.im (built via sub chain to stay in the API)
         assert!(prod.im.approx_eq(&expect.im, 1e-12));
         let neg_im = Matrix::zeros(n, n).sub(&a.im);

@@ -292,13 +292,11 @@ mod tests {
     fn grid_to_grid_beats_pessimal_all_pairs_in_startups() {
         // A 2x2 -> 2x2 identical-grid move is local: one "message" per
         // rank to itself (the planner keeps them; a runtime would elide).
-        let plan =
-            grid_redistribution_plan(64, 64, GridDist::new(2, 2), GridDist::new(2, 2));
+        let plan = grid_redistribution_plan(64, 64, GridDist::new(2, 2), GridDist::new(2, 2));
         assert_eq!(plan.len(), 4);
         assert!(plan.iter().all(|m| m.src == m.dst));
         // A 2x2 -> 4x1 move needs fewer messages than all-pairs.
-        let plan2 =
-            grid_redistribution_plan(64, 64, GridDist::new(2, 2), GridDist::new(4, 1));
+        let plan2 = grid_redistribution_plan(64, 64, GridDist::new(2, 2), GridDist::new(4, 1));
         assert!(plan2.len() < 4 * 4);
     }
 

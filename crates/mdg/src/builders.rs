@@ -244,10 +244,7 @@ pub fn strassen_mdg(n: usize, costs: &KernelCostTable) -> Mdg {
 /// recursion level ends in an explicit quadrant-assembly loop.
 pub fn strassen_mdg_multilevel(n: usize, levels: u32, costs: &KernelCostTable) -> Mdg {
     assert!(levels >= 1, "need at least one recursion level");
-    assert!(
-        n.is_multiple_of(1 << levels),
-        "matrix dimension {n} not divisible by 2^{levels}"
-    );
+    assert!(n.is_multiple_of(1 << levels), "matrix dimension {n} not divisible by 2^{levels}");
     let mut b = MdgBuilder::new(format!("strassen-{n}x{n}-L{levels}"));
     let init_p = costs.params_for(&LoopClass::MatrixInit, n);
     let init_m = LoopMeta::square(LoopClass::MatrixInit, n);
@@ -348,11 +345,8 @@ mod tests {
     fn fig1_reproduces_paper_schedule_lengths() {
         let g = example_fig1_mdg();
         assert_eq!(g.compute_node_count(), 3);
-        let params = g
-            .nodes()
-            .find(|(_, n)| n.kind == NodeKind::Compute)
-            .map(|(_, n)| n.cost)
-            .unwrap();
+        let params =
+            g.nodes().find(|(_, n)| n.kind == NodeKind::Compute).map(|(_, n)| n.cost).unwrap();
         // Naive: all three nodes serialized on 4 processors.
         let naive = 3.0 * params.cost(4.0);
         assert!((naive - 15.6).abs() < 1e-9, "naive scheme must be 15.6 s, got {naive}");

@@ -18,13 +18,9 @@ pub fn to_dot(g: &Mdg) -> String {
         let (shape, label) = match n.kind {
             NodeKind::Start => ("ellipse", "START".to_string()),
             NodeKind::Stop => ("ellipse", "STOP".to_string()),
-            NodeKind::Compute => (
-                "box",
-                format!(
-                    "{}\\n(alpha={:.3}, tau={:.4}s)",
-                    n.name, n.cost.alpha, n.cost.tau
-                ),
-            ),
+            NodeKind::Compute => {
+                ("box", format!("{}\\n(alpha={:.3}, tau={:.4}s)", n.name, n.cost.alpha, n.cost.tau))
+            }
         };
         let _ = writeln!(out, "  {} [shape={shape}, label=\"{label}\"];", id.0);
     }
@@ -58,7 +54,8 @@ pub fn to_dot(g: &Mdg) -> String {
 /// `n3 [M1 = Ar*Br]  <- n1, n2   -> n7`.
 pub fn to_ascii(g: &Mdg) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "MDG `{}` ({} nodes, {} edges)", g.name(), g.node_count(), g.edge_count());
+    let _ =
+        writeln!(out, "MDG `{}` ({} nodes, {} edges)", g.name(), g.node_count(), g.edge_count());
     for (id, n) in g.nodes() {
         let preds: Vec<String> = g.preds(id).map(|p| p.to_string()).collect();
         let succs: Vec<String> = g.succs(id).map(|s| s.to_string()).collect();

@@ -53,7 +53,8 @@ pub fn fft_2d_mdg(n: usize, blocks: usize, costs: &KernelCostTable) -> Mdg {
     };
     let band_bytes = (band_rows * n * 16) as u64; // complex = 2 f64
 
-    let init = b.compute_with_meta("init field", init_p, LoopMeta::square(LoopClass::MatrixInit, n));
+    let init =
+        b.compute_with_meta("init field", init_p, LoopMeta::square(LoopClass::MatrixInit, n));
     let transpose = b.compute_with_meta(
         "transpose",
         costs.params_for(&LoopClass::MatrixAdd, n), // copy-like cost
@@ -68,9 +69,17 @@ pub fn fft_2d_mdg(n: usize, blocks: usize, costs: &KernelCostTable) -> Mdg {
         let row = b.compute_with_meta(format!("row-FFT band {k}"), band_cost, band_meta("row"));
         b.edge(init, row, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)]);
         // The transpose consumes every row band with a dimension flip.
-        b.edge(row, transpose, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::TwoD)]);
+        b.edge(
+            row,
+            transpose,
+            vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::TwoD)],
+        );
         let col = b.compute_with_meta(format!("col-FFT band {k}"), band_cost, band_meta("col"));
-        b.edge(transpose, col, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)]);
+        b.edge(
+            transpose,
+            col,
+            vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)],
+        );
         b.edge(col, gather, vec![ArrayTransfer::new(band_bytes, crate::node::TransferKind::OneD)]);
     }
     b.finish().expect("fft MDG must be a valid DAG")
@@ -98,11 +107,8 @@ pub fn block_lu_mdg(nb: usize, bs: usize, costs: &KernelCostTable) -> Mdg {
     let factor_cost = scaled(gemm, 1.0 / 3.0);
     let solve_cost = scaled(gemm, 0.5);
     let block = || vec![ArrayTransfer::matrix_1d(bs, bs)];
-    let meta = |tag: &str| LoopMeta {
-        class: LoopClass::Custom(tag.to_string()),
-        rows: bs,
-        cols: bs,
-    };
+    let meta =
+        |tag: &str| LoopMeta { class: LoopClass::Custom(tag.to_string()), rows: bs, cols: bs };
 
     // last_writer[i][j]: the node that last produced block (i, j).
     let mut last_writer: Vec<Vec<Option<NodeId>>> = vec![vec![None; nb]; nb];
@@ -173,15 +179,29 @@ pub fn stencil_mdg(n: usize, bands: usize, iters: usize, costs: &KernelCostTable
     for it in 0..iters {
         let mut cur = Vec::with_capacity(bands);
         for k in 0..bands {
-            let node =
-                b.compute_with_meta(format!("sweep {it} band {k}"), update, meta.clone());
+            let node = b.compute_with_meta(format!("sweep {it} band {k}"), update, meta.clone());
             // Own band plus halo rows from the neighbours.
-            b.edge(prev[k], node, vec![ArrayTransfer::new((band_rows * n * 8) as u64, crate::node::TransferKind::OneD)]);
+            b.edge(
+                prev[k],
+                node,
+                vec![ArrayTransfer::new(
+                    (band_rows * n * 8) as u64,
+                    crate::node::TransferKind::OneD,
+                )],
+            );
             if k > 0 {
-                b.edge(prev[k - 1], node, vec![ArrayTransfer::new(halo_bytes, crate::node::TransferKind::OneD)]);
+                b.edge(
+                    prev[k - 1],
+                    node,
+                    vec![ArrayTransfer::new(halo_bytes, crate::node::TransferKind::OneD)],
+                );
             }
             if k + 1 < bands {
-                b.edge(prev[k + 1], node, vec![ArrayTransfer::new(halo_bytes, crate::node::TransferKind::OneD)]);
+                b.edge(
+                    prev[k + 1],
+                    node,
+                    vec![ArrayTransfer::new(halo_bytes, crate::node::TransferKind::OneD)],
+                );
             }
             cur.push(node);
         }

@@ -508,10 +508,8 @@ mod tests {
         let g = diamond();
         // Unit node weights, zero edge weights: longest chain is
         // START a (b|c) d STOP with zero-cost START/STOP -> 3 compute hops.
-        let cp = g.critical_path_with(
-            |v| if g.node(v).is_structural() { 0.0 } else { 1.0 },
-            |_| 0.0,
-        );
+        let cp =
+            g.critical_path_with(|v| if g.node(v).is_structural() { 0.0 } else { 1.0 }, |_| 0.0);
         assert!((cp - 3.0).abs() < 1e-12);
     }
 

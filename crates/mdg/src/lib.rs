@@ -54,7 +54,9 @@ pub use builders::{
 };
 pub use gallery::{block_lu_mdg, fft_2d_mdg, stencil_mdg};
 pub use graph::{EdgeId, Mdg, MdgBuilder, MdgError, NodeId};
-pub use node::{AmdahlParams, ArrayTransfer, Edge, LoopClass, LoopMeta, Node, NodeKind, TransferKind};
+pub use node::{
+    AmdahlParams, ArrayTransfer, Edge, LoopClass, LoopMeta, Node, NodeKind, TransferKind,
+};
 pub use random::{random_layered_mdg, RandomMdgConfig};
 pub use stats::MdgStats;
 pub use textfmt::{from_text, to_text};

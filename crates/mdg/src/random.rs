@@ -154,12 +154,8 @@ mod tests {
 
     #[test]
     fn wide_single_layer_is_pure_fork_join() {
-        let cfg = RandomMdgConfig {
-            layers: 1,
-            width_min: 6,
-            width_max: 6,
-            ..RandomMdgConfig::default()
-        };
+        let cfg =
+            RandomMdgConfig { layers: 1, width_min: 6, width_max: 6, ..RandomMdgConfig::default() };
         let g = random_layered_mdg(&cfg, 3);
         assert_eq!(g.compute_node_count(), 6);
         // Every compute node connects only to START and STOP.

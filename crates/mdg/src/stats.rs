@@ -54,8 +54,7 @@ impl MdgStats {
         // Subtract the two structural hops (START and STOP levels).
         let depth = depth_hops.saturating_sub(1);
         let max_width = g.level_widths().into_iter().max().unwrap_or(0);
-        let single_proc_critical_path =
-            g.critical_path_with(|v| g.node(v).cost.tau, |_| 0.0);
+        let single_proc_critical_path = g.critical_path_with(|v| g.node(v).cost.tau, |_| 0.0);
         MdgStats {
             nodes: g.node_count(),
             compute_nodes: g.compute_node_count(),

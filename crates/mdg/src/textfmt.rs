@@ -64,11 +64,8 @@ pub fn to_text(g: &Mdg) -> String {
                 LoopClass::Custom(_) => None,
             };
             if let Some(tag) = class_tag {
-                let _ = write!(
-                    line,
-                    " class={tag} rows={} cols={}",
-                    node.meta.rows, node.meta.cols
-                );
+                let _ =
+                    write!(line, " class={tag} rows={} cols={}", node.meta.rows, node.meta.cols);
             }
             let _ = writeln!(out, "{line}");
         }
@@ -337,7 +334,8 @@ edge 0 1 xfer 32768 1d xfer 4096 2d
 
     #[test]
     fn cycle_in_file_rejected() {
-        let text = "mdg c\nnode 0 \"a\" alpha=0 tau=1\nnode 1 \"b\" alpha=0 tau=1\nedge 0 1\nedge 1 0\n";
+        let text =
+            "mdg c\nnode 0 \"a\" alpha=0 tau=1\nnode 1 \"b\" alpha=0 tau=1\nedge 0 1\nedge 1 0\n";
         let e = from_text(text).unwrap_err();
         assert!(e.message.contains("cycle"), "{e}");
     }

@@ -93,8 +93,10 @@ pub fn fuse_serial_chains(g: &Mdg) -> (Mdg, usize) {
     }
     // Edges: between chains only; intra-chain edges disappear. Multiple
     // parallel edges between the same chain pair merge their transfers.
-    let mut pair_transfers: std::collections::BTreeMap<(usize, usize), Vec<crate::node::ArrayTransfer>> =
-        std::collections::BTreeMap::new();
+    let mut pair_transfers: std::collections::BTreeMap<
+        (usize, usize),
+        Vec<crate::node::ArrayTransfer>,
+    > = std::collections::BTreeMap::new();
     for (_, e) in g.edges() {
         let (cu, cv) = (chain_of[e.src], chain_of[e.dst]);
         if cu == usize::MAX || cv == usize::MAX || cu == cv {

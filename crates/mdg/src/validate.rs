@@ -96,7 +96,13 @@ pub fn assert_invariants(g: &Mdg) {
 /// True if node `id` lies on *some* START→STOP path that realizes the
 /// critical path under the given weights (within `tol`). Useful when
 /// explaining schedules.
-pub fn on_critical_path<NW, EW>(g: &Mdg, id: NodeId, mut node_w: NW, mut edge_w: EW, tol: f64) -> bool
+pub fn on_critical_path<NW, EW>(
+    g: &Mdg,
+    id: NodeId,
+    mut node_w: NW,
+    mut edge_w: EW,
+    tol: f64,
+) -> bool
 where
     NW: FnMut(NodeId) -> f64,
     EW: FnMut(crate::graph::EdgeId) -> f64,

@@ -6,14 +6,12 @@ use paradigm_mdg::{random_layered_mdg, MdgStats, NodeId, RandomMdgConfig};
 use proptest::prelude::*;
 
 fn arb_cfg() -> impl Strategy<Value = RandomMdgConfig> {
-    (1usize..=6, 1usize..=5, 0.0f64..0.9).prop_map(|(layers, width, edge_prob)| {
-        RandomMdgConfig {
-            layers,
-            width_min: 1,
-            width_max: width,
-            edge_prob,
-            ..RandomMdgConfig::default()
-        }
+    (1usize..=6, 1usize..=5, 0.0f64..0.9).prop_map(|(layers, width, edge_prob)| RandomMdgConfig {
+        layers,
+        width_min: 1,
+        width_max: width,
+        edge_prob,
+        ..RandomMdgConfig::default()
     })
 }
 

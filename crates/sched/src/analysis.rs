@@ -43,8 +43,7 @@ impl IdleProfile {
 pub fn idle_profile(schedule: &Schedule, pb: u32) -> IdleProfile {
     let p = schedule.machine_procs as usize;
     let total_area = schedule.makespan * p as f64;
-    let busy_area: f64 =
-        schedule.tasks.iter().map(|t| t.duration() * t.procs.len() as f64).sum();
+    let busy_area: f64 = schedule.tasks.iter().map(|t| t.duration() * t.procs.len() as f64).sum();
 
     // Sweep: busy-processor count over time via start/finish events.
     let mut events: Vec<(f64, i64)> = Vec::new();
@@ -169,12 +168,7 @@ pub fn to_csv(schedule: &Schedule, g: &Mdg) -> String {
     let mut out = String::from("node,name,procs,start,finish\n");
     for t in &schedule.tasks {
         let name = g.node(t.node).name.replace(',', ";");
-        let procs = t
-            .procs
-            .iter()
-            .map(|p| p.to_string())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let procs = t.procs.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" ");
         let _ = writeln!(out, "{},{name},{procs},{},{}", t.node.0, t.start, t.finish);
     }
     out
@@ -254,8 +248,7 @@ mod tests {
         let svg = gantt_svg(&res.schedule, &g);
         assert!(svg.starts_with("<svg "));
         assert!(svg.trim_end().ends_with("</svg>"));
-        let expected_rects: usize =
-            res.schedule.tasks.iter().map(|t| t.procs.len()).sum();
+        let expected_rects: usize = res.schedule.tasks.iter().map(|t| t.procs.len()).sum();
         assert_eq!(svg.matches("<rect ").count(), expected_rects);
         // Every processor lane is labeled.
         for pid in 0..8 {

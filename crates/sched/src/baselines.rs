@@ -40,7 +40,8 @@ pub fn spmd_schedule(g: &Mdg, machine: Machine) -> (Schedule, MdgWeights) {
         }
         let f = start + weights.node_weight(v);
         finish[v.0] = f;
-        let procs = if g.node(v).kind == NodeKind::Compute { all_procs.clone() } else { Vec::new() };
+        let procs =
+            if g.node(v).kind == NodeKind::Compute { all_procs.clone() } else { Vec::new() };
         tasks.push(Task { node: v, procs, start, finish: f });
         prev_finish = f;
     }
@@ -73,10 +74,7 @@ pub fn task_parallel_schedule(g: &Mdg, machine: Machine) -> PsaResult {
 /// Sequential reference time: `Σ tau_i` over compute nodes. A single
 /// processor program passes no messages, so no transfer costs apply.
 pub fn serial_schedule(g: &Mdg) -> f64 {
-    g.nodes()
-        .filter(|(_, n)| n.kind == NodeKind::Compute)
-        .map(|(_, n)| n.cost.tau)
-        .sum()
+    g.nodes().filter(|(_, n)| n.kind == NodeKind::Compute).map(|(_, n)| n.cost.tau).sum()
 }
 
 #[cfg(test)]
@@ -97,8 +95,7 @@ mod tests {
         let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
         let (s, _) = spmd_schedule(&g, Machine::cm5(16));
         // No two compute tasks overlap.
-        let mut compute: Vec<&Task> =
-            s.tasks.iter().filter(|t| !t.procs.is_empty()).collect();
+        let mut compute: Vec<&Task> = s.tasks.iter().filter(|t| !t.procs.is_empty()).collect();
         compute.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         for pair in compute.windows(2) {
             assert!(pair[1].start >= pair[0].finish - 1e-9);

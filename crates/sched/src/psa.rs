@@ -94,10 +94,7 @@ pub fn psa_schedule(
     assert_eq!(continuous.len(), g.node_count(), "allocation/graph size mismatch");
     // Steps 1-2: round, bound.
     let rounded = if cfg.skip_rounding {
-        assert!(
-            continuous.is_power_of_two(),
-            "skip_rounding requires a power-of-two allocation"
-        );
+        assert!(continuous.is_power_of_two(), "skip_rounding requires a power-of-two allocation");
         continuous.clone()
     } else {
         round_allocation(g, continuous)
@@ -375,11 +372,10 @@ mod tests {
         for seed in 0..8 {
             let g = random_layered_mdg(&cfg, seed);
             let m = Machine::cm5(16);
-            let psa_cfg = PsaConfig { policy: SchedPolicy::HighestLevelFirst, ..PsaConfig::default() };
+            let psa_cfg =
+                PsaConfig { policy: SchedPolicy::HighestLevelFirst, ..PsaConfig::default() };
             let res = psa_schedule(&g, m, &Allocation::uniform(&g, 4.0), &psa_cfg);
-            res.schedule
-                .validate(&g, &res.weights)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            res.schedule.validate(&g, &res.weights).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             // Both policies respect the same lower bounds.
             let (cp, _) = res.weights.critical_path_time(&g);
             assert!(res.t_psa >= cp - 1e-9);

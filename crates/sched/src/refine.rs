@@ -15,7 +15,7 @@
 
 use crate::psa::{psa_schedule, PsaConfig, PsaResult};
 use crate::schedule::Schedule;
-use paradigm_cost::{Allocation, Machine};
+use paradigm_cost::Machine;
 use paradigm_mdg::{Mdg, NodeKind};
 
 /// Refinement settings.

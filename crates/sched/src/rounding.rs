@@ -47,13 +47,7 @@ pub fn round_allocation(g: &Mdg, alloc: &Allocation) -> Allocation {
 /// the bound — see the paper's discussion).
 pub fn bound_allocation(alloc: &Allocation, pb: u32) -> Allocation {
     assert!(pb.is_power_of_two(), "PB must be a power of two, got {pb}");
-    Allocation::new(
-        alloc
-            .as_slice()
-            .iter()
-            .map(|&q| q.min(pb as f64))
-            .collect(),
-    )
+    Allocation::new(alloc.as_slice().iter().map(|&q| q.min(pb as f64)).collect())
 }
 
 #[cfg(test)]

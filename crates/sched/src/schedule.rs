@@ -142,10 +142,7 @@ impl Schedule {
         // Makespan.
         let stop = self.task_for(g.stop()).ok_or("missing STOP task")?;
         if (stop.finish - self.makespan).abs() > 1e-9 * self.makespan.max(1.0) {
-            return Err(format!(
-                "makespan {} != STOP finish {}",
-                self.makespan, stop.finish
-            ));
+            return Err(format!("makespan {} != STOP finish {}", self.makespan, stop.finish));
         }
         Ok(())
     }

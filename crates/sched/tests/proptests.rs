@@ -5,8 +5,9 @@
 use paradigm_cost::{Allocation, Machine, MdgWeights};
 use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
 use paradigm_sched::{
-    bound_allocation, optimal_pb, psa_schedule, round_allocation, round_pow2, serial_schedule,
-    spmd_schedule, task_parallel_schedule, theorem1_factor, PsaConfig,
+    bound_allocation, optimal_pb, psa_schedule, refine_allocation, round_allocation, round_pow2,
+    serial_schedule, spmd_schedule, task_parallel_schedule, theorem1_factor, PsaConfig,
+    RefineConfig,
 };
 use proptest::prelude::*;
 
@@ -134,6 +135,48 @@ proptest! {
         // upper bound in the transfer-free comparison only; with
         // transfers the task-parallel run may exceed it. Sanity: finite.
         let _ = serial_schedule(&g);
+    }
+
+    /// Every schedule the crate can produce — PSA (rounded and raw),
+    /// refinement, SPMD, task-parallel, serial — passes the full static
+    /// analyzer: no races, no precedence violations, durations and
+    /// allocations consistent, and no task finishing before its `y_i`
+    /// recurrence lower bound.
+    #[test]
+    fn every_schedule_kind_passes_the_static_analyzer(
+        cfg in arb_cfg(),
+        seed in 0u64..5000,
+        pk in 1u32..=6,
+        q in 1.0f64..32.0,
+    ) {
+        use paradigm_analyze::analyze_schedule;
+        let g = random_layered_mdg(&cfg, seed);
+        let p = 1u32 << pk;
+        let m = Machine::cm5(p);
+        for skip_rounding in [false, true] {
+            // `skip_rounding` requires an already power-of-two allocation.
+            let per_node = if skip_rounding {
+                round_pow2(q.min(p as f64)) as f64
+            } else {
+                q.min(p as f64)
+            };
+            let alloc = Allocation::uniform(&g, per_node);
+            let res = psa_schedule(
+                &g, m, &alloc,
+                &PsaConfig { skip_rounding, ..PsaConfig::default() },
+            );
+            let rep = analyze_schedule(&g, &res.weights, &res.schedule);
+            prop_assert!(rep.is_clean(), "PSA (skip_rounding={skip_rounding}): {}", rep.render());
+            let refined = refine_allocation(&g, m, &res, &RefineConfig::default()).best;
+            let rep = analyze_schedule(&g, &refined.weights, &refined.schedule);
+            prop_assert!(rep.is_clean(), "refined: {}", rep.render());
+        }
+        let (s, w) = spmd_schedule(&g, m);
+        let rep = analyze_schedule(&g, &w, &s);
+        prop_assert!(rep.is_clean(), "SPMD: {}", rep.render());
+        let tp = task_parallel_schedule(&g, m);
+        let rep = analyze_schedule(&g, &tp.weights, &tp.schedule);
+        prop_assert!(rep.is_clean(), "task-parallel: {}", rep.render());
     }
 
     #[test]

@@ -165,10 +165,7 @@ pub fn lower_mpmd(g: &Mdg, schedule: &Schedule) -> TaskProgram {
     order.sort_by(|&a, &b| {
         let ta = schedule.task_for(a).expect("every node scheduled");
         let tb = schedule.task_for(b).expect("every node scheduled");
-        ta.start
-            .partial_cmp(&tb.start)
-            .expect("finite start times")
-            .then(a.cmp(&b))
+        ta.start.partial_cmp(&tb.start).expect("finite start times").then(a.cmp(&b))
     });
     lower(
         g,

@@ -109,11 +109,8 @@ pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
         // Phase 1: receive, per processor, in availability order.
         let mut recv_done = Vec::with_capacity(task.procs.len());
         for &pid in &task.procs {
-            let mut msgs: Vec<usize> = inbound[t]
-                .iter()
-                .copied()
-                .filter(|&k| prog.messages[k].dst_proc == pid)
-                .collect();
+            let mut msgs: Vec<usize> =
+                inbound[t].iter().copied().filter(|&k| prog.messages[k].dst_proc == pid).collect();
             msgs.sort_by(|&a, &b| {
                 avail[a].partial_cmp(&avail[b]).expect("finite availability").then(a.cmp(&b))
             });

@@ -54,18 +54,12 @@ pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResu
     let mut streams: Vec<Vec<Instr>> = vec![Vec::new(); np];
     for &t in &order {
         for &pid in &prog.tasks[t].procs {
-            let my_in: Vec<usize> = inbound[t]
-                .iter()
-                .copied()
-                .filter(|&k| prog.messages[k].dst_proc == pid)
-                .collect();
+            let my_in: Vec<usize> =
+                inbound[t].iter().copied().filter(|&k| prog.messages[k].dst_proc == pid).collect();
             streams[pid as usize].push(Instr::Recv { task: t, msgs: my_in });
             streams[pid as usize].push(Instr::BarrierAndCompute { task: t });
-            let my_out: Vec<usize> = outbound[t]
-                .iter()
-                .copied()
-                .filter(|&k| prog.messages[k].src_proc == pid)
-                .collect();
+            let my_out: Vec<usize> =
+                outbound[t].iter().copied().filter(|&k| prog.messages[k].src_proc == pid).collect();
             streams[pid as usize].push(Instr::Send { task: t, msgs: my_out });
         }
     }
@@ -252,8 +246,7 @@ mod tests {
         for g in [complex_matmul_mdg(64, &table), strassen_mdg(128, &table)] {
             for p in [16u32, 64] {
                 let m = Machine::cm5(p);
-                let res =
-                    psa_schedule(&g, m, &Allocation::uniform(&g, 8.0), &PsaConfig::default());
+                let res = psa_schedule(&g, m, &Allocation::uniform(&g, 8.0), &PsaConfig::default());
                 assert_engines_agree(&lower_mpmd(&g, &res.schedule), &TrueMachine::cm5(p));
                 assert_engines_agree(&lower_spmd(&g, p), &TrueMachine::cm5(p));
             }

@@ -122,14 +122,30 @@ mod tests {
         let samples = measure_transfers(&truth, &sizes, &groups);
         let fit = fit_transfer(&samples);
         let nominal = TransferParams::cm5();
-        assert!((fit.params.t_ss - nominal.t_ss).abs() / nominal.t_ss < 0.1,
-            "t_ss {} vs {}", fit.params.t_ss, nominal.t_ss);
-        assert!((fit.params.t_ps - nominal.t_ps).abs() / nominal.t_ps < 0.1,
-            "t_ps {} vs {}", fit.params.t_ps, nominal.t_ps);
-        assert!((fit.params.t_sr - nominal.t_sr).abs() / nominal.t_sr < 0.1,
-            "t_sr {} vs {}", fit.params.t_sr, nominal.t_sr);
-        assert!((fit.params.t_pr - nominal.t_pr).abs() / nominal.t_pr < 0.1,
-            "t_pr {} vs {}", fit.params.t_pr, nominal.t_pr);
+        assert!(
+            (fit.params.t_ss - nominal.t_ss).abs() / nominal.t_ss < 0.1,
+            "t_ss {} vs {}",
+            fit.params.t_ss,
+            nominal.t_ss
+        );
+        assert!(
+            (fit.params.t_ps - nominal.t_ps).abs() / nominal.t_ps < 0.1,
+            "t_ps {} vs {}",
+            fit.params.t_ps,
+            nominal.t_ps
+        );
+        assert!(
+            (fit.params.t_sr - nominal.t_sr).abs() / nominal.t_sr < 0.1,
+            "t_sr {} vs {}",
+            fit.params.t_sr,
+            nominal.t_sr
+        );
+        assert!(
+            (fit.params.t_pr - nominal.t_pr).abs() / nominal.t_pr < 0.1,
+            "t_pr {} vs {}",
+            fit.params.t_pr,
+            nominal.t_pr
+        );
         assert!(fit.params.t_n.abs() < 1e-12, "CM-5 t_n must fit to ~0");
         assert!(fit.r2_send > 0.95 && fit.r2_recv > 0.95);
     }
@@ -169,8 +185,7 @@ mod tests {
     #[test]
     fn repetitions_differ_by_noise_only() {
         let truth = TrueMachine::cm5(64);
-        let samples =
-            measure_processing(&truth, &LoopClass::MatrixMultiply, 64, &[8], 5);
+        let samples = measure_processing(&truth, &LoopClass::MatrixMultiply, 64, &[8], 5);
         assert_eq!(samples.len(), 5);
         let mean: f64 = samples.iter().map(|s| s.time).sum::<f64>() / 5.0;
         for s in &samples {

@@ -206,8 +206,7 @@ mod tests {
 
     #[test]
     fn local_message_detection() {
-        let m =
-            SimMessage { from_task: 0, to_task: 1, src_proc: 3, dst_proc: 3, bytes: 8 };
+        let m = SimMessage { from_task: 0, to_task: 1, src_proc: 3, dst_proc: 3, bytes: 8 };
         assert!(m.is_local());
     }
 

@@ -90,7 +90,13 @@ pub fn render_breakdown(b: &TimeBreakdown) -> String {
     let _ = writeln!(s, "    idle    : {:>9.4} proc-s ({:>5.1}%)", b.idle, pct(b.idle));
     let _ = writeln!(s, "  compute time by loop class:");
     for (tag, v) in &b.compute_by_class {
-        let _ = writeln!(s, "    {:<12} {:>9.4} proc-s ({:>5.1}% of compute)", tag, v, 100.0 * v / b.compute.max(f64::MIN_POSITIVE));
+        let _ = writeln!(
+            s,
+            "    {:<12} {:>9.4} proc-s ({:>5.1}% of compute)",
+            tag,
+            v,
+            100.0 * v / b.compute.max(f64::MIN_POSITIVE)
+        );
     }
     s
 }

@@ -68,10 +68,7 @@ pub fn compare_schedule_vs_sim(
         });
     }
     out.sort_by(|a, b| {
-        a.actual_start
-            .partial_cmp(&b.actual_start)
-            .expect("finite times")
-            .then(a.node.cmp(&b.node))
+        a.actual_start.partial_cmp(&b.actual_start).expect("finite times").then(a.node.cmp(&b.node))
     });
     out
 }
@@ -151,12 +148,7 @@ mod tests {
         let (g, sched, prog, sim) = setup();
         let diffs = compare_schedule_vs_sim(&g, &sched, &prog, &sim);
         for d in &diffs {
-            assert!(
-                d.finish_error().abs() < 0.30,
-                "{}: finish error {}",
-                d.name,
-                d.finish_error()
-            );
+            assert!(d.finish_error().abs() < 0.30, "{}: finish error {}", d.name, d.finish_error());
         }
     }
 

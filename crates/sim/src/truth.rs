@@ -120,7 +120,14 @@ impl TrueMachine {
 
     /// True execution time of one `rows x cols` kernel of `class` on `q`
     /// processors. `site` keys the noise.
-    pub fn kernel_time(&self, class: &LoopClass, rows: usize, cols: usize, q: u32, site: u64) -> f64 {
+    pub fn kernel_time(
+        &self,
+        class: &LoopClass,
+        rows: usize,
+        cols: usize,
+        q: u32,
+        site: u64,
+    ) -> f64 {
         let n = ((rows as f64 * cols as f64).sqrt()).round() as usize;
         let params = self.kernels.params_for(class, n.max(1));
         self.explicit_time(params, q, Self::class_phase(class), site)

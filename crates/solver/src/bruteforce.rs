@@ -39,7 +39,11 @@ impl std::error::Error for TooLarge {}
 /// Enumerate every power-of-two allocation (`p_i ∈ {1, 2, 4, …, 2^k}`,
 /// `2^k <= p`) over the compute nodes of `g`, refusing if more than
 /// `limit` combinations would be needed.
-pub fn brute_force_pow2(g: &Mdg, machine: Machine, limit: usize) -> Result<BruteForceResult, TooLarge> {
+pub fn brute_force_pow2(
+    g: &Mdg,
+    machine: Machine,
+    limit: usize,
+) -> Result<BruteForceResult, TooLarge> {
     let choices: Vec<f64> = {
         let mut v = Vec::new();
         let mut q = 1u32;
@@ -52,11 +56,8 @@ pub fn brute_force_pow2(g: &Mdg, machine: Machine, limit: usize) -> Result<Brute
         }
         v
     };
-    let compute: Vec<usize> = g
-        .nodes()
-        .filter(|(_, n)| !n.is_structural())
-        .map(|(id, _)| id.0)
-        .collect();
+    let compute: Vec<usize> =
+        g.nodes().filter(|(_, n)| !n.is_structural()).map(|(id, _)| id.0).collect();
     let k = choices.len() as u128;
     let combos = k.checked_pow(compute.len() as u32).unwrap_or(u128::MAX);
     if combos > limit as u128 {

@@ -68,22 +68,14 @@ mod tests {
     #[test]
     fn convex_function_has_no_violations() {
         let pts = probe_points(3, 4.0, 10);
-        let v = probe_midpoint_convexity(
-            |x| x.iter().map(|a| a * a).sum::<f64>(),
-            &pts,
-            1e-12,
-        );
+        let v = probe_midpoint_convexity(|x| x.iter().map(|a| a * a).sum::<f64>(), &pts, 1e-12);
         assert!(v.is_empty());
     }
 
     #[test]
     fn concave_function_is_flagged() {
         let pts = probe_points(2, 4.0, 8);
-        let v = probe_midpoint_convexity(
-            |x| -(x.iter().map(|a| a * a).sum::<f64>()),
-            &pts,
-            1e-12,
-        );
+        let v = probe_midpoint_convexity(|x| -(x.iter().map(|a| a * a).sum::<f64>()), &pts, 1e-12);
         assert!(!v.is_empty());
         let first = &v[0];
         assert!(first.mid_value > first.chord_value);

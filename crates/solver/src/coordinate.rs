@@ -132,8 +132,7 @@ mod tests {
     use super::*;
     use crate::solve::{allocate, SolverConfig};
     use paradigm_mdg::{
-        complex_matmul_mdg, example_fig1_mdg, random_layered_mdg, KernelCostTable,
-        RandomMdgConfig,
+        complex_matmul_mdg, example_fig1_mdg, random_layered_mdg, KernelCostTable, RandomMdgConfig,
     };
 
     #[test]
@@ -158,7 +157,8 @@ mod tests {
 
     #[test]
     fn coordinate_descent_on_random_graphs() {
-        let cfg = RandomMdgConfig { layers: 3, width_min: 1, width_max: 3, ..RandomMdgConfig::default() };
+        let cfg =
+            RandomMdgConfig { layers: 3, width_min: 1, width_max: 3, ..RandomMdgConfig::default() };
         for seed in 0..4 {
             let g = random_layered_mdg(&cfg, seed);
             let m = Machine::cm5(8);

@@ -315,10 +315,7 @@ mod tests {
 
     #[test]
     fn max_exact_picks_largest() {
-        let e = Expr::max(vec![
-            Expr::Mono(Monomial::single(1.0, 0, 1.0)),
-            Expr::constant(5.0),
-        ]);
+        let e = Expr::max(vec![Expr::Mono(Monomial::single(1.0, 0, 1.0)), Expr::constant(5.0)]);
         // p0 = e^0 = 1 -> max(1, 5) = 5; p0 = e^2 -> max(7.39, 5) = 7.39.
         assert!((e.eval(&[0.0], Sharpness::Exact) - 5.0).abs() < 1e-12);
         assert!((e.eval(&[2.0], Sharpness::Exact) - 2.0_f64.exp()).abs() < 1e-12);
@@ -378,10 +375,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference_exact_away_from_kink() {
-        let e = Expr::max(vec![
-            Expr::Mono(Monomial::single(1.0, 0, 1.0)),
-            Expr::constant(2.0),
-        ]);
+        let e = Expr::max(vec![Expr::Mono(Monomial::single(1.0, 0, 1.0)), Expr::constant(2.0)]);
         // p0 = e^2 ≈ 7.39 > 2: smooth region, derivative = p0.
         let g = grad_of(&e, &[2.0], Sharpness::Exact);
         assert!((g[0] - 2.0_f64.exp()).abs() < 1e-9);
@@ -392,10 +386,7 @@ mod tests {
 
     #[test]
     fn mul_mono_distributes() {
-        let e = Expr::max(vec![
-            Expr::constant(1.0),
-            Expr::Mono(Monomial::single(1.0, 0, 1.0)),
-        ]);
+        let e = Expr::max(vec![Expr::constant(1.0), Expr::Mono(Monomial::single(1.0, 0, 1.0))]);
         let m = Monomial::single(2.0, 0, 1.0);
         let em = e.mul_mono(&m);
         // At p0 = 3 (x = ln 3): max(1, 3) * 2 * 3 = 18.
@@ -408,10 +399,7 @@ mod tests {
     #[test]
     fn expr_is_logspace_convex() {
         let e = Expr::sum(vec![
-            Expr::max(vec![
-                Expr::Mono(Monomial::pair(1.5, 0, 1.0, 1, -1.0)),
-                Expr::constant(1.5),
-            ]),
+            Expr::max(vec![Expr::Mono(Monomial::pair(1.5, 0, 1.0, 1, -1.0)), Expr::constant(1.5)]),
             Expr::Mono(Monomial::single(0.2, 1, 1.0)),
             Expr::Mono(Monomial::pair(0.7, 0, -1.0, 1, -1.0)),
         ]);

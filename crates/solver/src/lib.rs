@@ -29,8 +29,8 @@
 //! * [`convexity`] — numeric convexity probes used by tests/ablations.
 
 pub mod bruteforce;
-pub mod coordinate;
 pub mod convexity;
+pub mod coordinate;
 pub mod expr;
 pub mod objective;
 pub mod solve;

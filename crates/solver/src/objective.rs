@@ -15,7 +15,7 @@
 
 use crate::expr::{smax_weights, Expr, Monomial, Sharpness};
 use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
-use paradigm_mdg::{Mdg, NodeId, TransferKind};
+use paradigm_mdg::{EdgeId, Mdg, NodeId, TransferKind};
 
 /// The evaluated objective components at one point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,13 +85,7 @@ impl<'g> MdgObjective<'g> {
                         ]));
                         // t^D = L t_n / max(p_i,p_j) ~ L t_n / sqrt(p_i p_j)
                         if x.t_n > 0.0 {
-                            d_terms.push(Expr::Mono(Monomial::pair(
-                                l * x.t_n,
-                                i,
-                                -0.5,
-                                j,
-                                -0.5,
-                            )));
+                            d_terms.push(Expr::Mono(Monomial::pair(l * x.t_n, i, -0.5, j, -0.5)));
                         }
                     }
                     TransferKind::TwoD => {
@@ -153,6 +147,17 @@ impl<'g> MdgObjective<'g> {
     /// The `T_i` expression of a node (for inspection/tests).
     pub fn node_expr(&self, id: NodeId) -> &Expr {
         &self.node_t[id.0]
+    }
+
+    /// The `t^D` expression of an edge (zero when the machine's `t_n` is
+    /// zero or the edge carries no data).
+    pub fn edge_expr(&self, id: EdgeId) -> &Expr {
+        &self.edge_d[id.0]
+    }
+
+    /// The `A_p` expression (for inspection and symbolic certification).
+    pub fn area_expr(&self) -> &Expr {
+        &self.area
     }
 
     /// Evaluate `Phi` (and parts) at `x` with the given sharpness, without
@@ -217,11 +222,8 @@ impl<'g> MdgObjective<'g> {
         let grad_c = std::mem::take(&mut y_grad[self.g.stop().0]);
 
         let (phi, w) = smax_weights(&[a_p, c_p], sharp);
-        let grad: Vec<f64> = grad_a
-            .iter()
-            .zip(&grad_c)
-            .map(|(&ga, &gc)| w[0] * ga + w[1] * gc)
-            .collect();
+        let grad: Vec<f64> =
+            grad_a.iter().zip(&grad_c).map(|(&ga, &gc)| w[0] * ga + w[1] * gc).collect();
         (ObjectiveParts { phi, a_p, c_p }, grad)
     }
 
@@ -401,11 +403,7 @@ mod tests {
         let n = g.node_count();
         let ub = obj.x_upper();
         let pts: Vec<Vec<f64>> = (0..6)
-            .map(|k| {
-                (0..n)
-                    .map(|i| ((k * 31 + i * 7) % 97) as f64 / 97.0 * ub)
-                    .collect()
-            })
+            .map(|k| (0..n).map(|i| ((k * 31 + i * 7) % 97) as f64 / 97.0 * ub).collect())
             .collect();
         for sharp in [Sharpness::Exact, Sharpness::Smooth(16.0)] {
             for i in 0..pts.len() {

@@ -121,10 +121,8 @@ pub fn allocate(g: &Mdg, machine: Machine, cfg: &SolverConfig) -> AllocationResu
 
     let results: Vec<(Vec<f64>, usize)> = if cfg.parallel && starts.len() > 1 {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = starts
-                .into_iter()
-                .map(|x0| scope.spawn(|| run_one(x0)))
-                .collect();
+            let handles: Vec<_> =
+                starts.into_iter().map(|x0| scope.spawn(|| run_one(x0))).collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("solver start thread must not panic"))
@@ -242,11 +240,7 @@ fn descend(
         if !accepted {
             break;
         }
-        let moved: f64 = x
-            .iter()
-            .zip(&trial)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let moved: f64 = x.iter().zip(&trial).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         x.copy_from_slice(&trial);
         let (new_parts, new_grad) = obj.eval_grad(x, sharp);
         let improve = parts.phi - new_parts.phi;
@@ -302,12 +296,8 @@ mod tests {
 
     #[test]
     fn solver_close_to_oracle_on_random_graphs() {
-        let cfg = RandomMdgConfig {
-            layers: 3,
-            width_min: 1,
-            width_max: 2,
-            ..RandomMdgConfig::default()
-        };
+        let cfg =
+            RandomMdgConfig { layers: 3, width_min: 1, width_max: 2, ..RandomMdgConfig::default() };
         let m = Machine::cm5(8);
         for seed in 0..5 {
             let g = random_layered_mdg(&cfg, seed);
@@ -397,6 +387,11 @@ mod tests {
         let m = Machine::cm5(16);
         let full = allocate(&g, m, &SolverConfig::default());
         let fast = allocate(&g, m, &SolverConfig::fast());
-        assert!(fast.phi.phi <= full.phi.phi * 1.05, "fast {} vs full {}", fast.phi.phi, full.phi.phi);
+        assert!(
+            fast.phi.phi <= full.phi.phi * 1.05,
+            "fast {} vs full {}",
+            fast.phi.phi,
+            full.phi.phi
+        );
     }
 }

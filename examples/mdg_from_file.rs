@@ -24,7 +24,12 @@ edge 2 3 xfer 131072 2d     # the south sweep hands back transposed data
 
 fn main() {
     let g = from_text(PROGRAM).expect("the embedded program must parse");
-    println!("loaded `{}`: {} compute nodes, {} edges", g.name(), g.compute_node_count(), g.edge_count());
+    println!(
+        "loaded `{}`: {} compute nodes, {} edges",
+        g.name(),
+        g.compute_node_count(),
+        g.edge_count()
+    );
 
     // Round-trip check: print the canonical form.
     println!("\ncanonical form:\n{}", to_text(&g));

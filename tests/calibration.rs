@@ -43,10 +43,7 @@ fn fitted_and_nominal_models_agree_on_allocation_shape() {
             agree += 1;
         }
     }
-    assert!(
-        agree * 10 >= total * 8,
-        "allocations diverged: only {agree}/{total} nodes agree"
-    );
+    assert!(agree * 10 >= total * 8, "allocations diverged: only {agree}/{total} nodes agree");
 }
 
 #[test]

@@ -68,11 +68,8 @@ fn figure6_strassen_structure() {
     assert_eq!(s.compute_nodes, 33, "8 inits + 10 pre-adds + 7 muls + 8 post-adds");
     assert_eq!(*s.class_histogram.get("mul").unwrap(), 7);
     // Strassen's multiplies operate on 64x64 quadrants of the 128 input.
-    let mul_node = g
-        .nodes()
-        .find(|(_, n)| n.name.starts_with("M1"))
-        .map(|(_, n)| n.meta.clone())
-        .unwrap();
+    let mul_node =
+        g.nodes().find(|(_, n)| n.name.starts_with("M1")).map(|(_, n)| n.meta.clone()).unwrap();
     assert_eq!((mul_node.rows, mul_node.cols), (64, 64));
 }
 

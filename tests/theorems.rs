@@ -9,12 +9,8 @@ use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
 use paradigm_sched::{optimal_pb, theorem1_factor, theorem2_factor, theorem3_factor};
 
 fn random_graphs(count: u64) -> Vec<Mdg> {
-    let cfg = RandomMdgConfig {
-        layers: 4,
-        width_min: 2,
-        width_max: 5,
-        ..RandomMdgConfig::default()
-    };
+    let cfg =
+        RandomMdgConfig { layers: 4, width_min: 2, width_max: 5, ..RandomMdgConfig::default() };
     (0..count).map(|s| random_layered_mdg(&cfg, s)).collect()
 }
 
@@ -28,13 +24,7 @@ fn theorem3_bound_on_random_workloads() {
             let sol = allocate(&g, m, &SolverConfig::fast());
             let res = psa_schedule(&g, m, &sol.alloc, &PsaConfig::default());
             let bound = theorem3_factor(p, res.pb) * sol.phi.phi;
-            assert!(
-                res.t_psa <= bound,
-                "{} p={p}: {} > {}",
-                g.name(),
-                res.t_psa,
-                bound
-            );
+            assert!(res.t_psa <= bound, "{} p={p}: {} > {}", g.name(), res.t_psa, bound);
         }
     }
 }
@@ -50,7 +40,12 @@ fn theorem1_bound_against_area_cp_lower_bound() {
         let m = Machine::cm5(p);
         for pb in [2u32, 4, 8] {
             let alloc = Allocation::uniform(&g, pb as f64);
-            let res = psa_schedule(&g, m, &alloc, &PsaConfig { pb: Some(pb), skip_rounding: true, ..PsaConfig::default() });
+            let res = psa_schedule(
+                &g,
+                m,
+                &alloc,
+                &PsaConfig { pb: Some(pb), skip_rounding: true, ..PsaConfig::default() },
+            );
             let w = MdgWeights::compute(&g, &m, &res.bounded);
             let lower = w.phi(&g).phi; // <= T_opt^PB
             let factor = theorem1_factor(p, pb);

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple best-of-N wall-clock
+//! measurement instead of criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to bench closures. Carries the same
+/// lifetime parameter as the real criterion `Bencher<'a, M>` so bench
+/// code writing `criterion::Bencher<'_>` compiles against the stub.
+pub struct Bencher<'a> {
+    best: Duration,
+    iters_done: u64,
+    _lt: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, keeping the best (lowest) per-iteration duration over a
+    /// small fixed number of batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        const BATCHES: u32 = 3;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            self.iters_done += 1;
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut b = Bencher { best: Duration::MAX, iters_done: 0, _lt: std::marker::PhantomData };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{label:<48} (no measurement)");
+    } else {
+        println!("{label:<48} best {:>12.3?}", b.best);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

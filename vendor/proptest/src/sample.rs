@@ -1,0 +1,35 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An abstract index into collections of unknown length: stores raw
+/// entropy and projects it onto `0..len` on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wrap raw entropy (used by `any::<Index>()`).
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero (same contract as proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Index;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let ix = Index::from_raw(u64::MAX - 3);
+        for len in [1usize, 2, 7, 1000] {
+            assert!(ix.index(len) < len);
+        }
+    }
+}
