@@ -1,0 +1,54 @@
+//! Service-layer micro-benchmarks: cold pipeline solve vs cached
+//! `Service::submit`, and the fingerprint/hash hot path.
+//!
+//! The group driver is written generically over
+//! `criterion::measurement::Measurement` — the shape real criterion
+//! supports and the vendored stub now mirrors — so the same bench code
+//! compiles against either.
+
+use criterion::measurement::Measurement;
+use criterion::{
+    black_box, criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion,
+};
+use paradigm_core::{gallery_graph, solve_fingerprint, solve_pipeline, SolveSpec};
+use paradigm_cost::Machine;
+use paradigm_serve::{ServeConfig, Service};
+use std::sync::Arc;
+
+fn serve_group<M: Measurement>(g: &mut BenchmarkGroup<'_, M>) {
+    let graph = Arc::new(gallery_graph("cmm").expect("gallery"));
+    let spec = SolveSpec::new(Machine::cm5(64));
+
+    g.bench_with_input(BenchmarkId::new("fingerprint", "cmm"), &graph, |b, graph| {
+        b.iter(|| black_box(solve_fingerprint(graph, &spec)));
+    });
+
+    g.bench_with_input(BenchmarkId::new("cold_solve", "cmm/p64"), &graph, |b, graph| {
+        b.iter(|| black_box(solve_pipeline(graph, &spec)).t_psa);
+    });
+
+    let svc = Service::start(ServeConfig {
+        workers: 2,
+        cache_capacity: 64,
+        queue_capacity: 16,
+        default_deadline: None,
+    });
+    // Warm the cache so the measured path is submit → fingerprint → hit.
+    svc.submit(Arc::clone(&graph), spec.clone()).expect("warm-up solve");
+    g.bench_with_input(BenchmarkId::new("cached_submit", "cmm/p64"), &graph, |b, graph| {
+        b.iter(|| {
+            let r = svc.submit(Arc::clone(graph), spec.clone()).expect("cached submit");
+            black_box(r.output.t_psa)
+        });
+    });
+    svc.shutdown();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    serve_group(&mut g);
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -63,18 +63,47 @@ pub enum Command {
         /// One of `fig1`, `cmm`, `strassen`.
         which: String,
     },
-    /// `analyze [<file>] [-p N] [--gallery] [--cert]`: lint the graph,
-    /// certify the objective's convexity, and check the schedules the
-    /// pipeline produces for it.
+    /// `analyze [<file>] [-p N] [--machine <spec>] [--gallery] [--cert]
+    /// [--cert-json]`: lint the graph, certify the objective's
+    /// convexity, and check the schedules the pipeline produces for it.
     Analyze {
         /// MDG file path; `None` requires `--gallery`.
         file: Option<String>,
         /// Machine size the objective/schedules are analyzed for.
         procs: u32,
+        /// Machine spec (`cm5`, `mesh`, `paragon`, `sp1`); `mesh` has a
+        /// non-zero per-byte network term.
+        machine: String,
         /// Analyze every built-in gallery graph instead of a file.
         gallery: bool,
         /// Print the full derivation tree of the `A_p` certificate.
         cert: bool,
+        /// Emit the certifier derivation trees as one JSON line per
+        /// graph.
+        cert_json: bool,
+    },
+    /// `serve [--port N] [--workers N] [--cache N] [--queue N]`: run the
+    /// NDJSON-over-TCP scheduling service until SIGINT or a client's
+    /// `{"op":"shutdown"}`.
+    Serve {
+        /// TCP port on 127.0.0.1 (0 = OS-assigned).
+        port: u16,
+        /// Worker threads (0 = available parallelism).
+        workers: usize,
+        /// Result-cache capacity in entries.
+        cache: usize,
+        /// Bounded job-queue capacity.
+        queue: usize,
+    },
+    /// `bench-serve [--clients N] [--rounds N] [--workers N]`: run the
+    /// closed-loop load generator against an in-process service.
+    BenchServe {
+        /// Closed-loop client threads in the hot phase.
+        clients: usize,
+        /// Sweeps over the working set per client.
+        rounds: usize,
+        /// Worker threads in the service under test.
+        workers: usize,
     },
     /// `help`.
     Help,
@@ -111,8 +140,10 @@ USAGE:
   paradigm build <file.mini>
   paradigm transform <file> [--fuse] [--reduce]
   paradigm demo <fig1|cmm|strassen>
-  paradigm analyze <file.mdg> [-p <procs>] [--cert]
-  paradigm analyze --gallery [-p <procs>]
+  paradigm analyze <file.mdg> [-p <procs>] [--machine <cm5|mesh|paragon|sp1>] [--cert] [--cert-json]
+  paradigm analyze --gallery [-p <procs>] [--machine <spec>]
+  paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
+  paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>]
   paradigm help
 
 Graph inputs may be .mdg files (graph text format) or .mini files
@@ -132,6 +163,27 @@ fn parse_procs(v: &str) -> Result<u32, UsageError> {
         return Err(UsageError("processor count must be positive".into()));
     }
     Ok(p)
+}
+
+fn parse_machine(v: &str) -> Result<String, UsageError> {
+    if paradigm_core::MACHINE_SPECS.contains(&v) {
+        Ok(v.to_string())
+    } else {
+        Err(UsageError(format!(
+            "unknown machine `{v}` (try {})",
+            paradigm_core::MACHINE_SPECS.join(", ")
+        )))
+    }
+}
+
+/// Parse a `usize` flag value; `zero_ok` allows 0 (e.g. `--workers 0` =
+/// auto).
+fn parse_count(flag: &str, v: &str, zero_ok: bool) -> Result<usize, UsageError> {
+    let n: usize = v.parse().map_err(|_| UsageError(format!("bad value `{v}` for {flag}")))?;
+    if n == 0 && !zero_ok {
+        return Err(UsageError(format!("{flag} must be positive")));
+    }
+    Ok(n)
 }
 
 /// Parse `argv[1..]`.
@@ -176,12 +228,15 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
         "analyze" => {
             let mut file = None;
             let mut procs = 16u32;
-            let (mut gallery, mut cert) = (false, false);
+            let mut machine = "cm5".to_string();
+            let (mut gallery, mut cert, mut cert_json) = (false, false, false);
             while let Some(tok) = it.next() {
                 match tok {
                     "-p" | "--procs" => procs = parse_procs(take_value(tok, &mut it)?)?,
+                    "--machine" => machine = parse_machine(take_value(tok, &mut it)?)?,
                     "--gallery" => gallery = true,
                     "--cert" => cert = true,
+                    "--cert-json" => cert_json = true,
                     flag if flag.starts_with('-') => {
                         return Err(UsageError(format!("unknown flag `{flag}`")))
                     }
@@ -195,7 +250,36 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             if file.is_none() && !gallery {
                 return Err(UsageError("analyze needs a file or --gallery".into()));
             }
-            Command::Analyze { file, procs, gallery, cert }
+            Command::Analyze { file, procs, machine, gallery, cert, cert_json }
+        }
+        "serve" => {
+            let mut port = 7447u16;
+            let (mut workers, mut cache, mut queue) = (0usize, 1024usize, 256usize);
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--port" => {
+                        let v = take_value(flag, &mut it)?;
+                        port = v.parse().map_err(|_| UsageError(format!("bad port `{v}`")))?;
+                    }
+                    "--workers" => workers = parse_count(flag, take_value(flag, &mut it)?, true)?,
+                    "--cache" => cache = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    "--queue" => queue = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::Serve { port, workers, cache, queue }
+        }
+        "bench-serve" => {
+            let (mut clients, mut rounds, mut workers) = (4usize, 25usize, 4usize);
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--clients" => clients = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    "--rounds" => rounds = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    "--workers" => workers = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::BenchServe { clients, rounds, workers }
         }
         "calibrate" => {
             let mut procs = 64u32;
@@ -333,16 +417,80 @@ mod tests {
         let p = parse_args(&["analyze", "g.mdg", "-p", "32", "--cert"]).unwrap();
         assert_eq!(
             p.command,
-            Command::Analyze { file: Some("g.mdg".into()), procs: 32, gallery: false, cert: true }
+            Command::Analyze {
+                file: Some("g.mdg".into()),
+                procs: 32,
+                machine: "cm5".into(),
+                gallery: false,
+                cert: true,
+                cert_json: false,
+            }
         );
         let p = parse_args(&["analyze", "--gallery"]).unwrap();
         assert_eq!(
             p.command,
-            Command::Analyze { file: None, procs: 16, gallery: true, cert: false }
+            Command::Analyze {
+                file: None,
+                procs: 16,
+                machine: "cm5".into(),
+                gallery: true,
+                cert: false,
+                cert_json: false,
+            }
         );
         assert!(parse_args(&["analyze"]).is_err(), "needs a file or --gallery");
         assert!(parse_args(&["analyze", "a.mdg", "b.mdg"]).is_err());
         assert!(parse_args(&["analyze", "g.mdg", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn analyze_machine_and_cert_json_flags() {
+        let p = parse_args(&["analyze", "--gallery", "--machine", "mesh", "--cert-json"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Analyze {
+                file: None,
+                procs: 16,
+                machine: "mesh".into(),
+                gallery: true,
+                cert: false,
+                cert_json: true,
+            }
+        );
+        assert!(parse_args(&["analyze", "--gallery", "--machine", "vax"]).is_err());
+        assert!(parse_args(&["analyze", "--gallery", "--machine"]).is_err());
+    }
+
+    #[test]
+    fn serve_command_parses_with_defaults() {
+        let p = parse_args(&["serve"]).unwrap();
+        assert_eq!(p.command, Command::Serve { port: 7447, workers: 0, cache: 1024, queue: 256 });
+        let p = parse_args(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--cache",
+            "64",
+            "--queue",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(p.command, Command::Serve { port: 0, workers: 2, cache: 64, queue: 16 });
+        assert!(parse_args(&["serve", "--port", "banana"]).is_err());
+        assert!(parse_args(&["serve", "--cache", "0"]).is_err());
+        assert!(parse_args(&["serve", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn bench_serve_command_parses() {
+        let p = parse_args(&["bench-serve"]).unwrap();
+        assert_eq!(p.command, Command::BenchServe { clients: 4, rounds: 25, workers: 4 });
+        let p = parse_args(&["bench-serve", "--clients", "2", "--rounds", "3", "--workers", "1"])
+            .unwrap();
+        assert_eq!(p.command, Command::BenchServe { clients: 2, rounds: 3, workers: 1 });
+        assert!(parse_args(&["bench-serve", "--clients", "0"]).is_err());
     }
 
     #[test]

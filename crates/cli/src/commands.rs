@@ -3,22 +3,23 @@
 //! prints the result.
 
 use crate::args::{Command, USAGE};
+use paradigm_analyze::posynomial::{Certificate, ObjectiveCertificate};
 use paradigm_analyze::{
     analyze_schedule, certify_objective, has_errors, lint_mdg, render_diagnostics,
 };
 use paradigm_core::calibrate::{calibrate, CalibrationConfig};
 use paradigm_core::report::render_calibration;
-use paradigm_core::{compile, CompileConfig};
+use paradigm_core::{compile, gallery_graph, machine_from_spec, CompileConfig, GALLERY_NAMES};
 use paradigm_cost::{Machine, MdgWeights};
 use paradigm_mdg::stats::MdgStats;
 use paradigm_mdg::{
-    block_lu_mdg, complex_matmul_mdg, example_fig1_mdg, fft_2d_mdg, from_text, stencil_mdg,
-    strassen_mdg, strassen_mdg_multilevel, to_text, KernelCostTable, Mdg,
+    complex_matmul_mdg, example_fig1_mdg, from_text, strassen_mdg, to_text, KernelCostTable, Mdg,
 };
 use paradigm_sched::{
     gantt_svg, idle_profile, spmd_schedule, task_parallel_schedule, to_csv, PsaConfig, SchedPolicy,
     Schedule,
 };
+use paradigm_serve::{run_bench, BenchConfig, Json, ServeConfig, Server, ServerConfig};
 use paradigm_sim::{compare_schedule_vs_sim, lower_spmd, render_trace, simulate, TrueMachine};
 use paradigm_solver::MdgObjective;
 
@@ -202,8 +203,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Analyze { file, procs, gallery, cert } => {
-            let machine = Machine::cm5(*procs);
+        Command::Analyze { file, procs, machine, gallery, cert, cert_json } => {
+            let machine = machine_from_spec(machine, *procs)
+                .unwrap_or_else(|| unreachable!("validated by the parser: {machine}"));
             let mut graphs = Vec::new();
             if let Some(f) = file {
                 graphs.push(load(f)?);
@@ -213,30 +215,69 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             }
             let mut out = String::new();
             for g in &graphs {
-                analyze_graph(g, machine, *cert, &mut out);
+                analyze_graph(g, machine, *cert, *cert_json, &mut out);
             }
             Ok(out)
+        }
+        Command::Serve { port, workers, cache, queue } => {
+            let mut service = ServeConfig::default();
+            if *workers > 0 {
+                service.workers = *workers;
+            }
+            service.cache_capacity = *cache;
+            service.queue_capacity = *queue;
+            let server =
+                Server::bind(ServerConfig { service, port: *port }).map_err(CliError::Io)?;
+            let addr = server.local_addr().map_err(CliError::Io)?;
+            // Printed immediately: `run` blocks until shutdown, and
+            // clients need the (possibly OS-assigned) port to connect.
+            println!("paradigm-serve listening on {addr} (NDJSON; ^C or {{\"op\":\"shutdown\"}} to stop)");
+            let stats = server.run();
+            Ok(stats.render())
+        }
+        Command::BenchServe { clients, rounds, workers } => {
+            let report =
+                run_bench(&BenchConfig { clients: *clients, rounds: *rounds, workers: *workers });
+            Ok(report.render())
         }
     }
 }
 
-/// The built-in graphs swept by `analyze --gallery`.
+/// The built-in graphs swept by `analyze --gallery` (the same set the
+/// serve protocol's `"gallery"` field draws from).
 fn gallery_graphs() -> Vec<Mdg> {
-    let t = KernelCostTable::cm5();
-    vec![
-        example_fig1_mdg(),
-        complex_matmul_mdg(64, &t),
-        strassen_mdg(128, &t),
-        strassen_mdg_multilevel(128, 2, &t),
-        fft_2d_mdg(64, 4, &t),
-        block_lu_mdg(4, 32, &t),
-        stencil_mdg(64, 2, 3, &t),
-    ]
+    GALLERY_NAMES
+        .iter()
+        .map(|name| gallery_graph(name).unwrap_or_else(|| unreachable!("gallery name {name}")))
+        .collect()
+}
+
+/// Render one certificate derivation subtree as `{class, rule,
+/// children}` JSON.
+fn cert_to_json(c: &Certificate) -> Json {
+    Json::Obj(vec![
+        ("class".into(), Json::str(c.class.to_string())),
+        ("rule".into(), Json::str(c.rule.to_string())),
+        ("children".into(), Json::Arr(c.children.iter().map(cert_to_json).collect())),
+    ])
+}
+
+/// Render a graph's full objective certificate as one JSON object.
+fn objective_cert_to_json(graph: &str, procs: u32, oc: &ObjectiveCertificate) -> Json {
+    Json::Obj(vec![
+        ("graph".into(), Json::str(graph)),
+        ("procs".into(), Json::num(f64::from(procs))),
+        ("phi_class".into(), Json::str(oc.phi_class().to_string())),
+        ("monomials".into(), Json::num(oc.monomial_count() as f64)),
+        ("area".into(), cert_to_json(&oc.area)),
+        ("nodes".into(), Json::Arr(oc.nodes.iter().map(cert_to_json).collect())),
+        ("edges".into(), Json::Arr(oc.edges.iter().map(cert_to_json).collect())),
+    ])
 }
 
 /// Append the three analysis passes (lints, convexity certification,
 /// schedule checks) for one graph to `out`.
-fn analyze_graph(g: &Mdg, machine: Machine, cert: bool, out: &mut String) {
+fn analyze_graph(g: &Mdg, machine: Machine, cert: bool, cert_json: bool, out: &mut String) {
     out.push_str(&format!("== `{}` on {} processors ==\n", g.name(), machine.procs));
     let diags = lint_mdg(g);
     if diags.is_empty() {
@@ -250,6 +291,10 @@ fn analyze_graph(g: &Mdg, machine: Machine, cert: bool, out: &mut String) {
             if cert {
                 out.push_str("A_p certificate:\n");
                 out.push_str(&c.area.render());
+            }
+            if cert_json {
+                out.push_str(&objective_cert_to_json(g.name(), machine.procs, &c).render());
+                out.push('\n');
             }
         }
         Err(ce) => out.push_str(&format!("objective: REFUTED -- {ce}\n")),
@@ -401,8 +446,15 @@ mod tests {
 
     #[test]
     fn analyze_gallery_certifies_every_graph() {
-        let out =
-            run(&Command::Analyze { file: None, procs: 16, gallery: true, cert: false }).unwrap();
+        let out = run(&Command::Analyze {
+            file: None,
+            procs: 16,
+            machine: "cm5".into(),
+            gallery: true,
+            cert: false,
+            cert_json: false,
+        })
+        .unwrap();
         // One header per gallery graph, each certified and clean.
         assert_eq!(out.matches("== `").count(), 7, "{out}");
         assert_eq!(
@@ -412,6 +464,48 @@ mod tests {
         );
         assert!(!out.contains("REFUTED"), "{out}");
         assert!(!out.contains("VIOLATIONS"), "{out}");
+    }
+
+    #[test]
+    fn analyze_mesh_machine_certifies_with_network_term() {
+        // The synthetic mesh exercises t_n > 0: the transfer monomials
+        // gain the per-byte network term and everything still certifies.
+        let path = tmp_mdg();
+        let parsed = parse_args(&["analyze", &path, "-p", "8", "--machine", "mesh"]).unwrap();
+        let out = run(&parsed.command).unwrap();
+        assert!(out.contains("on 8 processors"), "{out}");
+        assert!(out.contains("objective: Phi certified"), "{out}");
+        assert!(!out.contains("REFUTED"), "{out}");
+        assert!(!out.contains("VIOLATIONS"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_cert_json_emits_parsable_derivation_trees() {
+        let path = tmp_mdg();
+        let parsed = parse_args(&["analyze", &path, "-p", "4", "--cert-json"]).unwrap();
+        let out = run(&parsed.command).unwrap();
+        // Exactly one JSON line, parsable by the serve-layer reader.
+        let json_line = out.lines().find(|l| l.starts_with('{')).expect("cert-json line present");
+        let doc = paradigm_serve::parse_json(json_line).expect("valid JSON");
+        assert_eq!(doc.get("graph").and_then(Json::as_str), Some("fig1-example"));
+        assert_eq!(doc.get("procs").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("phi_class").and_then(Json::as_str), Some("generalized-posynomial"));
+        let area = doc.get("area").expect("area tree");
+        assert!(area.get("class").is_some() && area.get("rule").is_some());
+        // fig1 has 3 compute nodes (+ START/STOP) and 5 edges (2 user
+        // edges + 3 synthetic START/STOP edges).
+        assert_eq!(doc.get("nodes").and_then(Json::as_arr).map(<[Json]>::len), Some(5));
+        assert_eq!(doc.get("edges").and_then(Json::as_arr).map(<[Json]>::len), Some(5));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_serve_small_run_renders_report() {
+        let out = run(&Command::BenchServe { clients: 2, rounds: 1, workers: 2 }).unwrap();
+        assert!(out.contains("bench-serve: 12 distinct keys"), "{out}");
+        assert!(out.contains("hot:"), "{out}");
+        assert!(out.contains("hot counters:"), "{out}");
     }
 
     #[test]

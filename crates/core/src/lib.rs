@@ -36,6 +36,7 @@
 pub mod calibrate;
 pub mod compile;
 pub mod experiments;
+pub mod pipeline;
 pub mod programs;
 pub mod report;
 
@@ -43,6 +44,10 @@ pub use calibrate::{calibrate, Calibration};
 pub use compile::{compile, run_mpmd, run_spmd, CompileConfig, Compiled};
 pub use experiments::{
     fig8_speedups, fig9_predicted_vs_actual, table3_deviation, Fig8Row, Fig9Row, Table3Row,
+};
+pub use pipeline::{
+    gallery_graph, machine_from_spec, solve_fingerprint, solve_pipeline, AllocEntry, SolveOutput,
+    SolveSpec, GALLERY_NAMES, MACHINE_SPECS,
 };
 pub use programs::TestProgram;
 

@@ -1,0 +1,296 @@
+//! A reusable, parameter-complete entry point into the compile pipeline,
+//! plus canonical cache keying — the pure function the serving layer
+//! (`paradigm-serve`) memoizes.
+//!
+//! [`solve_pipeline`] runs allocation → PSA → (optional refinement) →
+//! (optional simulation) for one `(MDG, SolveSpec)` pair and returns a
+//! plain-data [`SolveOutput`]: everything is owned values, no borrowed
+//! graph state, so results can live in a cache and be shared across
+//! threads. [`solve_fingerprint`] produces the content-addressed key:
+//! the MDG's [`paradigm_mdg::structural_hash`] extended with every spec
+//! field the output depends on. Identical fingerprints therefore mean
+//! identical outputs (the pipeline is deterministic), which is exactly
+//! the property single-flight caching needs.
+
+use crate::compile::{compile, run_mpmd, CompileConfig};
+use paradigm_cost::Machine;
+use paradigm_mdg::hash::Fnv128;
+use paradigm_mdg::{
+    block_lu_mdg, complex_matmul_mdg, example_fig1_mdg, fft_2d_mdg, stencil_mdg, strassen_mdg,
+    strassen_mdg_multilevel, structural_hash, KernelCostTable, Mdg,
+};
+use paradigm_sched::{idle_profile, SchedPolicy};
+use paradigm_sim::TrueMachine;
+use paradigm_solver::SolverConfig;
+
+/// Everything (besides the graph) that a pipeline solve depends on.
+/// Two requests with equal specs and structurally equal graphs produce
+/// identical outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveSpec {
+    /// Target machine (processor count + transfer constants).
+    pub machine: Machine,
+    /// PSA ready-queue priority.
+    pub policy: SchedPolicy,
+    /// Explicit processor bound; `None` = Corollary 1's optimum.
+    pub pb: Option<u32>,
+    /// Run the post-PSA reallocation refinement.
+    pub refine: bool,
+    /// Use the cheaper solver settings (`SolverConfig::fast()`).
+    pub fast_solver: bool,
+    /// Also execute the MPMD lowering on the ground-truth simulator and
+    /// report the measured makespan.
+    pub simulate: bool,
+}
+
+impl SolveSpec {
+    /// A spec with the serving layer's defaults: fast solver, paper's
+    /// PSA policy, automatic PB, no refinement, no simulation.
+    pub fn new(machine: Machine) -> Self {
+        SolveSpec {
+            machine,
+            policy: SchedPolicy::LowestEst,
+            pb: None,
+            refine: false,
+            fast_solver: true,
+            simulate: false,
+        }
+    }
+
+    /// Reject specs the pipeline would panic on.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(pb) = self.pb {
+            if pb == 0 {
+                return Err("processor bound must be positive".into());
+            }
+            if pb > self.machine.procs {
+                return Err(format!(
+                    "processor bound {pb} exceeds machine size {}",
+                    self.machine.procs
+                ));
+            }
+        }
+        self.machine.xfer.validate()
+    }
+}
+
+/// One node's solved placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocEntry {
+    /// Node name as given in the MDG.
+    pub node: String,
+    /// Continuous optimum from the convex program.
+    pub continuous: f64,
+    /// Rounded/bounded processor count actually scheduled.
+    pub procs: u32,
+}
+
+/// Owned, thread-shareable result of one pipeline solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutput {
+    /// Graph name at solve time (callers holding a structurally equal
+    /// graph under a different name should prefer their own).
+    pub graph: String,
+    /// Number of compute nodes solved.
+    pub compute_nodes: usize,
+    /// Continuous optimum `Phi`.
+    pub phi: f64,
+    /// Schedule makespan `T_psa`.
+    pub t_psa: f64,
+    /// Processor bound used by the PSA.
+    pub pb: u32,
+    /// `(T_psa - Phi) / Phi` in percent.
+    pub deviation_percent: f64,
+    /// Schedule utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Per-compute-node allocation, in node-index order.
+    pub alloc: Vec<AllocEntry>,
+    /// Measured makespan on the ground-truth simulator, if requested.
+    pub sim_makespan: Option<f64>,
+}
+
+/// Run the full pipeline for one graph under one spec.
+///
+/// # Panics
+/// Panics if the spec is invalid (callers should [`SolveSpec::validate`]
+/// first) or the graph triggers a pipeline assertion.
+pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
+    let cfg = CompileConfig {
+        solver: if spec.fast_solver { SolverConfig::fast() } else { SolverConfig::default() },
+        psa: paradigm_sched::PsaConfig { pb: spec.pb, skip_rounding: false, policy: spec.policy },
+        refine: spec.refine,
+    };
+    let c = compile(g, spec.machine, &cfg);
+    let prof = idle_profile(&c.psa.schedule, c.psa.pb);
+    let alloc = g
+        .nodes()
+        .filter(|(_, n)| !n.is_structural())
+        .map(|(id, n)| AllocEntry {
+            node: n.name.clone(),
+            continuous: c.solve.alloc.get(id),
+            procs: c.psa.bounded.as_u32(id),
+        })
+        .collect();
+    let sim_makespan = spec.simulate.then(|| {
+        let truth = TrueMachine {
+            machine: spec.machine,
+            kernels: KernelCostTable::cm5(),
+            ..TrueMachine::cm5(spec.machine.procs)
+        };
+        run_mpmd(g, &c, &truth).makespan
+    });
+    SolveOutput {
+        graph: g.name().to_string(),
+        compute_nodes: g.compute_node_count(),
+        phi: c.phi.phi,
+        t_psa: c.t_psa,
+        pb: c.psa.pb,
+        deviation_percent: c.deviation_percent(),
+        utilization: prof.utilization(),
+        alloc,
+        sim_makespan,
+    }
+}
+
+/// Content-addressed cache key: the graph's canonical structural hash
+/// extended with every [`SolveSpec`] field the output depends on.
+pub fn solve_fingerprint(g: &Mdg, spec: &SolveSpec) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_u128(structural_hash(g));
+    h.write_u64(u64::from(spec.machine.procs));
+    h.write_f64(spec.machine.xfer.t_ss);
+    h.write_f64(spec.machine.xfer.t_ps);
+    h.write_f64(spec.machine.xfer.t_sr);
+    h.write_f64(spec.machine.xfer.t_pr);
+    h.write_f64(spec.machine.xfer.t_n);
+    h.write_u64(match spec.policy {
+        SchedPolicy::LowestEst => 1,
+        SchedPolicy::HighestLevelFirst => 2,
+    });
+    h.write_u64(spec.pb.map_or(0, |pb| u64::from(pb) + 1));
+    h.write_u64(u64::from(spec.refine));
+    h.write_u64(u64::from(spec.fast_solver));
+    h.write_u64(u64::from(spec.simulate));
+    h.finish()
+}
+
+/// Machine spec names understood by [`machine_from_spec`] (also the CLI
+/// `--machine` flag and the serve protocol's `"machine"` field).
+pub const MACHINE_SPECS: [&str; 4] = ["cm5", "mesh", "paragon", "sp1"];
+
+/// Resolve a machine spec name at a processor count. `"cm5"` is the
+/// paper's fitted testbed; `"mesh"` the synthetic machine with a
+/// non-zero per-byte network term (`t_n > 0`); `"paragon"` / `"sp1"`
+/// the illustrative 1994-era parameter sets.
+pub fn machine_from_spec(spec: &str, procs: u32) -> Option<Machine> {
+    match spec {
+        "cm5" => Some(Machine::cm5(procs)),
+        "mesh" => Some(Machine::synthetic_mesh(procs)),
+        "paragon" => Some(Machine::intel_paragon(procs)),
+        "sp1" => Some(Machine::ibm_sp1(procs)),
+        _ => None,
+    }
+}
+
+/// Names of the built-in gallery graphs served by [`gallery_graph`]
+/// (also `paradigm analyze --gallery` and the serve protocol's
+/// `"gallery"` field).
+pub const GALLERY_NAMES: [&str; 7] =
+    ["fig1", "cmm", "strassen", "strassen-ml", "fft2d", "block-lu", "stencil"];
+
+/// Build one built-in gallery graph by name, at the workloads' standard
+/// sizes (CM-5 cost table).
+pub fn gallery_graph(name: &str) -> Option<Mdg> {
+    let t = KernelCostTable::cm5();
+    match name {
+        "fig1" => Some(example_fig1_mdg()),
+        "cmm" => Some(complex_matmul_mdg(64, &t)),
+        "strassen" => Some(strassen_mdg(128, &t)),
+        "strassen-ml" => Some(strassen_mdg_multilevel(128, 2, &t)),
+        "fft2d" => Some(fft_2d_mdg(64, 4, &t)),
+        "block-lu" => Some(block_lu_mdg(4, 32, &t)),
+        "stencil" => Some(stencil_mdg(64, 2, 3, &t)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_matches_direct_compile() {
+        let g = example_fig1_mdg();
+        let spec = SolveSpec { fast_solver: false, ..SolveSpec::new(Machine::cm5(4)) };
+        let out = solve_pipeline(&g, &spec);
+        let direct = compile(&g, Machine::cm5(4), &CompileConfig::default());
+        assert_eq!(out.phi, direct.phi.phi);
+        assert_eq!(out.t_psa, direct.t_psa);
+        assert_eq!(out.pb, direct.psa.pb);
+        assert_eq!(out.alloc.len(), g.compute_node_count());
+        assert!(out.sim_makespan.is_none());
+        assert!(out.utilization > 0.0 && out.utilization <= 1.0);
+    }
+
+    #[test]
+    fn simulate_flag_reports_a_makespan() {
+        let g = example_fig1_mdg();
+        let spec = SolveSpec { simulate: true, ..SolveSpec::new(Machine::cm5(4)) };
+        let out = solve_pipeline(&g, &spec);
+        let sim = out.sim_makespan.expect("simulate requested");
+        assert!(sim > 0.0);
+        // The simulator tracks the schedule prediction loosely.
+        assert!((sim - out.t_psa).abs() / out.t_psa < 0.5, "sim {sim} vs {}", out.t_psa);
+    }
+
+    #[test]
+    fn fingerprint_separates_specs_and_graphs() {
+        let g = example_fig1_mdg();
+        let base = SolveSpec::new(Machine::cm5(16));
+        let fp = solve_fingerprint(&g, &base);
+        assert_eq!(fp, solve_fingerprint(&g, &base.clone()), "deterministic");
+        for other in [
+            SolveSpec::new(Machine::cm5(32)),
+            SolveSpec::new(Machine::synthetic_mesh(16)),
+            SolveSpec { policy: SchedPolicy::HighestLevelFirst, ..base.clone() },
+            SolveSpec { pb: Some(4), ..base.clone() },
+            SolveSpec { refine: true, ..base.clone() },
+            SolveSpec { fast_solver: false, ..base.clone() },
+            SolveSpec { simulate: true, ..base.clone() },
+        ] {
+            assert_ne!(fp, solve_fingerprint(&g, &other), "{other:?}");
+        }
+        let g2 = gallery_graph("cmm").unwrap();
+        assert_ne!(fp, solve_fingerprint(&g2, &base));
+    }
+
+    #[test]
+    fn pb_zero_and_oversize_rejected_by_validate() {
+        let mut spec = SolveSpec::new(Machine::cm5(8));
+        spec.pb = Some(0);
+        assert!(spec.validate().is_err());
+        spec.pb = Some(16);
+        assert!(spec.validate().is_err());
+        spec.pb = Some(8);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn gallery_covers_all_names() {
+        for name in GALLERY_NAMES {
+            let g = gallery_graph(name).expect(name);
+            assert!(g.compute_node_count() >= 3, "{name}");
+        }
+        assert!(gallery_graph("nope").is_none());
+    }
+
+    #[test]
+    fn machine_specs_resolve() {
+        for spec in MACHINE_SPECS {
+            let m = machine_from_spec(spec, 16).expect(spec);
+            assert_eq!(m.procs, 16);
+        }
+        assert!(machine_from_spec("mesh", 8).unwrap().xfer.t_n > 0.0);
+        assert!(machine_from_spec("vax", 8).is_none());
+    }
+}

@@ -42,6 +42,7 @@ pub mod builders;
 pub mod dot;
 pub mod gallery;
 pub mod graph;
+pub mod hash;
 pub mod node;
 pub mod random;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use builders::{
 };
 pub use gallery::{block_lu_mdg, fft_2d_mdg, stencil_mdg};
 pub use graph::{EdgeId, Mdg, MdgBuilder, MdgError, NodeId};
+pub use hash::{structural_hash, Fnv128};
 pub use node::{
     AmdahlParams, ArrayTransfer, Edge, LoopClass, LoopMeta, Node, NodeKind, TransferKind,
 };

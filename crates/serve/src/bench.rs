@@ -1,0 +1,206 @@
+//! Closed-loop load generator for the in-process service.
+//!
+//! Drives [`Service::submit`] from `clients` threads, each issuing its
+//! requests back-to-back (closed loop: a client never has more than one
+//! request outstanding). Two phases over the same working set of
+//! distinct `(graph, spec)` keys:
+//!
+//! 1. **cold** — one sequential sweep over the working set with a cache
+//!    sized to zero-hit (every request is a fresh solve);
+//! 2. **hot** — `clients × rounds` sweeps against one shared service,
+//!    where all repeats are cache hits or single-flight waits.
+//!
+//! The report carries both throughputs, the hot-phase latency
+//! quantiles, and the hot service's final counters — which is how the
+//! headline claim (repeated-workload throughput ≥10× cold solving, with
+//! `solves == distinct keys`) is checked rather than asserted.
+
+use crate::metrics::MetricsSnapshot;
+use crate::service::{ServeConfig, Service};
+use paradigm_core::{gallery_graph, SolveSpec};
+use paradigm_cost::Machine;
+use paradigm_mdg::Mdg;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Closed-loop client threads in the hot phase.
+    pub clients: usize,
+    /// Sweeps over the working set per client in the hot phase.
+    pub rounds: usize,
+    /// Worker threads in the service under test.
+    pub workers: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { clients: 4, rounds: 25, workers: 4 }
+    }
+}
+
+/// What the load generator measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Distinct `(graph, spec)` keys in the working set.
+    pub distinct_keys: usize,
+    /// Requests completed in the cold phase (== distinct keys).
+    pub cold_requests: usize,
+    /// Cold-phase wall time in seconds.
+    pub cold_secs: f64,
+    /// Requests completed in the hot phase.
+    pub hot_requests: usize,
+    /// Hot-phase wall time in seconds.
+    pub hot_secs: f64,
+    /// Final counters of the hot-phase service.
+    pub stats: MetricsSnapshot,
+}
+
+impl BenchReport {
+    /// Cold-phase throughput (solves per second).
+    pub fn cold_throughput(&self) -> f64 {
+        self.cold_requests as f64 / self.cold_secs
+    }
+
+    /// Hot-phase throughput (requests per second).
+    pub fn hot_throughput(&self) -> f64 {
+        self.hot_requests as f64 / self.hot_secs
+    }
+
+    /// Hot over cold throughput.
+    pub fn speedup(&self) -> f64 {
+        self.hot_throughput() / self.cold_throughput()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-serve: {} distinct keys\n  cold: {} solves in {:.3} s = {:.1} req/s\n",
+            self.distinct_keys,
+            self.cold_requests,
+            self.cold_secs,
+            self.cold_throughput()
+        ));
+        out.push_str(&format!(
+            "  hot:  {} requests in {:.3} s = {:.1} req/s  ({:.1}x cold)\n",
+            self.hot_requests,
+            self.hot_secs,
+            self.hot_throughput(),
+            self.speedup()
+        ));
+        out.push_str(&format!(
+            "  hot latency: p50 <= {} us, p99 <= {} us\n",
+            self.stats.p50_us().map_or_else(|| "n/a".into(), |v| v.to_string()),
+            self.stats.p99_us().map_or_else(|| "n/a".into(), |v| v.to_string()),
+        ));
+        out.push_str(&format!(
+            "  hot counters: solves {}  hits {}  dedup-waits {}  errors {}\n",
+            self.stats.solves, self.stats.cache_hits, self.stats.dedup_waits, self.stats.errors
+        ));
+        out
+    }
+}
+
+/// The benchmark's working set: six gallery graphs at two processor
+/// counts each — 12 distinct cache keys covering small and large MDGs.
+pub fn workload() -> Vec<(Arc<Mdg>, SolveSpec)> {
+    let graphs = ["fig1", "cmm", "strassen", "fft2d", "block-lu", "stencil"];
+    let mut set = Vec::new();
+    for name in graphs {
+        let g = Arc::new(gallery_graph(name).expect("gallery graph"));
+        for procs in [16u32, 64] {
+            set.push((Arc::clone(&g), SolveSpec::new(Machine::cm5(procs))));
+        }
+    }
+    set
+}
+
+/// Run the two-phase benchmark. Panics if any request fails — the
+/// workload is all-valid by construction, so failures are bugs.
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let set = workload();
+    let distinct_keys = set.len();
+
+    // Cold phase: cache too small to ever hit across the sweep would
+    // still single-flight within it, so just use a fresh service and a
+    // single sequential sweep — every request is a cold solve.
+    let cold_svc = Service::start(ServeConfig {
+        workers: cfg.workers,
+        cache_capacity: 1, // effectively disable reuse across keys
+        queue_capacity: distinct_keys.max(1),
+        default_deadline: None,
+    });
+    let cold_start = Instant::now();
+    for (g, spec) in &set {
+        cold_svc.submit(Arc::clone(g), spec.clone()).expect("cold solve");
+    }
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+    cold_svc.shutdown();
+
+    // Hot phase: shared service, ample cache, concurrent closed-loop
+    // clients sweeping the same keys.
+    let hot_svc = Arc::new(Service::start(ServeConfig {
+        workers: cfg.workers,
+        cache_capacity: distinct_keys * 8,
+        queue_capacity: (cfg.clients * 2).max(8),
+        default_deadline: None,
+    }));
+    let hot_start = Instant::now();
+    let rounds = cfg.rounds;
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let svc = Arc::clone(&hot_svc);
+            let set = set.clone();
+            std::thread::spawn(move || {
+                for r in 0..rounds {
+                    // Stagger sweep order per client/round so requests
+                    // for one key genuinely collide across clients.
+                    for i in 0..set.len() {
+                        let (g, spec) = &set[(i + c + r) % set.len()];
+                        svc.submit(Arc::clone(g), spec.clone()).expect("hot solve");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let hot_secs = hot_start.elapsed().as_secs_f64();
+    let stats =
+        Arc::try_unwrap(hot_svc).unwrap_or_else(|_| unreachable!("clients joined")).shutdown();
+
+    BenchReport {
+        distinct_keys,
+        cold_requests: distinct_keys,
+        cold_secs: cold_secs.max(1e-9),
+        hot_requests: cfg.clients * cfg.rounds * distinct_keys,
+        hot_secs: hot_secs.max(1e-9),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bench_completes_and_caches() {
+        let report = run_bench(&BenchConfig { clients: 2, rounds: 2, workers: 2 });
+        assert_eq!(report.distinct_keys, 12);
+        assert_eq!(report.hot_requests, 2 * 2 * 12);
+        assert_eq!(report.stats.errors, 0);
+        // Every request was answered, and at most one solve ran per
+        // distinct key in the hot phase.
+        assert_eq!(report.stats.completed as usize, report.hot_requests);
+        assert!(report.stats.solves as usize <= report.distinct_keys);
+        assert!(
+            report.stats.cache_hits + report.stats.dedup_waits
+                >= (report.hot_requests as u64) - (report.distinct_keys as u64)
+        );
+        let text = report.render();
+        assert!(text.contains("distinct keys"), "{text}");
+    }
+}

@@ -1,0 +1,365 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request, in order.
+//! Grammar (field order free; unknown fields rejected to catch typos):
+//!
+//! ```text
+//! request   = solve | stats | ping | shutdown
+//! solve     = { "op":"solve", graph-src, "procs":int?, "machine":str?,
+//!               "policy":("est"|"hlf")?, "pb":int?, "refine":bool?,
+//!               "full_solver":bool?, "simulate":bool?, "deadline_ms":int? }
+//! graph-src = "gallery": name            ; built-in workload, or
+//!           | "graph": mdg-text          ; inline MDG text format
+//! stats     = { "op":"stats" }
+//! ping      = { "op":"ping" }
+//! shutdown  = { "op":"shutdown" }
+//!
+//! response  = { "ok":true, ... } | { "ok":false, "error":str }
+//! ```
+//!
+//! Defaults: `procs` 16, `machine` `"cm5"`, `policy` `"est"`, `pb`
+//! automatic (Corollary 1), `refine`/`simulate` false, fast solver.
+//! A solve response carries `phi`, `t_psa`, `pb`, `deviation_percent`,
+//! `utilization`, the allocation table, `cached`/`deduplicated` flags,
+//! and the service latency in microseconds.
+
+use crate::json::{parse, Json};
+use crate::service::{Service, SolveResponse};
+use paradigm_core::{gallery_graph, machine_from_spec, SolveSpec, GALLERY_NAMES, MACHINE_SPECS};
+use paradigm_mdg::{from_text, Mdg};
+use paradigm_sched::SchedPolicy;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A decoded request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Solve one graph under one spec.
+    Solve {
+        /// The graph to solve (already parsed/resolved).
+        graph: Arc<Mdg>,
+        /// Pipeline parameters.
+        spec: SolveSpec,
+        /// Max time the job may spend queued.
+        deadline: Option<Duration>,
+    },
+    /// Return the metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// Decode one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse(line).map_err(|e| e.to_string())?;
+    let Json::Obj(members) = &doc else {
+        return Err("request must be a JSON object".into());
+    };
+    let op = doc.get("op").and_then(Json::as_str).ok_or("missing string field `op`")?;
+    match op {
+        "stats" | "ping" | "shutdown" => {
+            if members.len() != 1 {
+                return Err(format!("`{op}` takes no other fields"));
+            }
+            Ok(match op {
+                "stats" => Request::Stats,
+                "ping" => Request::Ping,
+                _ => Request::Shutdown,
+            })
+        }
+        "solve" => parse_solve(&doc, members),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+const SOLVE_FIELDS: [&str; 10] = [
+    "op",
+    "gallery",
+    "graph",
+    "procs",
+    "machine",
+    "policy",
+    "pb",
+    "refine",
+    "full_solver",
+    "simulate",
+];
+
+fn parse_solve(doc: &Json, members: &[(String, Json)]) -> Result<Request, String> {
+    for (key, _) in members {
+        if key != "deadline_ms" && !SOLVE_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` in solve request"));
+        }
+    }
+    let graph = match (doc.get("gallery"), doc.get("graph")) {
+        (Some(_), Some(_)) => return Err("give `gallery` or `graph`, not both".into()),
+        (Some(name), None) => {
+            let name = name.as_str().ok_or("`gallery` must be a string")?;
+            gallery_graph(name).ok_or_else(|| {
+                format!("unknown gallery graph `{name}` (try {})", GALLERY_NAMES.join(", "))
+            })?
+        }
+        (None, Some(text)) => {
+            let text = text.as_str().ok_or("`graph` must be a string (MDG text format)")?;
+            from_text(text).map_err(|e| format!("bad inline graph: {e}"))?
+        }
+        (None, None) => return Err("solve needs `gallery` or `graph`".into()),
+    };
+    let procs = match doc.get("procs") {
+        None => 16,
+        Some(v) => {
+            let p = v.as_u64().ok_or("`procs` must be a non-negative integer")?;
+            u32::try_from(p).ok().filter(|&p| p >= 1).ok_or("`procs` must be in 1..=2^32-1")?
+        }
+    };
+    let machine_name = match doc.get("machine") {
+        None => "cm5",
+        Some(v) => v.as_str().ok_or("`machine` must be a string")?,
+    };
+    let machine = machine_from_spec(machine_name, procs).ok_or_else(|| {
+        format!("unknown machine `{machine_name}` (try {})", MACHINE_SPECS.join(", "))
+    })?;
+    let policy = match doc.get("policy").map(|v| v.as_str().ok_or("`policy` must be a string")) {
+        None => SchedPolicy::LowestEst,
+        Some(Ok("est")) => SchedPolicy::LowestEst,
+        Some(Ok("hlf")) => SchedPolicy::HighestLevelFirst,
+        Some(Ok(other)) => return Err(format!("unknown policy `{other}` (try est, hlf)")),
+        Some(Err(e)) => return Err(e.into()),
+    };
+    let pb = match doc.get("pb") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            u32::try_from(v.as_u64().ok_or("`pb` must be a non-negative integer")?)
+                .map_err(|_| "`pb` out of range")?,
+        ),
+    };
+    let flag = |key: &str| -> Result<bool, String> {
+        match doc.get(key) {
+            None => Ok(false),
+            Some(v) => v.as_bool().ok_or_else(|| format!("`{key}` must be a boolean")),
+        }
+    };
+    let deadline = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Duration::from_millis(
+            v.as_u64().ok_or("`deadline_ms` must be a non-negative integer")?,
+        )),
+    };
+    let spec = SolveSpec {
+        machine,
+        policy,
+        pb,
+        refine: flag("refine")?,
+        fast_solver: !flag("full_solver")?,
+        simulate: flag("simulate")?,
+    };
+    Ok(Request::Solve { graph: Arc::new(graph), spec, deadline })
+}
+
+/// Encode an error response.
+pub fn error_response(message: &str) -> Json {
+    Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::str(message))])
+}
+
+/// Encode a successful solve response.
+pub fn solve_response(r: &SolveResponse) -> Json {
+    let alloc: Vec<Json> = r
+        .output
+        .alloc
+        .iter()
+        .map(|a| {
+            Json::Obj(vec![
+                ("node".into(), Json::str(&a.node)),
+                ("continuous".into(), Json::num(a.continuous)),
+                ("procs".into(), Json::num(f64::from(a.procs))),
+            ])
+        })
+        .collect();
+    let mut members = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("graph".into(), Json::str(&r.graph)),
+        ("compute_nodes".into(), Json::num(r.output.compute_nodes as f64)),
+        ("phi".into(), Json::num(r.output.phi)),
+        ("t_psa".into(), Json::num(r.output.t_psa)),
+        ("pb".into(), Json::num(f64::from(r.output.pb))),
+        ("deviation_percent".into(), Json::num(r.output.deviation_percent)),
+        ("utilization".into(), Json::num(r.output.utilization)),
+        ("alloc".into(), Json::Arr(alloc)),
+        ("cached".into(), Json::Bool(r.cached)),
+        ("deduplicated".into(), Json::Bool(r.deduplicated)),
+        ("service_us".into(), Json::num(r.service.as_micros() as f64)),
+    ];
+    if let Some(sim) = r.output.sim_makespan {
+        members.push(("sim_makespan".into(), Json::num(sim)));
+    }
+    Json::Obj(members)
+}
+
+/// Dispatch one already-parsed request against a service. `Shutdown`
+/// and `Ping` are acknowledged here; the *server* decides what shutdown
+/// means for its accept loop.
+pub fn dispatch(service: &Service, request: &Request) -> Json {
+    match request {
+        Request::Ping => {
+            Json::Obj(vec![("ok".into(), Json::Bool(true)), ("pong".into(), Json::Bool(true))])
+        }
+        Request::Stats => Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("stats".into(), service.stats().to_json()),
+        ]),
+        Request::Shutdown => Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("shutting_down".into(), Json::Bool(true)),
+        ]),
+        Request::Solve { graph, spec, deadline } => {
+            match service.submit_with_deadline(Arc::clone(graph), spec.clone(), *deadline) {
+                Ok(r) => solve_response(&r),
+                Err(e) => error_response(&e.to_string()),
+            }
+        }
+    }
+}
+
+/// Handle one raw request line end-to-end: parse, dispatch, encode.
+/// The bool is true if the client asked for shutdown.
+pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(msg) => (error_response(&msg).render(), false),
+        Ok(req) => {
+            let shutdown = matches!(req, Request::Shutdown);
+            (dispatch(service, &req).render(), shutdown)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use paradigm_mdg::to_text;
+
+    fn svc() -> Service {
+        Service::start(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+            queue_capacity: 8,
+            default_deadline: None,
+        })
+    }
+
+    #[test]
+    fn solve_request_parses_with_defaults() {
+        let req = parse_request(r#"{"op":"solve","gallery":"fig1"}"#).unwrap();
+        let Request::Solve { graph, spec, deadline } = req else { panic!("not solve") };
+        assert_eq!(graph.name(), "fig1-example");
+        assert_eq!(spec.machine.procs, 16);
+        assert_eq!(spec.policy, SchedPolicy::LowestEst);
+        assert!(spec.fast_solver && !spec.refine && !spec.simulate);
+        assert!(spec.pb.is_none() && deadline.is_none());
+    }
+
+    #[test]
+    fn solve_request_full_options() {
+        let req = parse_request(
+            r#"{"op":"solve","gallery":"cmm","procs":32,"machine":"mesh","policy":"hlf",
+                "pb":8,"refine":true,"full_solver":true,"simulate":true,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Solve { spec, deadline, .. } = req else { panic!("not solve") };
+        assert_eq!(spec.machine.procs, 32);
+        assert!(spec.machine.xfer.t_n > 0.0, "mesh has a network term");
+        assert_eq!(spec.policy, SchedPolicy::HighestLevelFirst);
+        assert_eq!(spec.pb, Some(8));
+        assert!(spec.refine && spec.simulate && !spec.fast_solver);
+        assert_eq!(deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn inline_graph_accepted() {
+        let text = to_text(&paradigm_core::gallery_graph("fig1").unwrap());
+        let line = Json::Obj(vec![
+            ("op".into(), Json::str("solve")),
+            ("graph".into(), Json::str(text)),
+            ("procs".into(), Json::num(4.0)),
+        ])
+        .render();
+        let Request::Solve { graph, .. } = parse_request(&line).unwrap() else {
+            panic!("not solve")
+        };
+        assert_eq!(graph.compute_node_count(), 3);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"solve"}"#,
+            r#"{"op":"solve","gallery":"nope"}"#,
+            r#"{"op":"solve","gallery":"fig1","graph":"mdg x"}"#,
+            r#"{"op":"solve","gallery":"fig1","procs":0}"#,
+            r#"{"op":"solve","gallery":"fig1","procs":1.5}"#,
+            r#"{"op":"solve","gallery":"fig1","machine":"vax"}"#,
+            r#"{"op":"solve","gallery":"fig1","policy":"random"}"#,
+            r#"{"op":"solve","gallery":"fig1","wat":1}"#,
+            r#"{"op":"solve","graph":"mdg broken\nnode x"}"#,
+            r#"{"op":"stats","extra":1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_solve_and_stats() {
+        let svc = svc();
+        let (resp, shutdown) = handle_line(&svc, r#"{"op":"solve","gallery":"fig1","procs":4}"#);
+        assert!(!shutdown);
+        let doc = parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert!((doc.get("t_psa").and_then(Json::as_f64).unwrap() - 14.3).abs() < 1e-9);
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("alloc").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+
+        let (resp2, _) = handle_line(&svc, r#"{"op":"solve","gallery":"fig1","procs":4}"#);
+        let doc2 = parse(&resp2).unwrap();
+        assert_eq!(doc2.get("cached").and_then(Json::as_bool), Some(true));
+
+        let (stats, _) = handle_line(&svc, r#"{"op":"stats"}"#);
+        let sdoc = parse(&stats).unwrap();
+        let inner = sdoc.get("stats").expect("stats payload");
+        assert_eq!(inner.get("solves").and_then(Json::as_u64), Some(1));
+        assert_eq!(inner.get("cache_hits").and_then(Json::as_u64), Some(1));
+
+        let (pong, _) = handle_line(&svc, r#"{"op":"ping"}"#);
+        assert!(pong.contains("pong"));
+
+        let (bye, shutdown) = handle_line(&svc, r#"{"op":"shutdown"}"#);
+        assert!(shutdown);
+        assert!(bye.contains("shutting_down"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn solve_error_is_protocol_error_not_panic() {
+        let svc = svc();
+        // pb larger than the machine: rejected by spec validation.
+        let (resp, _) = handle_line(&svc, r#"{"op":"solve","gallery":"fig1","procs":4,"pb":64}"#);
+        let doc = parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(doc.get("error").and_then(Json::as_str).unwrap().contains("processor bound"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn simulate_adds_sim_makespan() {
+        let svc = svc();
+        let (resp, _) =
+            handle_line(&svc, r#"{"op":"solve","gallery":"fig1","procs":4,"simulate":true}"#);
+        let doc = parse(&resp).unwrap();
+        assert!(doc.get("sim_makespan").and_then(Json::as_f64).unwrap() > 0.0);
+        svc.shutdown();
+    }
+}

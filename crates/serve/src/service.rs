@@ -1,0 +1,429 @@
+//! The in-process scheduling service: a worker thread pool draining a
+//! bounded job queue, fronted by the single-flight result cache.
+//!
+//! [`Service::submit`] is the synchronous request path used by the TCP
+//! connection handlers, the load generator, and tests:
+//!
+//! 1. the caller's graph + spec are fingerprinted
+//!    ([`paradigm_core::solve_fingerprint`]) and enqueued — blocking
+//!    while the queue is full (backpressure), failing fast once the
+//!    service is draining;
+//! 2. a worker pops the job; if its deadline already passed in the
+//!    queue it is rejected without solving, otherwise the worker goes
+//!    through [`ShardedCache::get_or_compute`] so identical concurrent
+//!    requests collapse into one pipeline solve;
+//! 3. the response is published on the job's slot, waking the
+//!    submitter.
+//!
+//! [`Service::shutdown`] is a graceful drain: submissions are refused,
+//! workers finish every job already queued (no lost responses), and
+//! the final metrics snapshot is returned.
+
+use crate::cache::{Outcome, ShardedCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use paradigm_core::{solve_fingerprint, solve_pipeline, SolveOutput, SolveSpec};
+use paradigm_mdg::Mdg;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum ready entries in the result cache.
+    pub cache_capacity: usize,
+    /// Maximum queued (not yet running) jobs before submitters block.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        ServeConfig { workers, cache_capacity: 1024, queue_capacity: 256, default_deadline: None }
+    }
+}
+
+/// Why a request was not answered with a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service is draining; no new work is accepted.
+    ShuttingDown,
+    /// The job spent longer queued than its deadline allowed.
+    DeadlineExceeded {
+        /// How long the job waited before a worker reached it.
+        queued_for: Duration,
+    },
+    /// The request was rejected before solving (bad spec, bad graph).
+    Invalid(String),
+    /// The pipeline solve itself failed (panic caught by the cache).
+    SolveFailed(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::DeadlineExceeded { queued_for } => {
+                write!(f, "deadline exceeded after {} ms in queue", queued_for.as_millis())
+            }
+            ServeError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::SolveFailed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A solved response: the shared pipeline output plus per-request
+/// service metadata.
+#[derive(Debug, Clone)]
+pub struct SolveResponse {
+    /// The cached (or freshly computed) pipeline output.
+    pub output: Arc<SolveOutput>,
+    /// Graph name from *this* request (cache entries keep the name of
+    /// whichever structurally-equal graph arrived first).
+    pub graph: String,
+    /// True if the response came from a ready cache entry.
+    pub cached: bool,
+    /// True if this request waited on another request's in-flight solve.
+    pub deduplicated: bool,
+    /// End-to-end service latency (enqueue → response ready).
+    pub service: Duration,
+}
+
+struct Job {
+    graph: Arc<Mdg>,
+    spec: SolveSpec,
+    key: u128,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    slot: Arc<ResponseSlot>,
+}
+
+/// One-shot response channel (std has no oneshot; a mutex+condvar pair
+/// is enough at this request granularity).
+struct ResponseSlot {
+    result: Mutex<Option<Result<SolveResponse, ServeError>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot { result: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn fill(&self, r: Result<SolveResponse, ServeError>) {
+        let mut slot = self.result.lock().expect("slot poisoned");
+        *slot = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<SolveResponse, ServeError> {
+        let mut slot = self.result.lock().expect("slot poisoned");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.cv.wait(slot).expect("slot poisoned");
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// False once shutdown begins; guarded by the queue mutex so a
+    /// submitter can't slip a job in after the drain decision.
+    accepting: bool,
+}
+
+struct Inner {
+    queue: Mutex<QueueState>,
+    /// Signals workers: work available or shutdown.
+    not_empty: Condvar,
+    /// Signals submitters: queue has room again.
+    not_full: Condvar,
+    cache: ShardedCache<SolveOutput>,
+    metrics: Metrics,
+    cfg: ServeConfig,
+}
+
+/// The scheduling service. Cheap to share (`Arc` internally); dropped
+/// or explicitly [`Service::shutdown`] — both drain cleanly.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the worker pool.
+    pub fn start(cfg: ServeConfig) -> Service {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.queue_capacity >= 1, "need a non-empty queue");
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), accepting: true }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cache: ShardedCache::new(cfg.cache_capacity),
+            metrics: Metrics::default(),
+            cfg: cfg.clone(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Solve one request, blocking until the response is ready. See the
+    /// module docs for the path taken.
+    pub fn submit(&self, graph: Arc<Mdg>, spec: SolveSpec) -> Result<SolveResponse, ServeError> {
+        self.submit_with_deadline(graph, spec, self.inner.cfg.default_deadline)
+    }
+
+    /// [`Service::submit`] with an explicit queueing deadline (`None`
+    /// never expires).
+    pub fn submit_with_deadline(
+        &self,
+        graph: Arc<Mdg>,
+        spec: SolveSpec,
+        deadline: Option<Duration>,
+    ) -> Result<SolveResponse, ServeError> {
+        if let Err(msg) = spec.validate() {
+            self.inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(msg));
+        }
+        let key = solve_fingerprint(&graph, &spec);
+        let slot = ResponseSlot::new();
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            loop {
+                if !q.accepting {
+                    return Err(ServeError::ShuttingDown);
+                }
+                if q.jobs.len() < self.inner.cfg.queue_capacity {
+                    break;
+                }
+                q = self.inner.not_full.wait(q).expect("queue poisoned");
+            }
+            q.jobs.push_back(Job {
+                graph,
+                spec,
+                key,
+                enqueued: Instant::now(),
+                deadline,
+                slot: Arc::clone(&slot),
+            });
+            self.inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.queue_depth.store(q.jobs.len() as u64, Ordering::Relaxed);
+        }
+        self.inner.not_empty.notify_one();
+        slot.wait()
+    }
+
+    /// Current metrics.
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Ready entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Begin draining without blocking: new submissions are refused
+    /// with [`ServeError::ShuttingDown`], but already-queued jobs still
+    /// complete. Call [`Service::shutdown`] (or drop) to join workers.
+    pub fn drain(&self) {
+        self.begin_drain();
+    }
+
+    /// Graceful drain: refuse new submissions, let workers finish every
+    /// queued job, join them, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.begin_drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.metrics.snapshot()
+    }
+
+    fn begin_drain(&self) {
+        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        q.accepting = false;
+        drop(q);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    inner.metrics.queue_depth.store(q.jobs.len() as u64, Ordering::Relaxed);
+                    break job;
+                }
+                if !q.accepting {
+                    return; // drained and draining: exit
+                }
+                q = inner.not_empty.wait(q).expect("queue poisoned");
+            }
+        };
+        inner.not_full.notify_one();
+
+        let queued_for = job.enqueued.elapsed();
+        if let Some(deadline) = job.deadline {
+            if queued_for > deadline {
+                inner.metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                job.slot.fill(Err(ServeError::DeadlineExceeded { queued_for }));
+                continue;
+            }
+        }
+
+        let (result, outcome) = inner.cache.get_or_compute(job.key, || {
+            inner.metrics.solves.fetch_add(1, Ordering::Relaxed);
+            solve_pipeline(&job.graph, &job.spec)
+        });
+        match outcome {
+            Outcome::Hit => inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Outcome::Miss => inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed),
+            Outcome::DedupWait => inner.metrics.dedup_waits.fetch_add(1, Ordering::Relaxed),
+        };
+        // Fold cache-level evictions into the service counter.
+        inner.metrics.evictions.store(inner.cache.evictions(), Ordering::Relaxed);
+
+        let service = job.enqueued.elapsed();
+        let response = match result {
+            Ok(output) => {
+                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .latency
+                    .record_us(service.as_micros().min(u128::from(u64::MAX)) as u64);
+                Ok(SolveResponse {
+                    output,
+                    graph: job.graph.name().to_string(),
+                    cached: outcome == Outcome::Hit,
+                    deduplicated: outcome == Outcome::DedupWait,
+                    service,
+                })
+            }
+            Err(msg) => {
+                inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::SolveFailed(msg))
+            }
+        };
+        job.slot.fill(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradigm_core::gallery_graph;
+    use paradigm_cost::Machine;
+
+    fn fig1() -> Arc<Mdg> {
+        Arc::new(gallery_graph("fig1").expect("gallery"))
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig { workers: 2, cache_capacity: 64, queue_capacity: 8, default_deadline: None }
+    }
+
+    #[test]
+    fn solve_then_hit() {
+        let svc = Service::start(small_cfg());
+        let spec = SolveSpec::new(Machine::cm5(4));
+        let first = svc.submit(fig1(), spec.clone()).unwrap();
+        assert!(!first.cached);
+        assert!(first.output.phi > 0.0);
+        assert!((first.output.t_psa - 14.3).abs() < 1e-9);
+        let second = svc.submit(fig1(), spec).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.output.t_psa, first.output.t_psa);
+        let stats = svc.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn structurally_equal_graphs_share_one_entry() {
+        let svc = Service::start(small_cfg());
+        let spec = SolveSpec::new(Machine::cm5(4));
+        // Round-trip through the text format: different object, same
+        // structure and name-set, so the fingerprint matches.
+        let g1 = fig1();
+        let g2 = Arc::new(paradigm_mdg::from_text(&paradigm_mdg::to_text(&g1)).unwrap());
+        svc.submit(g1, spec.clone()).unwrap();
+        let r = svc.submit(g2, spec).unwrap();
+        assert!(r.cached, "structural equality must hit");
+        let stats = svc.shutdown();
+        assert_eq!(stats.solves, 1);
+    }
+
+    #[test]
+    fn invalid_spec_rejected_without_solving() {
+        let svc = Service::start(small_cfg());
+        let mut spec = SolveSpec::new(Machine::cm5(4));
+        spec.pb = Some(64); // exceeds machine size
+        let err = svc.submit(fig1(), spec).unwrap_err();
+        assert!(matches!(err, ServeError::Invalid(_)), "{err}");
+        let stats = svc.shutdown();
+        assert_eq!(stats.solves, 0);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn zero_deadline_expires_in_queue() {
+        let svc = Service::start(ServeConfig { workers: 1, ..small_cfg() });
+        let err = svc
+            .submit_with_deadline(fig1(), SolveSpec::new(Machine::cm5(4)), Some(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+        let stats = svc.shutdown();
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.solves, 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_refused() {
+        let svc = Service::start(small_cfg());
+        svc.begin_drain();
+        let err = svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn drop_drains_cleanly() {
+        let svc = Service::start(small_cfg());
+        svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap();
+        drop(svc); // must not hang or panic
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrency stress test: N client threads firing M mixed requests at
+//! one service. Verifies the headline accounting invariants:
+//!
+//! * no lost responses — every submission gets exactly one answer;
+//! * single-flight — pipeline solves == distinct cache keys;
+//! * metrics add up — hits + misses + dedup-waits == completed, and
+//!   requests == completed + deadline expiries;
+//! * clean shutdown under load.
+
+use paradigm_core::{gallery_graph, solve_fingerprint, SolveSpec};
+use paradigm_cost::Machine;
+use paradigm_mdg::Mdg;
+use paradigm_sched::SchedPolicy;
+use paradigm_serve::{ServeConfig, Service};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The mixed workload: 4 graphs × 2 proc counts × 2 policies = 16
+/// distinct keys, interleaved differently per client.
+fn workload() -> Vec<(Arc<Mdg>, SolveSpec)> {
+    let mut set = Vec::new();
+    for name in ["fig1", "cmm", "fft2d", "stencil"] {
+        let g = Arc::new(gallery_graph(name).expect("gallery"));
+        for procs in [8u32, 32] {
+            for policy in [SchedPolicy::LowestEst, SchedPolicy::HighestLevelFirst] {
+                let spec = SolveSpec { policy, ..SolveSpec::new(Machine::cm5(procs)) };
+                set.push((Arc::clone(&g), spec));
+            }
+        }
+    }
+    set
+}
+
+#[test]
+fn n_threads_m_mixed_requests_account_exactly() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+
+    let set = workload();
+    let distinct: HashSet<u128> = set.iter().map(|(g, s)| solve_fingerprint(g, s)).collect();
+    assert_eq!(distinct.len(), set.len(), "workload keys are all distinct");
+
+    let svc = Arc::new(Service::start(ServeConfig {
+        workers: 4,
+        cache_capacity: 256,
+        queue_capacity: 8, // small on purpose: exercises backpressure
+        default_deadline: None,
+    }));
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let set = workload();
+            std::thread::spawn(move || {
+                let mut answers = 0usize;
+                for r in 0..ROUNDS {
+                    for i in 0..set.len() {
+                        // Different interleaving per client so the same
+                        // key is in flight from several threads at once.
+                        let (g, spec) = &set[(i * (c + 1) + r) % set.len()];
+                        let resp = svc.submit(Arc::clone(g), spec.clone()).expect("solve");
+                        assert!(resp.output.t_psa > 0.0);
+                        assert!(resp.output.phi > 0.0);
+                        answers += 1;
+                    }
+                }
+                answers
+            })
+        })
+        .collect();
+
+    let mut total_answers = 0usize;
+    for h in handles {
+        total_answers += h.join().expect("client panicked");
+    }
+    let expected = CLIENTS * ROUNDS * set.len();
+    assert_eq!(total_answers, expected, "no lost responses");
+
+    let stats = Arc::try_unwrap(svc)
+        .unwrap_or_else(|_| panic!("clients still hold the service"))
+        .shutdown();
+
+    assert_eq!(stats.requests as usize, expected);
+    assert_eq!(stats.completed as usize, expected);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.deadline_misses, 0);
+    // Single-flight: each distinct key was solved exactly once (the
+    // cache is large enough that nothing was evicted and re-solved).
+    assert_eq!(stats.solves as usize, distinct.len(), "solve count == distinct keys");
+    assert_eq!(stats.evictions, 0);
+    // Every completed request was answered one of the three ways.
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses + stats.dedup_waits,
+        stats.completed,
+        "hit/miss/dedup partition completed requests"
+    );
+    assert_eq!(stats.cache_misses as usize, distinct.len());
+    // All the rest were served without re-solving.
+    assert_eq!((stats.cache_hits + stats.dedup_waits) as usize, expected - distinct.len());
+    assert_eq!(stats.queue_depth, 0, "queue fully drained");
+}
+
+#[test]
+fn shutdown_under_load_answers_every_accepted_request() {
+    let set = workload();
+    let svc = Arc::new(Service::start(ServeConfig {
+        workers: 2,
+        cache_capacity: 256,
+        queue_capacity: 4,
+        default_deadline: None,
+    }));
+
+    // Submitters race with shutdown: each request either completes or is
+    // refused with ShuttingDown — never lost, never panicking.
+    let handles: Vec<_> = (0..6)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let set = set.clone();
+            std::thread::spawn(move || {
+                let (mut ok, mut refused) = (0usize, 0usize);
+                for i in 0..set.len() {
+                    let (g, spec) = &set[(i + c) % set.len()];
+                    match svc.submit(Arc::clone(g), spec.clone()) {
+                        Ok(_) => ok += 1,
+                        Err(paradigm_serve::ServeError::ShuttingDown) => refused += 1,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                (ok, refused)
+            })
+        })
+        .collect();
+
+    // Let some work land, then start the drain while clients are still
+    // submitting: the remaining submissions must be refused cleanly.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    svc.drain();
+
+    let (mut total_ok, mut total_refused) = (0usize, 0usize);
+    for h in handles {
+        let (ok, refused) = h.join().expect("client panicked");
+        total_ok += ok;
+        total_refused += refused;
+    }
+    assert!(total_ok > 0, "some requests completed before drain");
+
+    let stats = Arc::try_unwrap(svc)
+        .unwrap_or_else(|_| panic!("clients still hold the service"))
+        .shutdown();
+    // Accepted and refused partition the submissions; every accepted
+    // request was answered.
+    assert_eq!(stats.completed as usize + stats.errors as usize, total_ok);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(total_ok + total_refused, 6 * workload().len());
+}

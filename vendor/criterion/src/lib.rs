@@ -2,12 +2,76 @@
 //!
 //! Provides the subset the workspace's benches use — `Criterion`,
 //! `bench_function`, `benchmark_group` / `bench_with_input`,
-//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
-//! `criterion_main!` macros — with a simple best-of-N wall-clock
-//! measurement instead of criterion's statistical machinery.
+//! `BenchmarkId`, `black_box`, the `measurement::Measurement` trait
+//! with the `WallTime` default, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple best-of-N measurement
+//! instead of criterion's statistical machinery.
+//!
+//! Mirroring the real crate, `Criterion`, `Bencher`, and
+//! `BenchmarkGroup` are generic over the measurement with
+//! `WallTime` as default, so bench code written generically
+//! (`fn bench<M: Measurement>(g: &mut BenchmarkGroup<'_, M>)`) compiles
+//! against both the stub and crates.io criterion.
 
 use std::fmt::Display;
-use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! The measurement abstraction: how one timing sample is taken and
+    //! aggregated. Matches the shape of `criterion::measurement`.
+
+    use std::time::{Duration, Instant};
+
+    /// One way of measuring a benchmark iteration batch.
+    pub trait Measurement {
+        /// In-progress measurement state (e.g. a start timestamp).
+        type Intermediate;
+        /// A completed measurement (e.g. an elapsed duration).
+        type Value;
+
+        /// Begin a measurement.
+        fn start(&self) -> Self::Intermediate;
+        /// Finish a measurement started with [`Measurement::start`].
+        fn end(&self, i: Self::Intermediate) -> Self::Value;
+        /// Combine two measured values.
+        fn add(&self, v1: &Self::Value, v2: &Self::Value) -> Self::Value;
+        /// The additive identity.
+        fn zero(&self) -> Self::Value;
+        /// Convert a value to an `f64` for comparison/printing (wall
+        /// time reports nanoseconds).
+        fn to_f64(&self, value: &Self::Value) -> f64;
+    }
+
+    /// The default measurement: monotonic wall-clock time.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {
+        type Intermediate = Instant;
+        type Value = Duration;
+
+        fn start(&self) -> Instant {
+            Instant::now()
+        }
+
+        fn end(&self, i: Instant) -> Duration {
+            i.elapsed()
+        }
+
+        fn add(&self, v1: &Duration, v2: &Duration) -> Duration {
+            *v1 + *v2
+        }
+
+        fn zero(&self) -> Duration {
+            Duration::ZERO
+        }
+
+        fn to_f64(&self, value: &Duration) -> f64 {
+            value.as_nanos() as f64
+        }
+    }
+}
+
+use measurement::{Measurement, WallTime};
 
 /// Re-export of the standard optimizer barrier.
 pub fn black_box<T>(x: T) -> T {
@@ -33,78 +97,99 @@ impl BenchmarkId {
 }
 
 /// Timing loop handle passed to bench closures. Carries the same
-/// lifetime parameter as the real criterion `Bencher<'a, M>` so bench
-/// code writing `criterion::Bencher<'_>` compiles against the stub.
-pub struct Bencher<'a> {
-    best: Duration,
+/// lifetime/measurement parameters as the real criterion
+/// `Bencher<'a, M>` so bench code writing `criterion::Bencher<'_>` or
+/// generic `Bencher<'_, M>` compiles against the stub.
+pub struct Bencher<'a, M: Measurement = WallTime> {
+    measurement: &'a M,
+    best: Option<M::Value>,
     iters_done: u64,
-    _lt: std::marker::PhantomData<&'a ()>,
 }
 
-impl Bencher<'_> {
-    /// Time `f`, keeping the best (lowest) per-iteration duration over a
-    /// small fixed number of batches.
+impl<M: Measurement> Bencher<'_, M> {
+    /// Time `f`, keeping the best (lowest `to_f64`) per-batch value
+    /// over a small fixed number of batches.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         const BATCHES: u32 = 3;
         for _ in 0..BATCHES {
-            let start = Instant::now();
+            let start = self.measurement.start();
             black_box(f());
-            let elapsed = start.elapsed();
+            let elapsed = self.measurement.end(start);
             self.iters_done += 1;
-            if elapsed < self.best {
-                self.best = elapsed;
+            let better = match &self.best {
+                None => true,
+                Some(b) => self.measurement.to_f64(&elapsed) < self.measurement.to_f64(b),
+            };
+            if better {
+                self.best = Some(elapsed);
             }
         }
     }
 }
 
-fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
-    let mut b = Bencher { best: Duration::MAX, iters_done: 0, _lt: std::marker::PhantomData };
+fn run_one<M: Measurement>(m: &M, label: &str, f: &mut dyn FnMut(&mut Bencher<'_, M>)) {
+    let mut b = Bencher { measurement: m, best: None, iters_done: 0 };
     f(&mut b);
-    if b.iters_done == 0 {
-        println!("{label:<48} (no measurement)");
-    } else {
-        println!("{label:<48} best {:>12.3?}", b.best);
+    match b.best {
+        None => println!("{label:<48} (no measurement)"),
+        Some(best) => {
+            println!("{label:<48} best {:>16.3} ns", m.to_f64(&best));
+        }
     }
 }
 
-/// Top-level benchmark driver.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+/// Top-level benchmark driver, generic over the measurement like the
+/// real crate (`Criterion<M: Measurement = WallTime>`).
+#[derive(Debug)]
+pub struct Criterion<M: Measurement = WallTime> {
+    measurement: M,
+}
 
-impl Criterion {
+impl Default for Criterion<WallTime> {
+    fn default() -> Self {
+        Criterion { measurement: WallTime }
+    }
+}
+
+impl<M: Measurement> Criterion<M> {
+    /// Swap the measurement, keeping everything else (mirrors
+    /// `Criterion::with_measurement`).
+    pub fn with_measurement<M2: Measurement>(self, m: M2) -> Criterion<M2> {
+        Criterion { measurement: m }
+    }
+
     /// Run one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+    pub fn bench_function<F: FnMut(&mut Bencher<'_, M>)>(
         &mut self,
         name: &str,
         mut f: F,
     ) -> &mut Self {
-        run_one(name, &mut f);
+        run_one(&self.measurement, name, &mut f);
         self
     }
 
     /// Open a named group.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string() }
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, M> {
+        BenchmarkGroup { measurement: &self.measurement, name: name.to_string() }
     }
 }
 
 /// A named collection of related benchmarks.
-pub struct BenchmarkGroup<'a> {
-    _c: &'a mut Criterion,
+pub struct BenchmarkGroup<'a, M: Measurement = WallTime> {
+    measurement: &'a M,
     name: String,
 }
 
-impl BenchmarkGroup<'_> {
+impl<M: Measurement> BenchmarkGroup<'_, M> {
     /// Run one parameterized benchmark.
-    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_, M>, &I)>(
         &mut self,
         id: BenchmarkId,
         input: &I,
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.label);
-        run_one(&label, &mut |b| f(b, input));
+        run_one(self.measurement, &label, &mut |b| f(b, input));
         self
     }
 
@@ -131,4 +216,59 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::measurement::{Measurement, WallTime};
+    use super::*;
+
+    /// A deterministic measurement counting batches instead of time —
+    /// exercises the generics without wall-clock flakiness.
+    #[derive(Default)]
+    struct CountBatches;
+
+    impl Measurement for CountBatches {
+        type Intermediate = ();
+        type Value = u64;
+
+        fn start(&self) {}
+        fn end(&self, (): ()) -> u64 {
+            1
+        }
+        fn add(&self, v1: &u64, v2: &u64) -> u64 {
+            v1 + v2
+        }
+        fn zero(&self) -> u64 {
+            0
+        }
+        fn to_f64(&self, value: &u64) -> f64 {
+            *value as f64
+        }
+    }
+
+    /// Generic over the measurement exactly the way downstream bench
+    /// code is expected to be.
+    fn drive<M: Measurement>(c: &mut Criterion<M>) -> u32 {
+        let mut runs = 0u32;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+        runs
+    }
+
+    #[test]
+    fn walltime_default_and_custom_measurement_both_drive() {
+        let runs = drive(&mut Criterion::default());
+        assert!(runs >= 3, "iter ran its batches");
+        let mut counted = Criterion::default().with_measurement(CountBatches);
+        drive(&mut counted);
+        let m = CountBatches;
+        assert_eq!(m.add(&m.zero(), &m.end(m.start())), 1);
+        let w = WallTime;
+        assert_eq!(w.to_f64(&w.zero()), 0.0);
+    }
 }
