@@ -31,7 +31,7 @@ fn serve_group<M: Measurement>(g: &mut BenchmarkGroup<'_, M>) {
         workers: 2,
         cache_capacity: 64,
         queue_capacity: 16,
-        default_deadline: None,
+        ..ServeConfig::default()
     });
     // Warm the cache so the measured path is submit → fingerprint → hit.
     svc.submit(Arc::clone(&graph), spec.clone()).expect("warm-up solve");

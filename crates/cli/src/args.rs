@@ -82,9 +82,9 @@ pub enum Command {
         /// graph.
         cert_json: bool,
     },
-    /// `serve [--port N] [--workers N] [--cache N] [--queue N]`: run the
-    /// NDJSON-over-TCP scheduling service until SIGINT or a client's
-    /// `{"op":"shutdown"}`.
+    /// `serve [--port N] [--workers N] [--cache N] [--queue N]
+    /// [--max-queue-wait ms] [--chaos plan]`: run the NDJSON-over-TCP
+    /// scheduling service until SIGINT or a client's `{"op":"shutdown"}`.
     Serve {
         /// TCP port on 127.0.0.1 (0 = OS-assigned).
         port: u16,
@@ -94,9 +94,16 @@ pub enum Command {
         cache: usize,
         /// Bounded job-queue capacity.
         queue: usize,
+        /// Shed submissions after this many milliseconds on a full
+        /// queue (`None` = block indefinitely).
+        max_queue_wait_ms: Option<u64>,
+        /// Fault-injection plan for chaos drills (see
+        /// `FaultPlan::parse` for the spec syntax).
+        chaos: Option<paradigm_serve::FaultPlan>,
     },
-    /// `bench-serve [--clients N] [--rounds N] [--workers N]`: run the
-    /// closed-loop load generator against an in-process service.
+    /// `bench-serve [--clients N] [--rounds N] [--workers N]
+    /// [--max-queue-wait ms]`: run the closed-loop load generator
+    /// against an in-process service.
     BenchServe {
         /// Closed-loop client threads in the hot phase.
         clients: usize,
@@ -104,6 +111,9 @@ pub enum Command {
         rounds: usize,
         /// Worker threads in the service under test.
         workers: usize,
+        /// Queue-wait bound for the hot phase; shed requests are
+        /// retried with backoff and counted.
+        max_queue_wait_ms: Option<u64>,
     },
     /// `help`.
     Help,
@@ -143,8 +153,12 @@ USAGE:
   paradigm analyze <file.mdg> [-p <procs>] [--machine <cm5|mesh|paragon|sp1>] [--cert] [--cert-json]
   paradigm analyze --gallery [-p <procs>] [--machine <spec>]
   paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
-  paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>]
+                 [--max-queue-wait <ms>] [--chaos <plan>]
+  paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>] [--max-queue-wait <ms>]
   paradigm help
+
+Chaos plans are comma-separated key=value items, e.g.
+  --chaos seed=42,panic=0.3,slow=0.2:50,stall=0.1:20,drop=0.1,truncate=0.05
 
 Graph inputs may be .mdg files (graph text format) or .mini files
 (matrix-program language, compiled on the fly).
@@ -255,6 +269,8 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
         "serve" => {
             let mut port = 7447u16;
             let (mut workers, mut cache, mut queue) = (0usize, 1024usize, 256usize);
+            let mut max_queue_wait_ms = None;
+            let mut chaos = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--port" => {
@@ -264,22 +280,38 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                     "--workers" => workers = parse_count(flag, take_value(flag, &mut it)?, true)?,
                     "--cache" => cache = parse_count(flag, take_value(flag, &mut it)?, false)?,
                     "--queue" => queue = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    "--max-queue-wait" => {
+                        max_queue_wait_ms =
+                            Some(parse_count(flag, take_value(flag, &mut it)?, true)? as u64);
+                    }
+                    "--chaos" => {
+                        let v = take_value(flag, &mut it)?;
+                        chaos = Some(
+                            paradigm_serve::FaultPlan::parse(v)
+                                .map_err(|e| UsageError(format!("bad chaos plan: {e}")))?,
+                        );
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Command::Serve { port, workers, cache, queue }
+            Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos }
         }
         "bench-serve" => {
             let (mut clients, mut rounds, mut workers) = (4usize, 25usize, 4usize);
+            let mut max_queue_wait_ms = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--clients" => clients = parse_count(flag, take_value(flag, &mut it)?, false)?,
                     "--rounds" => rounds = parse_count(flag, take_value(flag, &mut it)?, false)?,
                     "--workers" => workers = parse_count(flag, take_value(flag, &mut it)?, false)?,
+                    "--max-queue-wait" => {
+                        max_queue_wait_ms =
+                            Some(parse_count(flag, take_value(flag, &mut it)?, true)? as u64);
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Command::BenchServe { clients, rounds, workers }
+            Command::BenchServe { clients, rounds, workers, max_queue_wait_ms }
         }
         "calibrate" => {
             let mut procs = 64u32;
@@ -464,7 +496,17 @@ mod tests {
     #[test]
     fn serve_command_parses_with_defaults() {
         let p = parse_args(&["serve"]).unwrap();
-        assert_eq!(p.command, Command::Serve { port: 7447, workers: 0, cache: 1024, queue: 256 });
+        assert_eq!(
+            p.command,
+            Command::Serve {
+                port: 7447,
+                workers: 0,
+                cache: 1024,
+                queue: 256,
+                max_queue_wait_ms: None,
+                chaos: None,
+            }
+        );
         let p = parse_args(&[
             "serve",
             "--port",
@@ -475,21 +517,62 @@ mod tests {
             "64",
             "--queue",
             "16",
+            "--max-queue-wait",
+            "250",
         ])
         .unwrap();
-        assert_eq!(p.command, Command::Serve { port: 0, workers: 2, cache: 64, queue: 16 });
+        assert_eq!(
+            p.command,
+            Command::Serve {
+                port: 0,
+                workers: 2,
+                cache: 64,
+                queue: 16,
+                max_queue_wait_ms: Some(250),
+                chaos: None,
+            }
+        );
         assert!(parse_args(&["serve", "--port", "banana"]).is_err());
         assert!(parse_args(&["serve", "--cache", "0"]).is_err());
         assert!(parse_args(&["serve", "--wat"]).is_err());
     }
 
     #[test]
+    fn serve_chaos_plan_parses_and_validates() {
+        let p = parse_args(&["serve", "--chaos", "seed=42,panic=0.5,drop=0.1"]).unwrap();
+        let Command::Serve { chaos: Some(plan), .. } = p.command else {
+            panic!("chaos plan missing")
+        };
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.worker_panic, 0.5);
+        assert_eq!(plan.conn_drop, 0.1);
+        assert!(parse_args(&["serve", "--chaos", "panic=2.0"]).is_err());
+        assert!(parse_args(&["serve", "--chaos", "wat=1"]).is_err());
+    }
+
+    #[test]
     fn bench_serve_command_parses() {
         let p = parse_args(&["bench-serve"]).unwrap();
-        assert_eq!(p.command, Command::BenchServe { clients: 4, rounds: 25, workers: 4 });
+        assert_eq!(
+            p.command,
+            Command::BenchServe { clients: 4, rounds: 25, workers: 4, max_queue_wait_ms: None }
+        );
         let p = parse_args(&["bench-serve", "--clients", "2", "--rounds", "3", "--workers", "1"])
             .unwrap();
-        assert_eq!(p.command, Command::BenchServe { clients: 2, rounds: 3, workers: 1 });
+        assert_eq!(
+            p.command,
+            Command::BenchServe { clients: 2, rounds: 3, workers: 1, max_queue_wait_ms: None }
+        );
+        let p = parse_args(&["bench-serve", "--max-queue-wait", "100"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::BenchServe {
+                clients: 4,
+                rounds: 25,
+                workers: 4,
+                max_queue_wait_ms: Some(100)
+            }
+        );
         assert!(parse_args(&["bench-serve", "--clients", "0"]).is_err());
     }
 

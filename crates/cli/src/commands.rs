@@ -219,13 +219,18 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Serve { port, workers, cache, queue } => {
+        Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos } => {
             let mut service = ServeConfig::default();
             if *workers > 0 {
                 service.workers = *workers;
             }
             service.cache_capacity = *cache;
             service.queue_capacity = *queue;
+            service.max_queue_wait = max_queue_wait_ms.map(std::time::Duration::from_millis);
+            service.chaos = chaos.clone();
+            if let Some(plan) = &service.chaos {
+                println!("paradigm-serve chaos plan active: {plan:?}");
+            }
             let server =
                 Server::bind(ServerConfig { service, port: *port }).map_err(CliError::Io)?;
             let addr = server.local_addr().map_err(CliError::Io)?;
@@ -235,9 +240,13 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             let stats = server.run();
             Ok(stats.render())
         }
-        Command::BenchServe { clients, rounds, workers } => {
-            let report =
-                run_bench(&BenchConfig { clients: *clients, rounds: *rounds, workers: *workers });
+        Command::BenchServe { clients, rounds, workers, max_queue_wait_ms } => {
+            let report = run_bench(&BenchConfig {
+                clients: *clients,
+                rounds: *rounds,
+                workers: *workers,
+                max_queue_wait: max_queue_wait_ms.map(std::time::Duration::from_millis),
+            });
             Ok(report.render())
         }
     }
@@ -502,10 +511,17 @@ mod tests {
 
     #[test]
     fn bench_serve_small_run_renders_report() {
-        let out = run(&Command::BenchServe { clients: 2, rounds: 1, workers: 2 }).unwrap();
+        let out = run(&Command::BenchServe {
+            clients: 2,
+            rounds: 1,
+            workers: 2,
+            max_queue_wait_ms: None,
+        })
+        .unwrap();
         assert!(out.contains("bench-serve: 12 distinct keys"), "{out}");
         assert!(out.contains("hot:"), "{out}");
         assert!(out.contains("hot counters:"), "{out}");
+        assert!(out.contains("retries 0"), "{out}");
     }
 
     #[test]

@@ -41,15 +41,23 @@ pub mod programs;
 pub mod report;
 
 pub use calibrate::{calibrate, Calibration};
-pub use compile::{compile, run_mpmd, run_spmd, CompileConfig, Compiled};
+pub use compile::{
+    compile, compile_resilient, compile_with_solve, run_mpmd, run_spmd, try_compile, CompileConfig,
+    Compiled,
+};
 pub use experiments::{
     fig8_speedups, fig9_predicted_vs_actual, table3_deviation, Fig8Row, Fig9Row, Table3Row,
 };
 pub use pipeline::{
-    gallery_graph, machine_from_spec, solve_fingerprint, solve_pipeline, AllocEntry, SolveOutput,
-    SolveSpec, GALLERY_NAMES, MACHINE_SPECS,
+    gallery_graph, machine_from_spec, solve_fingerprint, solve_pipeline, solve_pipeline_degraded,
+    try_solve_pipeline, AllocEntry, PipelineError, SolveOutput, SolveSpec, GALLERY_NAMES,
+    MACHINE_SPECS,
 };
 pub use programs::TestProgram;
+
+// Re-exported so downstream crates (e.g. `paradigm-serve`) can name the
+// solver's failure types without depending on `paradigm-solver` directly.
+pub use paradigm_solver::{FallbackTier, SolverError};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -64,5 +72,7 @@ pub mod prelude {
     };
     pub use paradigm_sched::{psa_schedule, spmd_schedule, PsaConfig, Schedule};
     pub use paradigm_sim::{simulate, SimResult, TrueMachine};
-    pub use paradigm_solver::{allocate, AllocationResult, SolverConfig};
+    pub use paradigm_solver::{
+        allocate, AllocationResult, FallbackTier, SolverConfig, SolverError,
+    };
 }

@@ -12,7 +12,9 @@
 //! identical outputs (the pipeline is deterministic), which is exactly
 //! the property single-flight caching needs.
 
-use crate::compile::{compile, run_mpmd, CompileConfig};
+use crate::compile::{
+    compile_resilient, compile_with_solve, run_mpmd, try_compile, CompileConfig, Compiled,
+};
 use paradigm_cost::Machine;
 use paradigm_mdg::hash::Fnv128;
 use paradigm_mdg::{
@@ -21,7 +23,8 @@ use paradigm_mdg::{
 };
 use paradigm_sched::{idle_profile, SchedPolicy};
 use paradigm_sim::TrueMachine;
-use paradigm_solver::SolverConfig;
+use paradigm_solver::{equal_split_allocation, FallbackTier, SolverConfig, SolverError};
+use std::fmt;
 
 /// Everything (besides the graph) that a pipeline solve depends on.
 /// Two requests with equal specs and structurally equal graphs produce
@@ -107,20 +110,46 @@ pub struct SolveOutput {
     pub alloc: Vec<AllocEntry>,
     /// Measured makespan on the ground-truth simulator, if requested.
     pub sim_makespan: Option<f64>,
+    /// Which rung of the solver's degradation ladder produced the
+    /// allocation (`FallbackTier::Primary` on the normal path).
+    pub degraded: FallbackTier,
 }
 
-/// Run the full pipeline for one graph under one spec.
-///
-/// # Panics
-/// Panics if the spec is invalid (callers should [`SolveSpec::validate`]
-/// first) or the graph triggers a pipeline assertion.
-pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
-    let cfg = CompileConfig {
+/// Why a pipeline solve could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The spec failed [`SolveSpec::validate`].
+    InvalidSpec(String),
+    /// The convex solver reported a typed failure.
+    Solver(SolverError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidSpec(msg) => write!(f, "invalid solve spec: {msg}"),
+            PipelineError::Solver(e) => write!(f, "solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SolverError> for PipelineError {
+    fn from(e: SolverError) -> Self {
+        PipelineError::Solver(e)
+    }
+}
+
+fn compile_config(spec: &SolveSpec) -> CompileConfig {
+    CompileConfig {
         solver: if spec.fast_solver { SolverConfig::fast() } else { SolverConfig::default() },
         psa: paradigm_sched::PsaConfig { pb: spec.pb, skip_rounding: false, policy: spec.policy },
         refine: spec.refine,
-    };
-    let c = compile(g, spec.machine, &cfg);
+    }
+}
+
+fn output_from_compiled(g: &Mdg, spec: &SolveSpec, c: &Compiled) -> SolveOutput {
     let prof = idle_profile(&c.psa.schedule, c.psa.pb);
     let alloc = g
         .nodes()
@@ -137,7 +166,7 @@ pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
             kernels: KernelCostTable::cm5(),
             ..TrueMachine::cm5(spec.machine.procs)
         };
-        run_mpmd(g, &c, &truth).makespan
+        run_mpmd(g, c, &truth).makespan
     });
     SolveOutput {
         graph: g.name().to_string(),
@@ -149,7 +178,42 @@ pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
         utilization: prof.utilization(),
         alloc,
         sim_makespan,
+        degraded: c.solve.tier,
     }
+}
+
+/// Run the full pipeline for one graph under one spec, walking the
+/// solver's degradation ladder on failure (the tier taken is recorded in
+/// `SolveOutput::degraded`).
+///
+/// # Panics
+/// Panics if the spec is invalid (callers should [`SolveSpec::validate`]
+/// first) or the graph triggers a pipeline assertion.
+pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
+    let c = compile_resilient(g, spec.machine, &compile_config(spec));
+    output_from_compiled(g, spec, &c)
+}
+
+/// Like [`solve_pipeline`], but validates the spec and surfaces solver
+/// failures as a typed [`PipelineError`] instead of degrading or
+/// panicking. The serving layer's primary path uses this so the circuit
+/// breaker can see *why* a solve failed.
+pub fn try_solve_pipeline(g: &Mdg, spec: &SolveSpec) -> Result<SolveOutput, PipelineError> {
+    spec.validate().map_err(PipelineError::InvalidSpec)?;
+    let c = try_compile(g, spec.machine, &compile_config(spec))?;
+    Ok(output_from_compiled(g, spec, &c))
+}
+
+/// Run the pipeline with the analytic equal-split allocation instead of
+/// the convex solver — the serving layer's last-resort degraded path.
+/// Never invokes the solver; simulation is skipped even if requested
+/// (degraded answers should be cheap). `SolveOutput::degraded` is always
+/// [`FallbackTier::EqualSplit`].
+pub fn solve_pipeline_degraded(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
+    let spec = SolveSpec { simulate: false, ..spec.clone() };
+    let solve = equal_split_allocation(g, spec.machine);
+    let c = compile_with_solve(g, spec.machine, &compile_config(&spec), solve);
+    output_from_compiled(g, &spec, &c)
 }
 
 /// Content-addressed cache key: the graph's canonical structural hash
@@ -217,6 +281,7 @@ pub fn gallery_graph(name: &str) -> Option<Mdg> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile;
 
     #[test]
     fn solve_matches_direct_compile() {
@@ -282,6 +347,52 @@ mod tests {
             assert!(g.compute_node_count() >= 3, "{name}");
         }
         assert!(gallery_graph("nope").is_none());
+    }
+
+    #[test]
+    fn pipeline_reports_primary_tier_on_healthy_solves() {
+        let g = example_fig1_mdg();
+        let out = solve_pipeline(&g, &SolveSpec::new(Machine::cm5(4)));
+        assert_eq!(out.degraded, FallbackTier::Primary);
+        let out2 = try_solve_pipeline(&g, &SolveSpec::new(Machine::cm5(4))).unwrap();
+        assert_eq!(out2.degraded, FallbackTier::Primary);
+        assert_eq!(out.phi, out2.phi);
+    }
+
+    #[test]
+    fn try_pipeline_rejects_invalid_spec() {
+        let g = example_fig1_mdg();
+        let spec = SolveSpec { pb: Some(0), ..SolveSpec::new(Machine::cm5(4)) };
+        match try_solve_pipeline(&g, &spec) {
+            Err(PipelineError::InvalidSpec(msg)) => assert!(msg.contains("positive"), "{msg}"),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_pipeline_surfaces_solver_errors() {
+        let g = example_fig1_mdg();
+        let mut machine = Machine::cm5(4);
+        machine.xfer.t_ss = f64::NAN;
+        let spec = SolveSpec::new(machine);
+        match try_solve_pipeline(&g, &spec) {
+            Err(PipelineError::InvalidSpec(_)) => {}
+            other => panic!("NaN machine should fail validation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_pipeline_schedules_without_the_solver() {
+        let g = gallery_graph("cmm").unwrap();
+        let spec = SolveSpec { simulate: true, ..SolveSpec::new(Machine::cm5(16)) };
+        let out = solve_pipeline_degraded(&g, &spec);
+        assert_eq!(out.degraded, FallbackTier::EqualSplit);
+        assert!(out.t_psa.is_finite() && out.t_psa > 0.0);
+        // Degraded answers skip simulation even when the spec asks.
+        assert!(out.sim_makespan.is_none());
+        // Equal split is a real schedule, just a worse one.
+        let best = solve_pipeline(&g, &SolveSpec::new(Machine::cm5(16)));
+        assert!(out.t_psa >= best.t_psa * 0.99, "{} vs {}", out.t_psa, best.t_psa);
     }
 
     #[test]

@@ -16,12 +16,13 @@
 //! `solves == distinct keys`) is checked rather than asserted.
 
 use crate::metrics::MetricsSnapshot;
-use crate::service::{ServeConfig, Service};
+use crate::service::{ServeConfig, Service, SolveResponse};
 use paradigm_core::{gallery_graph, SolveSpec};
 use paradigm_cost::Machine;
 use paradigm_mdg::Mdg;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -32,12 +33,44 @@ pub struct BenchConfig {
     pub rounds: usize,
     /// Worker threads in the service under test.
     pub workers: usize,
+    /// Queue-wait bound for the hot-phase service (`None` = blocking
+    /// backpressure, no shedding). With a bound set, shed requests are
+    /// retried with backoff and counted in the report.
+    pub max_queue_wait: Option<Duration>,
 }
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { clients: 4, rounds: 25, workers: 4 }
+        BenchConfig { clients: 4, rounds: 25, workers: 4, max_queue_wait: None }
     }
+}
+
+/// Submit with retry-on-shed: admission rejections back off
+/// (exponential, deterministically jittered, capped) and resend; any
+/// other failure is a bug in the all-valid workload and panics.
+fn submit_with_retry(
+    svc: &Service,
+    g: &Arc<Mdg>,
+    spec: &SolveSpec,
+    retries: &AtomicU64,
+    mut jitter: u64,
+) -> SolveResponse {
+    const MAX_ATTEMPTS: u32 = 1000;
+    for attempt in 0..MAX_ATTEMPTS {
+        match svc.submit(Arc::clone(g), spec.clone()) {
+            Ok(r) => return r,
+            Err(e) if e.retryable() => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                let cap_us = 20_000u64;
+                let exp = (500u64 << attempt.min(12)).min(cap_us);
+                jitter =
+                    jitter.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                std::thread::sleep(Duration::from_micros(exp / 2 + jitter % (exp / 2).max(1)));
+            }
+            Err(e) => panic!("hot solve failed with non-retryable {}: {e}", e.kind()),
+        }
+    }
+    panic!("request still shed after {MAX_ATTEMPTS} attempts");
 }
 
 /// What the load generator measured.
@@ -53,6 +86,9 @@ pub struct BenchReport {
     pub hot_requests: usize,
     /// Hot-phase wall time in seconds.
     pub hot_secs: f64,
+    /// Shed-and-resent submissions in the hot phase (0 unless a queue
+    /// wait bound was configured).
+    pub retries: u64,
     /// Final counters of the hot-phase service.
     pub stats: MetricsSnapshot,
 }
@@ -96,8 +132,13 @@ impl BenchReport {
             self.stats.p99_us().map_or_else(|| "n/a".into(), |v| v.to_string()),
         ));
         out.push_str(&format!(
-            "  hot counters: solves {}  hits {}  dedup-waits {}  errors {}\n",
-            self.stats.solves, self.stats.cache_hits, self.stats.dedup_waits, self.stats.errors
+            "  hot counters: solves {}  hits {}  dedup-waits {}  errors {}  shed {}  retries {}\n",
+            self.stats.solves,
+            self.stats.cache_hits,
+            self.stats.dedup_waits,
+            self.stats.errors,
+            self.stats.shed,
+            self.retries
         ));
         out
     }
@@ -130,7 +171,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         workers: cfg.workers,
         cache_capacity: 1, // effectively disable reuse across keys
         queue_capacity: distinct_keys.max(1),
-        default_deadline: None,
+        ..ServeConfig::default()
     });
     let cold_start = Instant::now();
     for (g, spec) in &set {
@@ -145,21 +186,24 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         workers: cfg.workers,
         cache_capacity: distinct_keys * 8,
         queue_capacity: (cfg.clients * 2).max(8),
-        default_deadline: None,
+        max_queue_wait: cfg.max_queue_wait,
+        ..ServeConfig::default()
     }));
+    let retries = Arc::new(AtomicU64::new(0));
     let hot_start = Instant::now();
     let rounds = cfg.rounds;
     let handles: Vec<_> = (0..cfg.clients)
         .map(|c| {
             let svc = Arc::clone(&hot_svc);
             let set = set.clone();
+            let retries = Arc::clone(&retries);
             std::thread::spawn(move || {
                 for r in 0..rounds {
                     // Stagger sweep order per client/round so requests
                     // for one key genuinely collide across clients.
                     for i in 0..set.len() {
                         let (g, spec) = &set[(i + c + r) % set.len()];
-                        svc.submit(Arc::clone(g), spec.clone()).expect("hot solve");
+                        submit_with_retry(&svc, g, spec, &retries, (c * 31 + r) as u64);
                     }
                 }
             })
@@ -178,6 +222,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         cold_secs: cold_secs.max(1e-9),
         hot_requests: cfg.clients * cfg.rounds * distinct_keys,
         hot_secs: hot_secs.max(1e-9),
+        retries: retries.load(Ordering::Relaxed),
         stats,
     }
 }
@@ -188,10 +233,12 @@ mod tests {
 
     #[test]
     fn small_bench_completes_and_caches() {
-        let report = run_bench(&BenchConfig { clients: 2, rounds: 2, workers: 2 });
+        let report =
+            run_bench(&BenchConfig { clients: 2, rounds: 2, workers: 2, max_queue_wait: None });
         assert_eq!(report.distinct_keys, 12);
         assert_eq!(report.hot_requests, 2 * 2 * 12);
         assert_eq!(report.stats.errors, 0);
+        assert_eq!(report.retries, 0, "blocking backpressure never sheds");
         // Every request was answered, and at most one solve ran per
         // distinct key in the hot phase.
         assert_eq!(report.stats.completed as usize, report.hot_requests);

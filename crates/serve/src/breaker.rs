@@ -1,0 +1,269 @@
+//! Sliding-window failure-rate circuit breaker for the solve path.
+//!
+//! The breaker watches the outcomes of *fresh* pipeline solves (cache
+//! hits don't count — they can't fail) over a bounded ring of recent
+//! samples. When the failure rate over the window crosses the threshold
+//! (with a minimum sample count so one early failure can't trip it),
+//! the breaker **opens**: workers stop attempting the primary solver
+//! and answer from cache or the cheap degraded path instead, giving a
+//! crashing or pathologically slow solver room to recover. After a
+//! cooldown the breaker goes **half-open** and admits exactly one probe
+//! solve; success closes it, failure re-opens it for another cooldown.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning. The defaults are deliberately forgiving: half the
+/// recent window must fail before the primary path is abandoned.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Number of recent solve outcomes retained.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Failure fraction (over the window) that opens the breaker.
+    pub failure_threshold: f64,
+    /// How long the breaker stays open before probing again.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            failure_threshold: 0.5,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; primary solves run.
+    Closed,
+    /// Tripped; primary solves are skipped until the cooldown passes.
+    Open,
+    /// Cooldown passed; one probe solve decides open vs closed.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (metrics, logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Numeric gauge encoding: closed 0, open 1, half-open 2.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+enum Mode {
+    Closed,
+    Open {
+        since: Instant,
+    },
+    /// `probing` is true while one worker owns the probe solve.
+    HalfOpen {
+        probing: bool,
+    },
+}
+
+struct Window {
+    /// Ring of recent outcomes: `true` = failure.
+    ring: Vec<bool>,
+    next: usize,
+    filled: usize,
+    mode: Mode,
+    opens: u64,
+}
+
+/// The breaker itself. One per service; workers consult it before each
+/// fresh solve and report outcomes after.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    w: Mutex<Window>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        let window = cfg.window.max(1);
+        CircuitBreaker {
+            cfg,
+            w: Mutex::new(Window {
+                ring: vec![false; window],
+                next: 0,
+                filled: 0,
+                mode: Mode::Closed,
+                opens: 0,
+            }),
+        }
+    }
+
+    /// Current state; transparently moves Open → HalfOpen once the
+    /// cooldown has elapsed.
+    pub fn state(&self) -> BreakerState {
+        let mut w = self.w.lock().expect("breaker poisoned");
+        self.refresh(&mut w);
+        match w.mode {
+            Mode::Closed => BreakerState::Closed,
+            Mode::Open { .. } => BreakerState::Open,
+            Mode::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Claim the half-open probe. Returns true for exactly one caller
+    /// per half-open period; that caller must report via
+    /// [`CircuitBreaker::on_result`].
+    pub fn try_probe(&self) -> bool {
+        let mut w = self.w.lock().expect("breaker poisoned");
+        self.refresh(&mut w);
+        match w.mode {
+            Mode::HalfOpen { probing: false } => {
+                w.mode = Mode::HalfOpen { probing: true };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record one fresh-solve outcome.
+    pub fn on_result(&self, ok: bool) {
+        let mut w = self.w.lock().expect("breaker poisoned");
+        self.refresh(&mut w);
+        match w.mode {
+            Mode::HalfOpen { .. } => {
+                if ok {
+                    // Recovered: close and forget the bad window.
+                    w.ring.iter_mut().for_each(|f| *f = false);
+                    w.filled = 0;
+                    w.next = 0;
+                    w.mode = Mode::Closed;
+                } else {
+                    w.mode = Mode::Open { since: Instant::now() };
+                    w.opens += 1;
+                }
+            }
+            Mode::Closed => {
+                let slot = w.next;
+                w.ring[slot] = !ok;
+                w.next = (w.next + 1) % w.ring.len();
+                w.filled = (w.filled + 1).min(w.ring.len());
+                if w.filled >= self.cfg.min_samples.max(1) {
+                    let failures = w.ring.iter().take(w.filled).filter(|&&f| f).count();
+                    if failures as f64 >= self.cfg.failure_threshold * w.filled as f64 {
+                        w.mode = Mode::Open { since: Instant::now() };
+                        w.opens += 1;
+                    }
+                }
+            }
+            // Results reported while open (e.g. a solve that was already
+            // in flight when the breaker tripped) don't move the state.
+            Mode::Open { .. } => {}
+        }
+    }
+
+    /// Times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.w.lock().expect("breaker poisoned").opens
+    }
+
+    fn refresh(&self, w: &mut Window) {
+        if let Mode::Open { since } = w.mode {
+            if since.elapsed() >= self.cfg.cooldown {
+                w.mode = Mode::HalfOpen { probing: false };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn stays_closed_under_occasional_failures() {
+        let b = CircuitBreaker::new(cfg(10_000));
+        for i in 0..32 {
+            b.on_result(i % 4 != 0); // 25% failures < 50% threshold
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn opens_at_failure_threshold_after_min_samples() {
+        let b = CircuitBreaker::new(cfg(10_000));
+        b.on_result(false);
+        b.on_result(false);
+        // Only 2 samples: below min_samples, still closed.
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_result(true);
+        b.on_result(false); // 3/4 failures >= 50%
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn cooldown_leads_to_single_probe() {
+        let b = CircuitBreaker::new(cfg(20));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_probe(), "no probe while open");
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_probe(), "first claim wins");
+        assert!(!b.try_probe(), "second claim loses");
+    }
+
+    #[test]
+    fn probe_success_closes_and_clears() {
+        let b = CircuitBreaker::new(cfg(1));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.try_probe());
+        b.on_result(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The bad window was cleared: one more failure must not re-trip.
+        b.on_result(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let b = CircuitBreaker::new(cfg(1));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.try_probe());
+        b.on_result(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+    }
+}

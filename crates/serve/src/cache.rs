@@ -112,6 +112,22 @@ impl<V> ShardedCache<V> {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Peek at `key` without computing: returns the ready entry if one
+    /// exists (refreshing its recency), `None` otherwise. In-flight
+    /// computations are *not* waited on — the degraded serving path
+    /// uses this to answer from cache while the circuit breaker is open
+    /// without ever blocking on the (possibly wedged) primary solver.
+    pub fn get(&self, key: u128) -> Option<Arc<V>> {
+        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        match map.get_mut(&key) {
+            Some(Entry::Ready { value, tick }) => {
+                *tick = self.next_tick();
+                Some(Arc::clone(value))
+            }
+            _ => None,
+        }
+    }
+
     /// Look up `key`, computing it with `compute` on a miss. Returns
     /// the shared value and how it was obtained. Concurrent calls with
     /// the same key during the computation block and share the result.
@@ -221,6 +237,23 @@ mod tests {
         let (v, o) = cache.get_or_compute(7, || unreachable!("must not recompute"));
         assert_eq!((*v.unwrap(), o), (42, Outcome::Hit));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn peek_returns_ready_entries_only() {
+        let cache: ShardedCache<u64> = ShardedCache::new(16);
+        assert_eq!(cache.get(3), None);
+        assert_eq!(cache.get_or_compute(3, || 30).1, Outcome::Miss);
+        assert_eq!(cache.get(3).as_deref(), Some(&30));
+        // Peeking refreshes recency: with 2 slots per shard, touching 0
+        // via get() must make 8 the eviction victim when 16 arrives.
+        let cache: ShardedCache<u64> = ShardedCache::new(16);
+        assert_eq!(cache.get_or_compute(0, || 10).1, Outcome::Miss);
+        assert_eq!(cache.get_or_compute(8, || 20).1, Outcome::Miss);
+        assert!(cache.get(0).is_some());
+        assert_eq!(cache.get_or_compute(16, || 30).1, Outcome::Miss);
+        assert!(cache.get(0).is_some());
+        assert_eq!(cache.get(8), None);
     }
 
     #[test]

@@ -24,9 +24,23 @@
 //!   histogram, served live via the `stats` op and dumped on shutdown.
 //! * [`bench`] — a closed-loop load generator measuring cold-solve vs
 //!   repeated-workload throughput (the `paradigm bench-serve` command).
+//!
+//! The resilience layer (this crate's failure model is spelled out in
+//! DESIGN.md §9):
+//!
+//! * [`chaos`] — seeded, deterministic fault injection ([`FaultPlan`]):
+//!   worker panics, slow solves, queue stalls, dropped connections,
+//!   truncated frames.
+//! * [`breaker`] — a sliding-window failure-rate circuit breaker
+//!   guarding the primary solve path.
+//! * [`client`] — a protocol client with exponential-backoff retry for
+//!   retryable failures (shed requests, transport faults).
 
 pub mod bench;
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
+pub mod client;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
@@ -34,7 +48,10 @@ pub mod server;
 pub mod service;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{Outcome, ShardedCache, SHARDS};
+pub use chaos::{Chaos, FaultPlan};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot, HIST_BUCKETS};
 pub use protocol::{handle_line, parse_request, Request};

@@ -75,6 +75,20 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Requests dropped because their deadline passed while queued.
     pub deadline_misses: AtomicU64,
+    /// Requests rejected by admission control before queueing (the
+    /// estimated queue wait already exceeded their deadline, or the
+    /// queue stayed full past the configured wait bound).
+    pub shed: AtomicU64,
+    /// Requests answered from a degradation-ladder fallback rather than
+    /// the primary convex solver.
+    pub degraded: AtomicU64,
+    /// Times the circuit breaker has opened.
+    pub breaker_opens: AtomicU64,
+    /// Breaker state gauge: 0 closed, 1 open, 2 half-open.
+    pub breaker_state: AtomicU64,
+    /// EMA of fresh-solve duration in µs (admission control's estimate
+    /// of per-job service time).
+    pub avg_solve_us: AtomicU64,
     /// Cache entries evicted by the LRU bound.
     pub evictions: AtomicU64,
     /// Jobs currently queued (gauge).
@@ -102,6 +116,16 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// See [`Metrics::deadline_misses`].
     pub deadline_misses: u64,
+    /// See [`Metrics::shed`].
+    pub shed: u64,
+    /// See [`Metrics::degraded`].
+    pub degraded: u64,
+    /// See [`Metrics::breaker_opens`].
+    pub breaker_opens: u64,
+    /// See [`Metrics::breaker_state`].
+    pub breaker_state: u64,
+    /// See [`Metrics::avg_solve_us`].
+    pub avg_solve_us: u64,
     /// See [`Metrics::evictions`].
     pub evictions: u64,
     /// See [`Metrics::queue_depth`].
@@ -122,6 +146,11 @@ impl Metrics {
             completed: self.completed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_state: self.breaker_state.load(Ordering::Relaxed),
+            avg_solve_us: self.avg_solve_us.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
@@ -130,6 +159,15 @@ impl Metrics {
 }
 
 impl MetricsSnapshot {
+    /// Breaker state gauge as its stable label.
+    pub fn breaker_state_str(&self) -> &'static str {
+        match self.breaker_state {
+            1 => "open",
+            2 => "half-open",
+            _ => "closed",
+        }
+    }
+
     /// Upper-bound p50 latency in µs, if any request completed.
     pub fn p50_us(&self) -> Option<u64> {
         quantile_us(&self.latency_buckets, 0.50)
@@ -152,6 +190,11 @@ impl MetricsSnapshot {
             ("completed".into(), Json::num(self.completed as f64)),
             ("errors".into(), Json::num(self.errors as f64)),
             ("deadline_misses".into(), Json::num(self.deadline_misses as f64)),
+            ("shed".into(), Json::num(self.shed as f64)),
+            ("degraded".into(), Json::num(self.degraded as f64)),
+            ("breaker_opens".into(), Json::num(self.breaker_opens as f64)),
+            ("breaker_state".into(), Json::Str(self.breaker_state_str().into())),
+            ("avg_solve_us".into(), Json::num(self.avg_solve_us as f64)),
             ("evictions".into(), Json::num(self.evictions as f64)),
             ("queue_depth".into(), Json::num(self.queue_depth as f64)),
             ("p50_us".into(), self.p50_us().map_or(Json::Null, |v| Json::num(v as f64))),
@@ -165,12 +208,19 @@ impl MetricsSnapshot {
         let mut out = String::new();
         out.push_str("serve stats:\n");
         out.push_str(&format!(
-            "  requests {}  completed {}  errors {}  deadline-misses {}\n",
-            self.requests, self.completed, self.errors, self.deadline_misses
+            "  requests {}  completed {}  errors {}  deadline-misses {}  shed {}\n",
+            self.requests, self.completed, self.errors, self.deadline_misses, self.shed
         ));
         out.push_str(&format!(
             "  cache: hits {}  misses {}  dedup-waits {}  solves {}  evictions {}\n",
             self.cache_hits, self.cache_misses, self.dedup_waits, self.solves, self.evictions
+        ));
+        out.push_str(&format!(
+            "  resilience: degraded {}  breaker {} (opens {})  avg-solve {} us\n",
+            self.degraded,
+            self.breaker_state_str(),
+            self.breaker_opens,
+            self.avg_solve_us
         ));
         out.push_str(&format!(
             "  latency: p50 <= {} us, p99 <= {} us  queue depth {}\n",

@@ -24,7 +24,7 @@
 //! and the service latency in microseconds.
 
 use crate::json::{parse, Json};
-use crate::service::{Service, SolveResponse};
+use crate::service::{ServeError, Service, SolveResponse};
 use paradigm_core::{gallery_graph, machine_from_spec, SolveSpec, GALLERY_NAMES, MACHINE_SPECS};
 use paradigm_mdg::{from_text, Mdg};
 use paradigm_sched::SchedPolicy;
@@ -158,9 +158,27 @@ fn parse_solve(doc: &Json, members: &[(String, Json)]) -> Result<Request, String
     Ok(Request::Solve { graph: Arc::new(graph), spec, deadline })
 }
 
-/// Encode an error response.
+/// Encode an error response. Every error carries a stable `kind`
+/// discriminator and a `retryable` hint so clients can decide between
+/// backing off and giving up without parsing prose.
+pub fn error_response_with(message: &str, kind: &str, retryable: bool) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(message)),
+        ("kind".into(), Json::str(kind)),
+        ("retryable".into(), Json::Bool(retryable)),
+    ])
+}
+
+/// Encode a request-parse error (`kind` `"bad-request"`, not
+/// retryable — resending the same malformed frame cannot help).
 pub fn error_response(message: &str) -> Json {
-    Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::str(message))])
+    error_response_with(message, "bad-request", false)
+}
+
+/// Encode a [`ServeError`] with its own kind and retryability.
+pub fn serve_error_response(e: &ServeError) -> Json {
+    error_response_with(&e.to_string(), e.kind(), e.retryable())
 }
 
 /// Encode a successful solve response.
@@ -194,6 +212,9 @@ pub fn solve_response(r: &SolveResponse) -> Json {
     if let Some(sim) = r.output.sim_makespan {
         members.push(("sim_makespan".into(), Json::num(sim)));
     }
+    if r.output.degraded.is_degraded() {
+        members.push(("degraded".into(), Json::str(r.output.degraded.as_str())));
+    }
     Json::Obj(members)
 }
 
@@ -216,7 +237,7 @@ pub fn dispatch(service: &Service, request: &Request) -> Json {
         Request::Solve { graph, spec, deadline } => {
             match service.submit_with_deadline(Arc::clone(graph), spec.clone(), *deadline) {
                 Ok(r) => solve_response(&r),
-                Err(e) => error_response(&e.to_string()),
+                Err(e) => serve_error_response(&e),
             }
         }
     }
@@ -245,7 +266,7 @@ mod tests {
             workers: 2,
             cache_capacity: 64,
             queue_capacity: 8,
-            default_deadline: None,
+            ..ServeConfig::default()
         })
     }
 
@@ -350,6 +371,42 @@ mod tests {
         let doc = parse(&resp).unwrap();
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
         assert!(doc.get("error").and_then(Json::as_str).unwrap().contains("processor bound"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn errors_carry_kind_and_retryability() {
+        let svc = svc();
+        let (resp, _) = handle_line(&svc, "not json");
+        let doc = parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("bad-request"));
+        assert_eq!(doc.get("retryable").and_then(Json::as_bool), Some(false));
+
+        let (resp, _) = handle_line(&svc, r#"{"op":"solve","gallery":"fig1","procs":4,"pb":64}"#);
+        let doc = parse(&resp).unwrap();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("invalid"));
+        assert_eq!(doc.get("retryable").and_then(Json::as_bool), Some(false));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn degraded_solves_are_labelled() {
+        let svc = Service::start(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+            queue_capacity: 8,
+            chaos: Some(crate::chaos::FaultPlan {
+                seed: 1,
+                worker_panic: 1.0,
+                ..Default::default()
+            }),
+            ..ServeConfig::default()
+        });
+        let (resp, _) = handle_line(&svc, r#"{"op":"solve","gallery":"fig1","procs":4}"#);
+        let doc = parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("degraded").and_then(Json::as_str), Some("equal-split"));
         svc.shutdown();
     }
 

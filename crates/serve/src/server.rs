@@ -97,6 +97,11 @@ impl Server {
 /// Serve one connection: read request lines, write response lines. A
 /// read timeout lets the thread poll the shutdown flag between lines so
 /// idle keep-alive connections cannot stall a drain.
+///
+/// Frames are read as raw bytes (`read_until`), not `read_line`: a
+/// frame that isn't valid UTF-8 is answered with a structured
+/// `bad-request` error and the connection stays alive — one garbage
+/// frame must not kill a keep-alive session.
 fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
@@ -105,16 +110,35 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut frame = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
+        frame.clear();
+        match reader.read_until(b'\n', &mut frame) {
             Ok(0) => return, // client closed
             Ok(_) => {
-                if line.trim().is_empty() {
-                    continue;
+                let (response, stop) = match std::str::from_utf8(&frame) {
+                    Ok(line) if line.trim().is_empty() => continue,
+                    Ok(line) => handle_line(service, line.trim()),
+                    Err(_) => (
+                        crate::protocol::error_response("request frame is not valid UTF-8")
+                            .render(),
+                        false,
+                    ),
+                };
+                // Injected connection faults (chaos drills only): sever
+                // the connection or send a torn frame, so clients must
+                // exercise their reconnect/retry paths.
+                if let Some(chaos) = service.chaos() {
+                    if chaos.drop_connection() {
+                        return;
+                    }
+                    if chaos.truncate_frame() {
+                        let cut = response.len() / 2;
+                        let _ = writer.write_all(&response.as_bytes()[..cut]);
+                        let _ = writer.flush();
+                        return;
+                    }
                 }
-                let (response, stop) = handle_line(service, line.trim());
                 if writer.write_all(response.as_bytes()).is_err()
                     || writer.write_all(b"\n").is_err()
                     || writer.flush().is_err()
@@ -202,7 +226,7 @@ mod tests {
                 workers: 2,
                 cache_capacity: 64,
                 queue_capacity: 8,
-                default_deadline: None,
+                ..ServeConfig::default()
             },
             port: 0, // ephemeral
         })
@@ -240,13 +264,48 @@ mod tests {
     }
 
     #[test]
+    fn invalid_utf8_frame_answered_and_connection_survives() {
+        let server = Server::bind(ServerConfig {
+            service: ServeConfig {
+                workers: 1,
+                cache_capacity: 8,
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+            port: 0,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_flag();
+        let run = std::thread::spawn(move || server.run());
+
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        // A frame of invalid UTF-8 bytes: must get a structured error...
+        c.write_all(&[0xff, 0xfe, 0x80, b'\n']).unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let doc = parse(response.trim()).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("bad-request"));
+        // ...and the connection must still serve the next request.
+        let pong = request(&mut c, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+
+        flag.store(true, Ordering::Relaxed);
+        drop(c);
+        run.join().unwrap();
+    }
+
+    #[test]
     fn shutdown_flag_stops_an_idle_server() {
         let server = Server::bind(ServerConfig {
             service: ServeConfig {
                 workers: 1,
                 cache_capacity: 8,
                 queue_capacity: 4,
-                default_deadline: None,
+                ..ServeConfig::default()
             },
             port: 0,
         })

@@ -19,15 +19,24 @@
 //! workers finish every job already queued (no lost responses), and
 //! the final metrics snapshot is returned.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::cache::{Outcome, ShardedCache};
+use crate::chaos::{Chaos, FaultPlan};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use paradigm_core::{solve_fingerprint, solve_pipeline, SolveOutput, SolveSpec};
+use paradigm_core::{
+    solve_fingerprint, solve_pipeline, solve_pipeline_degraded, SolveOutput, SolveSpec,
+};
 use paradigm_mdg::Mdg;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Key salt separating degraded (equal-split) results from primary
+/// results in the shared cache: a degraded answer must never shadow the
+/// real one once the solver recovers.
+const DEGRADED_SALT: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -40,12 +49,29 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// How long a submitter may block on a full queue before the
+    /// request is shed (`None` = block indefinitely, the pre-admission
+    /// behaviour).
+    pub max_queue_wait: Option<Duration>,
+    /// Fault-injection plan (tests and chaos drills; `None` in
+    /// production).
+    pub chaos: Option<FaultPlan>,
+    /// Circuit-breaker tuning for the primary solve path.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-        ServeConfig { workers, cache_capacity: 1024, queue_capacity: 256, default_deadline: None }
+        ServeConfig {
+            workers,
+            cache_capacity: 1024,
+            queue_capacity: 256,
+            default_deadline: None,
+            max_queue_wait: None,
+            chaos: None,
+            breaker: BreakerConfig::default(),
+        }
     }
 }
 
@@ -59,10 +85,39 @@ pub enum ServeError {
         /// How long the job waited before a worker reached it.
         queued_for: Duration,
     },
+    /// Admission control rejected the job before queueing: the queue
+    /// was too deep for its deadline, or stayed full past the
+    /// configured wait bound. Retryable — the client should back off
+    /// and resubmit.
+    Shed {
+        /// Jobs queued ahead at rejection time.
+        queue_depth: usize,
+        /// Estimated wait the job would have faced.
+        estimated_wait: Duration,
+    },
     /// The request was rejected before solving (bad spec, bad graph).
     Invalid(String),
     /// The pipeline solve itself failed (panic caught by the cache).
     SolveFailed(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminator (the protocol's `kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::Shed { .. } => "shed",
+            ServeError::Invalid(_) => "invalid",
+            ServeError::SolveFailed(_) => "solve-failed",
+        }
+    }
+
+    /// True if a client resubmitting the identical request later can
+    /// reasonably expect success (transient overload, not a bad input).
+    pub fn retryable(&self) -> bool {
+        matches!(self, ServeError::Shed { .. })
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -72,6 +127,11 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExceeded { queued_for } => {
                 write!(f, "deadline exceeded after {} ms in queue", queued_for.as_millis())
             }
+            ServeError::Shed { queue_depth, estimated_wait } => write!(
+                f,
+                "request shed: {queue_depth} jobs queued, estimated wait {} ms",
+                estimated_wait.as_millis()
+            ),
             ServeError::Invalid(msg) => write!(f, "invalid request: {msg}"),
             ServeError::SolveFailed(msg) => write!(f, "{msg}"),
         }
@@ -150,6 +210,8 @@ struct Inner {
     not_full: Condvar,
     cache: ShardedCache<SolveOutput>,
     metrics: Metrics,
+    breaker: CircuitBreaker,
+    chaos: Option<Arc<Chaos>>,
     cfg: ServeConfig,
 }
 
@@ -171,6 +233,8 @@ impl Service {
             not_full: Condvar::new(),
             cache: ShardedCache::new(cfg.cache_capacity),
             metrics: Metrics::default(),
+            breaker: CircuitBreaker::new(cfg.breaker.clone()),
+            chaos: cfg.chaos.clone().filter(|p| !p.is_quiet()).map(|p| Arc::new(Chaos::new(p))),
             cfg: cfg.clone(),
         });
         let workers = (0..cfg.workers)
@@ -207,6 +271,30 @@ impl Service {
         let slot = ResponseSlot::new();
         {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
+            if !q.accepting {
+                return Err(ServeError::ShuttingDown);
+            }
+            // Admission control: rather than letting a doomed job block
+            // a queue slot and expire anyway, reject it now if the
+            // estimated wait (queue depth x average solve time over the
+            // worker pool) already exceeds its deadline.
+            if let Some(deadline) = deadline {
+                let avg = self.inner.metrics.avg_solve_us.load(Ordering::Relaxed);
+                let est = Duration::from_micros(
+                    (q.jobs.len() as u64).saturating_mul(avg)
+                        / self.inner.cfg.workers.max(1) as u64,
+                );
+                if est > deadline {
+                    self.inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Shed {
+                        queue_depth: q.jobs.len(),
+                        estimated_wait: est,
+                    });
+                }
+            }
+            // Full queue: block for at most `max_queue_wait` (bounded
+            // further by the job's own deadline), then shed.
+            let wait_started = Instant::now();
             loop {
                 if !q.accepting {
                     return Err(ServeError::ShuttingDown);
@@ -214,7 +302,27 @@ impl Service {
                 if q.jobs.len() < self.inner.cfg.queue_capacity {
                     break;
                 }
-                q = self.inner.not_full.wait(q).expect("queue poisoned");
+                let bound = match (self.inner.cfg.max_queue_wait, deadline) {
+                    (Some(w), Some(d)) => Some(w.min(d)),
+                    (Some(w), None) => Some(w),
+                    (None, _) => None,
+                };
+                match bound {
+                    Some(bound) => {
+                        let remaining = bound.saturating_sub(wait_started.elapsed());
+                        if remaining.is_zero() {
+                            self.inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            return Err(ServeError::Shed {
+                                queue_depth: q.jobs.len(),
+                                estimated_wait: wait_started.elapsed(),
+                            });
+                        }
+                        let (guard, _timeout) =
+                            self.inner.not_full.wait_timeout(q, remaining).expect("queue poisoned");
+                        q = guard;
+                    }
+                    None => q = self.inner.not_full.wait(q).expect("queue poisoned"),
+                }
             }
             q.jobs.push_back(Job {
                 graph,
@@ -239,6 +347,17 @@ impl Service {
     /// Ready entries currently cached.
     pub fn cache_len(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// The fault-injection stream, if a chaos plan is active. The TCP
+    /// server consults this for connection-level faults.
+    pub fn chaos(&self) -> Option<&Arc<Chaos>> {
+        self.inner.chaos.as_ref()
+    }
+
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.inner.breaker.state()
     }
 
     /// Begin draining without blocking: new submissions are refused
@@ -278,6 +397,9 @@ impl Drop for Service {
 
 fn worker_loop(inner: &Inner) {
     loop {
+        if let Some(chaos) = &inner.chaos {
+            chaos.maybe_stall();
+        }
         let job = {
             let mut q = inner.queue.lock().expect("queue poisoned");
             loop {
@@ -303,40 +425,109 @@ fn worker_loop(inner: &Inner) {
             }
         }
 
+        job.slot.fill(solve_job(inner, &job));
+    }
+}
+
+/// Answer one admitted job: primary solve (breaker permitting), cached
+/// answer, or degraded fallback — every admitted job gets a terminal
+/// response.
+fn solve_job(inner: &Inner, job: &Job) -> Result<SolveResponse, ServeError> {
+    let state = inner.breaker.state();
+    let attempt_primary = match state {
+        BreakerState::Closed => true,
+        BreakerState::HalfOpen => inner.breaker.try_probe(),
+        BreakerState::Open => false,
+    };
+
+    let mut primary_failure: Option<String> = None;
+    if attempt_primary {
+        let started = Instant::now();
         let (result, outcome) = inner.cache.get_or_compute(job.key, || {
             inner.metrics.solves.fetch_add(1, Ordering::Relaxed);
+            if let Some(chaos) = &inner.chaos {
+                chaos.maybe_slow();
+                chaos.maybe_panic();
+            }
             solve_pipeline(&job.graph, &job.spec)
         });
-        match outcome {
-            Outcome::Hit => inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
-            Outcome::Miss => inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed),
-            Outcome::DedupWait => inner.metrics.dedup_waits.fetch_add(1, Ordering::Relaxed),
-        };
-        // Fold cache-level evictions into the service counter.
-        inner.metrics.evictions.store(inner.cache.evictions(), Ordering::Relaxed);
+        record_outcome(inner, outcome);
+        if outcome == Outcome::Miss {
+            // Only fresh solves inform the breaker and the admission
+            // estimate — hits and dedup-waits didn't run the solver.
+            inner.breaker.on_result(result.is_ok());
+            if result.is_ok() {
+                let sample = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                let old = inner.metrics.avg_solve_us.load(Ordering::Relaxed);
+                let ema = if old == 0 { sample } else { (old * 7 + sample) / 8 };
+                inner.metrics.avg_solve_us.store(ema, Ordering::Relaxed);
+            }
+        }
+        publish_breaker_state(inner);
+        match result {
+            Ok(output) => return Ok(finish(inner, job, output, outcome)),
+            Err(msg) => primary_failure = Some(msg),
+        }
+    } else {
+        publish_breaker_state(inner);
+        // Breaker open: cached answers are still free to serve.
+        if let Some(output) = inner.cache.get(job.key) {
+            record_outcome(inner, Outcome::Hit);
+            return Ok(finish(inner, job, output, Outcome::Hit));
+        }
+    }
 
-        let service = job.enqueued.elapsed();
-        let response = match result {
-            Ok(output) => {
-                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .metrics
-                    .latency
-                    .record_us(service.as_micros().min(u128::from(u64::MAX)) as u64);
-                Ok(SolveResponse {
-                    output,
-                    graph: job.graph.name().to_string(),
-                    cached: outcome == Outcome::Hit,
-                    deduplicated: outcome == Outcome::DedupWait,
-                    service,
-                })
-            }
-            Err(msg) => {
-                inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::SolveFailed(msg))
-            }
-        };
-        job.slot.fill(response);
+    // Degraded path: the analytic equal-split schedule, cached under a
+    // salted key so it never masks a future primary result. This path
+    // never runs the convex solver, so it stays up while the primary
+    // path is crashing.
+    let (result, outcome) = inner
+        .cache
+        .get_or_compute(job.key ^ DEGRADED_SALT, || solve_pipeline_degraded(&job.graph, &job.spec));
+    record_outcome(inner, outcome);
+    match result {
+        Ok(output) => Ok(finish(inner, job, output, outcome)),
+        Err(degraded_msg) => {
+            inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let msg = match primary_failure {
+                Some(primary) => {
+                    format!("{primary}; degraded fallback also failed: {degraded_msg}")
+                }
+                None => degraded_msg,
+            };
+            Err(ServeError::SolveFailed(msg))
+        }
+    }
+}
+
+fn record_outcome(inner: &Inner, outcome: Outcome) {
+    match outcome {
+        Outcome::Hit => inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
+        Outcome::Miss => inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed),
+        Outcome::DedupWait => inner.metrics.dedup_waits.fetch_add(1, Ordering::Relaxed),
+    };
+    // Fold cache-level evictions into the service counter.
+    inner.metrics.evictions.store(inner.cache.evictions(), Ordering::Relaxed);
+}
+
+fn publish_breaker_state(inner: &Inner) {
+    inner.metrics.breaker_state.store(inner.breaker.state().as_gauge(), Ordering::Relaxed);
+    inner.metrics.breaker_opens.store(inner.breaker.opens(), Ordering::Relaxed);
+}
+
+fn finish(inner: &Inner, job: &Job, output: Arc<SolveOutput>, outcome: Outcome) -> SolveResponse {
+    if output.degraded.is_degraded() {
+        inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    let service = job.enqueued.elapsed();
+    inner.metrics.latency.record_us(service.as_micros().min(u128::from(u64::MAX)) as u64);
+    SolveResponse {
+        output,
+        graph: job.graph.name().to_string(),
+        cached: outcome == Outcome::Hit,
+        deduplicated: outcome == Outcome::DedupWait,
+        service,
     }
 }
 
@@ -351,7 +542,7 @@ mod tests {
     }
 
     fn small_cfg() -> ServeConfig {
-        ServeConfig { workers: 2, cache_capacity: 64, queue_capacity: 8, default_deadline: None }
+        ServeConfig { workers: 2, cache_capacity: 64, queue_capacity: 8, ..ServeConfig::default() }
     }
 
     #[test]
@@ -425,5 +616,164 @@ mod tests {
         let svc = Service::start(small_cfg());
         svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap();
         drop(svc); // must not hang or panic
+    }
+
+    #[test]
+    fn injected_panics_fall_back_to_degraded_answers() {
+        // Every primary solve panics; the service must still answer
+        // every request, from the degraded path, without aborting.
+        let cfg = ServeConfig {
+            chaos: Some(FaultPlan { seed: 11, worker_panic: 1.0, ..FaultPlan::default() }),
+            ..small_cfg()
+        };
+        let svc = Service::start(cfg);
+        let r = svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap();
+        assert!(r.output.degraded.is_degraded(), "got tier {:?}", r.output.degraded);
+        assert!(r.output.t_psa.is_finite() && r.output.t_psa > 0.0);
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert!(stats.degraded >= 1);
+        assert_eq!(stats.errors, 0, "degraded answers are not errors");
+    }
+
+    #[test]
+    fn breaker_opens_under_sustained_panics_and_skips_primary() {
+        let cfg = ServeConfig {
+            workers: 1,
+            chaos: Some(FaultPlan { seed: 3, worker_panic: 1.0, ..FaultPlan::default() }),
+            breaker: BreakerConfig {
+                window: 4,
+                min_samples: 2,
+                failure_threshold: 0.5,
+                cooldown: Duration::from_secs(60),
+            },
+            ..small_cfg()
+        };
+        let svc = Service::start(cfg);
+        let specs: Vec<SolveSpec> =
+            [4u32, 8, 16, 32, 64].iter().map(|&p| SolveSpec::new(Machine::cm5(p))).collect();
+        for spec in &specs {
+            let r = svc.submit(fig1(), spec.clone()).unwrap();
+            assert!(r.output.degraded.is_degraded());
+        }
+        assert_eq!(svc.breaker_state(), BreakerState::Open);
+        let stats = svc.shutdown();
+        assert!(stats.breaker_opens >= 1);
+        // Once open, later requests skip the primary solver entirely:
+        // strictly fewer primary attempts than requests.
+        assert!(stats.solves < specs.len() as u64, "solves {}", stats.solves);
+        assert_eq!(stats.completed, specs.len() as u64);
+    }
+
+    #[test]
+    fn open_breaker_still_serves_cached_results() {
+        let cfg = ServeConfig {
+            workers: 1,
+            // Let exactly one primary solve through, then panic forever.
+            chaos: Some(FaultPlan {
+                seed: 5,
+                worker_panic: 1.0,
+                panic_after: 1,
+                ..FaultPlan::default()
+            }),
+            breaker: BreakerConfig {
+                window: 4,
+                min_samples: 1,
+                failure_threshold: 0.5,
+                cooldown: Duration::from_secs(60),
+            },
+            ..small_cfg()
+        };
+        let svc = Service::start(cfg);
+        let good = SolveSpec::new(Machine::cm5(4));
+        let first = svc.submit(fig1(), good.clone()).unwrap();
+        assert_eq!(first.output.degraded, paradigm_core::FallbackTier::Primary);
+        // Trip the breaker with a different key.
+        let tripped = svc.submit(fig1(), SolveSpec::new(Machine::cm5(8))).unwrap();
+        assert!(tripped.output.degraded.is_degraded());
+        assert_eq!(svc.breaker_state(), BreakerState::Open);
+        // The first key is cached: served full-fidelity despite the
+        // open breaker.
+        let again = svc.submit(fig1(), good).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.output.degraded, paradigm_core::FallbackTier::Primary);
+    }
+
+    #[test]
+    fn deep_queue_sheds_doomed_deadlines() {
+        let svc = Service::start(ServeConfig { workers: 1, ..small_cfg() });
+        // Seed the admission estimate with one real solve.
+        svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap();
+        // Pretend the queue is deep by making the estimate dominate: a
+        // 1 ns deadline cannot beat any positive estimate once jobs are
+        // queued. Submit from a second thread to hold a queue slot.
+        let svc = Arc::new(svc);
+        let bg = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                // Cold key: actually solves, holding the worker busy.
+                svc.submit(fig1(), SolveSpec::new(Machine::cm5(32))).unwrap()
+            })
+        };
+        // Wait for the background job to occupy the queue/worker.
+        let deadline = Duration::from_nanos(1);
+        let mut shed = false;
+        for _ in 0..200 {
+            match svc.submit_with_deadline(fig1(), SolveSpec::new(Machine::cm5(16)), Some(deadline))
+            {
+                Err(ServeError::Shed { .. }) => {
+                    shed = true;
+                    break;
+                }
+                // Raced ahead of the background job (empty queue → zero
+                // estimate) and then expired in queue, or solved before
+                // the worker picked up the blocker. Try again.
+                Err(ServeError::DeadlineExceeded { .. }) | Ok(_) => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        bg.join().unwrap();
+        if shed {
+            assert!(svc.stats().shed >= 1);
+        }
+        // Whether or not the race landed, the service must stay sound.
+        let r = svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap();
+        assert!(r.cached);
+    }
+
+    #[test]
+    fn full_queue_with_wait_bound_sheds_instead_of_blocking() {
+        // One worker, one-slot queue, and a chaos stall so jobs pile
+        // up; with max_queue_wait set, the over-capacity submitter gets
+        // a typed Shed instead of blocking forever.
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_queue_wait: Some(Duration::from_millis(5)),
+            chaos: Some(FaultPlan {
+                seed: 2,
+                queue_stall: 1.0,
+                stall_ms: 200,
+                ..FaultPlan::default()
+            }),
+            ..small_cfg()
+        };
+        let svc = Arc::new(Service::start(cfg));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    svc.submit(fig1(), SolveSpec::new(Machine::cm5(1 << (i + 1))))
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let shed = results.iter().filter(|r| matches!(r, Err(ServeError::Shed { .. }))).count();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(shed + ok, 4, "every submission got a terminal answer: {results:?}");
+        assert!(shed >= 1, "with a 1-slot queue and stalled worker, someone must shed");
+        assert_eq!(svc.stats().shed, shed as u64);
     }
 }

@@ -1,0 +1,108 @@
+//! Deadline semantics, pinned down as executable documentation:
+//!
+//! * a deadline bounds **queue wait**, not solve time — a request
+//!   admitted in time is answered even if its solve then runs long;
+//! * a request that expires while queued gets `DeadlineExceeded`, is
+//!   counted in `deadline_misses`, and never reaches the solver;
+//! * an open circuit breaker short-circuits the *solver*, not the
+//!   cache — previously computed primary results keep being served
+//!   undegraded while the breaker is open.
+
+use paradigm_core::{gallery_graph, SolveSpec};
+use paradigm_cost::Machine;
+use paradigm_mdg::Mdg;
+use paradigm_serve::{BreakerConfig, FaultPlan, ServeConfig, ServeError, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fig1() -> Arc<Mdg> {
+    Arc::new(gallery_graph("fig1").expect("gallery"))
+}
+
+fn spec(procs: u32) -> SolveSpec {
+    SolveSpec::new(Machine::cm5(procs))
+}
+
+#[test]
+fn zero_deadline_expires_in_queue_and_never_solves() {
+    let svc = Service::start(ServeConfig {
+        workers: 1,
+        cache_capacity: 8,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    });
+    let err = svc
+        .submit_with_deadline(fig1(), spec(4), Some(Duration::ZERO))
+        .expect_err("a zero deadline cannot be met");
+    assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+    assert_eq!(err.kind(), "deadline");
+    assert!(!err.retryable(), "deadline expiry is terminal, not retryable");
+    let stats = svc.shutdown();
+    assert_eq!(stats.deadline_misses, 1);
+    assert_eq!(stats.solves, 0, "expired requests must never reach the solver");
+}
+
+#[test]
+fn deadline_bounds_queue_wait_not_solve_time() {
+    // Every solve is slowed well past the deadline; the request is
+    // still answered because the deadline only governs time-in-queue.
+    let svc = Service::start(ServeConfig {
+        workers: 1,
+        cache_capacity: 8,
+        queue_capacity: 4,
+        chaos: Some(FaultPlan { seed: 7, slow_solve: 1.0, slow_ms: 50, ..FaultPlan::default() }),
+        ..ServeConfig::default()
+    });
+    let r = svc
+        .submit_with_deadline(fig1(), spec(4), Some(Duration::from_millis(20)))
+        .expect("admitted in time; mid-solve overrun must not cancel");
+    assert!(r.output.t_psa > 0.0);
+    assert!(!r.output.degraded.is_degraded(), "slow is not failed");
+    let stats = svc.shutdown();
+    assert_eq!(stats.deadline_misses, 0);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn open_breaker_serves_cached_primary_results_undegraded() {
+    // First solve succeeds (panic_after skips one draw); everything
+    // after panics, tripping the breaker on the spot. The cached
+    // primary answer must then be served as-is — no degraded label —
+    // while fresh keys fall back to the equal-split ladder.
+    let svc = Service::start(ServeConfig {
+        workers: 1,
+        cache_capacity: 16,
+        queue_capacity: 4,
+        chaos: Some(FaultPlan {
+            seed: 11,
+            worker_panic: 1.0,
+            panic_after: 1,
+            ..FaultPlan::default()
+        }),
+        breaker: BreakerConfig {
+            window: 4,
+            min_samples: 1,
+            failure_threshold: 0.5,
+            cooldown: Duration::from_secs(60),
+        },
+        ..ServeConfig::default()
+    });
+
+    let first = svc.submit(fig1(), spec(4)).expect("first solve is clean");
+    assert!(!first.output.degraded.is_degraded());
+
+    // A distinct key: its primary solve panics and trips the breaker,
+    // but the ladder still produces a terminal degraded answer.
+    let second = svc.submit(fig1(), spec(8)).expect("ladder answers despite panic");
+    assert!(second.output.degraded.is_degraded());
+
+    // Breaker now open (cooldown 60 s): the first key must still come
+    // back from cache at full fidelity.
+    let again = svc.submit(fig1(), spec(4)).expect("cache unaffected by open breaker");
+    assert!(!again.output.degraded.is_degraded(), "cached primary, not degraded");
+
+    let stats = svc.shutdown();
+    assert!(stats.breaker_opens >= 1, "{stats:?}");
+    assert!(stats.cache_hits >= 1, "open-breaker path must have hit the cache");
+    assert_eq!(stats.errors, 0, "every request got a terminal answer");
+}

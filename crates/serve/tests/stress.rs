@@ -44,7 +44,7 @@ fn n_threads_m_mixed_requests_account_exactly() {
         workers: 4,
         cache_capacity: 256,
         queue_capacity: 8, // small on purpose: exercises backpressure
-        default_deadline: None,
+        ..ServeConfig::default()
     }));
 
     let handles: Vec<_> = (0..CLIENTS)
@@ -107,7 +107,7 @@ fn shutdown_under_load_answers_every_accepted_request() {
         workers: 2,
         cache_capacity: 256,
         queue_capacity: 4,
-        default_deadline: None,
+        ..ServeConfig::default()
     }));
 
     // Submitters race with shutdown: each request either completes or is

@@ -24,7 +24,7 @@ fn ephemeral_port_round_trip_stats_and_clean_exit() {
             workers: 2,
             cache_capacity: 64,
             queue_capacity: 16,
-            default_deadline: None,
+            ..ServeConfig::default()
         },
         port: 0,
     })

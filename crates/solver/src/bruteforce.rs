@@ -6,6 +6,7 @@
 //! validating the convex solver and the rounding step in tests and
 //! ablations.
 
+use crate::error::SolverError;
 use crate::objective::MdgObjective;
 use paradigm_cost::{Allocation, Machine, PhiBreakdown};
 use paradigm_mdg::Mdg;
@@ -21,29 +22,15 @@ pub struct BruteForceResult {
     pub evaluated: usize,
 }
 
-/// Error: the search space exceeds `limit` allocations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TooLarge {
-    /// The number of combinations that would have to be evaluated.
-    pub combinations: u128,
-}
-
-impl std::fmt::Display for TooLarge {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "brute force would evaluate {} allocations", self.combinations)
-    }
-}
-
-impl std::error::Error for TooLarge {}
-
 /// Enumerate every power-of-two allocation (`p_i ∈ {1, 2, 4, …, 2^k}`,
-/// `2^k <= p`) over the compute nodes of `g`, refusing if more than
-/// `limit` combinations would be needed.
+/// `2^k <= p`) over the compute nodes of `g`, refusing with
+/// [`SolverError::TooLarge`] if more than `limit` combinations would be
+/// needed.
 pub fn brute_force_pow2(
     g: &Mdg,
     machine: Machine,
     limit: usize,
-) -> Result<BruteForceResult, TooLarge> {
+) -> Result<BruteForceResult, SolverError> {
     let choices: Vec<f64> = {
         let mut v = Vec::new();
         let mut q = 1u32;
@@ -61,7 +48,7 @@ pub fn brute_force_pow2(
     let k = choices.len() as u128;
     let combos = k.checked_pow(compute.len() as u32).unwrap_or(u128::MAX);
     if combos > limit as u128 {
-        return Err(TooLarge { combinations: combos });
+        return Err(SolverError::TooLarge { combinations: combos });
     }
 
     let obj = MdgObjective::new(g, machine);
@@ -121,7 +108,7 @@ mod tests {
     fn limit_is_enforced() {
         let g = example_fig1_mdg();
         let err = brute_force_pow2(&g, Machine::cm5(4), 10).unwrap_err();
-        assert_eq!(err.combinations, 27);
+        assert_eq!(err, SolverError::TooLarge { combinations: 27 });
     }
 
     #[test]

@@ -26,17 +26,25 @@
 //!   annealing, and multi-start;
 //! * [`bruteforce`] — exact power-of-two enumeration oracle for small
 //!   graphs (used to validate solver quality);
-//! * [`convexity`] — numeric convexity probes used by tests/ablations.
+//! * [`convexity`] — numeric convexity probes used by tests/ablations;
+//! * [`error`] — typed solver failures ([`SolverError`]) and the
+//!   degradation-ladder tiers ([`FallbackTier`]) recorded by
+//!   [`allocate_resilient`].
 
 pub mod bruteforce;
 pub mod convexity;
 pub mod coordinate;
+pub mod error;
 pub mod expr;
 pub mod objective;
 pub mod solve;
 
 pub use bruteforce::{brute_force_pow2, BruteForceResult};
 pub use coordinate::{allocate_coordinate, CoordinateConfig, CoordinateResult};
+pub use error::{FallbackTier, SolverError};
 pub use expr::{Expr, Monomial};
 pub use objective::MdgObjective;
-pub use solve::{allocate, optimality_residual, AllocationResult, SolverConfig};
+pub use solve::{
+    allocate, allocate_resilient, equal_split_allocation, optimality_residual, try_allocate,
+    AllocationResult, SolverConfig,
+};

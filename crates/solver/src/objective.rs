@@ -41,6 +41,28 @@ pub struct MdgObjective<'g> {
 }
 
 impl<'g> MdgObjective<'g> {
+    /// Fallible [`MdgObjective::new`]: validates the machine and every
+    /// node cost *before* building monomials, so degenerate inputs
+    /// (non-finite `tau`, out-of-range `alpha`, bad transfer constants)
+    /// become an `Err` instead of a constructor panic.
+    pub fn try_new(g: &'g Mdg, machine: Machine) -> Result<Self, String> {
+        if machine.procs == 0 {
+            return Err("machine has zero processors".into());
+        }
+        machine.xfer.validate()?;
+        for (_, node) in g.nodes() {
+            let a = node.cost.alpha;
+            let tau = node.cost.tau;
+            if !a.is_finite() || !(0.0..=1.0).contains(&a) || !tau.is_finite() || tau < 0.0 {
+                return Err(format!(
+                    "node `{}` has invalid cost (alpha = {a}, tau = {tau})",
+                    node.name
+                ));
+            }
+        }
+        Ok(Self::new(g, machine))
+    }
+
     /// Build the expressions. `O(nodes + edges)` monomials.
     pub fn new(g: &'g Mdg, machine: Machine) -> Self {
         let x = &machine.xfer;

@@ -8,12 +8,17 @@
 //! safety net (it also randomizes tie-breaking on the max kinks) and runs
 //! the starts on scoped threads.
 
+use crate::coordinate::{allocate_coordinate, CoordinateConfig};
+use crate::error::{FallbackTier, SolverError};
 use crate::expr::Sharpness;
 use crate::objective::MdgObjective;
-use paradigm_cost::{Allocation, Machine, PhiBreakdown};
+use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
 use paradigm_mdg::Mdg;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Solver tuning knobs. The defaults solve every workload in this
 /// repository to well under 1 % of the brute-force oracle.
@@ -34,6 +39,14 @@ pub struct SolverConfig {
     pub seed: u64,
     /// Run starts on scoped threads.
     pub parallel: bool,
+    /// Watchdog wall-time budget across all starts; when it expires the
+    /// solver returns its best iterate so far, or
+    /// [`SolverError::BudgetExceeded`] if no iteration ever ran. `None`
+    /// never expires.
+    pub time_limit: Option<Duration>,
+    /// Watchdog budget on total gradient iterations summed over all
+    /// starts and stages; same semantics as `time_limit`.
+    pub max_total_iters: Option<usize>,
 }
 
 impl Default for SolverConfig {
@@ -45,6 +58,8 @@ impl Default for SolverConfig {
             random_starts: 3,
             seed: 0x5eed,
             parallel: true,
+            time_limit: None,
+            max_total_iters: None,
         }
     }
 }
@@ -73,6 +88,33 @@ pub struct AllocationResult {
     pub iterations: usize,
     /// Number of starts evaluated.
     pub starts: usize,
+    /// Which rung of the degradation ladder produced this result
+    /// ([`FallbackTier::Primary`] unless a resilient entry point fell
+    /// back).
+    pub tier: FallbackTier,
+}
+
+/// Shared watchdog budget checked by every descent iteration.
+struct Budget {
+    deadline: Option<Instant>,
+    max_iters: Option<usize>,
+    used: AtomicUsize,
+}
+
+impl Budget {
+    fn exhausted(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(m) = self.max_iters {
+            if self.used.load(Ordering::Relaxed) >= m {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Solve the allocation problem for `g` on `machine`.
@@ -88,10 +130,55 @@ pub struct AllocationResult {
 /// // can only be at least as good.
 /// assert!(res.phi.phi <= 14.3 + 1e-9);
 /// ```
+///
+/// # Panics
+/// Panics if [`try_allocate`] would return an error; callers that need
+/// to survive bad inputs or budgets should use [`try_allocate`] or
+/// [`allocate_resilient`] instead.
 pub fn allocate(g: &Mdg, machine: Machine, cfg: &SolverConfig) -> AllocationResult {
-    let obj = MdgObjective::new(g, machine);
+    try_allocate(g, machine, cfg).unwrap_or_else(|e| panic!("allocation solve failed: {e}"))
+}
+
+/// Fallible [`allocate`]: validates the configuration and the objective,
+/// enforces the watchdog budget, and returns a typed [`SolverError`]
+/// instead of panicking.
+///
+/// Budget semantics: if the budget expires *mid-run*, the best iterate
+/// found so far is returned (`Ok`); if it was already exhausted before
+/// any descent iteration ran (e.g. `time_limit` of zero), the solver has
+/// nothing useful to return and fails with
+/// [`SolverError::BudgetExceeded`].
+pub fn try_allocate(
+    g: &Mdg,
+    machine: Machine,
+    cfg: &SolverConfig,
+) -> Result<AllocationResult, SolverError> {
+    let started = Instant::now();
+    for &s in &cfg.sharpness_schedule {
+        if !s.is_finite() || s < 1.0 {
+            return Err(SolverError::InvalidConfig(format!(
+                "sharpness {s} must be finite and >= 1"
+            )));
+        }
+    }
+    if !cfg.rel_tol.is_finite() || cfg.rel_tol < 0.0 {
+        return Err(SolverError::InvalidConfig(format!(
+            "relative tolerance {} must be finite and >= 0",
+            cfg.rel_tol
+        )));
+    }
+    let obj = MdgObjective::try_new(g, machine).map_err(SolverError::BadObjective)?;
     let n = obj.num_vars();
     let ub = obj.x_upper();
+
+    let budget = Budget {
+        deadline: cfg.time_limit.map(|d| started + d),
+        max_iters: cfg.max_total_iters,
+        used: AtomicUsize::new(0),
+    };
+    if budget.exhausted() {
+        return Err(SolverError::BudgetExceeded { elapsed: started.elapsed(), iterations: 0 });
+    }
 
     // Deterministic starts.
     let mut starts: Vec<Vec<f64>> = vec![vec![0.0; n], vec![ub; n], vec![ub / 2.0; n]];
@@ -110,24 +197,37 @@ pub fn allocate(g: &Mdg, machine: Machine, cfg: &SolverConfig) -> AllocationResu
         let mut x = x0;
         let mut iters = 0;
         let mut stages = cfg.sharpness_schedule.clone();
-        stages.sort_by(|a, b| a.partial_cmp(b).expect("sharpness must be comparable"));
+        stages.sort_by(f64::total_cmp);
         let mut sharps: Vec<Sharpness> = stages.into_iter().map(Sharpness::Smooth).collect();
         sharps.push(Sharpness::Exact);
         for sharp in sharps {
-            iters += descend(&obj, &mut x, sharp, cfg.max_iters_per_stage, cfg.rel_tol, ub);
+            iters +=
+                descend(&obj, &mut x, sharp, cfg.max_iters_per_stage, cfg.rel_tol, ub, &budget);
         }
         (x, iters)
     };
 
     let results: Vec<(Vec<f64>, usize)> = if cfg.parallel && starts.len() > 1 {
-        std::thread::scope(|scope| {
+        let joined = std::thread::scope(|scope| {
             let handles: Vec<_> =
                 starts.into_iter().map(|x0| scope.spawn(|| run_one(x0))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("solver start thread must not panic"))
-                .collect()
-        })
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(joined.len());
+        for r in joined {
+            match r {
+                Ok(v) => out.push(v),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("unknown panic");
+                    return Err(SolverError::StartPanicked(msg.to_string()));
+                }
+            }
+        }
+        out
     } else {
         starts.into_iter().map(run_one).collect()
     };
@@ -147,8 +247,71 @@ pub fn allocate(g: &Mdg, machine: Machine, cfg: &SolverConfig) -> AllocationResu
             best = Some((alloc, phi));
         }
     }
-    let (alloc, phi) = best.expect("at least one start always runs");
-    AllocationResult { alloc, phi, iterations: total_iters, starts: starts_n }
+    let Some((alloc, phi)) = best else {
+        return Err(SolverError::NonFinite { phi: f64::NAN });
+    };
+    if total_iters == 0 && budget.exhausted() {
+        return Err(SolverError::BudgetExceeded { elapsed: started.elapsed(), iterations: 0 });
+    }
+    if !phi.phi.is_finite() {
+        return Err(SolverError::NonFinite { phi: phi.phi });
+    }
+    Ok(AllocationResult {
+        alloc,
+        phi,
+        iterations: total_iters,
+        starts: starts_n,
+        tier: FallbackTier::Primary,
+    })
+}
+
+/// The degradation ladder: [`try_allocate`], then gradient-free
+/// coordinate descent, then the analytic equal split. Always returns a
+/// finite, feasible allocation and records which rung produced it —
+/// this is the entry point the serving pipeline uses so a misbehaving
+/// solve yields a *degraded* answer instead of a dead worker.
+pub fn allocate_resilient(g: &Mdg, machine: Machine, cfg: &SolverConfig) -> AllocationResult {
+    if let Ok(Ok(r)) = catch_unwind(AssertUnwindSafe(|| try_allocate(g, machine, cfg))) {
+        return r;
+    }
+    // Rung 2: the gradient-free cross-check solver, trimmed for fallback
+    // duty (one smoothing stage, few sweeps — a valid allocation fast,
+    // not the last fraction of a percent).
+    let cd_cfg = CoordinateConfig {
+        max_sweeps: 8,
+        line_iters: 24,
+        sharpness_schedule: vec![16.0],
+        ..CoordinateConfig::default()
+    };
+    if let Ok(r) = catch_unwind(AssertUnwindSafe(|| allocate_coordinate(g, machine, &cd_cfg))) {
+        if r.phi.phi.is_finite() {
+            return AllocationResult {
+                alloc: r.alloc,
+                phi: r.phi,
+                iterations: r.sweeps,
+                starts: 1,
+                tier: FallbackTier::Coordinate,
+            };
+        }
+    }
+    equal_split_allocation(g, machine)
+}
+
+/// Rung 3 of the ladder: the analytic allocation that gives each of the
+/// `m` compute nodes `clamp(p/m, 1, p)` processors. Needs no
+/// optimization at all, so it cannot fail — the service's answer of
+/// last resort.
+pub fn equal_split_allocation(g: &Mdg, machine: Machine) -> AllocationResult {
+    let p = (machine.procs.max(1)) as f64;
+    let m = g.compute_node_count().max(1) as f64;
+    let share = (p / m).clamp(1.0, p);
+    let mut alloc = Allocation::uniform(g, share);
+    alloc.set(g.start(), 1.0);
+    alloc.set(g.stop(), 1.0);
+    // Score with the exact ground-truth evaluator directly (it never
+    // asserts on cost values, unlike the symbolic objective builder).
+    let phi = MdgWeights::compute(g, &machine, &alloc).phi(g);
+    AllocationResult { alloc, phi, iterations: 0, starts: 0, tier: FallbackTier::EqualSplit }
 }
 
 /// First-order stationarity residual for the minimax program
@@ -202,6 +365,8 @@ pub fn optimality_residual(obj: &MdgObjective<'_>, x: &[f64], sharp: Sharpness) 
 
 /// One projected-gradient descent stage at fixed sharpness. Returns the
 /// iteration count. `x` is updated in place and stays inside `[0, ub]^n`.
+/// Stops early (keeping the current iterate) once `budget` is exhausted.
+#[allow(clippy::too_many_arguments)]
 fn descend(
     obj: &MdgObjective<'_>,
     x: &mut [f64],
@@ -209,12 +374,17 @@ fn descend(
     max_iters: usize,
     rel_tol: f64,
     ub: f64,
+    budget: &Budget,
 ) -> usize {
     let n = x.len();
     let mut step = 0.25;
     let mut iters = 0;
     let (mut parts, mut grad) = obj.eval_grad(x, sharp);
     for _ in 0..max_iters {
+        if budget.exhausted() {
+            break;
+        }
+        budget.used.fetch_add(1, Ordering::Relaxed);
         iters += 1;
         // Projected step with backtracking.
         let mut accepted = false;
@@ -261,6 +431,7 @@ fn descend(
 mod tests {
     use super::*;
     use crate::bruteforce::brute_force_pow2;
+    use crate::error::{FallbackTier, SolverError};
     use paradigm_mdg::{
         complex_matmul_mdg, example_fig1_mdg, random_layered_mdg, strassen_mdg, KernelCostTable,
         NodeId, RandomMdgConfig,
@@ -379,6 +550,82 @@ mod tests {
         assert!(r_sol < 0.01, "solution residual {r_sol}");
         assert!(r_ones > 10.0 * r_sol, "all-ones residual {r_ones} vs solution {r_sol}");
         assert!(r_allp > 10.0 * r_sol, "all-p residual {r_allp} vs solution {r_sol}");
+    }
+
+    #[test]
+    fn zero_time_budget_is_a_typed_error() {
+        let g = example_fig1_mdg();
+        let cfg = SolverConfig { time_limit: Some(Duration::ZERO), ..SolverConfig::fast() };
+        let err = try_allocate(&g, Machine::cm5(4), &cfg).unwrap_err();
+        assert!(matches!(err, SolverError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn mid_run_iteration_budget_returns_best_so_far() {
+        let g = example_fig1_mdg();
+        let cfg = SolverConfig { max_total_iters: Some(5), ..SolverConfig::fast() };
+        let r = try_allocate(&g, Machine::cm5(4), &cfg).unwrap();
+        assert!(r.phi.phi.is_finite() && r.phi.phi > 0.0);
+        // The shared counter may overshoot by at most one per concurrent
+        // start; the point is the watchdog cut the run short.
+        assert!(r.iterations <= 5 + r.starts, "{} iterations", r.iterations);
+        assert_eq!(r.tier, FallbackTier::Primary);
+    }
+
+    #[test]
+    fn invalid_sharpness_is_a_typed_error() {
+        let g = example_fig1_mdg();
+        let cfg = SolverConfig { sharpness_schedule: vec![f64::NAN], ..SolverConfig::fast() };
+        let err = try_allocate(&g, Machine::cm5(4), &cfg).unwrap_err();
+        assert!(matches!(err, SolverError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_machine_is_a_typed_error() {
+        let g = example_fig1_mdg();
+        let mut m = Machine::cm5(4);
+        m.xfer.t_ss = f64::NAN;
+        let err = try_allocate(&g, m, &SolverConfig::fast()).unwrap_err();
+        assert!(matches!(err, SolverError::BadObjective(_)), "{err}");
+    }
+
+    #[test]
+    fn resilient_degrades_to_coordinate_on_exhausted_budget() {
+        let g = example_fig1_mdg();
+        let cfg = SolverConfig { time_limit: Some(Duration::ZERO), ..SolverConfig::fast() };
+        let r = allocate_resilient(&g, Machine::cm5(4), &cfg);
+        assert_eq!(r.tier, FallbackTier::Coordinate);
+        assert!(r.phi.phi.is_finite() && r.phi.phi > 0.0);
+        for (id, _) in g.nodes() {
+            assert!((1.0..=4.0 + 1e-9).contains(&r.alloc.get(id)));
+        }
+    }
+
+    #[test]
+    fn resilient_bottoms_out_at_equal_split() {
+        // A NaN transfer constant on a graph with real data transfers
+        // kills both real solvers (typed error from the gradient solver,
+        // caught panic from coordinate descent's objective builder); the
+        // analytic split must still produce an allocation.
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let mut m = Machine::cm5(4);
+        m.xfer.t_ss = f64::NAN;
+        let r = allocate_resilient(&g, m, &SolverConfig::fast());
+        assert_eq!(r.tier, FallbackTier::EqualSplit);
+        for (id, _) in g.nodes() {
+            assert!((1.0..=4.0 + 1e-9).contains(&r.alloc.get(id)));
+        }
+    }
+
+    #[test]
+    fn equal_split_is_feasible_and_finite() {
+        let g = example_fig1_mdg();
+        let r = equal_split_allocation(&g, Machine::cm5(4));
+        assert_eq!(r.tier, FallbackTier::EqualSplit);
+        assert!(r.phi.phi.is_finite() && r.phi.phi > 0.0);
+        // 3 compute nodes on 4 procs: everyone gets floor-ish p/m >= 1.
+        assert!((r.alloc.get(NodeId(1)) - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.alloc.get(g.start()), 1.0);
     }
 
     #[test]
