@@ -139,6 +139,17 @@ impl CircuitBreaker {
         }
     }
 
+    /// Return an unused half-open probe claim. The claimed probe job
+    /// resolved without running a fresh solve (cache hit or dedup
+    /// wait), so it proved nothing about the solver; the probe slot
+    /// reopens for the next worker. No-op in any other state.
+    pub fn release_probe(&self) {
+        let mut w = self.w.lock().expect("breaker poisoned");
+        if matches!(w.mode, Mode::HalfOpen { probing: true }) {
+            w.mode = Mode::HalfOpen { probing: false };
+        }
+    }
+
     /// Record one fresh-solve outcome.
     pub fn on_result(&self, ok: bool) {
         let mut w = self.w.lock().expect("breaker poisoned");
@@ -252,6 +263,33 @@ mod tests {
         // The bad window was cleared: one more failure must not re-trip.
         b.on_result(false);
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn released_probe_can_be_reclaimed() {
+        let b = CircuitBreaker::new(cfg(1));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.try_probe());
+        assert!(!b.try_probe(), "probe is held");
+        // The probe job hit the cache: it proved nothing, give it back.
+        b.release_probe();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_probe(), "released probe must be claimable again");
+    }
+
+    #[test]
+    fn release_probe_is_noop_outside_half_open() {
+        let b = CircuitBreaker::new(cfg(10_000));
+        b.release_probe();
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        b.release_probe();
+        assert_eq!(b.state(), BreakerState::Open);
     }
 
     #[test]

@@ -163,12 +163,18 @@ impl Chaos {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// One deterministic Bernoulli draw at `site` with probability `p`.
+    /// One deterministic Bernoulli draw at `site` with probability `p`,
+    /// numbered by the site's counter.
     fn draw(&self, site: u64, counter: &AtomicU64, p: f64) -> bool {
         if p <= 0.0 {
             return false;
         }
         let n = counter.fetch_add(1, Ordering::Relaxed);
+        self.draw_at(site, n, p)
+    }
+
+    /// The deterministic decision for draw number `n` at `site`.
+    fn draw_at(&self, site: u64, n: u64, p: f64) -> bool {
         let h = splitmix64(self.plan.seed ^ site.wrapping_mul(0xa076_1d64_78bd_642f) ^ n);
         // Map the top 53 bits to [0, 1).
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;
@@ -180,17 +186,18 @@ impl Chaos {
     }
 
     /// Panic the calling worker if the plan says so. The first
-    /// `panic_after` draws at this site never fire.
+    /// `panic_after` draws at this site never fire. One atomic
+    /// increment both numbers the draw and decides the skip, so
+    /// concurrent workers skip exactly `panic_after` draws.
     pub fn maybe_panic(&self) {
         if self.plan.worker_panic <= 0.0 {
             return;
         }
-        let n = self.panic_draws.load(Ordering::Relaxed);
+        let n = self.panic_draws.fetch_add(1, Ordering::Relaxed);
         if n < self.plan.panic_after {
-            self.panic_draws.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        if self.draw(1, &self.panic_draws, self.plan.worker_panic) {
+        if self.draw_at(1, n, self.plan.worker_panic) {
             panic!("chaos: injected worker panic");
         }
     }
@@ -281,6 +288,37 @@ mod tests {
         }
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.maybe_panic()));
         assert!(r.is_err(), "fourth draw must panic at p=1");
+    }
+
+    #[test]
+    fn panic_after_skips_exactly_n_under_concurrency() {
+        use std::sync::Arc;
+
+        let plan = FaultPlan { seed: 1, worker_panic: 1.0, panic_after: 8, ..FaultPlan::default() };
+        let c = Arc::new(Chaos::new(plan));
+        let fired = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let fired = Arc::clone(&fired);
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            c.maybe_panic();
+                        }));
+                        if r.is_err() {
+                            fired.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 16 draws at p=1: exactly the first 8 are skipped, the rest
+        // fire — regardless of how the threads interleave.
+        assert_eq!(fired.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -112,12 +112,14 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
     let mut reader = BufReader::new(stream);
     let mut frame = Vec::new();
     loop {
-        frame.clear();
         match reader.read_until(b'\n', &mut frame) {
             Ok(0) => return, // client closed
             Ok(_) => {
                 let (response, stop) = match std::str::from_utf8(&frame) {
-                    Ok(line) if line.trim().is_empty() => continue,
+                    Ok(line) if line.trim().is_empty() => {
+                        frame.clear();
+                        continue;
+                    }
                     Ok(line) => handle_line(service, line.trim()),
                     Err(_) => (
                         crate::protocol::error_response("request frame is not valid UTF-8")
@@ -125,6 +127,7 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
                         false,
                     ),
                 };
+                frame.clear();
                 // Injected connection faults (chaos drills only): sever
                 // the connection or send a torn frame, so clients must
                 // exercise their reconnect/retry paths.
@@ -150,6 +153,10 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
                     return;
                 }
             }
+            // Read timeout (the shutdown poll): any bytes of a partial
+            // frame already pulled into `frame` stay there, so a client
+            // writing a frame in pieces slower than the timeout is
+            // reassembled, not desynced.
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if shutdown.load(Ordering::Relaxed) || sigint_raised() {
                     return;
@@ -290,6 +297,46 @@ mod tests {
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(doc.get("kind").and_then(Json::as_str), Some("bad-request"));
         // ...and the connection must still serve the next request.
+        let pong = request(&mut c, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+
+        flag.store(true, Ordering::Relaxed);
+        drop(c);
+        run.join().unwrap();
+    }
+
+    #[test]
+    fn frame_written_in_pieces_across_read_timeouts_stays_intact() {
+        let server = Server::bind(ServerConfig {
+            service: ServeConfig {
+                workers: 1,
+                cache_capacity: 8,
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+            port: 0,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_flag();
+        let run = std::thread::spawn(move || server.run());
+
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        // Write one frame in two pieces with a pause well past the
+        // server's 100 ms read timeout: the halves must be reassembled
+        // into one request, not parsed as two garbage frames.
+        c.write_all(br#"{"op":"#).unwrap();
+        c.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        c.write_all(b"\"ping\"}\n").unwrap();
+        c.flush().unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let doc = parse(response.trim()).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        // The connection is still in sync for a whole-frame request.
         let pong = request(&mut c, r#"{"op":"ping"}"#);
         assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
 

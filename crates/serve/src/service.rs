@@ -279,11 +279,7 @@ impl Service {
             // estimated wait (queue depth x average solve time over the
             // worker pool) already exceeds its deadline.
             if let Some(deadline) = deadline {
-                let avg = self.inner.metrics.avg_solve_us.load(Ordering::Relaxed);
-                let est = Duration::from_micros(
-                    (q.jobs.len() as u64).saturating_mul(avg)
-                        / self.inner.cfg.workers.max(1) as u64,
-                );
+                let est = estimate_wait(&self.inner, q.jobs.len());
                 if est > deadline {
                     self.inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(ServeError::Shed {
@@ -312,9 +308,13 @@ impl Service {
                         let remaining = bound.saturating_sub(wait_started.elapsed());
                         if remaining.is_zero() {
                             self.inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            // Same semantics as the admission shed above:
+                            // an estimate of the wait *ahead*, so clients
+                            // sizing backoff from this field see one
+                            // consistent meaning.
                             return Err(ServeError::Shed {
                                 queue_depth: q.jobs.len(),
-                                estimated_wait: wait_started.elapsed(),
+                                estimated_wait: estimate_wait(&self.inner, q.jobs.len()),
                             });
                         }
                         let (guard, _timeout) =
@@ -434,9 +434,20 @@ fn worker_loop(inner: &Inner) {
 /// response.
 fn solve_job(inner: &Inner, job: &Job) -> Result<SolveResponse, ServeError> {
     let state = inner.breaker.state();
+    let mut claimed_probe = false;
     let attempt_primary = match state {
         BreakerState::Closed => true,
-        BreakerState::HalfOpen => inner.breaker.try_probe(),
+        BreakerState::HalfOpen => {
+            // A cached answer proves nothing about the solver: serve it
+            // without spending the single half-open probe on it.
+            if let Some(output) = inner.cache.get(job.key) {
+                record_outcome(inner, Outcome::Hit);
+                publish_breaker_state(inner);
+                return Ok(finish(inner, job, output, Outcome::Hit));
+            }
+            claimed_probe = inner.breaker.try_probe();
+            claimed_probe
+        }
         BreakerState::Open => false,
     };
 
@@ -462,6 +473,11 @@ fn solve_job(inner: &Inner, job: &Job) -> Result<SolveResponse, ServeError> {
                 let ema = if old == 0 { sample } else { (old * 7 + sample) / 8 };
                 inner.metrics.avg_solve_us.store(ema, Ordering::Relaxed);
             }
+        } else if claimed_probe {
+            // The probe raced a cache fill or another in-flight solve
+            // and never ran the solver itself: give the probe back so
+            // the next worker can still test the primary path.
+            inner.breaker.release_probe();
         }
         publish_breaker_state(inner);
         match result {
@@ -498,6 +514,13 @@ fn solve_job(inner: &Inner, job: &Job) -> Result<SolveResponse, ServeError> {
             Err(ServeError::SolveFailed(msg))
         }
     }
+}
+
+/// Estimated wait a job joining behind `depth` queued jobs would face:
+/// queue depth times the average solve time, spread over the workers.
+fn estimate_wait(inner: &Inner, depth: usize) -> Duration {
+    let avg = inner.metrics.avg_solve_us.load(Ordering::Relaxed);
+    Duration::from_micros((depth as u64).saturating_mul(avg) / inner.cfg.workers.max(1) as u64)
 }
 
 fn record_outcome(inner: &Inner, outcome: Outcome) {
@@ -697,6 +720,50 @@ mod tests {
         let again = svc.submit(fig1(), good).unwrap();
         assert!(again.cached);
         assert_eq!(again.output.degraded, paradigm_core::FallbackTier::Primary);
+    }
+
+    #[test]
+    fn cache_hits_do_not_consume_the_half_open_probe() {
+        let cfg = ServeConfig {
+            workers: 1,
+            // Let exactly one primary solve through, then panic forever.
+            chaos: Some(FaultPlan {
+                seed: 5,
+                worker_panic: 1.0,
+                panic_after: 1,
+                ..FaultPlan::default()
+            }),
+            breaker: BreakerConfig {
+                window: 4,
+                min_samples: 1,
+                failure_threshold: 0.5,
+                cooldown: Duration::from_millis(20),
+            },
+            ..small_cfg()
+        };
+        let svc = Service::start(cfg);
+        let good = SolveSpec::new(Machine::cm5(4));
+        let first = svc.submit(fig1(), good.clone()).unwrap();
+        assert_eq!(first.output.degraded, paradigm_core::FallbackTier::Primary);
+        // Trip the breaker with a different key.
+        let tripped = svc.submit(fig1(), SolveSpec::new(Machine::cm5(8))).unwrap();
+        assert!(tripped.output.degraded.is_degraded());
+        assert_eq!(svc.breaker_state(), BreakerState::Open);
+        // Cool down into half-open, then serve the cached key. The hit
+        // must not spend the single probe.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(svc.breaker_state(), BreakerState::HalfOpen);
+        let cached = svc.submit(fig1(), good).unwrap();
+        assert!(cached.cached);
+        // The probe is still available: the next uncached request runs
+        // the primary solver (which panics), re-opening the breaker. A
+        // leaked probe would skip straight to degraded and pin the
+        // breaker half-open forever.
+        let probe = svc.submit(fig1(), SolveSpec::new(Machine::cm5(16))).unwrap();
+        assert!(probe.output.degraded.is_degraded());
+        assert_eq!(svc.breaker_state(), BreakerState::Open, "probe ran and failed");
+        let stats = svc.shutdown();
+        assert_eq!(stats.solves, 3, "seed solve + breaker trip + probe attempt");
     }
 
     #[test]
