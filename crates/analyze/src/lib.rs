@@ -24,15 +24,26 @@
 //! pipeline (under `debug_assertions`), and the `paradigm analyze` CLI
 //! subcommand.
 
+pub mod cert;
+pub mod diff;
 pub mod lint;
 pub mod posynomial;
 pub mod schedule_check;
 
+pub use cert::{
+    certificate_dot, certificate_json, check_certificate, check_certificate_text, CertDefect,
+    CertFailure, CertPart, CertSummary, CERT_VERSION,
+};
+pub use diff::unified_diff;
 pub use lint::{
-    has_errors, lint_mdg, render_diagnostics, Diagnostic, Lint, LintLocation, LintSet, Severity,
+    apply_fixes, find_cycle, has_errors, lint_mdg, render_diagnostics, Diagnostic, Fix, Lint,
+    LintLocation, LintSet, Severity,
 };
 pub use posynomial::{
     certify, certify_in, certify_objective, Certificate, Defect, ExprClass, NonPosynomial,
     ObjectiveCertificate, ObjectiveCounterexample, ObjectivePart, Rule,
 };
-pub use schedule_check::{analyze_schedule, ScheduleReport, ScheduleViolation};
+pub use schedule_check::{
+    analyze_schedule, AuditClaims, AuditReport, AuditViolation, ScheduleAuditor, ScheduleReport,
+    ScheduleViolation,
+};

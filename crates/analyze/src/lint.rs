@@ -12,8 +12,14 @@
 //!
 //! [`LintSet::default_set`] bundles the built-in lints; callers can add
 //! their own by implementing [`Lint`] and pushing it onto the set.
+//!
+//! Some diagnostics carry a machine-applicable [`Fix`];
+//! [`apply_fixes`] rebuilds the graph with every attached fix applied
+//! (clamped Amdahl parameters, stripped structural transfers, ...),
+//! which backs the CLI's `analyze --fix` mode.
 
-use paradigm_mdg::{EdgeId, Mdg, NodeId, NodeKind};
+use paradigm_mdg::graph::builder_id_to_mdg;
+use paradigm_mdg::{EdgeId, Mdg, MdgBuilder, NodeId, NodeKind, TransferKind};
 use std::fmt;
 
 /// How bad a finding is.
@@ -48,6 +54,50 @@ pub enum LintLocation {
     Edge(EdgeId),
 }
 
+/// A machine-applicable repair for one diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fix {
+    /// Clamp a node's serial fraction into `[0, 1]`.
+    ClampAlpha {
+        /// The node to repair.
+        node: NodeId,
+        /// The clamped value.
+        to: f64,
+    },
+    /// Clamp a node's negative sequential time.
+    ClampTau {
+        /// The node to repair.
+        node: NodeId,
+        /// The clamped value.
+        to: f64,
+    },
+    /// Remove every array transfer from a structural (START/STOP) edge.
+    StripStructuralTransfers {
+        /// The edge to strip.
+        edge: EdgeId,
+    },
+    /// Remove zero-byte array transfers from an edge.
+    DropEmptyTransfers {
+        /// The edge to clean.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fix::ClampAlpha { node, to } => write!(f, "clamp alpha of node {node} to {to}"),
+            Fix::ClampTau { node, to } => write!(f, "clamp tau of node {node} to {to}"),
+            Fix::StripStructuralTransfers { edge } => {
+                write!(f, "strip transfers from structural edge e{}", edge.0)
+            }
+            Fix::DropEmptyTransfers { edge } => {
+                write!(f, "drop zero-byte transfers from edge e{}", edge.0)
+            }
+        }
+    }
+}
+
 /// One finding from one lint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
@@ -61,6 +111,8 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when the lint knows.
     pub hint: Option<String>,
+    /// A mechanical repair, when one exists ([`apply_fixes`]).
+    pub fix: Option<Fix>,
 }
 
 /// A single diagnostic pass over an MDG.
@@ -83,10 +135,14 @@ impl LintSet {
         LintSet {
             lints: vec![
                 Box::new(UnreachableNode),
+                Box::new(CyclicDependency),
                 Box::new(NonFiniteWeight),
                 Box::new(DegenerateAmdahl),
+                Box::new(AmdahlMonotonicity),
                 Box::new(StructuralTransfer),
                 Box::new(RedistributionMismatch),
+                Box::new(TransferShape),
+                Box::new(EdgeUnitSanity),
                 Box::new(ZeroTau),
                 Box::new(IsolatedNode),
             ],
@@ -150,6 +206,9 @@ pub fn render_diagnostics(g: &Mdg, diags: &[Diagnostic]) -> String {
         if let Some(h) = &d.hint {
             out.push_str(&format!("  help: {h}\n"));
         }
+        if let Some(fx) = &d.fix {
+            out.push_str(&format!("  fix: {fx} (mechanical; apply with --fix)\n"));
+        }
     }
     if !diags.is_empty() {
         let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
@@ -189,6 +248,7 @@ impl Lint for UnreachableNode {
                     location: LintLocation::Node(id),
                     message: format!("compute node {dir}"),
                     hint: Some("rebuild the graph through MdgBuilder::finish".to_string()),
+                    fix: None,
                 });
             }
         }
@@ -208,6 +268,10 @@ impl Lint for NonFiniteWeight {
         for (id, node) in g.nodes() {
             let c = node.cost;
             if !c.tau.is_finite() || c.tau < 0.0 || !c.alpha.is_finite() {
+                // A finite negative tau has a mechanical repair; NaN or
+                // infinite parameters need a real measurement instead.
+                let fix = (c.tau.is_finite() && c.tau < 0.0 && c.alpha.is_finite())
+                    .then_some(Fix::ClampTau { node: id, to: 0.0 });
                 out.push(Diagnostic {
                     lint: self.name(),
                     severity: Severity::Error,
@@ -219,6 +283,7 @@ impl Lint for NonFiniteWeight {
                     hint: Some(
                         "construct costs via AmdahlParams::new, which validates".to_string(),
                     ),
+                    fix,
                 });
             }
         }
@@ -248,6 +313,7 @@ impl Lint for DegenerateAmdahl {
                         "alpha is the Amdahl serial fraction; refit the node's cost model"
                             .to_string(),
                     ),
+                    fix: Some(Fix::ClampAlpha { node: id, to: a.clamp(0.0, 1.0) }),
                 });
             }
         }
@@ -274,6 +340,7 @@ impl Lint for StructuralTransfer {
                     location: LintLocation::Edge(eid),
                     message: "START/STOP edge carries array transfers".to_string(),
                     hint: Some("move the transfer onto a compute-to-compute edge".to_string()),
+                    fix: Some(Fix::StripStructuralTransfers { edge: eid }),
                 });
             }
         }
@@ -314,6 +381,7 @@ impl Lint for RedistributionMismatch {
                             "check the ArrayTransfer size against the producer's LoopMeta"
                                 .to_string(),
                         ),
+                        fix: None,
                     });
                 }
             }
@@ -339,6 +407,7 @@ impl Lint for ZeroTau {
                     location: LintLocation::Node(id),
                     message: "compute node has zero sequential time".to_string(),
                     hint: Some("measure the loop, or fuse the node into a neighbour".to_string()),
+                    fix: None,
                 });
             }
         }
@@ -370,10 +439,296 @@ impl Lint for IsolatedNode {
                     message: "compute node exchanges no data with any other compute node"
                         .to_string(),
                     hint: None,
+                    fix: None,
                 });
             }
         }
     }
+}
+
+/// A directed cycle among compute nodes. `MdgBuilder::finish` rejects
+/// cyclic graphs, so on graphs built through it this lint is a no-op;
+/// it guards MDGs arriving from other producers (deserializers, future
+/// transforms) where the invariant is asserted rather than enforced.
+pub struct CyclicDependency;
+
+/// Find a directed cycle in a graph given as raw edges over node
+/// indices `0..n`. Returns the cycle as a node sequence
+/// `v0 -> v1 -> ... -> v0` (first node repeated at the end) — the
+/// witness path — or `None` when the graph is acyclic.
+pub fn find_cycle(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut succs = vec![Vec::new(); n];
+    for &(src, dst) in edges {
+        succs[src].push(dst);
+    }
+    // Iterative colored DFS: 0 = unvisited, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        // Stack of (node, next-successor-index) frames.
+        let mut stack = vec![(root, 0usize)];
+        color[root] = 1;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < succs[v].len() {
+                let w = succs[v][*next];
+                *next += 1;
+                match color[w] {
+                    0 => {
+                        color[w] = 1;
+                        parent[w] = v;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // Back edge v -> w: walk parents from v to w.
+                        let mut path = Vec::new();
+                        let mut cur = v;
+                        loop {
+                            path.push(cur);
+                            if cur == w {
+                                break;
+                            }
+                            cur = parent[cur];
+                        }
+                        path.reverse(); // w -> ... -> v
+                        path.push(w); // close the cycle
+                        return Some(path);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+impl Lint for CyclicDependency {
+    fn name(&self) -> &'static str {
+        "cyclic-dependency"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        let edges: Vec<(usize, usize)> = g.edges().map(|(_, e)| (e.src, e.dst)).collect();
+        if let Some(cycle) = find_cycle(g.node_count(), &edges) {
+            let witness = cycle.iter().map(|v| format!("n{v}")).collect::<Vec<_>>().join(" -> ");
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Error,
+                location: LintLocation::Node(NodeId(cycle[0])),
+                message: format!("dependency cycle: {witness}"),
+                hint: Some("a macro dataflow graph must be a DAG; break the cycle".to_string()),
+                fix: None,
+            });
+        }
+    }
+}
+
+/// Amdahl cost `t^C(q) = (alpha + (1 - alpha)/q) * tau` must be
+/// non-increasing in the processor count — adding processors can never
+/// slow a node down under Eq. (1). A violation means `(1 - alpha) * tau`
+/// went negative (alpha > 1, or a negative tau), which silently turns
+/// the completion-time bound into nonsense even where the posynomial
+/// certification still passes term-by-term.
+pub struct AmdahlMonotonicity;
+
+impl Lint for AmdahlMonotonicity {
+    fn name(&self) -> &'static str {
+        "amdahl-monotonicity"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (id, node) in g.nodes() {
+            let c = node.cost;
+            if node.kind != NodeKind::Compute || !c.alpha.is_finite() || !c.tau.is_finite() {
+                continue; // nonfinite-weight owns the invalid cases
+            }
+            // Sample t^C at doubling processor counts; Eq. (1) is
+            // monotone on this grid iff it is monotone everywhere.
+            let qs = [1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0];
+            let bad = qs.windows(2).find(|w| c.cost(w[1]) > c.cost(w[0]) + 1e-12);
+            if let Some(w) = bad {
+                let fix = if c.alpha > 1.0 {
+                    Some(Fix::ClampAlpha { node: id, to: c.alpha.clamp(0.0, 1.0) })
+                } else if c.tau < 0.0 {
+                    Some(Fix::ClampTau { node: id, to: 0.0 })
+                } else {
+                    None
+                };
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Error,
+                    location: LintLocation::Node(id),
+                    message: format!(
+                        "t^C increases with processors: t^C({}) = {} > t^C({}) = {} \
+                         (alpha = {}, tau = {})",
+                        w[1],
+                        c.cost(w[1]),
+                        w[0],
+                        c.cost(w[0]),
+                        c.alpha,
+                        c.tau
+                    ),
+                    hint: Some(
+                        "(1 - alpha) * tau must be >= 0 for Amdahl costs to shrink with p"
+                            .to_string(),
+                    ),
+                    fix,
+                });
+            }
+        }
+    }
+}
+
+/// Contradictory redistribution shapes per Eq. (2)/(3): the same array
+/// (identified by byte count) claimed both as a 1D ROW2ROW/COL2COL
+/// move and as a 2D ROW2COL/COL2ROW move on one edge. The two formulas
+/// price the transfer differently, so one of the claims is wrong.
+pub struct TransferShape;
+
+impl Lint for TransferShape {
+    fn name(&self) -> &'static str {
+        "transfer-shape"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (eid, e) in g.edges() {
+            let mut one_d: Vec<u64> = Vec::new();
+            let mut two_d: Vec<u64> = Vec::new();
+            for t in &e.transfers {
+                match t.kind {
+                    TransferKind::OneD => one_d.push(t.bytes),
+                    TransferKind::TwoD => two_d.push(t.bytes),
+                }
+            }
+            for b in &one_d {
+                if two_d.contains(b) {
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        location: LintLocation::Edge(eid),
+                        message: format!(
+                            "an array of {b} bytes is claimed both as a 1D (Eq. 2) and a \
+                             2D (Eq. 3) redistribution on the same edge"
+                        ),
+                        hint: Some(
+                            "pick the kind matching the producer/consumer distributions"
+                                .to_string(),
+                        ),
+                        fix: None,
+                    });
+                    break; // one report per edge is enough
+                }
+            }
+        }
+    }
+}
+
+/// Unit sanity for edge weights: zero-byte transfers (a no-op that
+/// still pays the per-message start-up cost in Eq. (2)/(3)) and byte
+/// counts that are not whole f64 elements.
+pub struct EdgeUnitSanity;
+
+impl Lint for EdgeUnitSanity {
+    fn name(&self) -> &'static str {
+        "edge-unit-sanity"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        for (eid, e) in g.edges() {
+            if e.transfers.iter().any(|t| t.bytes == 0) {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    location: LintLocation::Edge(eid),
+                    message: "edge carries a zero-byte array transfer".to_string(),
+                    hint: Some(
+                        "an empty transfer still pays message start-up cost; drop it or \
+                         use a pure precedence edge"
+                            .to_string(),
+                    ),
+                    fix: Some(Fix::DropEmptyTransfers { edge: eid }),
+                });
+            }
+            for t in &e.transfers {
+                if t.bytes > 0 && t.bytes % 8 != 0 {
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Note,
+                        location: LintLocation::Edge(eid),
+                        message: format!(
+                            "transfer of {} bytes is not a whole number of f64 elements",
+                            t.bytes
+                        ),
+                        hint: None,
+                        fix: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild `g` with every [`Fix`] attached to `diags` applied, and
+/// return it with the list of fixes actually applied (deduplicated, in
+/// diagnostic order). With no applicable fixes the graph is returned
+/// unchanged.
+///
+/// The rebuild goes through [`MdgBuilder`], so the repaired graph
+/// re-earns the structural invariants; compute nodes keep their ids
+/// (builder ids shift by one for START, exactly undoing the original
+/// construction).
+pub fn apply_fixes(g: &Mdg, diags: &[Diagnostic]) -> (Mdg, Vec<Fix>) {
+    let mut applied: Vec<Fix> = Vec::new();
+    for d in diags {
+        if let Some(fx) = &d.fix {
+            if !applied.contains(fx) {
+                applied.push(fx.clone());
+            }
+        }
+    }
+    if applied.is_empty() {
+        return (g.clone(), applied);
+    }
+
+    let mut b = MdgBuilder::new(g.name());
+    for (id, node) in g.nodes() {
+        if node.is_structural() {
+            continue;
+        }
+        let mut cost = node.cost;
+        for fx in &applied {
+            match *fx {
+                Fix::ClampAlpha { node: n, to } if n == id => cost.alpha = to,
+                Fix::ClampTau { node: n, to } if n == id => cost.tau = to,
+                _ => {}
+            }
+        }
+        let bid = b.compute_with_meta(node.name.clone(), cost, node.meta.clone());
+        debug_assert_eq!(builder_id_to_mdg(bid), id, "rebuild must preserve node ids");
+    }
+    for (eid, e) in g.edges() {
+        let src = NodeId(e.src);
+        let dst = NodeId(e.dst);
+        if g.node(src).is_structural() || g.node(dst).is_structural() {
+            // finish() re-wires START/STOP; transfers on structural
+            // edges only survive when no strip fix asked otherwise,
+            // and the builder cannot express them anyway — the lint
+            // guarantees a strip fix accompanies any such edge.
+            continue;
+        }
+        let drop_empty =
+            applied.iter().any(|fx| matches!(fx, Fix::DropEmptyTransfers { edge } if *edge == eid));
+        let transfers =
+            e.transfers.iter().filter(|t| !(drop_empty && t.bytes == 0)).cloned().collect();
+        b.edge(NodeId(src.0 - 1), NodeId(dst.0 - 1), transfers);
+    }
+    let fixed = b.finish().expect("rebuilding a valid graph with clamped costs cannot fail");
+    (fixed, applied)
 }
 
 #[cfg(test)]
@@ -486,6 +841,7 @@ mod tests {
                         location: LintLocation::Graph,
                         message: "graph has no name".to_string(),
                         hint: None,
+                        fix: None,
                     });
                 }
             }
@@ -496,6 +852,119 @@ mod tests {
         b.compute("x", AmdahlParams::new(0.1, 1.0));
         let g = b.finish().unwrap();
         assert!(set.run(&g).iter().any(|d| d.lint == "graph-name"));
+    }
+
+    #[test]
+    fn find_cycle_returns_a_witness_path() {
+        // 0 -> 1 -> 2 -> 0 plus an acyclic tail 2 -> 3.
+        let cycle = find_cycle(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).expect("cycle exists");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 4, "{cycle:?}"); // 3 nodes + repeated head
+        assert!(find_cycle(4, &[(0, 1), (1, 2), (2, 3)]).is_none());
+        assert!(find_cycle(1, &[]).is_none());
+    }
+
+    #[test]
+    fn builder_graphs_have_no_cycles() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        assert!(lint_mdg(&g).iter().all(|d| d.lint != "cyclic-dependency"));
+    }
+
+    #[test]
+    fn increasing_amdahl_cost_is_an_error_with_a_fix() {
+        let mut b = MdgBuilder::new("anti-amdahl");
+        b.compute("bad", AmdahlParams { alpha: 1.5, tau: 2.0 });
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        let d = diags.iter().find(|d| d.lint == "amdahl-monotonicity").unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(matches!(d.fix, Some(Fix::ClampAlpha { to, .. }) if to == 1.0), "{:?}", d.fix);
+    }
+
+    #[test]
+    fn mixed_transfer_kinds_of_one_array_are_flagged() {
+        let mut b = MdgBuilder::new("mixed");
+        let a = b.compute("a", AmdahlParams::new(0.1, 1.0));
+        let c = b.compute("c", AmdahlParams::new(0.1, 1.0));
+        b.edge(
+            a,
+            c,
+            vec![
+                ArrayTransfer::new(512, TransferKind::OneD),
+                ArrayTransfer::new(512, TransferKind::TwoD),
+            ],
+        );
+        let g = b.finish().unwrap();
+        let d = lint_mdg(&g).into_iter().find(|d| d.lint == "transfer-shape").unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("512"));
+    }
+
+    #[test]
+    fn same_size_same_kind_transfers_are_fine() {
+        // Real + imaginary halves of one matrix: two equal 1D moves.
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        assert!(lint_mdg(&g).iter().all(|d| d.lint != "transfer-shape"));
+    }
+
+    #[test]
+    fn zero_byte_and_ragged_transfers_are_flagged() {
+        let mut b = MdgBuilder::new("units");
+        let a = b.compute("a", AmdahlParams::new(0.1, 1.0));
+        let c = b.compute("c", AmdahlParams::new(0.1, 1.0));
+        b.edge(
+            a,
+            c,
+            vec![
+                ArrayTransfer::new(0, TransferKind::OneD),
+                ArrayTransfer::new(1234, TransferKind::OneD),
+            ],
+        );
+        let g = b.finish().unwrap();
+        let hits: Vec<_> =
+            lint_mdg(&g).into_iter().filter(|d| d.lint == "edge-unit-sanity").collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|d| d.severity == Severity::Warning && d.fix.is_some()));
+        assert!(hits.iter().any(|d| d.severity == Severity::Note && d.message.contains("1234")));
+    }
+
+    #[test]
+    fn apply_fixes_repairs_every_fixable_diagnostic() {
+        let mut b = MdgBuilder::new("fixable");
+        let a = b.compute("hot", AmdahlParams { alpha: 1.7, tau: 1.0 });
+        let c = b.compute("cold", AmdahlParams { alpha: 0.2, tau: -3.0 });
+        b.edge(
+            a,
+            c,
+            vec![
+                ArrayTransfer::new(0, TransferKind::OneD),
+                ArrayTransfer::new(512, TransferKind::OneD),
+            ],
+        );
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        assert!(has_errors(&diags));
+
+        let (fixed, applied) = apply_fixes(&g, &diags);
+        assert!(!applied.is_empty(), "fixes must be collected");
+        assert_eq!(fixed.node_count(), g.node_count());
+        assert_eq!(fixed.node(NodeId(1)).cost.alpha, 1.0, "alpha clamped");
+        assert_eq!(fixed.node(NodeId(2)).cost.tau, 0.0, "tau clamped");
+        let e = fixed.edges().find(|(_, e)| e.src == 1 && e.dst == 2).unwrap().1;
+        assert_eq!(e.transfers.len(), 1, "zero-byte transfer dropped");
+
+        // The repaired graph must be error-free (zero-tau warning remains).
+        let rediags = lint_mdg(&fixed);
+        assert!(!has_errors(&rediags), "{}", render_diagnostics(&fixed, &rediags));
+    }
+
+    #[test]
+    fn apply_fixes_is_identity_on_clean_graphs() {
+        let g = example_fig1_mdg();
+        let diags = lint_mdg(&g);
+        let (fixed, applied) = apply_fixes(&g, &diags);
+        assert!(applied.is_empty());
+        assert_eq!(paradigm_mdg::to_text(&fixed), paradigm_mdg::to_text(&g));
     }
 
     #[test]

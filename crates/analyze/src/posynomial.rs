@@ -195,7 +195,7 @@ impl fmt::Display for NonPosynomial {
     }
 }
 
-fn check_monomial(m: &Monomial, num_vars: Option<usize>) -> Result<(), Defect> {
+pub(crate) fn check_monomial(m: &Monomial, num_vars: Option<usize>) -> Result<(), Defect> {
     if !m.coeff.is_finite() {
         return Err(Defect::NonFiniteCoefficient(m.coeff));
     }

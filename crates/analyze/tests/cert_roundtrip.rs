@@ -1,0 +1,103 @@
+//! Property tests for the certificate checker: every certificate the
+//! certifier emits must round-trip through the JSON text format and
+//! re-validate clean with interval arithmetic alone; and a perturbed
+//! leaf coefficient must be caught with a localized counterexample.
+
+use paradigm_analyze::{certificate_json, certify_objective, check_certificate_text, CERT_VERSION};
+use paradigm_cost::Machine;
+use paradigm_mdg::{parse_json, random_layered_mdg, Json, RandomMdgConfig};
+use paradigm_solver::MdgObjective;
+use proptest::prelude::*;
+
+/// Multiply the first leaf coefficient found (pre-order) by `factor`,
+/// returning true if a leaf was found and perturbed.
+fn perturb_first_leaf(j: &mut Json, factor: f64) -> bool {
+    let Json::Obj(fields) = j else { return false };
+    let is_leaf =
+        fields.iter().any(|(k, v)| k == "children" && matches!(v, Json::Arr(a) if a.is_empty()));
+    if is_leaf {
+        for (k, v) in fields.iter_mut() {
+            if k == "coeff" {
+                if let Json::Num(c) = v {
+                    if *c > 0.0 {
+                        *c *= factor;
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    for (_, v) in fields.iter_mut() {
+        if let Json::Arr(items) = v {
+            for item in items.iter_mut() {
+                if perturb_first_leaf(item, factor) {
+                    return true;
+                }
+            }
+        } else if perturb_first_leaf(v, factor) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Certifier output survives render → parse → interval re-check.
+    #[test]
+    fn emitted_certificates_round_trip_clean(
+        seed in 0u64..5000,
+        layers in 1usize..=4,
+        width in 1usize..=3,
+        pk in 2u32..=5,
+    ) {
+        let cfg = RandomMdgConfig {
+            layers,
+            width_min: 1,
+            width_max: width,
+            ..RandomMdgConfig::default()
+        };
+        let g = random_layered_mdg(&cfg, seed);
+        let m = Machine::synthetic_mesh(1u32 << pk);
+        let obj = MdgObjective::new(&g, m);
+        let oc = certify_objective(&obj).expect("random objectives certify");
+        let text = certificate_json(&obj, &oc).render();
+        let summary = check_certificate_text(&text);
+        prop_assert!(summary.is_ok(), "round trip failed: {}", summary.unwrap_err());
+        let summary = summary.unwrap();
+        prop_assert_eq!(summary.graph, g.name());
+    }
+
+    /// A single perturbed coefficient is always caught, and the failure
+    /// names a specific part and sub-tree.
+    #[test]
+    fn perturbed_coefficient_is_always_caught(
+        seed in 0u64..5000,
+        factor_idx in 0usize..4,
+    ) {
+        let factor = [0.25f64, 0.5, 2.0, 4.0][factor_idx];
+        let g = random_layered_mdg(&RandomMdgConfig::default(), seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(16));
+        let oc = certify_objective(&obj).expect("certifies");
+        let mut doc = parse_json(&certificate_json(&obj, &oc).render()).unwrap();
+        prop_assert!(perturb_first_leaf(&mut doc, factor), "no positive leaf found");
+        let failure = check_certificate_text(&doc.render())
+            .expect_err("tampered certificate must be rejected");
+        // The counterexample is localized: a part, a path, a sub-tree.
+        prop_assert!(failure.part.is_some(), "failure names no part: {failure}");
+        prop_assert!(failure.subtree.is_some(), "failure carries no sub-tree: {failure}");
+        let msg = failure.to_string();
+        prop_assert!(msg.contains("REJECTED"), "{msg}");
+    }
+}
+
+#[test]
+fn version_constant_matches_emitted_documents() {
+    let g = random_layered_mdg(&RandomMdgConfig::default(), 7);
+    let obj = MdgObjective::new(&g, Machine::cm5(8));
+    let oc = certify_objective(&obj).unwrap();
+    let doc = certificate_json(&obj, &oc);
+    assert_eq!(doc.get("version").and_then(Json::as_u64), Some(CERT_VERSION));
+}

@@ -64,8 +64,10 @@ pub enum Command {
         which: String,
     },
     /// `analyze [<file>] [-p N] [--machine <spec>] [--gallery] [--cert]
-    /// [--cert-json]`: lint the graph, certify the objective's
-    /// convexity, and check the schedules the pipeline produces for it.
+    /// [--cert-json] [--dot] [--fix [--write]] [-D]`: lint the graph,
+    /// certify the objective's convexity, and check the schedules the
+    /// pipeline produces for it. Exits 0 when clean, 1 on findings, 2
+    /// on usage/internal errors.
     Analyze {
         /// MDG file path; `None` requires `--gallery`.
         file: Option<String>,
@@ -81,6 +83,21 @@ pub enum Command {
         /// Emit the certifier derivation trees as one JSON line per
         /// graph.
         cert_json: bool,
+        /// Emit the certificate derivation tree as Graphviz DOT.
+        dot: bool,
+        /// Apply every mechanical lint fix and print the unified diff.
+        fix: bool,
+        /// With `--fix`: write the repaired graph back to the file.
+        write: bool,
+        /// Strict mode: warnings (not just errors) fail the run.
+        strict: bool,
+    },
+    /// `analyze check-cert <cert.json>`: independently re-validate a
+    /// `--cert-json` certificate with interval arithmetic — no solver
+    /// in the loop. Exits 0 if the certificate holds, 1 if refuted.
+    CheckCert {
+        /// Certificate JSON file path (as emitted by `--cert-json`).
+        file: String,
     },
     /// `serve [--port N] [--workers N] [--cache N] [--queue N]
     /// [--max-queue-wait ms] [--chaos plan]`: run the NDJSON-over-TCP
@@ -100,6 +117,9 @@ pub enum Command {
         /// Fault-injection plan for chaos drills (see
         /// `FaultPlan::parse` for the spec syntax).
         chaos: Option<paradigm_serve::FaultPlan>,
+        /// Audit every `N`th completed response with an independent
+        /// schedule re-verification (0 = off).
+        audit_rate: u64,
     },
     /// `bench-serve [--clients N] [--rounds N] [--workers N]
     /// [--max-queue-wait ms]`: run the closed-loop load generator
@@ -151,9 +171,11 @@ USAGE:
   paradigm transform <file> [--fuse] [--reduce]
   paradigm demo <fig1|cmm|strassen>
   paradigm analyze <file.mdg> [-p <procs>] [--machine <cm5|mesh|paragon|sp1>] [--cert] [--cert-json]
+                              [--dot] [--fix [--write]] [-D]
   paradigm analyze --gallery [-p <procs>] [--machine <spec>]
+  paradigm analyze check-cert <cert.json>
   paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
-                 [--max-queue-wait <ms>] [--chaos <plan>]
+                 [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>]
   paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>] [--max-queue-wait <ms>]
   paradigm help
 
@@ -162,6 +184,9 @@ Chaos plans are comma-separated key=value items, e.g.
 
 Graph inputs may be .mdg files (graph text format) or .mini files
 (matrix-program language, compiled on the fly).
+
+Exit codes: 0 = clean, 1 = findings (lint/certificate/schedule/audit
+failures), 2 = usage or internal error.
 ";
 
 fn take_value<'a>(
@@ -239,11 +264,20 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             }
             Command::Demo { which }
         }
+        "analyze" if rest.first() == Some(&"check-cert") => {
+            let mut it = rest[1..].iter().copied();
+            let file = it.next().ok_or(UsageError("check-cert needs a certificate file".into()))?;
+            if let Some(extra) = it.next() {
+                return Err(UsageError(format!("unexpected argument `{extra}`")));
+            }
+            Command::CheckCert { file: file.to_string() }
+        }
         "analyze" => {
             let mut file = None;
             let mut procs = 16u32;
             let mut machine = "cm5".to_string();
             let (mut gallery, mut cert, mut cert_json) = (false, false, false);
+            let (mut dot, mut fix, mut write, mut strict) = (false, false, false, false);
             while let Some(tok) = it.next() {
                 match tok {
                     "-p" | "--procs" => procs = parse_procs(take_value(tok, &mut it)?)?,
@@ -251,6 +285,10 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                     "--gallery" => gallery = true,
                     "--cert" => cert = true,
                     "--cert-json" => cert_json = true,
+                    "--dot" => dot = true,
+                    "--fix" => fix = true,
+                    "--write" => write = true,
+                    "-D" | "--deny-warnings" => strict = true,
                     flag if flag.starts_with('-') => {
                         return Err(UsageError(format!("unknown flag `{flag}`")))
                     }
@@ -264,13 +302,31 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             if file.is_none() && !gallery {
                 return Err(UsageError("analyze needs a file or --gallery".into()));
             }
-            Command::Analyze { file, procs, machine, gallery, cert, cert_json }
+            if write && !fix {
+                return Err(UsageError("--write requires --fix".into()));
+            }
+            if write && file.is_none() {
+                return Err(UsageError("--write needs a file (not --gallery)".into()));
+            }
+            Command::Analyze {
+                file,
+                procs,
+                machine,
+                gallery,
+                cert,
+                cert_json,
+                dot,
+                fix,
+                write,
+                strict,
+            }
         }
         "serve" => {
             let mut port = 7447u16;
             let (mut workers, mut cache, mut queue) = (0usize, 1024usize, 256usize);
             let mut max_queue_wait_ms = None;
             let mut chaos = None;
+            let mut audit_rate = 0u64;
             while let Some(flag) = it.next() {
                 match flag {
                     "--port" => {
@@ -291,10 +347,13 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                                 .map_err(|e| UsageError(format!("bad chaos plan: {e}")))?,
                         );
                     }
+                    "--audit-rate" => {
+                        audit_rate = parse_count(flag, take_value(flag, &mut it)?, true)? as u64;
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos }
+            Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos, audit_rate }
         }
         "bench-serve" => {
             let (mut clients, mut rounds, mut workers) = (4usize, 25usize, 4usize);
@@ -456,6 +515,10 @@ mod tests {
                 gallery: false,
                 cert: true,
                 cert_json: false,
+                dot: false,
+                fix: false,
+                write: false,
+                strict: false,
             }
         );
         let p = parse_args(&["analyze", "--gallery"]).unwrap();
@@ -468,6 +531,10 @@ mod tests {
                 gallery: true,
                 cert: false,
                 cert_json: false,
+                dot: false,
+                fix: false,
+                write: false,
+                strict: false,
             }
         );
         assert!(parse_args(&["analyze"]).is_err(), "needs a file or --gallery");
@@ -487,6 +554,10 @@ mod tests {
                 gallery: true,
                 cert: false,
                 cert_json: true,
+                dot: false,
+                fix: false,
+                write: false,
+                strict: false,
             }
         );
         assert!(parse_args(&["analyze", "--gallery", "--machine", "vax"]).is_err());
@@ -505,6 +576,7 @@ mod tests {
                 queue: 256,
                 max_queue_wait_ms: None,
                 chaos: None,
+                audit_rate: 0,
             }
         );
         let p = parse_args(&[
@@ -530,6 +602,7 @@ mod tests {
                 queue: 16,
                 max_queue_wait_ms: Some(250),
                 chaos: None,
+                audit_rate: 0,
             }
         );
         assert!(parse_args(&["serve", "--port", "banana"]).is_err());
@@ -574,6 +647,36 @@ mod tests {
             }
         );
         assert!(parse_args(&["bench-serve", "--clients", "0"]).is_err());
+    }
+
+    #[test]
+    fn analyze_fix_dot_strict_flags() {
+        let p = parse_args(&["analyze", "g.mdg", "--fix", "--write", "--dot", "-D"]).unwrap();
+        let Command::Analyze { fix, write, dot, strict, .. } = p.command else {
+            panic!("not analyze")
+        };
+        assert!(fix && write && dot && strict);
+        assert!(parse_args(&["analyze", "g.mdg", "--write"]).is_err(), "--write needs --fix");
+        assert!(
+            parse_args(&["analyze", "--gallery", "--fix", "--write"]).is_err(),
+            "--write needs a file"
+        );
+    }
+
+    #[test]
+    fn check_cert_subcommand_parses() {
+        let p = parse_args(&["analyze", "check-cert", "cert.json"]).unwrap();
+        assert_eq!(p.command, Command::CheckCert { file: "cert.json".into() });
+        assert!(parse_args(&["analyze", "check-cert"]).is_err());
+        assert!(parse_args(&["analyze", "check-cert", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn serve_audit_rate_parses() {
+        let p = parse_args(&["serve", "--audit-rate", "10"]).unwrap();
+        let Command::Serve { audit_rate, .. } = p.command else { panic!("not serve") };
+        assert_eq!(audit_rate, 10);
+        assert!(parse_args(&["serve", "--audit-rate", "x"]).is_err());
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! prints the result.
 
 use crate::args::{Command, USAGE};
-use paradigm_analyze::posynomial::{Certificate, ObjectiveCertificate};
 use paradigm_analyze::{
-    analyze_schedule, certify_objective, has_errors, lint_mdg, render_diagnostics,
+    analyze_schedule, apply_fixes, certificate_dot, certificate_json, certify_objective,
+    check_certificate_text, has_errors, lint_mdg, render_diagnostics, unified_diff,
 };
 use paradigm_core::calibrate::{calibrate, CalibrationConfig};
 use paradigm_core::report::render_calibration;
@@ -19,7 +19,7 @@ use paradigm_sched::{
     gantt_svg, idle_profile, spmd_schedule, task_parallel_schedule, to_csv, PsaConfig, SchedPolicy,
     Schedule,
 };
-use paradigm_serve::{run_bench, BenchConfig, Json, ServeConfig, Server, ServerConfig};
+use paradigm_serve::{run_bench, BenchConfig, ServeConfig, Server, ServerConfig};
 use paradigm_sim::{compare_schedule_vs_sim, lower_spmd, render_trace, simulate, TrueMachine};
 use paradigm_solver::MdgObjective;
 
@@ -46,6 +46,24 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// A command's printable output plus its findings verdict, so `main`
+/// can map results onto the documented exit codes (0 = clean, 1 =
+/// findings, 2 = usage/internal error).
+#[derive(Debug)]
+pub struct CmdOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// True when the analysis found problems (lint errors, refuted
+    /// certificates, schedule violations): exit code 1.
+    pub failed: bool,
+}
+
+impl CmdOutput {
+    fn clean(text: impl Into<String>) -> CmdOutput {
+        CmdOutput { text: text.into(), failed: false }
+    }
+}
+
 /// Load a graph: `.mini` sources are compiled by the front end, anything
 /// else is parsed as the MDG text format.
 fn load(file: &str) -> Result<Mdg, CliError> {
@@ -57,10 +75,10 @@ fn load(file: &str) -> Result<Mdg, CliError> {
     }
 }
 
-/// Execute a parsed command, returning its output text.
-pub fn run(command: &Command) -> Result<String, CliError> {
+/// Execute a parsed command, returning its output text and verdict.
+pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
     match command {
-        Command::Help => Ok(USAGE.to_string()),
+        Command::Help => Ok(CmdOutput::clean(USAGE)),
         Command::Demo { which } => {
             let table = KernelCostTable::cm5();
             let g = match which.as_str() {
@@ -69,7 +87,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 "strassen" => strassen_mdg(128, &table),
                 other => unreachable!("validated by the parser: {other}"),
             };
-            Ok(to_text(&g))
+            Ok(CmdOutput::clean(to_text(&g)))
         }
         Command::Transform { file, fuse, reduce } => {
             let mut g = load(file)?;
@@ -87,25 +105,25 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             let mut out = notes.join("\n");
             out.push('\n');
             out.push_str(&to_text(&g));
-            Ok(out)
+            Ok(CmdOutput::clean(out))
         }
         Command::Build { file } => {
             let text = std::fs::read_to_string(file).map_err(CliError::Io)?;
             let g = paradigm_front::compile_source(&text, &KernelCostTable::cm5())
                 .map_err(CliError::Front)?;
-            Ok(to_text(&g))
+            Ok(CmdOutput::clean(to_text(&g)))
         }
         Command::Info { file } => {
             let g = load(file)?;
             let mut out = MdgStats::of(&g).render(g.name());
             out.push('\n');
             out.push_str(&paradigm_mdg::dot::to_ascii(&g));
-            Ok(out)
+            Ok(CmdOutput::clean(out))
         }
         Command::Calibrate { procs } => {
             let truth = TrueMachine::cm5(*procs);
             let cal = calibrate(&truth, &CalibrationConfig::default());
-            Ok(render_calibration(&cal))
+            Ok(CmdOutput::clean(render_calibration(&cal)))
         }
         Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine } => {
             let g = load(file)?;
@@ -167,7 +185,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 out.push('\n');
                 out.push_str(&gantt_svg(&c.psa.schedule, &g));
             }
-            Ok(out)
+            Ok(CmdOutput::clean(out))
         }
         Command::Simulate { file, procs, spmd, trace } => {
             let g = load(file)?;
@@ -201,25 +219,52 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     out.push_str(&render_trace(&diffs));
                 }
             }
-            Ok(out)
+            Ok(CmdOutput::clean(out))
         }
-        Command::Analyze { file, procs, machine, gallery, cert, cert_json } => {
+        Command::Analyze {
+            file,
+            procs,
+            machine,
+            gallery,
+            cert,
+            cert_json,
+            dot,
+            fix,
+            write,
+            strict,
+        } => {
             let machine = machine_from_spec(machine, *procs)
                 .unwrap_or_else(|| unreachable!("validated by the parser: {machine}"));
+            let opts = AnalyzeOpts {
+                cert: *cert,
+                cert_json: *cert_json,
+                dot: *dot,
+                fix: *fix,
+                strict: *strict,
+            };
             let mut graphs = Vec::new();
             if let Some(f) = file {
-                graphs.push(load(f)?);
+                graphs.push((load(f)?, Some(f.clone())));
             }
             if *gallery {
-                graphs.extend(gallery_graphs());
+                graphs.extend(gallery_graphs().into_iter().map(|g| (g, None)));
             }
             let mut out = String::new();
-            for g in &graphs {
-                analyze_graph(g, machine, *cert, *cert_json, &mut out);
+            let mut failed = false;
+            for (g, path) in &graphs {
+                let write_to = write.then(|| path.as_deref()).flatten();
+                failed |= analyze_graph(g, machine, &opts, write_to, &mut out)?;
             }
-            Ok(out)
+            Ok(CmdOutput { text: out, failed })
         }
-        Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos } => {
+        Command::CheckCert { file } => {
+            let text = std::fs::read_to_string(file).map_err(CliError::Io)?;
+            match check_certificate_text(&text) {
+                Ok(summary) => Ok(CmdOutput::clean(format!("{summary}\n"))),
+                Err(failure) => Ok(CmdOutput { text: format!("{failure}\n"), failed: true }),
+            }
+        }
+        Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos, audit_rate } => {
             let mut service = ServeConfig::default();
             if *workers > 0 {
                 service.workers = *workers;
@@ -228,6 +273,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             service.queue_capacity = *queue;
             service.max_queue_wait = max_queue_wait_ms.map(std::time::Duration::from_millis);
             service.chaos = chaos.clone();
+            service.audit_rate = *audit_rate;
             if let Some(plan) = &service.chaos {
                 println!("paradigm-serve chaos plan active: {plan:?}");
             }
@@ -238,7 +284,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             // clients need the (possibly OS-assigned) port to connect.
             println!("paradigm-serve listening on {addr} (NDJSON; ^C or {{\"op\":\"shutdown\"}} to stop)");
             let stats = server.run();
-            Ok(stats.render())
+            Ok(CmdOutput::clean(stats.render()))
         }
         Command::BenchServe { clients, rounds, workers, max_queue_wait_ms } => {
             let report = run_bench(&BenchConfig {
@@ -247,7 +293,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 workers: *workers,
                 max_queue_wait: max_queue_wait_ms.map(std::time::Duration::from_millis),
             });
-            Ok(report.render())
+            Ok(CmdOutput::clean(report.render()))
         }
     }
 }
@@ -261,32 +307,26 @@ fn gallery_graphs() -> Vec<Mdg> {
         .collect()
 }
 
-/// Render one certificate derivation subtree as `{class, rule,
-/// children}` JSON.
-fn cert_to_json(c: &Certificate) -> Json {
-    Json::Obj(vec![
-        ("class".into(), Json::str(c.class.to_string())),
-        ("rule".into(), Json::str(c.rule.to_string())),
-        ("children".into(), Json::Arr(c.children.iter().map(cert_to_json).collect())),
-    ])
-}
-
-/// Render a graph's full objective certificate as one JSON object.
-fn objective_cert_to_json(graph: &str, procs: u32, oc: &ObjectiveCertificate) -> Json {
-    Json::Obj(vec![
-        ("graph".into(), Json::str(graph)),
-        ("procs".into(), Json::num(f64::from(procs))),
-        ("phi_class".into(), Json::str(oc.phi_class().to_string())),
-        ("monomials".into(), Json::num(oc.monomial_count() as f64)),
-        ("area".into(), cert_to_json(&oc.area)),
-        ("nodes".into(), Json::Arr(oc.nodes.iter().map(cert_to_json).collect())),
-        ("edges".into(), Json::Arr(oc.edges.iter().map(cert_to_json).collect())),
-    ])
+/// Flags steering [`analyze_graph`]'s optional passes.
+struct AnalyzeOpts {
+    cert: bool,
+    cert_json: bool,
+    dot: bool,
+    fix: bool,
+    strict: bool,
 }
 
 /// Append the three analysis passes (lints, convexity certification,
-/// schedule checks) for one graph to `out`.
-fn analyze_graph(g: &Mdg, machine: Machine, cert: bool, cert_json: bool, out: &mut String) {
+/// schedule checks) for one graph to `out`. Returns true when findings
+/// should fail the run (lint errors — or any diagnostic under
+/// `strict` — a refuted objective, or schedule violations).
+fn analyze_graph(
+    g: &Mdg,
+    machine: Machine,
+    opts: &AnalyzeOpts,
+    write_to: Option<&str>,
+    out: &mut String,
+) -> Result<bool, CliError> {
     out.push_str(&format!("== `{}` on {} processors ==\n", g.name(), machine.procs));
     let diags = lint_mdg(g);
     if diags.is_empty() {
@@ -294,38 +334,66 @@ fn analyze_graph(g: &Mdg, machine: Machine, cert: bool, cert_json: bool, out: &m
     } else {
         out.push_str(&render_diagnostics(g, &diags));
     }
-    match certify_objective(&MdgObjective::new(g, machine)) {
+    let mut failed = has_errors(&diags) || (opts.strict && !diags.is_empty());
+    if opts.fix {
+        let (fixed, applied) = apply_fixes(g, &diags);
+        if applied.is_empty() {
+            out.push_str("fix: nothing to fix\n");
+        } else {
+            out.push_str(&format!("fix: {} mechanical fix(es) available\n", applied.len()));
+            let label = write_to.unwrap_or("graph.mdg");
+            out.push_str(&unified_diff(
+                label,
+                &to_text(g),
+                &format!("{label} (fixed)"),
+                &to_text(&fixed),
+            ));
+            if let Some(path) = write_to {
+                std::fs::write(path, to_text(&fixed)).map_err(CliError::Io)?;
+                out.push_str(&format!("fix: wrote repaired graph to {path}\n"));
+            }
+        }
+    }
+    let obj = MdgObjective::new(g, machine);
+    match certify_objective(&obj) {
         Ok(c) => {
             out.push_str(&format!("objective: {}\n", c.summary()));
-            if cert {
+            if opts.cert {
                 out.push_str("A_p certificate:\n");
                 out.push_str(&c.area.render());
             }
-            if cert_json {
-                out.push_str(&objective_cert_to_json(g.name(), machine.procs, &c).render());
+            if opts.cert_json {
+                out.push_str(&certificate_json(&obj, &c).render());
                 out.push('\n');
             }
+            if opts.dot {
+                out.push_str(&certificate_dot(g.name(), &c));
+            }
         }
-        Err(ce) => out.push_str(&format!("objective: REFUTED -- {ce}\n")),
+        Err(ce) => {
+            out.push_str(&format!("objective: REFUTED -- {ce}\n"));
+            failed = true;
+        }
     }
     if has_errors(&diags) {
         // Weights derived from a graph with error-level lints (NaN
         // costs, degenerate Amdahl fractions) would make the schedule
         // verdicts meaningless.
         out.push_str("schedules: skipped (graph has lint errors)\n\n");
-        return;
+        return Ok(failed);
     }
     let c = compile(g, machine, &CompileConfig::default());
-    report_schedule("psa", g, &c.psa.weights, &c.psa.schedule, out);
+    failed |= report_schedule("psa", g, &c.psa.weights, &c.psa.schedule, out);
     let (s, w) = spmd_schedule(g, machine);
-    report_schedule("spmd", g, &w, &s, out);
+    failed |= report_schedule("spmd", g, &w, &s, out);
     let tp = task_parallel_schedule(g, machine);
-    report_schedule("task-parallel", g, &tp.weights, &tp.schedule, out);
+    failed |= report_schedule("task-parallel", g, &tp.weights, &tp.schedule, out);
     out.push('\n');
+    Ok(failed)
 }
 
-/// Append one schedule's analyzer verdict to `out`.
-fn report_schedule(label: &str, g: &Mdg, w: &MdgWeights, s: &Schedule, out: &mut String) {
+/// Append one schedule's analyzer verdict to `out`; true on violations.
+fn report_schedule(label: &str, g: &Mdg, w: &MdgWeights, s: &Schedule, out: &mut String) -> bool {
     let rep = analyze_schedule(g, w, s);
     if rep.is_clean() {
         out.push_str(&format!(
@@ -333,8 +401,10 @@ fn report_schedule(label: &str, g: &Mdg, w: &MdgWeights, s: &Schedule, out: &mut
             s.tasks.len(),
             s.makespan
         ));
+        false
     } else {
         out.push_str(&format!("schedule {label}: VIOLATIONS\n{}", rep.render()));
+        true
     }
 }
 
@@ -342,6 +412,7 @@ fn report_schedule(label: &str, g: &Mdg, w: &MdgWeights, s: &Schedule, out: &mut
 mod tests {
     use super::*;
     use crate::args::parse_args;
+    use paradigm_serve::Json;
 
     fn tmp_mdg() -> String {
         let g = example_fig1_mdg();
@@ -353,14 +424,14 @@ mod tests {
 
     #[test]
     fn help_prints_usage() {
-        let out = run(&Command::Help).unwrap();
+        let out = run(&Command::Help).unwrap().text;
         assert!(out.contains("USAGE"));
     }
 
     #[test]
     fn demo_emits_parsable_graph() {
         for which in ["fig1", "cmm", "strassen"] {
-            let out = run(&Command::Demo { which: which.into() }).unwrap();
+            let out = run(&Command::Demo { which: which.into() }).unwrap().text;
             let g = from_text(&out).expect("demo output must parse");
             assert!(g.compute_node_count() >= 3);
         }
@@ -369,7 +440,7 @@ mod tests {
     #[test]
     fn info_on_file() {
         let path = tmp_mdg();
-        let out = run(&Command::Info { file: path.clone() }).unwrap();
+        let out = run(&Command::Info { file: path.clone() }).unwrap().text;
         assert!(out.contains("3 compute"));
         let _ = std::fs::remove_file(path);
     }
@@ -379,7 +450,7 @@ mod tests {
         let path = tmp_mdg();
         let parsed =
             parse_args(&["compile", &path, "-p", "4", "--gantt", "--csv", "--svg"]).unwrap();
-        let out = run(&parsed.command).unwrap();
+        let out = run(&parsed.command).unwrap().text;
         assert!(out.contains("T_psa = 14.3"), "{out}");
         assert!(out.contains("Gantt"));
         assert!(out.contains("node,name,procs,start,finish"));
@@ -392,12 +463,14 @@ mod tests {
         let path = tmp_mdg();
         let mpmd =
             run(&Command::Simulate { file: path.clone(), procs: 4, spmd: false, trace: true })
-                .unwrap();
+                .unwrap()
+                .text;
         assert!(mpmd.contains("MPMD execution"));
         assert!(mpmd.contains("worst finish-time error"));
         let spmd =
             run(&Command::Simulate { file: path.clone(), procs: 4, spmd: true, trace: false })
-                .unwrap();
+                .unwrap()
+                .text;
         assert!(spmd.contains("SPMD execution"));
         let _ = std::fs::remove_file(path);
     }
@@ -410,10 +483,10 @@ mod tests {
         std::fs::write(&path, src).expect("write temp mini");
         let p = path.to_string_lossy().into_owned();
         // build: emits parsable .mdg text.
-        let out = run(&Command::Build { file: p.clone() }).unwrap();
+        let out = run(&Command::Build { file: p.clone() }).unwrap().text;
         assert!(from_text(&out).is_ok(), "{out}");
         // info: loads the .mini directly.
-        let info = run(&Command::Info { file: p.clone() }).unwrap();
+        let info = run(&Command::Info { file: p.clone() }).unwrap().text;
         assert!(info.contains("3 compute"), "{info}");
         let _ = std::fs::remove_file(path);
     }
@@ -422,7 +495,7 @@ mod tests {
     fn transform_emits_parsable_graph() {
         let path = tmp_mdg();
         let out =
-            run(&Command::Transform { file: path.clone(), fuse: true, reduce: true }).unwrap();
+            run(&Command::Transform { file: path.clone(), fuse: true, reduce: true }).unwrap().text;
         assert!(out.contains("fuse_serial_chains"));
         // Strip the note comments; the remainder must reparse.
         let body: String =
@@ -441,7 +514,7 @@ mod tests {
     fn analyze_file_reports_all_three_passes() {
         let path = tmp_mdg();
         let parsed = parse_args(&["analyze", &path, "-p", "4", "--cert"]).unwrap();
-        let out = run(&parsed.command).unwrap();
+        let out = run(&parsed.command).unwrap().text;
         assert!(out.contains("lints: clean"), "{out}");
         assert!(out.contains("generalized-posynomial"), "{out}");
         assert!(out.contains("schedule psa: clean"), "{out}");
@@ -455,15 +528,21 @@ mod tests {
 
     #[test]
     fn analyze_gallery_certifies_every_graph() {
-        let out = run(&Command::Analyze {
+        let res = run(&Command::Analyze {
             file: None,
             procs: 16,
             machine: "cm5".into(),
             gallery: true,
             cert: false,
             cert_json: false,
+            dot: false,
+            fix: false,
+            write: false,
+            strict: true,
         })
         .unwrap();
+        assert!(!res.failed, "gallery must be clean even under -D");
+        let out = res.text;
         // One header per gallery graph, each certified and clean.
         assert_eq!(out.matches("== `").count(), 7, "{out}");
         assert_eq!(
@@ -481,7 +560,7 @@ mod tests {
         // gain the per-byte network term and everything still certifies.
         let path = tmp_mdg();
         let parsed = parse_args(&["analyze", &path, "-p", "8", "--machine", "mesh"]).unwrap();
-        let out = run(&parsed.command).unwrap();
+        let out = run(&parsed.command).unwrap().text;
         assert!(out.contains("on 8 processors"), "{out}");
         assert!(out.contains("objective: Phi certified"), "{out}");
         assert!(!out.contains("REFUTED"), "{out}");
@@ -493,7 +572,7 @@ mod tests {
     fn analyze_cert_json_emits_parsable_derivation_trees() {
         let path = tmp_mdg();
         let parsed = parse_args(&["analyze", &path, "-p", "4", "--cert-json"]).unwrap();
-        let out = run(&parsed.command).unwrap();
+        let out = run(&parsed.command).unwrap().text;
         // Exactly one JSON line, parsable by the serve-layer reader.
         let json_line = out.lines().find(|l| l.starts_with('{')).expect("cert-json line present");
         let doc = paradigm_serve::parse_json(json_line).expect("valid JSON");
@@ -510,6 +589,64 @@ mod tests {
     }
 
     #[test]
+    fn analyze_cert_json_carries_version_and_check_cert_round_trips() {
+        let path = tmp_mdg();
+        let parsed = parse_args(&["analyze", &path, "-p", "4", "--cert-json"]).unwrap();
+        let out = run(&parsed.command).unwrap().text;
+        let json_line = out.lines().find(|l| l.starts_with('{')).expect("cert-json line");
+        let doc = paradigm_serve::parse_json(json_line).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+
+        // Round trip: the emitted certificate passes check-cert clean.
+        let cert_path =
+            std::env::temp_dir().join(format!("paradigm-cli-cert-{}.json", std::process::id()));
+        std::fs::write(&cert_path, json_line).unwrap();
+        let cp = cert_path.to_string_lossy().into_owned();
+        let res = run(&Command::CheckCert { file: cp.clone() }).unwrap();
+        assert!(!res.failed, "{}", res.text);
+        assert!(res.text.contains("certificate OK"), "{}", res.text);
+
+        // A tampered version is refuted with exit-code-1 semantics.
+        std::fs::write(&cert_path, json_line.replace("\"version\":1", "\"version\":99")).unwrap();
+        let res = run(&Command::CheckCert { file: cp }).unwrap();
+        assert!(res.failed);
+        assert!(res.text.contains("REJECTED"), "{}", res.text);
+        let _ = std::fs::remove_file(cert_path);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_dot_emits_derivation_graph() {
+        let path = tmp_mdg();
+        let parsed = parse_args(&["analyze", &path, "-p", "4", "--dot"]).unwrap();
+        let out = run(&parsed.command).unwrap().text;
+        assert!(out.contains("digraph"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_fix_write_repairs_a_dirty_graph() {
+        // A graph with a fixable warning: a zero-byte transfer (the
+        // text parser already rejects out-of-range alpha/tau, so unit
+        // sanity is the fixable class that can reach the CLI from disk).
+        let dirty = "mdg dirty\nnode 0 \"a\" alpha=0.3 tau=2\nnode 1 \"b\" alpha=0.5 tau=1\nedge 0 1 xfer 0 1d\n";
+        let path =
+            std::env::temp_dir().join(format!("paradigm-cli-fix-{}.mdg", std::process::id()));
+        std::fs::write(&path, dirty).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let parsed = parse_args(&["analyze", &p, "-p", "4", "-D", "--fix", "--write"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(res.failed, "dirty graph must fail under -D: {}", res.text);
+        assert!(res.text.contains("fix:"), "{}", res.text);
+        assert!(res.text.contains("-edge 0 1 xfer 0 1d"), "diff shows removal: {}", res.text);
+        // The written file is now clean, even under -D.
+        let parsed = parse_args(&["analyze", &p, "-p", "4", "-D"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(!res.failed, "repaired graph must be clean: {}", res.text);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
     fn bench_serve_small_run_renders_report() {
         let out = run(&Command::BenchServe {
             clients: 2,
@@ -517,7 +654,8 @@ mod tests {
             workers: 2,
             max_queue_wait_ms: None,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("bench-serve: 12 distinct keys"), "{out}");
         assert!(out.contains("hot:"), "{out}");
         assert!(out.contains("hot counters:"), "{out}");
@@ -526,7 +664,7 @@ mod tests {
 
     #[test]
     fn calibrate_renders_tables() {
-        let out = run(&Command::Calibrate { procs: 16 }).unwrap();
+        let out = run(&Command::Calibrate { procs: 16 }).unwrap().text;
         assert!(out.contains("Table 1"));
         assert!(out.contains("t_ss"));
     }

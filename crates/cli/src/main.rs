@@ -1,4 +1,7 @@
 //! `paradigm` — thin shim over the testable library commands.
+//!
+//! Exit codes: 0 = clean, 1 = findings (lint/certificate/schedule
+//! failures), 2 = usage or internal error.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -10,10 +13,15 @@ fn main() {
         }
     };
     match paradigm_cli::run(&parsed.command) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.failed {
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
     }
 }

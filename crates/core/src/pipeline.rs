@@ -113,6 +113,9 @@ pub struct SolveOutput {
     /// Which rung of the solver's degradation ladder produced the
     /// allocation (`FallbackTier::Primary` on the normal path).
     pub degraded: FallbackTier,
+    /// The PSA schedule itself, so downstream consumers (e.g. the serve
+    /// layer's sampled audits) can re-verify the result independently.
+    pub schedule: paradigm_sched::Schedule,
 }
 
 /// Why a pipeline solve could not run.
@@ -179,6 +182,7 @@ fn output_from_compiled(g: &Mdg, spec: &SolveSpec, c: &Compiled) -> SolveOutput 
         alloc,
         sim_makespan,
         degraded: c.solve.tier,
+        schedule: c.psa.schedule.clone(),
     }
 }
 

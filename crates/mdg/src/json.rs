@@ -1,6 +1,7 @@
 //! A hand-rolled JSON value model, writer, and parser (std only).
 //!
-//! The serve protocol is line-delimited JSON, and the build environment
+//! The serve protocol is line-delimited JSON and the analyze layer's
+//! certificates round-trip through the same format; the build environment
 //! has no registry access, so this module implements the needed subset
 //! of RFC 8259 directly: objects, arrays, strings (with the standard
 //! escapes plus `\uXXXX`), finite numbers, booleans, and null.

@@ -43,6 +43,7 @@ pub mod dot;
 pub mod gallery;
 pub mod graph;
 pub mod hash;
+pub mod json;
 pub mod node;
 pub mod random;
 pub mod stats;
@@ -56,6 +57,7 @@ pub use builders::{
 pub use gallery::{block_lu_mdg, fft_2d_mdg, stencil_mdg};
 pub use graph::{EdgeId, Mdg, MdgBuilder, MdgError, NodeId};
 pub use hash::{structural_hash, Fnv128};
+pub use json::{parse as parse_json, Json, JsonError};
 pub use node::{
     AmdahlParams, ArrayTransfer, Edge, LoopClass, LoopMeta, Node, NodeKind, TransferKind,
 };

@@ -36,12 +36,13 @@
 //! * [`client`] — a protocol client with exponential-backoff retry for
 //!   retryable failures (shed requests, transport faults).
 
+pub mod audit;
 pub mod bench;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
 pub mod client;
-pub mod json;
+pub use paradigm_mdg::json;
 pub mod metrics;
 pub mod protocol;
 pub mod server;

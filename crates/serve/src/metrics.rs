@@ -89,6 +89,10 @@ pub struct Metrics {
     /// EMA of fresh-solve duration in µs (admission control's estimate
     /// of per-job service time).
     pub avg_solve_us: AtomicU64,
+    /// Sampled schedule audits that verified clean.
+    pub audit_pass: AtomicU64,
+    /// Sampled schedule audits that found an inconsistency.
+    pub audit_fail: AtomicU64,
     /// Cache entries evicted by the LRU bound.
     pub evictions: AtomicU64,
     /// Jobs currently queued (gauge).
@@ -126,6 +130,10 @@ pub struct MetricsSnapshot {
     pub breaker_state: u64,
     /// See [`Metrics::avg_solve_us`].
     pub avg_solve_us: u64,
+    /// See [`Metrics::audit_pass`].
+    pub audit_pass: u64,
+    /// See [`Metrics::audit_fail`].
+    pub audit_fail: u64,
     /// See [`Metrics::evictions`].
     pub evictions: u64,
     /// See [`Metrics::queue_depth`].
@@ -151,6 +159,8 @@ impl Metrics {
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             breaker_state: self.breaker_state.load(Ordering::Relaxed),
             avg_solve_us: self.avg_solve_us.load(Ordering::Relaxed),
+            audit_pass: self.audit_pass.load(Ordering::Relaxed),
+            audit_fail: self.audit_fail.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
@@ -195,6 +205,8 @@ impl MetricsSnapshot {
             ("breaker_opens".into(), Json::num(self.breaker_opens as f64)),
             ("breaker_state".into(), Json::Str(self.breaker_state_str().into())),
             ("avg_solve_us".into(), Json::num(self.avg_solve_us as f64)),
+            ("audit_pass".into(), Json::num(self.audit_pass as f64)),
+            ("audit_fail".into(), Json::num(self.audit_fail as f64)),
             ("evictions".into(), Json::num(self.evictions as f64)),
             ("queue_depth".into(), Json::num(self.queue_depth as f64)),
             ("p50_us".into(), self.p50_us().map_or(Json::Null, |v| Json::num(v as f64))),
@@ -222,6 +234,7 @@ impl MetricsSnapshot {
             self.breaker_opens,
             self.avg_solve_us
         ));
+        out.push_str(&format!("  audits: pass {}  fail {}\n", self.audit_pass, self.audit_fail));
         out.push_str(&format!(
             "  latency: p50 <= {} us, p99 <= {} us  queue depth {}\n",
             self.p50_us().map_or_else(|| "n/a".into(), |v| v.to_string()),

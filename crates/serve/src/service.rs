@@ -28,7 +28,7 @@ use paradigm_core::{
 };
 use paradigm_mdg::Mdg;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,6 +58,11 @@ pub struct ServeConfig {
     pub chaos: Option<FaultPlan>,
     /// Circuit-breaker tuning for the primary solve path.
     pub breaker: BreakerConfig,
+    /// Audit every `N`th completed response with an independent
+    /// schedule re-verification (`0` disables sampling). Failures bump
+    /// the `audit_fail` metric, print the full report to stderr, and
+    /// are kept for [`Service::first_audit_failure`].
+    pub audit_rate: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +76,7 @@ impl Default for ServeConfig {
             max_queue_wait: None,
             chaos: None,
             breaker: BreakerConfig::default(),
+            audit_rate: 0,
         }
     }
 }
@@ -213,6 +219,10 @@ struct Inner {
     breaker: CircuitBreaker,
     chaos: Option<Arc<Chaos>>,
     cfg: ServeConfig,
+    /// Completed-response counter driving audit sampling.
+    audit_seq: AtomicU64,
+    /// First audit failure, verbatim, for post-mortems.
+    audit_failure: Mutex<Option<String>>,
 }
 
 /// The scheduling service. Cheap to share (`Arc` internally); dropped
@@ -236,6 +246,8 @@ impl Service {
             breaker: CircuitBreaker::new(cfg.breaker.clone()),
             chaos: cfg.chaos.clone().filter(|p| !p.is_quiet()).map(|p| Arc::new(Chaos::new(p))),
             cfg: cfg.clone(),
+            audit_seq: AtomicU64::new(0),
+            audit_failure: Mutex::new(None),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -342,6 +354,12 @@ impl Service {
     /// Current metrics.
     pub fn stats(&self) -> MetricsSnapshot {
         self.inner.metrics.snapshot()
+    }
+
+    /// The first sampled-audit failure report, if any audit has failed
+    /// (see [`ServeConfig::audit_rate`]).
+    pub fn first_audit_failure(&self) -> Option<String> {
+        self.inner.audit_failure.lock().expect("audit slot poisoned").clone()
     }
 
     /// Ready entries currently cached.
@@ -542,6 +560,7 @@ fn finish(inner: &Inner, job: &Job, output: Arc<SolveOutput>, outcome: Outcome) 
     if output.degraded.is_degraded() {
         inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
     }
+    maybe_audit(inner, job, &output);
     inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
     let service = job.enqueued.elapsed();
     inner.metrics.latency.record_us(service.as_micros().min(u128::from(u64::MAX)) as u64);
@@ -551,6 +570,35 @@ fn finish(inner: &Inner, job: &Job, output: Arc<SolveOutput>, outcome: Outcome) 
         cached: outcome == Outcome::Hit,
         deduplicated: outcome == Outcome::DedupWait,
         service,
+    }
+}
+
+/// Sampled audit: every `audit_rate`-th completed response (cache hits
+/// and degraded tiers included) is independently re-verified against
+/// the graph and spec of *this* request. A failure is loud — stderr gets
+/// the full report, `audit_fail` is bumped, and the first report is
+/// kept for [`Service::first_audit_failure`] — but the response is
+/// still returned: the auditor flags inconsistencies for operators, it
+/// does not invent a better answer to serve.
+fn maybe_audit(inner: &Inner, job: &Job, output: &SolveOutput) {
+    let rate = inner.cfg.audit_rate;
+    if rate == 0 {
+        return;
+    }
+    let n = inner.audit_seq.fetch_add(1, Ordering::Relaxed);
+    if !n.is_multiple_of(rate) {
+        return;
+    }
+    let report = crate::audit::audit_solve_output(&job.graph, &job.spec, output);
+    if report.is_clean() {
+        inner.metrics.audit_pass.fetch_add(1, Ordering::Relaxed);
+    } else {
+        inner.metrics.audit_fail.fetch_add(1, Ordering::Relaxed);
+        let rendered =
+            format!("AUDIT FAILURE for graph '{}':\n{}", job.graph.name(), report.render());
+        eprintln!("{rendered}");
+        let mut slot = inner.audit_failure.lock().expect("audit slot poisoned");
+        slot.get_or_insert(rendered);
     }
 }
 
