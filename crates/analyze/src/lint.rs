@@ -81,6 +81,16 @@ pub enum Fix {
         /// The edge to clean.
         edge: EdgeId,
     },
+    /// Fill a placeholder (0x0) loop descriptor with dimensions derived
+    /// from the node's largest incident transfer.
+    DeriveLoopDims {
+        /// The node to repair.
+        node: NodeId,
+        /// Derived row count.
+        rows: usize,
+        /// Derived column count.
+        cols: usize,
+    },
 }
 
 impl fmt::Display for Fix {
@@ -93,6 +103,9 @@ impl fmt::Display for Fix {
             }
             Fix::DropEmptyTransfers { edge } => {
                 write!(f, "drop zero-byte transfers from edge e{}", edge.0)
+            }
+            Fix::DeriveLoopDims { node, rows, cols } => {
+                write!(f, "derive {rows}x{cols} loop dims for node {node} from its transfers")
             }
         }
     }
@@ -141,6 +154,7 @@ impl LintSet {
                 Box::new(AmdahlMonotonicity),
                 Box::new(StructuralTransfer),
                 Box::new(RedistributionMismatch),
+                Box::new(LoopMetadata),
                 Box::new(TransferShape),
                 Box::new(EdgeUnitSanity),
                 Box::new(ZeroTau),
@@ -584,6 +598,78 @@ impl Lint for AmdahlMonotonicity {
     }
 }
 
+/// Compute node with placeholder loop metadata (`0x0` dims) in a graph
+/// where other compute nodes carry real dimensions. The
+/// `redistribution-mismatch` lint silently skips such nodes (there is
+/// nothing to check a transfer against), so one unmeasured node pokes a
+/// hole in the shape checking of every edge it touches. Fully synthetic
+/// graphs — the random gallery, hand-sketched examples where *no* node
+/// declares dimensions — are exempt: placeholders are the convention
+/// there, not an omission. (Non-finite `alpha`/`tau` cost metadata is
+/// owned by `nonfinite-weight`.)
+///
+/// When every transfer incident to the node moves a whole square f64
+/// matrix, the dims are mechanically derivable from the largest one
+/// (`bytes/8 = n²`), and the diagnostic carries a
+/// [`Fix::DeriveLoopDims`].
+pub struct LoopMetadata;
+
+impl Lint for LoopMetadata {
+    fn name(&self) -> &'static str {
+        "loop-metadata"
+    }
+
+    fn check(&self, g: &Mdg, out: &mut Vec<Diagnostic>) {
+        let any_real = g
+            .nodes()
+            .any(|(_, n)| n.kind == NodeKind::Compute && n.meta.rows > 0 && n.meta.cols > 0);
+        if !any_real {
+            return;
+        }
+        for (id, node) in g.nodes() {
+            if node.kind != NodeKind::Compute || (node.meta.rows > 0 && node.meta.cols > 0) {
+                continue;
+            }
+            // Largest incident transfer, in bytes.
+            let mut best: u64 = 0;
+            for (_, e) in g.edges() {
+                if e.src == id.0 || e.dst == id.0 {
+                    for t in &e.transfers {
+                        best = best.max(t.bytes);
+                    }
+                }
+            }
+            let derived = if best > 0 && best.is_multiple_of(8) {
+                let elems = best / 8;
+                let n = (elems as f64).sqrt().round() as u64;
+                (n > 0 && n * n == elems).then_some(n as usize)
+            } else {
+                None
+            };
+            let fix = derived.map(|n| Fix::DeriveLoopDims { node: id, rows: n, cols: n });
+            let hint = match derived {
+                Some(n) => format!(
+                    "its largest transfer moves {best} bytes = a {n}x{n} f64 matrix; \
+                     --fix fills the dims from it"
+                ),
+                None => "declare the loop dimensions via LoopMeta (compute_with_meta)".to_string(),
+            };
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Warning,
+                location: LintLocation::Node(id),
+                message: format!(
+                    "compute node has placeholder loop metadata ({}x{}) while other nodes \
+                     declare real dimensions",
+                    node.meta.rows, node.meta.cols
+                ),
+                hint: Some(hint),
+                fix,
+            });
+        }
+    }
+}
+
 /// Contradictory redistribution shapes per Eq. (2)/(3): the same array
 /// (identified by byte count) claimed both as a 1D ROW2ROW/COL2COL
 /// move and as a 2D ROW2COL/COL2ROW move on one edge. The two formulas
@@ -701,14 +787,19 @@ pub fn apply_fixes(g: &Mdg, diags: &[Diagnostic]) -> (Mdg, Vec<Fix>) {
             continue;
         }
         let mut cost = node.cost;
+        let mut meta = node.meta.clone();
         for fx in &applied {
             match *fx {
                 Fix::ClampAlpha { node: n, to } if n == id => cost.alpha = to,
                 Fix::ClampTau { node: n, to } if n == id => cost.tau = to,
+                Fix::DeriveLoopDims { node: n, rows, cols } if n == id => {
+                    meta.rows = rows;
+                    meta.cols = cols;
+                }
                 _ => {}
             }
         }
-        let bid = b.compute_with_meta(node.name.clone(), cost, node.meta.clone());
+        let bid = b.compute_with_meta(node.name.clone(), cost, meta);
         debug_assert_eq!(builder_id_to_mdg(bid), id, "rebuild must preserve node ids");
     }
     for (eid, e) in g.edges() {
@@ -926,6 +1017,74 @@ mod tests {
         assert_eq!(hits.len(), 2, "{hits:?}");
         assert!(hits.iter().any(|d| d.severity == Severity::Warning && d.fix.is_some()));
         assert!(hits.iter().any(|d| d.severity == Severity::Note && d.message.contains("1234")));
+    }
+
+    #[test]
+    fn placeholder_dims_in_mixed_graph_warn_with_derivable_fix() {
+        let mut b = MdgBuilder::new("mixed-meta");
+        let real = b.compute_with_meta(
+            "real",
+            AmdahlParams::new(0.1, 1.0),
+            LoopMeta::square(LoopClass::MatrixInit, 8),
+        );
+        let hole = b.compute("hole", AmdahlParams::new(0.1, 1.0)); // synthetic 0x0
+                                                                   // 512 bytes = 64 f64 elements = an 8x8 matrix: derivable.
+        b.edge(real, hole, vec![ArrayTransfer::new(512, TransferKind::OneD)]);
+        let g = b.finish().unwrap();
+        let diags = lint_mdg(&g);
+        let d = diags.iter().find(|d| d.lint == "loop-metadata").unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(matches!(d.fix, Some(Fix::DeriveLoopDims { rows: 8, cols: 8, .. })), "{:?}", d.fix);
+
+        let (fixed, applied) = apply_fixes(&g, &diags);
+        assert_eq!(applied.len(), 1);
+        let repaired = fixed.nodes().find(|(_, n)| n.name == "hole").unwrap().1;
+        assert_eq!((repaired.meta.rows, repaired.meta.cols), (8, 8));
+        assert!(lint_mdg(&fixed).iter().all(|d| d.lint != "loop-metadata"));
+    }
+
+    #[test]
+    fn underivable_placeholder_dims_warn_without_fix() {
+        let mut b = MdgBuilder::new("mixed-odd");
+        let real = b.compute_with_meta(
+            "real",
+            AmdahlParams::new(0.1, 1.0),
+            LoopMeta::square(LoopClass::MatrixInit, 8),
+        );
+        let hole = b.compute("hole", AmdahlParams::new(0.1, 1.0));
+        // 24 bytes = 3 elements: not a square matrix, nothing to derive.
+        b.edge(real, hole, vec![ArrayTransfer::new(24, TransferKind::OneD)]);
+        let g = b.finish().unwrap();
+        let d = lint_mdg(&g).into_iter().find(|d| d.lint == "loop-metadata").unwrap();
+        assert!(d.fix.is_none());
+        assert!(d.hint.unwrap().contains("LoopMeta"));
+    }
+
+    #[test]
+    fn fully_synthetic_graphs_are_exempt_from_loop_metadata() {
+        // fig1 and the random gallery declare no dims anywhere:
+        // placeholders are the convention, not an omission.
+        let g = example_fig1_mdg();
+        assert!(lint_mdg(&g).iter().all(|d| d.lint != "loop-metadata"));
+    }
+
+    #[test]
+    fn fully_measured_gallery_graphs_are_loop_metadata_clean() {
+        use paradigm_mdg::{block_lu_mdg, fft_2d_mdg, stencil_mdg, strassen_mdg};
+        let t = KernelCostTable::cm5();
+        for g in [
+            complex_matmul_mdg(64, &t),
+            strassen_mdg(64, &t),
+            fft_2d_mdg(64, 4, &t),
+            block_lu_mdg(64, 4, &t),
+            stencil_mdg(64, 4, 2, &t),
+        ] {
+            assert!(
+                lint_mdg(&g).iter().all(|d| d.lint != "loop-metadata"),
+                "gallery graph `{}` must stay lint-clean",
+                g.name()
+            );
+        }
     }
 
     #[test]

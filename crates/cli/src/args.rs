@@ -135,6 +135,20 @@ pub enum Command {
         /// retried with backoff and counted.
         max_queue_wait_ms: Option<u64>,
     },
+    /// `bench-solve [--quick] [--out <path>] [--baseline <path>]`: run
+    /// the solver micro/end-to-end benchmark over the gallery and random
+    /// MDGs and emit the `BENCH_solver.json` report.
+    BenchSolve {
+        /// Trim the case list (drop the largest random graph) and the
+        /// repetition counts — the CI perf-smoke configuration.
+        quick: bool,
+        /// Write the JSON report here (in addition to stdout).
+        out: Option<String>,
+        /// Compare against a baseline `BENCH_solver.json`; the run fails
+        /// (exit 1) if the n=256 random-MDG `eval_grad` median regresses
+        /// more than 3x.
+        baseline: Option<String>,
+    },
     /// `help`.
     Help,
 }
@@ -177,6 +191,7 @@ USAGE:
   paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
                  [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>]
   paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>] [--max-queue-wait <ms>]
+  paradigm bench-solve [--quick] [--out <path>] [--baseline <path>]
   paradigm help
 
 Chaos plans are comma-separated key=value items, e.g.
@@ -371,6 +386,20 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                 }
             }
             Command::BenchServe { clients, rounds, workers, max_queue_wait_ms }
+        }
+        "bench-solve" => {
+            let mut quick = false;
+            let mut out = None;
+            let mut baseline = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--quick" => quick = true,
+                    "--out" => out = Some(take_value(flag, &mut it)?.to_string()),
+                    "--baseline" => baseline = Some(take_value(flag, &mut it)?.to_string()),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::BenchSolve { quick, out, baseline }
         }
         "calibrate" => {
             let mut procs = 64u32;
@@ -647,6 +676,31 @@ mod tests {
             }
         );
         assert!(parse_args(&["bench-serve", "--clients", "0"]).is_err());
+    }
+
+    #[test]
+    fn bench_solve_command_parses() {
+        let p = parse_args(&["bench-solve"]).unwrap();
+        assert_eq!(p.command, Command::BenchSolve { quick: false, out: None, baseline: None });
+        let p = parse_args(&[
+            "bench-solve",
+            "--quick",
+            "--out",
+            "BENCH_solver.json",
+            "--baseline",
+            "ci/bench-solver-baseline.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::BenchSolve {
+                quick: true,
+                out: Some("BENCH_solver.json".into()),
+                baseline: Some("ci/bench-solver-baseline.json".into()),
+            }
+        );
+        assert!(parse_args(&["bench-solve", "--out"]).is_err());
+        assert!(parse_args(&["bench-solve", "--wat"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! `paradigm bench-solve` — the tracked solver micro-benchmark.
+//!
+//! Measures the hot paths of the allocation solver on the gallery
+//! workloads plus random layered MDGs of growing size, and emits
+//! `BENCH_solver.json` so the performance trajectory is recorded in CI
+//! rather than anecdotal:
+//!
+//! * `eval_us` — median wall time of one smoothed objective evaluation
+//!   through the reusable workspace (`eval_with`);
+//! * `eval_grad_us` — median wall time of one reverse-mode (adjoint)
+//!   gradient (`eval_grad_with`), the per-iteration cost of descent;
+//! * `grad_forward_us` — the retired forward-mode gradient on the same
+//!   point, kept as the speedup reference;
+//! * `allocate_us` / `allocate_iters` — one end-to-end `try_allocate`
+//!   with [`SolverConfig::fast`];
+//! * `allocs_per_iter` — heap allocations per descent iteration after
+//!   warm-up, observed through the counting global allocator the
+//!   `paradigm` binary installs (0 in-process unless installed).
+//!
+//! `--baseline <path>` compares against a checked-in snapshot and fails
+//! (exit code 1) when the reverse gradient on the `random-256` case
+//! regresses more than 3x — a coarse gate that survives machine noise
+//! but catches algorithmic regressions.
+
+use std::time::Instant;
+
+use paradigm_core::{gallery_graph, GALLERY_NAMES};
+use paradigm_cost::Machine;
+use paradigm_mdg::{random_layered_mdg, Mdg, RandomMdgConfig};
+use paradigm_serve::{parse_json, Json};
+use paradigm_solver::expr::Sharpness;
+use paradigm_solver::{
+    allocation_count, descend_stage, try_allocate, MdgObjective, SolverConfig, SolverWorkspace,
+};
+
+use crate::commands::{CliError, CmdOutput};
+
+/// Random-MDG seed; fixed so the benchmark graphs are reproducible.
+const SEED: u64 = 1994;
+
+/// Factor by which `random-256`'s `eval_grad_us` may exceed the baseline
+/// before `--baseline` fails the run.
+const REGRESSION_FACTOR: f64 = 3.0;
+
+/// The case name the `--baseline` gate keys on.
+const GATE_CASE: &str = "random-256";
+
+/// One benchmark case's measurements.
+struct CaseReport {
+    name: String,
+    compute_nodes: usize,
+    edges: usize,
+    eval_us: f64,
+    eval_grad_us: f64,
+    grad_forward_us: f64,
+    grad_speedup: f64,
+    allocate_us: f64,
+    allocate_iters: usize,
+    allocs_per_iter: f64,
+}
+
+/// Run the benchmark; `quick` trims samples and drops the largest graph.
+pub fn run_bench_solve(
+    quick: bool,
+    out_path: Option<&str>,
+    baseline: Option<&str>,
+) -> Result<CmdOutput, CliError> {
+    let reps = if quick { 9 } else { 25 };
+    let mut cases = Vec::new();
+    for name in GALLERY_NAMES {
+        let g = gallery_graph(name).unwrap_or_else(|| unreachable!("gallery name {name}"));
+        cases.push(bench_case(name, &g, reps));
+    }
+    let mut sizes = vec![64usize, 128, 256];
+    if !quick {
+        sizes.push(512);
+    }
+    for n in sizes {
+        let g = random_layered_mdg(
+            &RandomMdgConfig {
+                layers: n / 8,
+                width_min: 8,
+                width_max: 8,
+                ..RandomMdgConfig::default()
+            },
+            SEED,
+        );
+        cases.push(bench_case(&format!("random-{n}"), &g, reps));
+    }
+
+    let json = render_json(quick, &cases);
+    let mut text = render_table(quick, reps, &cases);
+    if let Some(path) = out_path {
+        std::fs::write(path, &json).map_err(CliError::Io)?;
+        text.push_str(&format!("\nwrote {path}\n"));
+    } else {
+        text.push('\n');
+        text.push_str(&json);
+    }
+
+    let mut failed = false;
+    if let Some(bpath) = baseline {
+        match check_baseline(bpath, &cases) {
+            Ok(line) => text.push_str(&line),
+            Err(line) => {
+                text.push_str(&line);
+                failed = true;
+            }
+        }
+    }
+    Ok(CmdOutput { text, failed })
+}
+
+/// Measure one graph. All medians are in microseconds.
+fn bench_case(name: &str, g: &Mdg, reps: usize) -> CaseReport {
+    let obj = MdgObjective::new(g, Machine::cm5(64));
+    let n = obj.num_vars();
+    let ub = obj.x_upper();
+    // Deterministic interior point, varied per-coordinate so no smax
+    // degenerates to a tie.
+    let x: Vec<f64> = (0..n).map(|i| ub * (0.3 + 0.4 * ((i * 7 % 11) as f64) / 11.0)).collect();
+    let sharp = Sharpness::Smooth(64.0);
+
+    let mut ws = SolverWorkspace::new();
+    let mut grad = Vec::new();
+    // Warm the workspace buffers so the timed region measures steady state.
+    let _ = obj.eval_grad_with(&x, sharp, &mut ws.scratch, &mut grad);
+
+    let eval_us = median_us(reps, || {
+        std::hint::black_box(obj.eval_with(&x, sharp, &mut ws.scratch).phi);
+    });
+    let eval_grad_us = median_us(reps, || {
+        let parts = obj.eval_grad_with(&x, sharp, &mut ws.scratch, &mut grad);
+        std::hint::black_box(parts.phi);
+    });
+    let grad_forward_us = median_us(reps, || {
+        let (parts, grad) = obj.eval_grad_forward(&x, sharp);
+        std::hint::black_box((parts.phi, grad.len()));
+    });
+
+    // Allocations per descent iteration, after a warm-up stage has sized
+    // every buffer. Reads 0 unless the counting allocator is the global
+    // allocator (it is in the `paradigm` binary).
+    let mut xd = vec![ub / 2.0; n];
+    let _ = descend_stage(&obj, &mut xd, sharp, 10, 0.0, &mut ws);
+    let mut xd = vec![ub / 3.0; n];
+    let before = allocation_count();
+    let measured_iters = descend_stage(&obj, &mut xd, sharp, 50, 0.0, &mut ws);
+    let delta = allocation_count() - before;
+    let allocs_per_iter =
+        if measured_iters > 0 { delta as f64 / measured_iters as f64 } else { 0.0 };
+
+    let t0 = Instant::now();
+    let res = try_allocate(g, Machine::cm5(64), &SolverConfig::fast()).expect("bench solve");
+    let allocate_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    CaseReport {
+        name: name.to_string(),
+        compute_nodes: g.compute_node_count(),
+        edges: g.edge_count(),
+        eval_us,
+        eval_grad_us,
+        grad_forward_us,
+        grad_speedup: if eval_grad_us > 0.0 { grad_forward_us / eval_grad_us } else { 0.0 },
+        allocate_us,
+        allocate_iters: res.iterations,
+        allocs_per_iter,
+    }
+}
+
+/// Median wall time of `reps` runs of `f`, in microseconds. Each sample
+/// loops `f` enough times that sub-microsecond work is still resolvable.
+fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    const INNER: usize = 4;
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..INNER {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e6 / INNER as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Human-readable summary table.
+fn render_table(quick: bool, reps: usize, cases: &[CaseReport]) -> String {
+    let mut out = format!(
+        "bench-solve ({}; medians over {reps} samples)\n",
+        if quick { "quick" } else { "full" }
+    );
+    out.push_str(&format!(
+        "{:<18} {:>6} {:>6} {:>10} {:>10} {:>10} {:>8} {:>12} {:>7} {:>11}\n",
+        "case",
+        "nodes",
+        "edges",
+        "eval_us",
+        "grad_us",
+        "fwd_us",
+        "speedup",
+        "allocate_us",
+        "iters",
+        "allocs/iter"
+    ));
+    for c in cases {
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>7.1}x {:>12.0} {:>7} {:>11.2}\n",
+            c.name,
+            c.compute_nodes,
+            c.edges,
+            c.eval_us,
+            c.eval_grad_us,
+            c.grad_forward_us,
+            c.grad_speedup,
+            c.allocate_us,
+            c.allocate_iters,
+            c.allocs_per_iter
+        ));
+    }
+    out
+}
+
+/// The `BENCH_solver.json` document: version 1, one object per case,
+/// one case per line so diffs against the checked-in baseline stay
+/// readable.
+fn render_json(quick: bool, cases: &[CaseReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let case = Json::Obj(vec![
+            ("name".into(), Json::str(&c.name)),
+            ("compute_nodes".into(), Json::num(c.compute_nodes as f64)),
+            ("edges".into(), Json::num(c.edges as f64)),
+            ("eval_us".into(), Json::num(round3(c.eval_us))),
+            ("eval_grad_us".into(), Json::num(round3(c.eval_grad_us))),
+            ("grad_forward_us".into(), Json::num(round3(c.grad_forward_us))),
+            ("grad_speedup".into(), Json::num(round3(c.grad_speedup))),
+            ("allocate_us".into(), Json::num(round3(c.allocate_us))),
+            ("allocate_iters".into(), Json::num(c.allocate_iters as f64)),
+            ("allocs_per_iter".into(), Json::num(round3(c.allocs_per_iter))),
+        ]);
+        out.push_str("    ");
+        out.push_str(&case.render());
+        out.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Round to 3 decimals so the JSON stays diff-stable in size.
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+/// Compare against a checked-in baseline. `Ok` carries the pass line,
+/// `Err` the failure line (which flips the exit code to 1).
+fn check_baseline(path: &str, cases: &[CaseReport]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("baseline: FAILED to read {path}: {e}\n"))?;
+    let doc = parse_json(&text).map_err(|e| format!("baseline: FAILED to parse {path}: {e}\n"))?;
+    let base = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .and_then(|cs| cs.iter().find(|c| c.get("name").and_then(Json::as_str) == Some(GATE_CASE)))
+        .and_then(|c| c.get("eval_grad_us"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("baseline: FAILED — no `{GATE_CASE}` eval_grad_us in {path}\n"))?;
+    let cur = cases
+        .iter()
+        .find(|c| c.name == GATE_CASE)
+        .map(|c| c.eval_grad_us)
+        .ok_or_else(|| format!("baseline: FAILED — current run has no `{GATE_CASE}` case\n"))?;
+    let limit = base * REGRESSION_FACTOR;
+    if cur > limit {
+        Err(format!(
+            "baseline: REGRESSION — {GATE_CASE} eval_grad {cur:.2} us > {REGRESSION_FACTOR}x baseline {base:.2} us\n"
+        ))
+    } else {
+        Ok(format!(
+            "baseline: ok — {GATE_CASE} eval_grad {cur:.2} us within {REGRESSION_FACTOR}x of baseline {base:.2} us\n"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case() -> CaseReport {
+        CaseReport {
+            name: GATE_CASE.into(),
+            compute_nodes: 4,
+            edges: 5,
+            eval_us: 1.0,
+            eval_grad_us: 2.0,
+            grad_forward_us: 12.0,
+            grad_speedup: 6.0,
+            allocate_us: 100.0,
+            allocate_iters: 10,
+            allocs_per_iter: 0.0,
+        }
+    }
+
+    #[test]
+    fn json_document_parses_and_round_trips_fields() {
+        let json = render_json(true, &[tiny_case()]);
+        let doc = parse_json(&json).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        let cases = doc.get("cases").and_then(Json::as_arr).expect("cases array");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].get("name").and_then(Json::as_str), Some(GATE_CASE));
+        assert_eq!(cases[0].get("eval_grad_us").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(cases[0].get("grad_speedup").and_then(Json::as_f64), Some(6.0));
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_3x_and_fails_beyond() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("paradigm-bench-baseline-{}.json", std::process::id()));
+        std::fs::write(&path, render_json(true, &[tiny_case()])).unwrap();
+        let p = path.to_string_lossy().into_owned();
+
+        // Current 2.0 vs baseline 2.0: within 3x.
+        let ok = check_baseline(&p, &[tiny_case()]).expect("within limit");
+        assert!(ok.contains("baseline: ok"), "{ok}");
+
+        // Current 7.0 vs baseline 2.0: beyond 3x.
+        let mut slow = tiny_case();
+        slow.eval_grad_us = 7.0;
+        let err = check_baseline(&p, &[slow]).expect_err("beyond limit");
+        assert!(err.contains("REGRESSION"), "{err}");
+
+        // Missing gate case in the current run.
+        let mut other = tiny_case();
+        other.name = "fig1-example".into();
+        let err = check_baseline(&p, &[other]).expect_err("no gate case");
+        assert!(err.contains("FAILED"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_case_on_fig1_produces_sane_numbers() {
+        let g = paradigm_mdg::example_fig1_mdg();
+        let c = bench_case("fig1", &g, 3);
+        assert_eq!(c.compute_nodes, 3);
+        assert!(c.eval_us > 0.0 && c.eval_grad_us > 0.0 && c.grad_forward_us > 0.0);
+        assert!(c.grad_speedup > 0.0);
+        assert!(c.allocate_iters > 0);
+        // In-process the counting allocator is not installed, so the
+        // counter never moves.
+        assert_eq!(c.allocs_per_iter, 0.0);
+    }
+}

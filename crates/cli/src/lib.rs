@@ -15,6 +15,7 @@
 //! library so they are unit-testable; `main.rs` is a thin shim.
 
 pub mod args;
+pub mod bench_solve;
 pub mod commands;
 
 pub use args::{parse_args, Command, ParsedArgs, UsageError};

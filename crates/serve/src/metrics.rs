@@ -138,6 +138,11 @@ pub struct MetricsSnapshot {
     pub evictions: u64,
     /// See [`Metrics::queue_depth`].
     pub queue_depth: u64,
+    /// Solver workspace pool checkouts (process-global; see
+    /// [`paradigm_solver::workspace::pool_counters`]).
+    pub ws_acquires: u64,
+    /// Checkouts satisfied by a previously released (warm) workspace.
+    pub ws_reuses: u64,
     /// See [`Metrics::latency`].
     pub latency_buckets: [u64; HIST_BUCKETS],
 }
@@ -145,6 +150,7 @@ pub struct MetricsSnapshot {
 impl Metrics {
     /// Take a consistent-enough copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let (ws_acquires, ws_reuses) = paradigm_solver::workspace::pool_counters();
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -163,6 +169,8 @@ impl Metrics {
             audit_fail: self.audit_fail.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            ws_acquires,
+            ws_reuses,
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -209,6 +217,8 @@ impl MetricsSnapshot {
             ("audit_fail".into(), Json::num(self.audit_fail as f64)),
             ("evictions".into(), Json::num(self.evictions as f64)),
             ("queue_depth".into(), Json::num(self.queue_depth as f64)),
+            ("ws_acquires".into(), Json::num(self.ws_acquires as f64)),
+            ("ws_reuses".into(), Json::num(self.ws_reuses as f64)),
             ("p50_us".into(), self.p50_us().map_or(Json::Null, |v| Json::num(v as f64))),
             ("p99_us".into(), self.p99_us().map_or(Json::Null, |v| Json::num(v as f64))),
             ("latency_log2_us".into(), Json::Arr(hist)),
@@ -235,6 +245,10 @@ impl MetricsSnapshot {
             self.avg_solve_us
         ));
         out.push_str(&format!("  audits: pass {}  fail {}\n", self.audit_pass, self.audit_fail));
+        out.push_str(&format!(
+            "  workspace pool: acquires {}  reuses {}\n",
+            self.ws_acquires, self.ws_reuses
+        ));
         out.push_str(&format!(
             "  latency: p50 <= {} us, p99 <= {} us  queue depth {}\n",
             self.p50_us().map_or_else(|| "n/a".into(), |v| v.to_string()),

@@ -1,0 +1,56 @@
+//! A counting global allocator for allocation-accounting tests and the
+//! `bench-solve` allocs-per-iteration metric.
+//!
+//! Wraps the system allocator and bumps a relaxed atomic on every
+//! `alloc` / `alloc_zeroed` / `realloc`. Install it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: paradigm_solver::CountingAllocator = paradigm_solver::CountingAllocator;
+//! ```
+//!
+//! and read deltas of [`allocation_count`] around the region of
+//! interest. Counts are process-global, so measurements are only
+//! meaningful while no other thread allocates — the `alloc_free` test
+//! and the benchmark take their deltas on a single thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation events (frees are not
+/// counted: the metric of interest is "how often does the hot loop ask
+/// the allocator for memory", and every free pairs with a counted
+/// alloc).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counter bump has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Number of allocation events since process start (0 unless
+/// [`CountingAllocator`] is installed as the global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -11,6 +11,7 @@
 
 use crate::expr::Sharpness;
 use crate::objective::MdgObjective;
+use crate::workspace;
 use paradigm_cost::{Allocation, Machine, PhiBreakdown};
 use paradigm_mdg::Mdg;
 
@@ -73,9 +74,12 @@ pub fn allocate_coordinate(g: &Mdg, machine: Machine, cfg: &CoordinateConfig) ->
         cfg.sharpness_schedule.iter().map(|&s| Sharpness::Smooth(s)).collect();
     stages.push(Sharpness::Exact);
 
+    // One pooled workspace for the whole solve: golden-section probes are
+    // pure evaluations, so every one of them runs allocation-free through
+    // the same sweep scratch.
+    let mut ws = workspace::acquire();
     for sharp in stages {
-        let eval = |x: &[f64]| obj.eval(x, sharp).phi;
-        let mut best = eval(&x);
+        let mut best = obj.eval_with(&x, sharp, &mut ws.scratch).phi;
         for _ in 0..cfg.max_sweeps {
             sweeps += 1;
             let before = best;
@@ -87,10 +91,10 @@ pub fn allocate_coordinate(g: &Mdg, machine: Machine, cfg: &CoordinateConfig) ->
                 let (mut lo, mut hi) = (0.0_f64, ub);
                 let mut c = hi - INV_PHI * (hi - lo);
                 let mut d = lo + INV_PHI * (hi - lo);
-                let f_at = |xj: f64, x: &mut Vec<f64>| {
+                let mut f_at = |xj: f64, x: &mut Vec<f64>| {
                     let old = x[j];
                     x[j] = xj;
-                    let v = eval(x);
+                    let v = obj.eval_with(x, sharp, &mut ws.scratch).phi;
                     x[j] = old;
                     v
                 };

@@ -21,6 +21,9 @@
 //! Module map:
 //! * [`expr`] — generalized posynomial expression trees with smoothed
 //!   evaluation and gradients in log-space;
+//! * [`compiled`] — flat, tape-recording compiled form of those trees
+//!   backing the hot forward/backward sweeps (no re-evaluation on the
+//!   backward pass, integer-sharpness `smax` via repeated squaring);
 //! * [`objective`] — assembles `Phi` for an (MDG, machine) pair;
 //! * [`solve`] — projected gradient with Armijo line search, sharpness
 //!   annealing, and multi-start;
@@ -29,22 +32,32 @@
 //! * [`convexity`] — numeric convexity probes used by tests/ablations;
 //! * [`error`] — typed solver failures ([`SolverError`]) and the
 //!   degradation-ladder tiers ([`FallbackTier`]) recorded by
-//!   [`allocate_resilient`].
+//!   [`allocate_resilient`];
+//! * [`workspace`] — reusable, pooled scratch buffers that make the
+//!   descent loop allocation-free after warm-up;
+//! * [`alloc_count`] — an optional counting global allocator backing the
+//!   zero-allocation test and the `bench-solve` allocs/iter metric.
 
+pub mod alloc_count;
 pub mod bruteforce;
+pub mod compiled;
 pub mod convexity;
 pub mod coordinate;
 pub mod error;
 pub mod expr;
 pub mod objective;
 pub mod solve;
+pub mod workspace;
 
+pub use alloc_count::{allocation_count, CountingAllocator};
 pub use bruteforce::{brute_force_pow2, BruteForceResult};
+pub use compiled::CompiledExpr;
 pub use coordinate::{allocate_coordinate, CoordinateConfig, CoordinateResult};
 pub use error::{FallbackTier, SolverError};
 pub use expr::{Expr, Monomial};
 pub use objective::MdgObjective;
 pub use solve::{
-    allocate, allocate_resilient, equal_split_allocation, optimality_residual, try_allocate,
-    AllocationResult, SolverConfig,
+    allocate, allocate_resilient, descend_stage, equal_split_allocation, optimality_residual,
+    try_allocate, AllocationResult, SolverConfig,
 };
+pub use workspace::{EvalScratch, PooledWorkspace, SolverWorkspace};

@@ -13,7 +13,9 @@
 //! final reported numbers because allocations are always re-scored with
 //! `paradigm-cost`'s exact evaluator.
 
-use crate::expr::{smax_weights, Expr, Monomial, Sharpness};
+use crate::compiled::{smax_weights_fast, CompiledExpr};
+use crate::expr::{smax_pair_weights, smax_weights, Expr, Monomial, Sharpness};
+use crate::workspace::{self, EvalScratch};
 use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
 use paradigm_mdg::{EdgeId, Mdg, NodeId, TransferKind};
 
@@ -38,6 +40,59 @@ pub struct MdgObjective<'g> {
     edge_d: Vec<Expr>,
     /// `A_p` as a single expression.
     area: Expr,
+    /// Compiled (flat, tape-recording) forms of every expression above,
+    /// used by the hot evaluation/gradient paths.
+    tapes: Tapes,
+}
+
+/// Compiled expressions plus their disjoint offsets into the workspace's
+/// shared value/weight tapes: node `T` expressions by node id, then edge
+/// `t^D` expressions by edge id.
+///
+/// `A_p` is deliberately *not* compiled: as an expression it duplicates
+/// every node term (each `T_i` scaled by `p_i/p`), doubling the op count
+/// of both sweeps. The evaluation paths instead accumulate
+/// `A_p = (1/p) Σ T_i e^{x_i}` from the node values they already
+/// computed, and the backward pass folds the product rule into the node
+/// tape seeds (see [`MdgObjective::backward_sweep`]). The symbolic
+/// `area` tree on [`MdgObjective`] is kept for inspection and
+/// certification.
+struct Tapes {
+    node: Vec<CompiledExpr>,
+    edge: Vec<CompiledExpr>,
+    /// `(value offset, weight offset)` per node expression.
+    node_off: Vec<(usize, usize)>,
+    /// `(value offset, weight offset)` per edge expression.
+    edge_off: Vec<(usize, usize)>,
+    /// Total tape sizes across all expressions.
+    total_vals: usize,
+    total_wts: usize,
+    /// Whether any monomial carries a `±0.5` exponent (decides whether
+    /// the smoothed-path [`VarCache`] needs its square-root caches).
+    needs_halves: bool,
+}
+
+impl Tapes {
+    fn build(node_t: &[Expr], edge_d: &[Expr]) -> Tapes {
+        let mut vo = 0;
+        let mut wo = 0;
+        let mut lay = |exprs: &[Expr]| {
+            let mut compiled = Vec::with_capacity(exprs.len());
+            let mut offs = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                let c = CompiledExpr::compile(e);
+                offs.push((vo, wo));
+                vo += c.vals_len();
+                wo += c.wts_len();
+                compiled.push(c);
+            }
+            (compiled, offs)
+        };
+        let (node, node_off) = lay(node_t);
+        let (edge, edge_off) = lay(edge_d);
+        let needs_halves = node.iter().chain(&edge).any(CompiledExpr::has_half_exponents);
+        Tapes { node, edge, node_off, edge_off, total_vals: vo, total_wts: wo, needs_halves }
+    }
 }
 
 impl<'g> MdgObjective<'g> {
@@ -143,7 +198,8 @@ impl<'g> MdgObjective<'g> {
                 .collect(),
         );
 
-        MdgObjective { g, machine, node_t, edge_d, area }
+        let tapes = Tapes::build(&node_t, &edge_d);
+        MdgObjective { g, machine, node_t, edge_d, area, tapes }
     }
 
     /// The graph this objective was built for.
@@ -183,34 +239,279 @@ impl<'g> MdgObjective<'g> {
     }
 
     /// Evaluate `Phi` (and parts) at `x` with the given sharpness, without
-    /// gradients.
+    /// gradients. Convenience wrapper over [`MdgObjective::eval_with`]
+    /// using a pooled workspace; hot loops should hold their own.
     pub fn eval(&self, x: &[f64], sharp: Sharpness) -> ObjectiveParts {
-        let a_p = self.area.eval(x, sharp);
-        // DAG recurrence for C_p.
-        let n = self.g.node_count();
-        let mut y = vec![0.0_f64; n];
+        let mut ws = workspace::acquire();
+        self.eval_with(x, sharp, &mut ws.scratch)
+    }
+
+    /// Allocation-free [`MdgObjective::eval`]: the DAG recurrence's
+    /// per-node candidate lists and every expression `max` run through
+    /// the workspace's value stack, on the compiled expression forms.
+    /// Values agree bitwise with [`MdgObjective::eval_grad_with`]'s
+    /// forward sweep (same kernels, no tape writes).
+    pub fn eval_with(
+        &self,
+        x: &[f64],
+        sharp: Sharpness,
+        scratch: &mut EvalScratch,
+    ) -> ObjectiveParts {
+        scratch.ensure(self.g.node_count(), self.g.edge_count());
+        let t = &self.tapes;
+        let EvalScratch { y, stack, var_cache, .. } = scratch;
+        // The exp(x_j) cache is always filled: the fused A_p accumulation
+        // below reads it even at Exact, where the monomials themselves
+        // stay on the bit-identical exp(Σ a·x) path (`vc = None`).
+        let smooth = matches!(sharp, Sharpness::Smooth(_));
+        var_cache.fill(x, smooth && t.needs_halves);
+        let vc = if smooth { Some(&*var_cache) } else { None };
+        let inv_p = 1.0 / self.machine.procs as f64;
+        // DAG recurrence for C_p, accumulating A_p = (1/p) Σ T_v e^{x_v}
+        // from the same node values.
+        let mut area_acc = 0.0;
         for &v in self.g.topo_order() {
-            let mut cands: Vec<f64> = Vec::new();
+            let base = stack.len();
             for &e in self.g.in_edges(v) {
                 let m = self.g.edge(e).src;
-                cands.push(y[m] + self.edge_d[e.0].eval(x, sharp));
+                let de = t.edge[e.0].eval(x, sharp, stack, vc);
+                let cand = y[m] + de;
+                stack.push(cand);
             }
-            let start = crate::expr::smax(&cands, sharp);
-            y[v.0] = start + self.node_t[v.0].eval(x, sharp);
+            let start = crate::compiled::smax_fast(&stack[base..], sharp);
+            stack.truncate(base);
+            let tv = t.node[v.0].eval(x, sharp, stack, vc);
+            area_acc += tv * var_cache.e[v.0];
+            y[v.0] = start + tv;
         }
+        let a_p = inv_p * area_acc;
         let c_p = y[self.g.stop().0];
-        let phi = crate::expr::smax(&[a_p, c_p], sharp);
+        let (phi, _, _) = smax_pair_weights(a_p, c_p, sharp);
         ObjectiveParts { phi, a_p, c_p }
     }
 
-    /// Evaluate `Phi` and its gradient w.r.t. `x`.
+    /// Evaluate `Phi` and its gradient w.r.t. `x`. Convenience wrapper
+    /// over [`MdgObjective::eval_grad_with`] using a pooled workspace
+    /// and a freshly allocated gradient vector.
     pub fn eval_grad(&self, x: &[f64], sharp: Sharpness) -> (ObjectiveParts, Vec<f64>) {
+        let mut ws = workspace::acquire();
+        let mut grad = Vec::new();
+        let parts = self.eval_grad_with(x, sharp, &mut ws.scratch, &mut grad);
+        (parts, grad)
+    }
+
+    /// Reverse-mode `Phi` gradient: one forward sweep over
+    /// `topo_order()` recording per-node finish times and per-edge
+    /// `smax` weights (the tape), then one backward sweep pushing a
+    /// single dense adjoint of size `n` through the DAG — `O(E + Σ
+    /// posynomial terms)` time with `O(n + E)` scratch, versus the
+    /// forward-mode reference's `O(E·n)` with a dense vector per node.
+    ///
+    /// `grad` is resized to `n` and overwritten. Allocation-free after
+    /// warm-up (given a warm `scratch` and an `n`-capacity `grad`).
+    pub fn eval_grad_with(
+        &self,
+        x: &[f64],
+        sharp: Sharpness,
+        scratch: &mut EvalScratch,
+        grad: &mut Vec<f64>,
+    ) -> ObjectiveParts {
+        let (parts, w_a, w_c) = self.forward_sweep(x, sharp, scratch);
+        grad.clear();
+        grad.resize(self.g.node_count(), 0.0);
+        self.backward_sweep(w_c, w_a, scratch, grad);
+        parts
+    }
+
+    /// Like [`MdgObjective::eval_grad`], but returns the gradients of
+    /// `A_p` and `C_p` separately (needed for the minimax stationarity
+    /// test in [`crate::solve::optimality_residual`], where the correct
+    /// multiplier between the two active pieces is unknown a priori).
+    pub fn eval_grad_parts(
+        &self,
+        x: &[f64],
+        sharp: Sharpness,
+    ) -> (ObjectiveParts, Vec<f64>, Vec<f64>) {
+        let mut ws = workspace::acquire();
+        let mut grad_a = Vec::new();
+        let mut grad_c = Vec::new();
+        let parts = self.eval_grad_parts_with(x, sharp, &mut ws.scratch, &mut grad_a, &mut grad_c);
+        (parts, grad_a, grad_c)
+    }
+
+    /// Allocation-free [`MdgObjective::eval_grad_parts`]: same reverse-
+    /// mode sweeps, with the `A_p` and `C_p` gradients kept separate
+    /// (both seeded with weight 1 instead of the `Phi` smax weights).
+    pub fn eval_grad_parts_with(
+        &self,
+        x: &[f64],
+        sharp: Sharpness,
+        scratch: &mut EvalScratch,
+        grad_a: &mut Vec<f64>,
+        grad_c: &mut Vec<f64>,
+    ) -> ObjectiveParts {
+        let (parts, _, _) = self.forward_sweep(x, sharp, scratch);
+        let n = self.g.node_count();
+        grad_a.clear();
+        grad_a.resize(n, 0.0);
+        self.backward_sweep(0.0, 1.0, scratch, grad_a);
+        grad_c.clear();
+        grad_c.resize(n, 0.0);
+        self.backward_sweep(1.0, 0.0, scratch, grad_c);
+        parts
+    }
+
+    /// Forward sweep of the reverse-mode pass: fills `scratch.y` with
+    /// per-node finish times and `scratch.tape_w` with the `smax`
+    /// weight of every in-edge candidate (each edge is an in-edge of
+    /// exactly one node, so edge id indexes the tape collision-free).
+    /// Returns the objective parts and the `Phi` combination weights.
+    fn forward_sweep(
+        &self,
+        x: &[f64],
+        sharp: Sharpness,
+        scratch: &mut EvalScratch,
+    ) -> (ObjectiveParts, f64, f64) {
+        scratch.ensure(self.g.node_count(), self.g.edge_count());
+        let t = &self.tapes;
+        scratch.ensure_tape(t.total_vals, t.total_wts);
+        let EvalScratch { y, tape_w, stack, tape_vals, tape_wts, var_cache, t_val, .. } = scratch;
+        let smooth = matches!(sharp, Sharpness::Smooth(_));
+        var_cache.fill(x, smooth && t.needs_halves);
+        let vc = if smooth { Some(&*var_cache) } else { None };
+        let inv_p = 1.0 / self.machine.procs as f64;
+        let mut area_acc = 0.0;
+        for &v in self.g.topo_order() {
+            let in_edges = self.g.in_edges(v);
+            let base = stack.len();
+            for &e in in_edges {
+                let m = self.g.edge(e).src;
+                let (vo, wo) = t.edge_off[e.0];
+                let c = &t.edge[e.0];
+                let de = c.eval_tape(
+                    x,
+                    sharp,
+                    stack,
+                    &mut tape_vals[vo..vo + c.vals_len()],
+                    &mut tape_wts[wo..wo + c.wts_len()],
+                    vc,
+                );
+                let cand = y[m] + de;
+                stack.push(cand);
+            }
+            // The candidate smax's weights land in scratch space pushed
+            // right above the candidates, then move to the edge tape.
+            let k = in_edges.len();
+            stack.resize(base + 2 * k, 0.0);
+            let (cands, wts) = stack[base..].split_at_mut(k);
+            let start = smax_weights_fast(cands, sharp, wts);
+            for (i, &e) in in_edges.iter().enumerate() {
+                tape_w[e.0] = stack[base + k + i];
+            }
+            stack.truncate(base);
+            let (vo, wo) = t.node_off[v.0];
+            let c = &t.node[v.0];
+            let tv = c.eval_tape(
+                x,
+                sharp,
+                stack,
+                &mut tape_vals[vo..vo + c.vals_len()],
+                &mut tape_wts[wo..wo + c.wts_len()],
+                vc,
+            );
+            t_val[v.0] = tv;
+            area_acc += tv * var_cache.e[v.0];
+            y[v.0] = start + tv;
+        }
+        let a_p = inv_p * area_acc;
+        let c_p = y[self.g.stop().0];
+        let (phi, w_a, w_c) = smax_pair_weights(a_p, c_p, sharp);
+        (ObjectiveParts { phi, a_p, c_p }, w_a, w_c)
+    }
+
+    /// Backward sweep: seed the STOP node's adjoint with `c_seed`
+    /// (`∂Φ/∂C_p`, or 1 for a raw `C_p` gradient), walk the topological
+    /// order in reverse, and for each node with a non-zero adjoint `a_v`
+    /// accumulate `a_v·∇T_v` plus, per in-edge with tape weight `w_e`,
+    /// `a_v·w_e·∇d_e` into `grad` and `a_v·w_e` into the source's
+    /// adjoint.
+    ///
+    /// The `A_p` gradient rides the same pass: with
+    /// `A_p = (1/p) Σ T_v e^{x_v}`, each node tape gets the extra seed
+    /// `area_seed·e^{x_v}/p` (its `∂A_p/∂T_v`) folded into its single
+    /// replay, and the product-rule term `area_seed·T_v·e^{x_v}/p` goes
+    /// straight into `grad[v]`. Pure tape replay either way: every
+    /// monomial value and `max` weight was recorded by the forward
+    /// sweep, so this pass performs no `exp`/`powf` at all.
+    fn backward_sweep(
+        &self,
+        c_seed: f64,
+        area_seed: f64,
+        scratch: &mut EvalScratch,
+        grad: &mut [f64],
+    ) {
+        let t = &self.tapes;
+        let EvalScratch { adjoint, tape_w, stack, tape_vals, tape_wts, var_cache, t_val, .. } =
+            scratch;
+        let w_area = area_seed / self.machine.procs as f64;
+        for a in adjoint.iter_mut() {
+            *a = 0.0;
+        }
+        adjoint[self.g.stop().0] = c_seed;
+        for &v in self.g.topo_order().iter().rev() {
+            let a_v = adjoint[v.0];
+            let seed_v = if w_area != 0.0 {
+                let e_v = var_cache.e[v.0];
+                grad[v.0] += w_area * t_val[v.0] * e_v;
+                a_v + w_area * e_v
+            } else {
+                a_v
+            };
+            if seed_v != 0.0 {
+                let (vo, wo) = t.node_off[v.0];
+                let c = &t.node[v.0];
+                c.backprop(
+                    seed_v,
+                    &tape_vals[vo..vo + c.vals_len()],
+                    &tape_wts[wo..wo + c.wts_len()],
+                    grad,
+                    stack,
+                );
+            }
+            if a_v == 0.0 {
+                continue;
+            }
+            for &e in self.g.in_edges(v) {
+                let w = tape_w[e.0];
+                if w == 0.0 {
+                    continue;
+                }
+                let m = self.g.edge(e).src;
+                let (vo, wo) = t.edge_off[e.0];
+                let c = &t.edge[e.0];
+                c.backprop(
+                    a_v * w,
+                    &tape_vals[vo..vo + c.vals_len()],
+                    &tape_wts[wo..wo + c.wts_len()],
+                    grad,
+                    stack,
+                );
+                adjoint[m] += a_v * w;
+            }
+        }
+    }
+
+    /// The pre-adjoint forward-mode gradient (dense `O(n)` vector per
+    /// node, `O(E·n)` time). Kept as an independently-derived reference
+    /// implementation for the gradient property tests and the
+    /// `bench-solve` speedup measurement; not used by the solver.
+    pub fn eval_grad_forward(&self, x: &[f64], sharp: Sharpness) -> (ObjectiveParts, Vec<f64>) {
         let n = self.g.node_count();
         let mut grad_a = vec![0.0; n];
         let a_p = self.area.eval_grad(x, sharp, 1.0, &mut grad_a);
 
-        // Forward pass with per-node adjoint accumulation. Each node's
-        // finish time carries a dense gradient vector.
+        // Forward pass where each node's finish time carries a dense
+        // gradient vector.
         let mut y_val = vec![0.0_f64; n];
         let mut y_grad: Vec<Vec<f64>> = vec![Vec::new(); n];
         for &v in self.g.topo_order() {
@@ -247,53 +548,6 @@ impl<'g> MdgObjective<'g> {
         let grad: Vec<f64> =
             grad_a.iter().zip(&grad_c).map(|(&ga, &gc)| w[0] * ga + w[1] * gc).collect();
         (ObjectiveParts { phi, a_p, c_p }, grad)
-    }
-
-    /// Like [`MdgObjective::eval_grad`], but returns the gradients of
-    /// `A_p` and `C_p` separately (needed for the minimax stationarity
-    /// test in [`crate::solve::optimality_residual`], where the correct
-    /// multiplier between the two active pieces is unknown a priori).
-    pub fn eval_grad_parts(
-        &self,
-        x: &[f64],
-        sharp: Sharpness,
-    ) -> (ObjectiveParts, Vec<f64>, Vec<f64>) {
-        let n = self.g.node_count();
-        let mut grad_a = vec![0.0; n];
-        let a_p = self.area.eval_grad(x, sharp, 1.0, &mut grad_a);
-        let mut y_val = vec![0.0_f64; n];
-        let mut y_grad: Vec<Vec<f64>> = vec![Vec::new(); n];
-        for &v in self.g.topo_order() {
-            let in_edges = self.g.in_edges(v);
-            let mut cand_vals = Vec::with_capacity(in_edges.len());
-            let mut cand_grads: Vec<Vec<f64>> = Vec::with_capacity(in_edges.len());
-            for &e in in_edges {
-                let m = self.g.edge(e).src;
-                let mut ge = vec![0.0; n];
-                let de = self.edge_d[e.0].eval_grad(x, sharp, 1.0, &mut ge);
-                for (gi, &gm) in ge.iter_mut().zip(&y_grad[m]) {
-                    *gi += gm;
-                }
-                cand_vals.push(y_val[m] + de);
-                cand_grads.push(ge);
-            }
-            let (start, weights) = smax_weights(&cand_vals, sharp);
-            let mut g_here = vec![0.0; n];
-            for (w, cg) in weights.iter().zip(&cand_grads) {
-                if *w != 0.0 {
-                    for (gi, &ci) in g_here.iter_mut().zip(cg) {
-                        *gi += w * ci;
-                    }
-                }
-            }
-            let t_val = self.node_t[v.0].eval_grad(x, sharp, 1.0, &mut g_here);
-            y_val[v.0] = start + t_val;
-            y_grad[v.0] = g_here;
-        }
-        let c_p = y_val[self.g.stop().0];
-        let grad_c = std::mem::take(&mut y_grad[self.g.stop().0]);
-        let phi = crate::expr::smax(&[a_p, c_p], sharp);
-        (ObjectiveParts { phi, a_p, c_p }, grad_a, grad_c)
     }
 
     /// Convert a log-space point to an [`Allocation`] (clamped to

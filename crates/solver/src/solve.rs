@@ -12,12 +12,13 @@ use crate::coordinate::{allocate_coordinate, CoordinateConfig};
 use crate::error::{FallbackTier, SolverError};
 use crate::expr::Sharpness;
 use crate::objective::MdgObjective;
+use crate::workspace::{self, SolverWorkspace};
 use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
 use paradigm_mdg::Mdg;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Solver tuning knobs. The defaults solve every workload in this
@@ -99,17 +100,34 @@ struct Budget {
     deadline: Option<Instant>,
     max_iters: Option<usize>,
     used: AtomicUsize,
+    /// Latch set once the deadline has been observed expired, so later
+    /// checks short-circuit without touching the clock again.
+    expired: AtomicBool,
 }
 
 impl Budget {
+    fn new(deadline: Option<Instant>, max_iters: Option<usize>) -> Self {
+        Budget { deadline, max_iters, used: AtomicUsize::new(0), expired: AtomicBool::new(false) }
+    }
+
     fn exhausted(&self) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        let used = self.used.load(Ordering::Relaxed);
         if let Some(d) = self.deadline {
-            if Instant::now() >= d {
+            // `Instant::now()` is a vDSO call but still dominates a cheap
+            // descent iteration when taken every time; amortize the clock
+            // read to every 64th iteration of the shared counter (the
+            // first check, at `used == 0`, always consults the clock, so
+            // an already-expired deadline is caught before any work).
+            if used & 63 == 0 && Instant::now() >= d {
+                self.expired.store(true, Ordering::Relaxed);
                 return true;
             }
         }
         if let Some(m) = self.max_iters {
-            if self.used.load(Ordering::Relaxed) >= m {
+            if used >= m {
                 return true;
             }
         }
@@ -171,11 +189,7 @@ pub fn try_allocate(
     let n = obj.num_vars();
     let ub = obj.x_upper();
 
-    let budget = Budget {
-        deadline: cfg.time_limit.map(|d| started + d),
-        max_iters: cfg.max_total_iters,
-        used: AtomicUsize::new(0),
-    };
+    let budget = Budget::new(cfg.time_limit.map(|d| started + d), cfg.max_total_iters);
     if budget.exhausted() {
         return Err(SolverError::BudgetExceeded { elapsed: started.elapsed(), iterations: 0 });
     }
@@ -194,6 +208,9 @@ pub fn try_allocate(
     }
 
     let run_one = |x0: Vec<f64>| -> (Vec<f64>, usize) {
+        // Pooled workspace: warm buffers across starts and across solves
+        // (serve workers re-hit the same pool on every cache miss).
+        let mut ws = workspace::acquire();
         let mut x = x0;
         let mut iters = 0;
         let mut stages = cfg.sharpness_schedule.clone();
@@ -201,22 +218,61 @@ pub fn try_allocate(
         let mut sharps: Vec<Sharpness> = stages.into_iter().map(Sharpness::Smooth).collect();
         sharps.push(Sharpness::Exact);
         for sharp in sharps {
-            iters +=
-                descend(&obj, &mut x, sharp, cfg.max_iters_per_stage, cfg.rel_tol, ub, &budget);
+            iters += descend(
+                &obj,
+                &mut x,
+                sharp,
+                cfg.max_iters_per_stage,
+                cfg.rel_tol,
+                ub,
+                &budget,
+                &mut ws,
+            );
         }
         (x, iters)
     };
 
-    let results: Vec<(Vec<f64>, usize)> = if cfg.parallel && starts.len() > 1 {
+    // Each start's computation is a pure function of its start vector
+    // (the budget watchdog aside), so the parallel path only changes
+    // *where* a start runs, never what it computes: starts are split
+    // into contiguous chunks over at most `available_parallelism`
+    // scoped threads and the results are reassembled in start order,
+    // giving bitwise-identical output to the serial path.
+    let total = starts.len();
+    let results: Vec<(Vec<f64>, usize)> = if cfg.parallel && total > 1 {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, total);
+        let chunk_len = total.div_ceil(workers);
+        let mut chunks: Vec<Vec<(usize, Vec<f64>)>> = Vec::with_capacity(workers);
+        for (i, x0) in starts.into_iter().enumerate() {
+            if chunks.last().is_none_or(|c| c.len() == chunk_len) {
+                chunks.push(Vec::with_capacity(chunk_len));
+            }
+            chunks.last_mut().expect("chunk pushed above").push((i, x0));
+        }
         let joined = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                starts.into_iter().map(|x0| scope.spawn(|| run_one(x0))).collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        chunk.into_iter().map(|(i, x0)| (i, run_one(x0))).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
             handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         });
-        let mut out = Vec::with_capacity(joined.len());
+        let mut slots: Vec<Option<(Vec<f64>, usize)>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
         for r in joined {
             match r {
-                Ok(v) => out.push(v),
+                Ok(pairs) => {
+                    for (i, v) in pairs {
+                        slots[i] = Some(v);
+                    }
+                }
                 Err(panic) => {
                     let msg = panic
                         .downcast_ref::<String>()
@@ -227,7 +283,7 @@ pub fn try_allocate(
                 }
             }
         }
-        out
+        slots.into_iter().map(|s| s.expect("every start chunk reported")).collect()
     } else {
         starts.into_iter().map(run_one).collect()
     };
@@ -327,7 +383,10 @@ pub fn equal_split_allocation(g: &Mdg, machine: Machine) -> AllocationResult {
 /// — and by convexity, global optimality.
 pub fn optimality_residual(obj: &MdgObjective<'_>, x: &[f64], sharp: Sharpness) -> f64 {
     let ub = obj.x_upper();
-    let (parts, grad_a, grad_c) = obj.eval_grad_parts(x, sharp);
+    let mut ws = workspace::acquire();
+    let SolverWorkspace { scratch, grad: grad_c, grad_a, .. } = &mut *ws;
+    let parts = obj.eval_grad_parts_with(x, sharp, scratch, grad_a, grad_c);
+    let (grad_a, grad_c) = (&*grad_a, &*grad_c);
     // Admissible multipliers: only active pieces may carry weight. A
     // piece is "active" within a small relative band of the max.
     let tol = 1e-6 * parts.phi.abs().max(f64::MIN_POSITIVE);
@@ -366,6 +425,11 @@ pub fn optimality_residual(obj: &MdgObjective<'_>, x: &[f64], sharp: Sharpness) 
 /// One projected-gradient descent stage at fixed sharpness. Returns the
 /// iteration count. `x` is updated in place and stays inside `[0, ub]^n`.
 /// Stops early (keeping the current iterate) once `budget` is exhausted.
+///
+/// Every buffer the loop touches — gradients, the trial iterate, and the
+/// objective's sweep scratch — lives in `ws`, so after the first
+/// iteration at a given graph size the loop performs zero heap
+/// allocations (asserted by the `alloc_free` integration test).
 #[allow(clippy::too_many_arguments)]
 fn descend(
     obj: &MdgObjective<'_>,
@@ -375,11 +439,17 @@ fn descend(
     rel_tol: f64,
     ub: f64,
     budget: &Budget,
+    ws: &mut SolverWorkspace,
 ) -> usize {
     let n = x.len();
     let mut step = 0.25;
     let mut iters = 0;
-    let (mut parts, mut grad) = obj.eval_grad(x, sharp);
+    // Disjoint borrows: the objective sweeps through `scratch` while the
+    // loop holds the gradient and trial buffers.
+    let SolverWorkspace { scratch, grad, grad_new, trial, .. } = ws;
+    trial.clear();
+    trial.resize(n, 0.0);
+    let mut parts = obj.eval_grad_with(x, sharp, scratch, grad);
     for _ in 0..max_iters {
         if budget.exhausted() {
             break;
@@ -388,16 +458,18 @@ fn descend(
         iters += 1;
         // Projected step with backtracking.
         let mut accepted = false;
-        let mut trial = vec![0.0; n];
         for _ in 0..40 {
             for j in 0..n {
                 trial[j] = (x[j] - step * grad[j]).clamp(0.0, ub);
             }
-            let f_new = obj.eval(&trial, sharp).phi;
+            let f_new = obj.eval_with(trial, sharp, scratch).phi;
             // Armijo on the projected step: require a decrease
             // proportional to g . (x - trial).
-            let decrease: f64 =
-                grad.iter().zip(x.iter().zip(&trial)).map(|(g, (xi, ti))| g * (xi - ti)).sum();
+            let decrease: f64 = grad
+                .iter()
+                .zip(x.iter().zip(trial.iter()))
+                .map(|(g, (xi, ti))| g * (xi - ti))
+                .sum();
             if f_new <= parts.phi - 1e-4 * decrease && f_new.is_finite() {
                 accepted = true;
                 break;
@@ -410,12 +482,12 @@ fn descend(
         if !accepted {
             break;
         }
-        let moved: f64 = x.iter().zip(&trial).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-        x.copy_from_slice(&trial);
-        let (new_parts, new_grad) = obj.eval_grad(x, sharp);
+        let moved: f64 = x.iter().zip(trial.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        x.copy_from_slice(trial);
+        let new_parts = obj.eval_grad_with(x, sharp, scratch, grad_new);
         let improve = parts.phi - new_parts.phi;
         parts = new_parts;
-        grad = new_grad;
+        std::mem::swap(grad, grad_new);
         step = (step * 1.8).min(4.0);
         if improve <= rel_tol * parts.phi.abs() && moved < 1e-12 {
             break;
@@ -425,6 +497,23 @@ fn descend(
         }
     }
     iters
+}
+
+/// Public single-stage descent entry point with no watchdog: runs
+/// [`descend`] at one fixed sharpness out of the caller's workspace.
+/// Used by the `bench-solve` harness (to time the inner loop and count
+/// allocations per iteration in isolation) and by the allocation-free
+/// integration test; the solver proper goes through [`try_allocate`].
+pub fn descend_stage(
+    obj: &MdgObjective<'_>,
+    x: &mut [f64],
+    sharp: Sharpness,
+    max_iters: usize,
+    rel_tol: f64,
+    ws: &mut SolverWorkspace,
+) -> usize {
+    let budget = Budget::new(None, None);
+    descend(obj, x, sharp, max_iters, rel_tol, obj.x_upper(), &budget, ws)
 }
 
 #[cfg(test)]

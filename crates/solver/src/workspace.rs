@@ -1,0 +1,214 @@
+//! Reusable solver scratch memory.
+//!
+//! Every hot entry point of the solver — the objective's forward/backward
+//! sweeps, the projected-gradient descent loop, coordinate descent's
+//! golden-section evaluations — works out of a [`SolverWorkspace`]: a set
+//! of preallocated buffers sized for one (MDG, machine) objective. After
+//! the first call at a given graph size ("warm-up"), no code path that
+//! holds a workspace performs any heap allocation per iteration; the
+//! `alloc_free` integration test asserts this with a counting allocator.
+//!
+//! The workspace splits into [`EvalScratch`] (the objective's sweep
+//! buffers) and the descent loop's own iterate/gradient buffers, so the
+//! loop can hand `&mut scratch` to the objective while holding mutable
+//! borrows of its gradient buffers — disjoint fields, disjoint borrows.
+//!
+//! Workspaces are checked out of a small global pool
+//! ([`acquire`]/[`PooledWorkspace`]) so long-lived callers — the serving
+//! layer's worker threads, the multistart solver's scoped threads —
+//! reuse warm buffers across solves instead of re-growing them. The pool
+//! is deliberately simple: a mutex-guarded free list capped at
+//! [`POOL_CAP`] entries; contention is one lock per *solve start*, not
+//! per iteration, so it never shows up in profiles.
+
+use crate::compiled::VarCache;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sweep buffers for one objective evaluation (forward value sweep,
+/// smax-weight tape, backward adjoint sweep, and the shared value stack
+/// that replaces per-node candidate `Vec`s).
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per-node finish times `y_v` of the forward `C_p` sweep.
+    pub(crate) y: Vec<f64>,
+    /// Per-node adjoints of the backward sweep (`∂Φ/∂y_v`).
+    pub(crate) adjoint: Vec<f64>,
+    /// Per-edge `smax` weight recorded by the forward sweep (the tape;
+    /// each edge is an in-edge of exactly one node, so edge id is a
+    /// collision-free index).
+    pub(crate) tape_w: Vec<f64>,
+    /// Shared value stack for expression `max` nodes and the per-node
+    /// candidate lists of the DAG recurrence.
+    pub(crate) stack: Vec<f64>,
+    /// Per-node `T_v` value of the forward sweep (finish time minus
+    /// start time), reused by the fused `A_p` backward pass.
+    pub(crate) t_val: Vec<f64>,
+    /// Per-op values of every compiled expression, recorded by the
+    /// forward sweep and replayed by `backprop` (offsets are owned by
+    /// the objective's tape layout).
+    pub(crate) tape_vals: Vec<f64>,
+    /// Per-`max` gradient weights of every compiled expression; same
+    /// lifecycle as `tape_vals`.
+    pub(crate) tape_wts: Vec<f64>,
+    /// Per-variable `exp(x_j)` caches filled once per smoothed
+    /// objective call (see [`VarCache`]).
+    pub(crate) var_cache: VarCache,
+}
+
+impl EvalScratch {
+    /// Resize the sweep buffers for a graph with `nodes` nodes and
+    /// `edges` edges and zero them. Capacity is retained, so repeated
+    /// calls at the same (or smaller) size allocate nothing.
+    pub(crate) fn ensure(&mut self, nodes: usize, edges: usize) {
+        fn fit(v: &mut Vec<f64>, len: usize) {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+        fit(&mut self.y, nodes);
+        fit(&mut self.adjoint, nodes);
+        fit(&mut self.tape_w, edges);
+        fit(&mut self.t_val, nodes);
+        // `stack` grows on demand and retains its high-water capacity.
+    }
+
+    /// Resize the expression tapes to an objective's total compiled
+    /// sizes. No zeroing: the forward sweep overwrites every slot it
+    /// later reads. Capacity is retained across calls.
+    pub(crate) fn ensure_tape(&mut self, vals: usize, wts: usize) {
+        self.tape_vals.resize(vals, 0.0);
+        self.tape_wts.resize(wts, 0.0);
+    }
+}
+
+/// Preallocated buffers for one solver thread: the objective's
+/// [`EvalScratch`] plus the descent loop's iterate and gradient buffers.
+///
+/// Construct one directly for a dedicated thread, or [`acquire`] a
+/// pooled one; pass it by `&mut` to the `*_with` entry points on
+/// [`crate::MdgObjective`] and to [`crate::descend_stage`].
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// Objective sweep buffers (public so callers holding their own
+    /// gradient vectors can use the `*_with` objective entry points).
+    pub scratch: EvalScratch,
+    /// Descent-loop gradient at the current iterate.
+    pub(crate) grad: Vec<f64>,
+    /// Descent-loop gradient at the accepted trial iterate.
+    pub(crate) grad_new: Vec<f64>,
+    /// Descent-loop trial iterate.
+    pub(crate) trial: Vec<f64>,
+    /// Dense gradient of `A_p` for the stationarity residual.
+    pub(crate) grad_a: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use and are then
+    /// retained across calls.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+}
+
+/// Upper bound on pooled idle workspaces; beyond this, released
+/// workspaces are simply dropped. Sized for a serving layer running a
+/// few dozen workers, not for unbounded retention.
+const POOL_CAP: usize = 64;
+
+static POOL: Mutex<Vec<SolverWorkspace>> = Mutex::new(Vec::new());
+static ACQUIRES: AtomicU64 = AtomicU64::new(0);
+static REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// A workspace checked out of the global pool; returned on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace {
+    ws: Option<SolverWorkspace>,
+}
+
+impl Deref for PooledWorkspace {
+    type Target = SolverWorkspace;
+    fn deref(&self) -> &SolverWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace {
+    fn deref_mut(&mut self) -> &mut SolverWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if pool.len() < POOL_CAP {
+                pool.push(ws);
+            }
+        }
+    }
+}
+
+/// Check a workspace out of the global pool (creating a cold one when
+/// the pool is empty). The warm buffers inside survive across acquire /
+/// release cycles, which is what makes repeat solves — e.g. the serving
+/// layer's workers answering cache misses — allocation-free after the
+/// first request at a given graph size.
+pub fn acquire() -> PooledWorkspace {
+    ACQUIRES.fetch_add(1, Ordering::Relaxed);
+    let ws = {
+        let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        pool.pop()
+    };
+    let ws = match ws {
+        Some(w) => {
+            REUSES.fetch_add(1, Ordering::Relaxed);
+            w
+        }
+        None => SolverWorkspace::new(),
+    };
+    PooledWorkspace { ws: Some(ws) }
+}
+
+/// Lifetime counters of the global pool: `(acquires, reuses)`. A reuse
+/// is an acquire satisfied by a previously released (warm) workspace.
+/// Exposed so the serving layer can report how often its workers hit
+/// warm buffers.
+pub fn pool_counters() -> (u64, u64) {
+    (ACQUIRES.load(Ordering::Relaxed), REUSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_workspaces() {
+        let (a0, _) = pool_counters();
+        {
+            let mut ws = acquire();
+            ws.scratch.ensure(8, 12);
+            assert_eq!(ws.scratch.y.len(), 8);
+            assert_eq!(ws.scratch.tape_w.len(), 12);
+        }
+        // The released workspace (or another thread's) comes back warm.
+        let ws = acquire();
+        let (a1, r1) = pool_counters();
+        assert!(a1 >= a0 + 2);
+        assert!(r1 >= 1, "second acquire should reuse a released workspace");
+        drop(ws);
+    }
+
+    #[test]
+    fn ensure_is_exact_and_idempotent() {
+        let mut s = EvalScratch::default();
+        s.ensure(5, 7);
+        s.adjoint[3] = 1.0;
+        s.ensure(5, 7);
+        assert_eq!(s.adjoint[3], 0.0, "ensure re-zeroes sweep buffers");
+        s.ensure(2, 3);
+        assert_eq!(s.y.len(), 2);
+        assert_eq!(s.tape_w.len(), 3);
+    }
+}

@@ -77,6 +77,77 @@ proptest! {
     }
 
     #[test]
+    fn reverse_gradient_matches_forward_reference(cfg in arb_cfg(), seed in 0u64..2000) {
+        // The production gradient is reverse-mode (adjoint); the retired
+        // forward-mode implementation is kept as an independently derived
+        // reference. Same chain rule, different accumulation order — they
+        // must agree to rounding (1e-9 relative) at every sharpness,
+        // including the exact max (identical first-argmax tie-breaking).
+        let g = random_layered_mdg(&cfg, seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(16));
+        let n = g.node_count();
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.25 * ((i * 11 % 7) as f64) / 7.0).collect();
+        for sharp in [Sharpness::Smooth(8.0), Sharpness::Smooth(256.0), Sharpness::Exact] {
+            let (p_r, g_r) = obj.eval_grad(&x, sharp);
+            let (p_f, g_f) = obj.eval_grad_forward(&x, sharp);
+            prop_assert!((p_r.phi - p_f.phi).abs() <= 1e-9 * p_f.phi.abs().max(1.0));
+            for j in 0..n {
+                prop_assert!(
+                    (g_r[j] - g_f[j]).abs() <= 1e-9 * (1.0 + g_f[j].abs()),
+                    "{sharp:?} var {j}: reverse {} vs forward {}", g_r[j], g_f[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_gradient_matches_finite_difference(cfg in arb_cfg(), seed in 0u64..2000) {
+        let g = random_layered_mdg(&cfg, seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(8));
+        let n = g.node_count();
+        // Generic interior point (irrational-ish offsets avoid sitting on
+        // a max kink by construction).
+        let x: Vec<f64> = (0..n).map(|i| 0.4 + 0.2 * ((i * 7 % 5) as f64) / 5.0 + 1e-3 * (i as f64).sin()).collect();
+        for sharp in [Sharpness::Smooth(4.0), Sharpness::Smooth(64.0)] {
+            let (_, grad) = obj.eval_grad(&x, sharp);
+            let h = 1e-6;
+            for j in 0..n {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[j] += h;
+                xm[j] -= h;
+                let fd = (obj.eval(&xp, sharp).phi - obj.eval(&xm, sharp).phi) / (2.0 * h);
+                prop_assert!(
+                    (grad[j] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "{sharp:?} var {j}: {} vs {}", grad[j], fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_parts_consistent_with_phi_gradient(cfg in arb_cfg(), seed in 0u64..2000) {
+        // eval_grad_parts returns ∇A_p and ∇C_p separately; recombining
+        // them with the Phi smax weights must reproduce eval_grad.
+        let g = random_layered_mdg(&cfg, seed);
+        let obj = MdgObjective::new(&g, Machine::cm5(16));
+        let n = g.node_count();
+        let x: Vec<f64> = (0..n).map(|i| 0.2 + 0.3 * ((i * 5 % 9) as f64) / 9.0).collect();
+        let sharp = Sharpness::Smooth(16.0);
+        let (parts, grad) = obj.eval_grad(&x, sharp);
+        let (parts2, ga, gc) = obj.eval_grad_parts(&x, sharp);
+        prop_assert!((parts.phi - parts2.phi).abs() <= 1e-12 * parts.phi.abs().max(1.0));
+        let (_, w) = paradigm_solver::expr::smax_weights(&[parts.a_p, parts.c_p], sharp);
+        for j in 0..n {
+            let combined = w[0] * ga[j] + w[1] * gc[j];
+            prop_assert!(
+                (grad[j] - combined).abs() <= 1e-9 * (1.0 + grad[j].abs()),
+                "var {j}: {} vs recombined {}", grad[j], combined
+            );
+        }
+    }
+
+    #[test]
     fn solver_feasible_and_finite(cfg in arb_cfg(), seed in 0u64..2000, pk in 1u32..=6) {
         let g = random_layered_mdg(&cfg, seed);
         let p = 1u32 << pk;
@@ -134,6 +205,37 @@ proptest! {
                 perturbed >= base * (1.0 - 5e-3),
                 "perturbation improved Phi: {base} -> {perturbed}"
             );
+        }
+    }
+}
+
+/// The same reverse-vs-forward gradient agreement on the named gallery
+/// workloads (deterministic, not property-sampled): the paper's Fig. 1
+/// example, complex matrix multiply, and Strassen.
+#[test]
+fn reverse_gradient_matches_forward_on_gallery_graphs() {
+    use paradigm_mdg::{complex_matmul_mdg, example_fig1_mdg, strassen_mdg, KernelCostTable};
+    let graphs = vec![
+        example_fig1_mdg(),
+        complex_matmul_mdg(64, &KernelCostTable::cm5()),
+        strassen_mdg(128, &KernelCostTable::cm5()),
+    ];
+    for g in &graphs {
+        let obj = MdgObjective::new(g, Machine::cm5(16));
+        let n = g.node_count();
+        let x: Vec<f64> = (0..n).map(|i| 0.5 + 0.3 * (i as f64 * 0.7).sin()).collect();
+        for sharp in [Sharpness::Smooth(8.0), Sharpness::Smooth(256.0), Sharpness::Exact] {
+            let (p_r, g_r) = obj.eval_grad(&x, sharp);
+            let (p_f, g_f) = obj.eval_grad_forward(&x, sharp);
+            assert!((p_r.phi - p_f.phi).abs() <= 1e-9 * p_f.phi.abs().max(1.0));
+            for j in 0..n {
+                assert!(
+                    (g_r[j] - g_f[j]).abs() <= 1e-9 * (1.0 + g_f[j].abs()),
+                    "{sharp:?} var {j}: reverse {} vs forward {}",
+                    g_r[j],
+                    g_f[j]
+                );
+            }
         }
     }
 }
