@@ -22,20 +22,34 @@
 //! failing sub-tree*: a tampered leaf coefficient is caught at that
 //! leaf, a tampered interior interval at that interior node.
 //!
-//! The document format is versioned (`"version": 1`); the checker
-//! rejects unknown versions with a typed error instead of failing on
-//! a shape mismatch deeper in.
+//! Version 2 documents additionally carry a `"memory"` section: the
+//! static resource analysis' per-node footprints, residency intervals,
+//! group-size floors, and the machine-level feasibility verdict
+//! ([`crate::resources`]). The checker re-validates the section with
+//! interval arithmetic alone — every interval, floor, aggregate and the
+//! verdict are recomputed from the claimed footprint components, and
+//! the components are cross-checked against the claimed total
+//! communication volume — so a tampered memory claim is caught without
+//! the graph, the solver, or a simulation.
+//!
+//! The document format is versioned (`"version": 2`); the checker
+//! accepts version 1 (which carries no memory claims) and rejects
+//! unknown versions with a typed error instead of failing on a shape
+//! mismatch deeper in.
 
 use std::fmt;
 
+use paradigm_mdg::dot::dot_escape;
 use paradigm_mdg::json::{parse, Json, JsonError};
 use paradigm_solver::expr::{Expr, Monomial};
 use paradigm_solver::MdgObjective;
 
 use crate::posynomial::{check_monomial, Certificate, ExprClass, ObjectiveCertificate, Rule};
+use crate::resources::{analyze_resources, ResourceAnalysis};
 
-/// The certificate document version this build emits and accepts.
-pub const CERT_VERSION: u64 = 1;
+/// The certificate document version this build emits. The checker
+/// accepts `1..=CERT_VERSION`.
+pub const CERT_VERSION: u64 = 2;
 
 /// Relative tolerance for comparing a claimed interval endpoint with
 /// its recomputed value. Emission and checking share the same
@@ -157,6 +171,44 @@ pub fn certificate_json(obj: &MdgObjective<'_>, oc: &ObjectiveCertificate) -> Js
         ("area".into(), tree_json(obj.area_expr(), &oc.area, procs).0),
         ("nodes".into(), Json::Arr(nodes)),
         ("edges".into(), Json::Arr(edges)),
+        ("memory".into(), memory_json(&analyze_resources(g, obj.machine()))),
+    ])
+}
+
+/// Render the static resource analysis as the certificate's `"memory"`
+/// section. Everything the checker needs to re-derive the intervals —
+/// the per-node footprint components — is embedded, so the section is
+/// self-validating. Also the JSON shape behind `analyze resources
+/// --json`.
+pub fn memory_json(ra: &ResourceAnalysis) -> Json {
+    let nodes = ra
+        .nodes
+        .iter()
+        .map(|n| {
+            Json::Obj(vec![
+                ("node".into(), Json::num(n.node.0 as f64)),
+                ("local_bytes".into(), Json::num(n.footprint.local_bytes as f64)),
+                ("in_bytes".into(), Json::num(n.footprint.in_bytes as f64)),
+                ("out_bytes".into(), Json::num(n.footprint.out_bytes as f64)),
+                ("interval".into(), interval_json(n.interval)),
+                (
+                    "min_group".into(),
+                    match n.min_group {
+                        Some(k) => Json::num(k as f64),
+                        None => Json::Null,
+                    },
+                ),
+                ("demand_bytes".into(), Json::num(n.demand_bytes as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("mem_bytes".into(), Json::num(ra.mem_bytes as f64)),
+        ("procs".into(), Json::num(ra.procs as f64)),
+        ("total_comm_bytes".into(), Json::num(ra.total_comm_bytes as f64)),
+        ("peak_interval".into(), interval_json(ra.peak_interval)),
+        ("feasible".into(), Json::Bool(ra.feasible)),
+        ("nodes".into(), Json::Arr(nodes)),
     ])
 }
 
@@ -219,6 +271,11 @@ pub enum CertDefect {
         /// What the checker counted.
         derived: f64,
     },
+    /// The `"memory"` section is malformed or internally inconsistent
+    /// (an interval, group floor, aggregate, or the feasibility verdict
+    /// disagrees with what interval arithmetic re-derives from the
+    /// claimed footprints).
+    Memory(String),
 }
 
 impl fmt::Display for CertDefect {
@@ -226,7 +283,10 @@ impl fmt::Display for CertDefect {
         match self {
             CertDefect::Document(m) => write!(f, "unusable document: {m}"),
             CertDefect::UnsupportedVersion(v) => {
-                write!(f, "unsupported certificate version {v} (this checker knows {CERT_VERSION})")
+                write!(
+                    f,
+                    "unsupported certificate version {v} (this checker knows 1..={CERT_VERSION})"
+                )
             }
             CertDefect::Shape(m) => write!(f, "malformed tree node: {m}"),
             CertDefect::Monomial(d) => write!(f, "monomial condition violated: {d}"),
@@ -241,6 +301,7 @@ impl fmt::Display for CertDefect {
             CertDefect::CountMismatch { field, claimed, derived } => {
                 write!(f, "claimed {field} count {claimed} but the document contains {derived}")
             }
+            CertDefect::Memory(m) => write!(f, "memory section inconsistent: {m}"),
         }
     }
 }
@@ -316,6 +377,9 @@ pub struct CertSummary {
     pub edge_trees: u64,
     /// Total monomial leaves across all trees.
     pub monomials: u64,
+    /// Number of re-validated memory residency claims; `None` for a
+    /// version-1 document (which carries no memory section).
+    pub memory_nodes: Option<u64>,
 }
 
 impl fmt::Display for CertSummary {
@@ -325,7 +389,11 @@ impl fmt::Display for CertSummary {
             "certificate OK: `{}` on {} processors -- {} node trees, {} edge trees, \
              {} monomial leaves, every class and interval re-derived",
             self.graph, self.procs, self.num_vars, self.edge_trees, self.monomials
-        )
+        )?;
+        match self.memory_nodes {
+            Some(n) => write!(f, "; {n} memory residency claims re-validated"),
+            None => write!(f, "; v1 document, no memory claims"),
+        }
     }
 }
 
@@ -479,10 +547,10 @@ pub fn check_certificate(doc: &Json) -> Result<CertSummary, CertFailure> {
     if !matches!(doc, Json::Obj(_)) {
         return Err(CertFailure::document("certificate is not a JSON object"));
     }
-    match doc.get("version") {
+    let version = match doc.get("version") {
         None => return Err(CertFailure::document("missing \"version\" field")),
         Some(v) => match v.as_u64() {
-            Some(n) if n == CERT_VERSION => {}
+            Some(n) if (1..=CERT_VERSION).contains(&n) => n,
             _ => {
                 let shown = v.as_f64().unwrap_or(f64::NAN);
                 return Err(CertFailure {
@@ -493,7 +561,7 @@ pub fn check_certificate(doc: &Json) -> Result<CertSummary, CertFailure> {
                 });
             }
         },
-    }
+    };
     let graph = doc
         .get("graph")
         .and_then(Json::as_str)
@@ -569,7 +637,170 @@ pub fn check_certificate(doc: &Json) -> Result<CertSummary, CertFailure> {
         });
     }
 
-    Ok(CertSummary { graph, procs, num_vars, edge_trees: edges.len() as u64, monomials: leaves })
+    // Version 2 adds the memory section; version 1 predates it (any
+    // stray "memory" member in a v1 document has no defined semantics
+    // and is ignored, like any other unknown member).
+    let memory_nodes = if version >= 2 {
+        let mem = doc
+            .get("memory")
+            .ok_or_else(|| CertFailure::document("missing \"memory\" section (version >= 2)"))?;
+        Some(check_memory(mem, procs)?)
+    } else {
+        None
+    };
+
+    Ok(CertSummary {
+        graph,
+        procs,
+        num_vars,
+        edge_trees: edges.len() as u64,
+        monomials: leaves,
+        memory_nodes,
+    })
+}
+
+/// Re-validate the `"memory"` section with interval arithmetic only.
+///
+/// Every claim is re-derived from the per-node footprint components
+/// (`local_bytes`, `in_bytes`, `out_bytes`, `demand_bytes`):
+///
+/// * each residency interval must equal `[total/procs, total]`;
+/// * each `min_group` must equal `ceil(total / mem_bytes)` (or null
+///   when even `procs` processors cannot hold the footprint);
+/// * `demand_bytes >= total` (the live set includes the working set);
+/// * the inbound and outbound footprint sums must each equal the
+///   claimed `total_comm_bytes` (every payload is received once and
+///   sent once);
+/// * `peak_interval` must equal
+///   `[max demand/procs, max (local+out) + total_comm]`;
+/// * `feasible` must equal "no demand exceeds `procs * mem_bytes`".
+///
+/// Returns the number of validated node claims.
+fn check_memory(mem: &Json, procs: u64) -> Result<u64, CertFailure> {
+    let fail = |msg: String| CertFailure {
+        part: None,
+        path: Vec::new(),
+        defect: CertDefect::Memory(msg),
+        subtree: Some(mem.clone()),
+    };
+    if !matches!(mem, Json::Obj(_)) {
+        return Err(fail("\"memory\" is not a JSON object".into()));
+    }
+    let num = |field: &str| {
+        mem.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail(format!("missing numeric field \"{field}\"")))
+    };
+    let mem_bytes = num("mem_bytes")?;
+    if mem_bytes == 0 {
+        return Err(fail("\"mem_bytes\" must be at least 1".into()));
+    }
+    let mprocs = num("procs")?;
+    if mprocs != procs {
+        return Err(fail(format!(
+            "memory section claims {mprocs} processors but the document claims {procs}"
+        )));
+    }
+    let total_comm = num("total_comm_bytes")?;
+    let peak = match mem.get("peak_interval").map(Json::as_arr) {
+        Some(Some([lo, hi])) => match (lo.as_f64(), hi.as_f64()) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => return Err(fail("\"peak_interval\" endpoints must be numbers".into())),
+        },
+        _ => return Err(fail("\"peak_interval\" must be a two-element array".into())),
+    };
+    let feasible = mem
+        .get("feasible")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| fail("missing boolean field \"feasible\"".into()))?;
+    let nodes = match mem.get("nodes").map(Json::as_arr) {
+        Some(Some(n)) => n,
+        _ => return Err(fail("\"nodes\" must be an array".into())),
+    };
+
+    let p = procs as f64;
+    let close = |a: f64, b: f64| (a - b).abs() <= INTERVAL_RTOL * a.abs().max(b.abs()).max(1.0);
+    let (mut in_sum, mut out_sum) = (0u64, 0u64);
+    let (mut max_self, mut max_demand) = (0u64, 0u64);
+    for (i, n) in nodes.iter().enumerate() {
+        let nnum = |field: &str| {
+            n.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail(format!("node claim {i} is missing numeric \"{field}\"")))
+        };
+        let local = nnum("local_bytes")?;
+        let inb = nnum("in_bytes")?;
+        let outb = nnum("out_bytes")?;
+        let demand = nnum("demand_bytes")?;
+        let total = local + inb + outb;
+        in_sum += inb;
+        out_sum += outb;
+        max_self = max_self.max(local + outb);
+        max_demand = max_demand.max(demand);
+
+        let claimed_iv = match n.get("interval").map(Json::as_arr) {
+            Some(Some([lo, hi])) => match (lo.as_f64(), hi.as_f64()) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => return Err(fail(format!("node claim {i}: interval endpoints not numbers"))),
+            },
+            _ => return Err(fail(format!("node claim {i}: \"interval\" must be a pair"))),
+        };
+        let derived_iv = (total as f64 / p, total as f64);
+        if !close(claimed_iv.0, derived_iv.0) || !close(claimed_iv.1, derived_iv.1) {
+            return Err(CertFailure {
+                part: None,
+                path: vec![i],
+                defect: CertDefect::IntervalMismatch { claimed: claimed_iv, derived: derived_iv },
+                subtree: Some(n.clone()),
+            });
+        }
+        let expected_group = total.div_ceil(mem_bytes).max(1);
+        let expected_group = if expected_group <= procs { Some(expected_group) } else { None };
+        let claimed_group = match n.get("min_group") {
+            Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| fail(format!("node claim {i}: \"min_group\" not a count")))?,
+            ),
+            None => return Err(fail(format!("node claim {i} is missing \"min_group\""))),
+        };
+        if claimed_group != expected_group {
+            return Err(fail(format!(
+                "node claim {i}: min_group {claimed_group:?} but footprint {total} over \
+                 {mem_bytes}-byte processors derives {expected_group:?}"
+            )));
+        }
+        if demand < total {
+            return Err(fail(format!(
+                "node claim {i}: demand {demand} is below its own working set {total}"
+            )));
+        }
+    }
+
+    if in_sum != total_comm || out_sum != total_comm {
+        return Err(fail(format!(
+            "claimed total_comm_bytes {total_comm} but node footprints sum to {in_sum} inbound \
+             / {out_sum} outbound"
+        )));
+    }
+    let derived_peak = (max_demand as f64 / p, max_self as f64 + total_comm as f64);
+    if !close(peak.0, derived_peak.0) || !close(peak.1, derived_peak.1) {
+        return Err(CertFailure {
+            part: None,
+            path: Vec::new(),
+            defect: CertDefect::IntervalMismatch { claimed: peak, derived: derived_peak },
+            subtree: Some(mem.clone()),
+        });
+    }
+    let derived_feasible = max_demand <= procs.saturating_mul(mem_bytes);
+    if feasible != derived_feasible {
+        return Err(fail(format!(
+            "claimed feasible={feasible} but the worst live set is {max_demand} bytes against \
+             {} machine bytes",
+            procs.saturating_mul(mem_bytes)
+        )));
+    }
+    Ok(nodes.len() as u64)
 }
 
 /// Parse certificate text and check it. A parse error is reported as
@@ -584,7 +815,7 @@ pub fn check_certificate_text(text: &str) -> Result<CertSummary, CertFailure> {
 /// digraph (roots: `A_p`, each `T_i`, each `t^D_e`).
 pub fn certificate_dot(graph: &str, oc: &ObjectiveCertificate) -> String {
     let mut out = String::new();
-    out.push_str(&format!("digraph \"{graph}-derivation\" {{\n"));
+    out.push_str(&format!("digraph \"{}-derivation\" {{\n", dot_escape(graph)));
     out.push_str("  rankdir=TB;\n  node [fontsize=10];\n");
     let mut counter = 0usize;
     let mut emit = |root_label: String, c: &Certificate, out: &mut String| {
@@ -640,6 +871,94 @@ mod tests {
         assert_eq!(summary.procs, 4);
         assert_eq!(summary.num_vars, 5);
         assert!(summary.monomials > 0);
+        // num_vars counts all 5 nodes (START/STOP included); residency
+        // claims cover only the 3 compute nodes.
+        assert_eq!(summary.memory_nodes, Some(3), "one residency claim per compute node");
+    }
+
+    #[test]
+    fn v1_document_without_memory_is_still_accepted() {
+        let mut doc = fig1_cert_json();
+        let Json::Obj(members) = &mut doc else { unreachable!() };
+        members.retain(|(k, _)| k != "memory");
+        members.iter_mut().find(|(k, _)| k == "version").unwrap().1 = Json::num(1.0);
+        let summary = check_certificate(&doc).expect("v1 documents carry no memory claims");
+        assert_eq!(summary.memory_nodes, None);
+        assert!(summary.to_string().contains("v1 document"));
+    }
+
+    #[test]
+    fn v2_document_without_memory_is_rejected() {
+        let mut doc = fig1_cert_json();
+        let Json::Obj(members) = &mut doc else { unreachable!() };
+        members.retain(|(k, _)| k != "memory");
+        let err = check_certificate(&doc).unwrap_err();
+        assert!(matches!(err.defect, CertDefect::Document(_)), "{err}");
+        assert!(err.to_string().contains("memory"), "{err}");
+    }
+
+    /// Fetch a mutable reference to the memory section.
+    fn memory_of(doc: &mut Json) -> &mut Json {
+        let Json::Obj(members) = doc else { unreachable!() };
+        &mut members.iter_mut().find(|(k, _)| k == "memory").unwrap().1
+    }
+
+    #[test]
+    fn tampered_memory_footprint_is_caught() {
+        let mut doc = fig1_cert_json();
+        {
+            let Json::Obj(mem) = memory_of(&mut doc) else { unreachable!() };
+            let nodes = &mut mem.iter_mut().find(|(k, _)| k == "nodes").unwrap().1;
+            let Json::Arr(nodes) = nodes else { unreachable!() };
+            let Json::Obj(node0) = &mut nodes[0] else { unreachable!() };
+            // Shrink a claimed inbound footprint: the residency interval
+            // no longer matches the components.
+            let inb = &mut node0.iter_mut().find(|(k, _)| k == "in_bytes").unwrap().1;
+            let Json::Num(v) = inb else { unreachable!() };
+            *v += 4096.0;
+        }
+        let err = check_certificate(&doc).unwrap_err();
+        assert!(
+            matches!(err.defect, CertDefect::IntervalMismatch { .. }),
+            "inflated footprint must break its own interval: {err}"
+        );
+        assert_eq!(err.path, vec![0], "failure names the tampered claim");
+    }
+
+    #[test]
+    fn tampered_feasibility_verdict_is_caught() {
+        let mut doc = fig1_cert_json();
+        {
+            let Json::Obj(mem) = memory_of(&mut doc) else { unreachable!() };
+            mem.iter_mut().find(|(k, _)| k == "feasible").unwrap().1 = Json::Bool(false);
+        }
+        let err = check_certificate(&doc).unwrap_err();
+        assert!(matches!(err.defect, CertDefect::Memory(_)), "{err}");
+        assert!(err.to_string().contains("feasible"), "{err}");
+    }
+
+    #[test]
+    fn tampered_comm_volume_is_caught() {
+        let mut doc = fig1_cert_json();
+        {
+            let Json::Obj(mem) = memory_of(&mut doc) else { unreachable!() };
+            let tc = &mut mem.iter_mut().find(|(k, _)| k == "total_comm_bytes").unwrap().1;
+            let Json::Num(v) = tc else { unreachable!() };
+            *v *= 2.0;
+        }
+        let err = check_certificate(&doc).unwrap_err();
+        assert!(matches!(err.defect, CertDefect::Memory(_)), "{err}");
+        assert!(err.to_string().contains("total_comm_bytes"), "{err}");
+    }
+
+    #[test]
+    fn memory_section_round_trips_through_text() {
+        let doc = fig1_cert_json();
+        let reparsed = parse(&doc.render()).expect("rendered certificate parses");
+        let a = check_certificate(&doc).expect("original verifies");
+        let b = check_certificate(&reparsed).expect("reparsed verifies");
+        assert_eq!(a, b);
+        assert!(a.memory_nodes.is_some());
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! * [`lint`] — **MDG lints**. Pluggable diagnostics over graph cost
 //!   metadata (degenerate Amdahl fractions, NaN weights, shape
 //!   mismatches, ...) with compiler-style rendering.
+//! * [`resources`] — **static resource analysis**. Sound interval bounds
+//!   on per-processor peak resident memory and total communication
+//!   volume, pre-schedule (over every allocation) and post-schedule
+//!   (sweep-line over the PSA schedule), plus the memory lints
+//!   (`memory-infeasible`, `oversubscribed-footprint`,
+//!   `missing-footprint`).
 //!
 //! The passes are pure functions over the existing data structures; they
 //! are wired into `paradigm front` lowering, `paradigm-core`'s compile
@@ -28,11 +34,12 @@ pub mod cert;
 pub mod diff;
 pub mod lint;
 pub mod posynomial;
+pub mod resources;
 pub mod schedule_check;
 
 pub use cert::{
-    certificate_dot, certificate_json, check_certificate, check_certificate_text, CertDefect,
-    CertFailure, CertPart, CertSummary, CERT_VERSION,
+    certificate_dot, certificate_json, check_certificate, check_certificate_text, memory_json,
+    CertDefect, CertFailure, CertPart, CertSummary, CERT_VERSION,
 };
 pub use diff::unified_diff;
 pub use lint::{
@@ -42,6 +49,11 @@ pub use lint::{
 pub use posynomial::{
     certify, certify_in, certify_objective, Certificate, Defect, ExprClass, NonPosynomial,
     ObjectiveCertificate, ObjectiveCounterexample, ObjectivePart, Rule,
+};
+pub use resources::{
+    analyze_resources, check_schedule_memory, memory_lint_set, MemoryInfeasible, MemorySweep,
+    MemoryViolation, MissingFootprint, NodeResidency, OversubscribedFootprint, ResourceAnalysis,
+    MEM_RTOL,
 };
 pub use schedule_check::{
     analyze_schedule, AuditClaims, AuditReport, AuditViolation, ScheduleAuditor, ScheduleReport,

@@ -630,27 +630,13 @@ impl Lint for LoopMetadata {
             if node.kind != NodeKind::Compute || (node.meta.rows > 0 && node.meta.cols > 0) {
                 continue;
             }
-            // Largest incident transfer, in bytes.
-            let mut best: u64 = 0;
-            for (_, e) in g.edges() {
-                if e.src == id.0 || e.dst == id.0 {
-                    for t in &e.transfers {
-                        best = best.max(t.bytes);
-                    }
-                }
-            }
-            let derived = if best > 0 && best.is_multiple_of(8) {
-                let elems = best / 8;
-                let n = (elems as f64).sqrt().round() as u64;
-                (n > 0 && n * n == elems).then_some(n as usize)
-            } else {
-                None
-            };
+            let derived = derive_square_dims(g, id);
             let fix = derived.map(|n| Fix::DeriveLoopDims { node: id, rows: n, cols: n });
             let hint = match derived {
                 Some(n) => format!(
-                    "its largest transfer moves {best} bytes = a {n}x{n} f64 matrix; \
-                     --fix fills the dims from it"
+                    "its largest transfer moves {} bytes = a {n}x{n} f64 matrix; \
+                     --fix fills the dims from it",
+                    (n * n * 8)
                 ),
                 None => "declare the loop dimensions via LoopMeta (compute_with_meta)".to_string(),
             };
@@ -667,6 +653,29 @@ impl Lint for LoopMetadata {
                 fix,
             });
         }
+    }
+}
+
+/// Derive square `n x n` loop dims for a node with placeholder metadata
+/// from the largest transfer incident to it, when that transfer moves a
+/// whole square f64 matrix (`bytes / 8 = n²`). Shared by `loop-metadata`
+/// and the resource analyzer's `missing-footprint` lint so both propose
+/// the same [`Fix::DeriveLoopDims`].
+pub fn derive_square_dims(g: &Mdg, id: NodeId) -> Option<usize> {
+    let mut best: u64 = 0;
+    for (_, e) in g.edges() {
+        if e.src == id.0 || e.dst == id.0 {
+            for t in &e.transfers {
+                best = best.max(t.bytes);
+            }
+        }
+    }
+    if best > 0 && best.is_multiple_of(8) {
+        let elems = best / 8;
+        let n = (elems as f64).sqrt().round() as u64;
+        (n > 0 && n * n == elems).then_some(n as usize)
+    } else {
+        None
     }
 }
 
@@ -1115,6 +1124,50 @@ mod tests {
         // The repaired graph must be error-free (zero-tau warning remains).
         let rediags = lint_mdg(&fixed);
         assert!(!has_errors(&rediags), "{}", render_diagnostics(&fixed, &rediags));
+    }
+
+    #[test]
+    fn autofixes_reach_a_fixed_point_in_one_application() {
+        // A graph exercising every fixable catalog lint at once:
+        // alpha > 1 (ClampAlpha), tau < 0 (ClampTau), a zero-byte
+        // transfer (DropEmptyTransfers), and two 0x0 nodes moving whole
+        // square matrices (DeriveLoopDims).
+        let mut b = MdgBuilder::new("dirty");
+        let a = b.compute_with_meta(
+            "a",
+            AmdahlParams { alpha: 1.5, tau: 1.0 },
+            LoopMeta::square(LoopClass::MatrixInit, 64),
+        );
+        let c = b.compute("c", AmdahlParams { alpha: 0.2, tau: -1.0 });
+        let d = b.compute("d", AmdahlParams::new(0.1, 1.0));
+        b.edge(
+            a,
+            c,
+            vec![ArrayTransfer::matrix_1d(64, 64), ArrayTransfer::new(0, TransferKind::OneD)],
+        );
+        b.edge(c, d, vec![ArrayTransfer::matrix_1d(64, 64)]);
+        let g = b.finish().unwrap();
+
+        let (fixed, applied) = apply_fixes(&g, &lint_mdg(&g));
+        assert!(applied.len() >= 3, "expected several fixes, got {applied:?}");
+
+        // One application reaches the fixed point: a second pass finds
+        // nothing to fix and changes nothing.
+        let (fixed2, applied2) = apply_fixes(&fixed, &lint_mdg(&fixed));
+        assert!(applied2.is_empty(), "second pass still wants {applied2:?}");
+        assert_eq!(
+            paradigm_mdg::to_text(&fixed),
+            paradigm_mdg::to_text(&fixed2),
+            "second application must be a no-op"
+        );
+
+        // And the fixed point survives the text round-trip — this is
+        // `--fix --write` twice producing an empty diff: the derived
+        // dims must serialize, or the reloaded file re-fires the lint.
+        let reloaded = paradigm_mdg::from_text(&paradigm_mdg::to_text(&fixed)).unwrap();
+        let (fixed3, applied3) = apply_fixes(&reloaded, &lint_mdg(&reloaded));
+        assert!(applied3.is_empty(), "text round-trip resurrects fixes: {applied3:?}");
+        assert_eq!(paradigm_mdg::to_text(&reloaded), paradigm_mdg::to_text(&fixed3));
     }
 
     #[test]

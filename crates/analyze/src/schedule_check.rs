@@ -400,6 +400,18 @@ pub enum AuditViolation {
         /// Nodes in the graph.
         graph: usize,
     },
+    /// A processor's resident set exceeds its memory capacity under the
+    /// even block-distribution model ([`crate::resources`]).
+    MemoryOverCapacity {
+        /// The offending processor.
+        proc: u32,
+        /// The instant the resident set first exceeded capacity.
+        at: f64,
+        /// Model resident bytes at that instant.
+        resident_bytes: f64,
+        /// The per-processor capacity.
+        capacity_bytes: u64,
+    },
     /// The reported `T_psa` differs from the schedule's makespan.
     MakespanClaimMismatch {
         /// The claimed `T_psa`.
@@ -436,6 +448,11 @@ impl fmt::Display for AuditViolation {
             AllocationShapeMismatch { alloc, graph } => {
                 write!(f, "allocation covers {alloc} nodes, graph has {graph}")
             }
+            MemoryOverCapacity { proc, at, resident_bytes, capacity_bytes } => write!(
+                f,
+                "processor {proc} holds {resident_bytes:.0} resident bytes at t = {at}, \
+                 capacity is {capacity_bytes}"
+            ),
             MakespanClaimMismatch { claimed, actual } => {
                 write!(f, "claimed T_psa {claimed} != schedule makespan {actual}")
             }
@@ -540,7 +557,11 @@ impl ScheduleAuditor {
         // not on `p` — only the capacity check below uses `p`, and that
         // still audits against the real machine.
         let eff_machine = if alloc.max() > f64::from(machine.procs) {
-            Machine { procs: alloc.max().ceil() as u32, xfer: machine.xfer }
+            Machine {
+                procs: alloc.max().ceil() as u32,
+                xfer: machine.xfer,
+                mem_bytes: machine.mem_bytes,
+            }
         } else {
             *machine
         };
@@ -580,6 +601,17 @@ impl ScheduleAuditor {
                 at: peak_at,
                 used: peak as usize,
                 available: machine.procs,
+            });
+        }
+
+        // Memory sweep: per-processor resident sets under the even
+        // block-distribution model must fit `machine.mem_bytes`.
+        for v in crate::resources::check_schedule_memory(g, machine, s).violations {
+            violations.push(AuditViolation::MemoryOverCapacity {
+                proc: v.proc,
+                at: v.at,
+                resident_bytes: v.resident_bytes,
+                capacity_bytes: v.capacity_bytes,
             });
         }
 
@@ -760,6 +792,46 @@ mod tests {
             assert!(rep.is_clean(), "{}", rep.render());
             assert!(rep.render().contains("audit: capacity and Phi claims consistent"));
         }
+    }
+
+    #[test]
+    fn auditor_flags_memory_over_capacity() {
+        // A 256x256 producer/consumer pair moves 512 KiB arrays; a
+        // machine with 64 KiB nodes cannot hold them however the tasks
+        // are spread over its 4 processors.
+        let mut b = MdgBuilder::new("mem-audit");
+        let a = b.compute_with_meta(
+            "a",
+            AmdahlParams::new(0.05, 1.0),
+            paradigm_mdg::LoopMeta::square(paradigm_mdg::LoopClass::MatrixInit, 256),
+        );
+        let c = b.compute_with_meta(
+            "c",
+            AmdahlParams::new(0.05, 1.0),
+            paradigm_mdg::LoopMeta::square(paradigm_mdg::LoopClass::MatrixAdd, 256),
+        );
+        b.edge(a, c, vec![ArrayTransfer::matrix_1d(256, 256)]);
+        let g = b.finish().unwrap();
+        let alloc = Allocation::uniform(&g, 2.0);
+        let big = Machine::cm5(4);
+        let res = psa_schedule(&g, big, &alloc, &PsaConfig::default());
+        let claims = fig1_claims(&res.schedule, FallbackTier::Primary);
+        let auditor = ScheduleAuditor::new();
+
+        // Plenty of memory: clean.
+        let rep = auditor.audit(&g, &big, &alloc, &res.schedule, &claims);
+        assert!(rep.is_clean(), "{}", rep.render());
+
+        // Starved machine: the same schedule is rejected for memory.
+        let tiny = Machine::cm5(4).with_mem_bytes(64 * 1024);
+        let rep = auditor.audit(&g, &tiny, &alloc, &res.schedule, &claims);
+        assert!(!rep.is_clean());
+        assert!(
+            rep.violations.iter().any(|v| matches!(v, AuditViolation::MemoryOverCapacity { .. })),
+            "{}",
+            rep.render()
+        );
+        assert!(rep.render().contains("resident bytes"), "{}", rep.render());
     }
 
     #[test]

@@ -91,6 +91,30 @@ pub enum Command {
         write: bool,
         /// Strict mode: warnings (not just errors) fail the run.
         strict: bool,
+        /// Per-processor memory capacity override in MiB (None = the
+        /// machine family's default).
+        mem_mb: Option<u64>,
+    },
+    /// `analyze resources [<file>] [-p N] [--machine <spec>]
+    /// [--mem-mb <n>] [--gallery] [--json] [-D]`: run the static
+    /// resource analyzer — sound per-processor memory and communication
+    /// bounds with no simulation and no solver. Exits 0 when every
+    /// graph provably fits, 1 on findings.
+    AnalyzeResources {
+        /// MDG file path; `None` requires `--gallery`.
+        file: Option<String>,
+        /// Machine size the bounds are computed for.
+        procs: u32,
+        /// Machine spec (`cm5`, `mesh`, `paragon`, `sp1`).
+        machine: String,
+        /// Per-processor memory capacity override in MiB.
+        mem_mb: Option<u64>,
+        /// Analyze every built-in gallery graph instead of a file.
+        gallery: bool,
+        /// Emit one JSON line per graph instead of the human report.
+        json: bool,
+        /// Strict mode: warnings (not just errors) fail the run.
+        strict: bool,
     },
     /// `analyze check-cert <cert.json>`: independently re-validate a
     /// `--cert-json` certificate with interval arithmetic — no solver
@@ -184,9 +208,11 @@ USAGE:
   paradigm build <file.mini>
   paradigm transform <file> [--fuse] [--reduce]
   paradigm demo <fig1|cmm|strassen>
-  paradigm analyze <file.mdg> [-p <procs>] [--machine <cm5|mesh|paragon|sp1>] [--cert] [--cert-json]
-                              [--dot] [--fix [--write]] [-D]
+  paradigm analyze <file.mdg> [-p <procs>] [--machine <cm5|mesh|paragon|sp1>] [--mem-mb <n>]
+                              [--cert] [--cert-json] [--dot] [--fix [--write]] [-D]
   paradigm analyze --gallery [-p <procs>] [--machine <spec>]
+  paradigm analyze resources <file.mdg|--gallery> [-p <procs>] [--machine <spec>] [--mem-mb <n>]
+                             [--json] [-D]
   paradigm analyze check-cert <cert.json>
   paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
                  [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>]
@@ -228,6 +254,14 @@ fn parse_machine(v: &str) -> Result<String, UsageError> {
             paradigm_core::MACHINE_SPECS.join(", ")
         )))
     }
+}
+
+fn parse_mem_mb(v: &str) -> Result<u64, UsageError> {
+    let n: u64 = v.parse().map_err(|_| UsageError(format!("bad memory size `{v}`")))?;
+    if n == 0 {
+        return Err(UsageError("--mem-mb must be positive".into()));
+    }
+    Ok(n)
 }
 
 /// Parse a `usize` flag value; `zero_ok` allows 0 (e.g. `--workers 0` =
@@ -287,16 +321,50 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             }
             Command::CheckCert { file: file.to_string() }
         }
+        "analyze" if rest.first() == Some(&"resources") => {
+            let mut it = rest[1..].iter().copied();
+            let mut file = None;
+            let mut procs = 16u32;
+            let mut machine = "cm5".to_string();
+            let mut mem_mb = None;
+            let (mut gallery, mut json, mut strict) = (false, false, false);
+            while let Some(tok) = it.next() {
+                match tok {
+                    "-p" | "--procs" => procs = parse_procs(take_value(tok, &mut it)?)?,
+                    "--machine" => machine = parse_machine(take_value(tok, &mut it)?)?,
+                    "--mem-mb" => mem_mb = Some(parse_mem_mb(take_value(tok, &mut it)?)?),
+                    "--gallery" => gallery = true,
+                    "--json" => json = true,
+                    "-D" | "--deny-warnings" => strict = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(UsageError(format!("unknown flag `{flag}`")))
+                    }
+                    path => {
+                        if file.replace(path.to_string()).is_some() {
+                            return Err(UsageError(
+                                "analyze resources takes at most one file".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            if file.is_none() && !gallery {
+                return Err(UsageError("analyze resources needs a file or --gallery".into()));
+            }
+            Command::AnalyzeResources { file, procs, machine, mem_mb, gallery, json, strict }
+        }
         "analyze" => {
             let mut file = None;
             let mut procs = 16u32;
             let mut machine = "cm5".to_string();
+            let mut mem_mb = None;
             let (mut gallery, mut cert, mut cert_json) = (false, false, false);
             let (mut dot, mut fix, mut write, mut strict) = (false, false, false, false);
             while let Some(tok) = it.next() {
                 match tok {
                     "-p" | "--procs" => procs = parse_procs(take_value(tok, &mut it)?)?,
                     "--machine" => machine = parse_machine(take_value(tok, &mut it)?)?,
+                    "--mem-mb" => mem_mb = Some(parse_mem_mb(take_value(tok, &mut it)?)?),
                     "--gallery" => gallery = true,
                     "--cert" => cert = true,
                     "--cert-json" => cert_json = true,
@@ -334,6 +402,7 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                 fix,
                 write,
                 strict,
+                mem_mb,
             }
         }
         "serve" => {
@@ -548,6 +617,7 @@ mod tests {
                 fix: false,
                 write: false,
                 strict: false,
+                mem_mb: None,
             }
         );
         let p = parse_args(&["analyze", "--gallery"]).unwrap();
@@ -564,6 +634,7 @@ mod tests {
                 fix: false,
                 write: false,
                 strict: false,
+                mem_mb: None,
             }
         );
         assert!(parse_args(&["analyze"]).is_err(), "needs a file or --gallery");
@@ -587,6 +658,7 @@ mod tests {
                 fix: false,
                 write: false,
                 strict: false,
+                mem_mb: None,
             }
         );
         assert!(parse_args(&["analyze", "--gallery", "--machine", "vax"]).is_err());
@@ -715,6 +787,49 @@ mod tests {
             parse_args(&["analyze", "--gallery", "--fix", "--write"]).is_err(),
             "--write needs a file"
         );
+    }
+
+    #[test]
+    fn analyze_resources_subcommand_parses() {
+        let p = parse_args(&["analyze", "resources", "g.mdg", "-p", "8", "--mem-mb", "4"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::AnalyzeResources {
+                file: Some("g.mdg".into()),
+                procs: 8,
+                machine: "cm5".into(),
+                mem_mb: Some(4),
+                gallery: false,
+                json: false,
+                strict: false,
+            }
+        );
+        let p = parse_args(&["analyze", "resources", "--gallery", "--machine", "sp1", "--json"])
+            .unwrap();
+        assert_eq!(
+            p.command,
+            Command::AnalyzeResources {
+                file: None,
+                procs: 16,
+                machine: "sp1".into(),
+                mem_mb: None,
+                gallery: true,
+                json: true,
+                strict: false,
+            }
+        );
+        assert!(parse_args(&["analyze", "resources"]).is_err(), "needs a file or --gallery");
+        assert!(parse_args(&["analyze", "resources", "a.mdg", "b.mdg"]).is_err());
+        assert!(parse_args(&["analyze", "resources", "g.mdg", "--mem-mb", "0"]).is_err());
+        assert!(parse_args(&["analyze", "resources", "g.mdg", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn analyze_mem_mb_override_parses() {
+        let p = parse_args(&["analyze", "g.mdg", "--mem-mb", "64"]).unwrap();
+        let Command::Analyze { mem_mb, .. } = p.command else { panic!("not analyze") };
+        assert_eq!(mem_mb, Some(64));
+        assert!(parse_args(&["analyze", "g.mdg", "--mem-mb", "none"]).is_err());
     }
 
     #[test]

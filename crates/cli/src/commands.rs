@@ -4,8 +4,9 @@
 
 use crate::args::{Command, USAGE};
 use paradigm_analyze::{
-    analyze_schedule, apply_fixes, certificate_dot, certificate_json, certify_objective,
-    check_certificate_text, has_errors, lint_mdg, render_diagnostics, unified_diff,
+    analyze_resources, analyze_schedule, apply_fixes, certificate_dot, certificate_json,
+    certify_objective, check_certificate_text, has_errors, lint_mdg, memory_json, memory_lint_set,
+    render_diagnostics, unified_diff,
 };
 use paradigm_core::calibrate::{calibrate, CalibrationConfig};
 use paradigm_core::report::render_calibration;
@@ -232,9 +233,13 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             fix,
             write,
             strict,
+            mem_mb,
         } => {
-            let machine = machine_from_spec(machine, *procs)
+            let mut machine = machine_from_spec(machine, *procs)
                 .unwrap_or_else(|| unreachable!("validated by the parser: {machine}"));
+            if let Some(mb) = mem_mb {
+                machine = machine.with_mem_bytes(mb * 1024 * 1024);
+            }
             let opts = AnalyzeOpts {
                 cert: *cert,
                 cert_json: *cert_json,
@@ -254,6 +259,42 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             for (g, path) in &graphs {
                 let write_to = write.then(|| path.as_deref()).flatten();
                 failed |= analyze_graph(g, machine, &opts, write_to, &mut out)?;
+            }
+            Ok(CmdOutput { text: out, failed })
+        }
+        Command::AnalyzeResources { file, procs, machine, mem_mb, gallery, json, strict } => {
+            let mut machine = machine_from_spec(machine, *procs)
+                .unwrap_or_else(|| unreachable!("validated by the parser: {machine}"));
+            if let Some(mb) = mem_mb {
+                machine = machine.with_mem_bytes(mb * 1024 * 1024);
+            }
+            let mut graphs = Vec::new();
+            if let Some(f) = file {
+                graphs.push(load(f)?);
+            }
+            if *gallery {
+                graphs.extend(gallery_graphs());
+            }
+            let mut out = String::new();
+            let mut failed = false;
+            for g in &graphs {
+                let ra = analyze_resources(g, &machine);
+                let diags = memory_lint_set(&machine).run(g);
+                failed |= !ra.feasible || has_errors(&diags) || (*strict && !diags.is_empty());
+                if *json {
+                    let paradigm_mdg::json::Json::Obj(mut fields) = memory_json(&ra) else {
+                        unreachable!("memory_json emits an object")
+                    };
+                    fields.insert(0, ("graph".into(), paradigm_mdg::json::Json::str(g.name())));
+                    out.push_str(&paradigm_mdg::json::Json::Obj(fields).render());
+                    out.push('\n');
+                } else {
+                    out.push_str(&ra.render());
+                    if !diags.is_empty() {
+                        out.push_str(&render_diagnostics(g, &diags));
+                    }
+                    out.push('\n');
+                }
             }
             Ok(CmdOutput { text: out, failed })
         }
@@ -542,6 +583,7 @@ mod tests {
             fix: false,
             write: false,
             strict: true,
+            mem_mb: None,
         })
         .unwrap();
         assert!(!res.failed, "gallery must be clean even under -D");
@@ -598,7 +640,7 @@ mod tests {
         let out = run(&parsed.command).unwrap().text;
         let json_line = out.lines().find(|l| l.starts_with('{')).expect("cert-json line");
         let doc = paradigm_serve::parse_json(json_line).expect("valid JSON");
-        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
 
         // Round trip: the emitted certificate passes check-cert clean.
         let cert_path =
@@ -610,7 +652,7 @@ mod tests {
         assert!(res.text.contains("certificate OK"), "{}", res.text);
 
         // A tampered version is refuted with exit-code-1 semantics.
-        std::fs::write(&cert_path, json_line.replace("\"version\":1", "\"version\":99")).unwrap();
+        std::fs::write(&cert_path, json_line.replace("\"version\":2", "\"version\":99")).unwrap();
         let res = run(&Command::CheckCert { file: cp }).unwrap();
         assert!(res.failed);
         assert!(res.text.contains("REJECTED"), "{}", res.text);
@@ -646,6 +688,77 @@ mod tests {
         let parsed = parse_args(&["analyze", &p, "-p", "4", "-D"]).unwrap();
         let res = run(&parsed.command).unwrap();
         assert!(!res.failed, "repaired graph must be clean: {}", res.text);
+        // Idempotency: a second `--fix --write` finds nothing to fix and
+        // leaves the file byte-identical (empty diff).
+        let before = std::fs::read_to_string(&p).unwrap();
+        let parsed = parse_args(&["analyze", &p, "-p", "4", "--fix", "--write"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(res.text.contains("fix: nothing to fix"), "{}", res.text);
+        assert_eq!(
+            before,
+            std::fs::read_to_string(&p).unwrap(),
+            "second --fix --write must be a no-op"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_resources_human_and_json_reports() {
+        let path = tmp_mdg();
+        let parsed = parse_args(&["analyze", "resources", &path, "-p", "4"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(!res.failed, "{}", res.text);
+        assert!(res.text.contains("resource analysis:"), "{}", res.text);
+        assert!(res.text.contains("verdict: feasible"), "{}", res.text);
+        let parsed = parse_args(&["analyze", "resources", &path, "--json"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        let doc = paradigm_serve::parse_json(res.text.lines().next().unwrap()).unwrap();
+        assert_eq!(doc.get("graph").and_then(Json::as_str), Some("fig1-example"));
+        assert_eq!(doc.get("feasible").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("peak_interval").is_some());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_resources_gallery_is_feasible_even_strict() {
+        let parsed = parse_args(&["analyze", "resources", "--gallery", "-p", "16", "-D"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(!res.failed, "{}", res.text);
+        assert_eq!(res.text.matches("resource analysis:").count(), 7, "{}", res.text);
+        assert!(!res.text.contains("INFEASIBLE"), "{}", res.text);
+    }
+
+    #[test]
+    fn analyze_resources_rejects_an_oversized_graph() {
+        use paradigm_mdg::{AmdahlParams, ArrayTransfer, LoopClass, LoopMeta, MdgBuilder};
+        let mut b = MdgBuilder::new("huge");
+        let a = b.compute_with_meta(
+            "a",
+            AmdahlParams::new(0.1, 1.0),
+            LoopMeta::square(LoopClass::MatrixInit, 1024),
+        );
+        let c = b.compute_with_meta(
+            "c",
+            AmdahlParams::new(0.1, 1.0),
+            LoopMeta::square(LoopClass::MatrixAdd, 1024),
+        );
+        b.edge(a, c, vec![ArrayTransfer::matrix_1d(1024, 1024)]);
+        let g = b.finish().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("paradigm-cli-huge-{}.mdg", std::process::id()));
+        std::fs::write(&path, to_text(&g)).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        // An 8 MiB working set per node cannot fit 4 processors with
+        // 1 MiB each; the analyzer proves it and the lint names it.
+        let parsed = parse_args(&["analyze", "resources", &p, "-p", "4", "--mem-mb", "1"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(res.failed, "{}", res.text);
+        assert!(res.text.contains("INFEASIBLE"), "{}", res.text);
+        assert!(res.text.contains("memory-infeasible"), "{}", res.text);
+        // The same graph fits the default cm5 memory.
+        let parsed = parse_args(&["analyze", "resources", &p, "-p", "4"]).unwrap();
+        let res = run(&parsed.command).unwrap();
+        assert!(!res.failed, "{}", res.text);
         let _ = std::fs::remove_file(path);
     }
 

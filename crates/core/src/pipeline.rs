@@ -231,6 +231,7 @@ pub fn solve_fingerprint(g: &Mdg, spec: &SolveSpec) -> u128 {
     h.write_f64(spec.machine.xfer.t_sr);
     h.write_f64(spec.machine.xfer.t_pr);
     h.write_f64(spec.machine.xfer.t_n);
+    h.write_u64(spec.machine.mem_bytes);
     h.write_u64(match spec.policy {
         SchedPolicy::LowestEst => 1,
         SchedPolicy::HighestLevelFirst => 2,

@@ -30,7 +30,7 @@ pub mod transfer;
 pub mod weights;
 
 pub use estimate::StaticMachineModel;
-pub use machine::{Machine, TransferParams};
+pub use machine::{Machine, TransferParams, DEFAULT_MEM_BYTES};
 pub use processing::{processing_area, processing_cost};
 pub use transfer::{network_cost, recv_cost, send_cost, transfer_components, TransferCost};
 pub use weights::{Allocation, MdgWeights, PhiBreakdown};

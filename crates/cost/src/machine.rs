@@ -68,6 +68,10 @@ impl TransferParams {
     }
 }
 
+/// Default per-processor memory capacity when no family-specific value
+/// applies: 32 MiB, the CM-5 node size.
+pub const DEFAULT_MEM_BYTES: u64 = 32 * 1024 * 1024;
+
 /// A target multicomputer: processor count plus transfer constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Machine {
@@ -75,10 +79,14 @@ pub struct Machine {
     pub procs: u32,
     /// Message cost constants.
     pub xfer: TransferParams,
+    /// Per-processor memory capacity in bytes. Family constructors set
+    /// era-plausible node sizes; override with [`Machine::with_mem_bytes`].
+    pub mem_bytes: u64,
 }
 
 impl Machine {
-    /// Construct, validating the parameters.
+    /// Construct, validating the parameters. Memory defaults to
+    /// [`DEFAULT_MEM_BYTES`] per processor.
     ///
     /// # Panics
     /// Panics if `procs == 0` or a transfer parameter is invalid.
@@ -87,7 +95,18 @@ impl Machine {
         if let Err(e) = xfer.validate() {
             panic!("invalid machine: {e}");
         }
-        Machine { procs, xfer }
+        Machine { procs, xfer, mem_bytes: DEFAULT_MEM_BYTES }
+    }
+
+    /// Override the per-processor memory capacity.
+    ///
+    /// # Panics
+    /// Panics if `mem_bytes == 0` — a processor with no memory cannot
+    /// hold even the empty resident set.
+    pub fn with_mem_bytes(mut self, mem_bytes: u64) -> Self {
+        assert!(mem_bytes > 0, "per-processor memory capacity must be positive");
+        self.mem_bytes = mem_bytes;
+        self
     }
 
     /// The paper's testbed: a 64-node Thinking Machines CM-5.
@@ -96,14 +115,16 @@ impl Machine {
     }
 
     /// The CM-5 cost constants at an arbitrary system size (the paper
-    /// also evaluates 16- and 32-processor configurations).
+    /// also evaluates 16- and 32-processor configurations). CM-5 nodes
+    /// shipped with 32 MB of local memory.
     pub fn cm5(procs: u32) -> Self {
-        Machine::new(procs, TransferParams::cm5())
+        Machine::new(procs, TransferParams::cm5()).with_mem_bytes(32 * 1024 * 1024)
     }
 
-    /// Synthetic mesh machine with non-zero network delay.
+    /// Synthetic mesh machine with non-zero network delay and small
+    /// (16 MiB) nodes, so memory-pressure paths get exercised in tests.
     pub fn synthetic_mesh(procs: u32) -> Self {
-        Machine::new(procs, TransferParams::synthetic_mesh())
+        Machine::new(procs, TransferParams::synthetic_mesh()).with_mem_bytes(16 * 1024 * 1024)
     }
 
     /// Illustrative Intel Paragon-class constants (the other 1994-era
@@ -122,6 +143,7 @@ impl Machine {
                 t_n: 40.0e-9,
             },
         )
+        .with_mem_bytes(32 * 1024 * 1024)
     }
 
     /// Illustrative IBM SP-1-class constants (the third machine named in
@@ -138,6 +160,7 @@ impl Machine {
                 t_n: 25.0e-9,
             },
         )
+        .with_mem_bytes(64 * 1024 * 1024)
     }
 
     /// Largest power of two that is `<= procs`. The rounding step of the
@@ -195,6 +218,22 @@ mod tests {
     #[test]
     fn synthetic_mesh_has_network_term() {
         assert!(TransferParams::synthetic_mesh().t_n > 0.0);
+    }
+
+    #[test]
+    fn memory_defaults_per_family() {
+        assert_eq!(Machine::cm5(64).mem_bytes, 32 * 1024 * 1024);
+        assert_eq!(Machine::synthetic_mesh(8).mem_bytes, 16 * 1024 * 1024);
+        assert_eq!(Machine::intel_paragon(8).mem_bytes, 32 * 1024 * 1024);
+        assert_eq!(Machine::ibm_sp1(8).mem_bytes, 64 * 1024 * 1024);
+        assert_eq!(Machine::new(4, TransferParams::cm5()).mem_bytes, DEFAULT_MEM_BYTES);
+        assert_eq!(Machine::cm5(4).with_mem_bytes(1024).mem_bytes, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory capacity")]
+    fn zero_memory_rejected() {
+        let _ = Machine::cm5(4).with_mem_bytes(0);
     }
 
     #[test]

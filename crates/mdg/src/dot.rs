@@ -7,20 +7,44 @@ use crate::graph::Mdg;
 use crate::node::NodeKind;
 use std::fmt::Write as _;
 
+/// Escape a string for use inside a double-quoted DOT id or label:
+/// backslashes and quotes are backslash-escaped, and literal newlines
+/// become DOT's `\n` line breaks (front-end generated names can contain
+/// both, which would otherwise produce invalid DOT).
+pub fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render the MDG in Graphviz DOT syntax. Node labels carry the loop name
 /// and its Amdahl parameters; edge labels carry the transfer volume.
 pub fn to_dot(g: &Mdg) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(out, "digraph \"{}\" {{", dot_escape(g.name()));
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for (id, n) in g.nodes() {
         let (shape, label) = match n.kind {
             NodeKind::Start => ("ellipse", "START".to_string()),
             NodeKind::Stop => ("ellipse", "STOP".to_string()),
-            NodeKind::Compute => {
-                ("box", format!("{}\\n(alpha={:.3}, tau={:.4}s)", n.name, n.cost.alpha, n.cost.tau))
-            }
+            NodeKind::Compute => (
+                "box",
+                format!(
+                    "{}\\n(alpha={:.3}, tau={:.4}s)",
+                    dot_escape(&n.name),
+                    n.cost.alpha,
+                    n.cost.tau
+                ),
+            ),
         };
         let _ = writeln!(out, "  {} [shape={shape}, label=\"{label}\"];", id.0);
     }
@@ -103,6 +127,32 @@ mod tests {
         let g = small();
         let dot = to_dot(&g);
         assert!(dot.contains("style=dashed"), "START/STOP wiring edges should be dashed");
+    }
+
+    #[test]
+    fn hostile_names_are_escaped() {
+        let mut b = MdgBuilder::new("evil \"graph\"\nname");
+        let x = b.compute("say \"hi\"\nback\\slash", AmdahlParams::new(0.1, 1.0));
+        let y = b.compute("ok", AmdahlParams::new(0.1, 1.0));
+        b.edge(x, y, vec![]);
+        let g = b.finish().unwrap();
+        let dot = to_dot(&g);
+        // Every double quote inside an id/label is escaped: strip the
+        // escaped forms and no stray quote may remain inside a label.
+        assert!(dot.contains("digraph \"evil \\\"graph\\\"\\nname\""));
+        assert!(dot.contains("say \\\"hi\\\"\\nback\\\\slash\\n(alpha="));
+        // Balanced quotes per line (escaped ones excluded) — a literal
+        // newline or stray quote in a label would break this.
+        for line in dot.lines() {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "").matches('"').count();
+            assert_eq!(unescaped % 2, 0, "unbalanced quotes in {line:?}");
+        }
+    }
+
+    #[test]
+    fn plain_names_pass_through_unchanged() {
+        assert_eq!(dot_escape("M1 = Ar*Br"), "M1 = Ar*Br");
+        assert_eq!(dot_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -61,7 +61,19 @@ pub fn to_text(g: &Mdg) -> String {
                 LoopClass::MatrixInit => Some("init"),
                 LoopClass::MatrixAdd => Some("add"),
                 LoopClass::MatrixMultiply => Some("mul"),
-                LoopClass::Custom(_) => None,
+                // Custom classes serialize too when they carry real
+                // dimensions (e.g. derived by a lint autofix) and the tag
+                // survives tokenization — otherwise `--fix --write` would
+                // silently drop the derived extents on the next load.
+                LoopClass::Custom(s) => {
+                    let clean = !s.is_empty()
+                        && !s.contains(|c: char| c.is_whitespace() || c == '"' || c == '#');
+                    if clean && node.meta.rows > 0 && node.meta.cols > 0 {
+                        Some(s.as_str())
+                    } else {
+                        None
+                    }
+                }
             };
             if let Some(tag) = class_tag {
                 let _ =

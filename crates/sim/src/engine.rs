@@ -41,6 +41,13 @@ pub struct SimResult {
     /// Per-task processor-time spent in the three phases
     /// `(receive, compute, send)`, summed over the task's processors.
     pub task_phase_times: Vec<(f64, f64, f64)>,
+    /// Peak resident bytes observed on each processor: the even share of
+    /// the active task's kernel array, plus every message payload held
+    /// (outbound from compute start until the message leaves, inbound
+    /// from arrival until the consuming task finishes). This is the
+    /// concrete measurement the static analyzer's per-processor upper
+    /// bound must dominate.
+    pub proc_peak_bytes: Vec<f64>,
 }
 
 impl SimResult {
@@ -51,6 +58,11 @@ impl SimResult {
         }
         let busy: f64 = self.proc_busy.iter().sum();
         busy / (self.proc_busy.len() as f64 * self.makespan)
+    }
+
+    /// Largest resident set any processor held at any instant.
+    pub fn peak_resident_bytes(&self) -> f64 {
+        self.proc_peak_bytes.iter().copied().fold(0.0, f64::max)
     }
 }
 
@@ -99,6 +111,9 @@ pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
     let mut messages_sent = 0usize;
     let mut local_copies = 0usize;
     let mut task_phase_times = vec![(0.0_f64, 0.0_f64, 0.0_f64); nt];
+    // Residency events `(proc, time, ±bytes)` for the per-processor
+    // resident-set sweep at the end.
+    let mut residency: Vec<(usize, f64, f64)> = Vec::new();
 
     for &t in &order {
         let task = &prog.tasks[t];
@@ -108,6 +123,10 @@ pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
         }
         // Phase 1: receive, per processor, in availability order.
         let mut recv_done = Vec::with_capacity(task.procs.len());
+        // Each processor's involvement begins here; the task's share of
+        // its kernel array is resident from now until its own sends end.
+        let involvement_start: Vec<f64> =
+            task.procs.iter().map(|&pid| clock[pid as usize]).collect();
         for &pid in &task.procs {
             let mut msgs: Vec<usize> =
                 inbound[t].iter().copied().filter(|&k| prog.messages[k].dst_proc == pid).collect();
@@ -148,8 +167,16 @@ pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
             task_phase_times[t].1 += comp;
         }
         // Phase 3: send, per processor, in program order of consumers.
+        // Every payload is resident on its source processor from compute
+        // start until the message has left (its availability instant).
+        let local_share = match &task.compute {
+            ComputeSpec::Kernel { rows, cols, .. } => {
+                (*rows as f64) * (*cols as f64) * 8.0 / q as f64
+            }
+            _ => 0.0,
+        };
         let mut finish = end_compute;
-        for &pid in &task.procs {
+        for (i, &pid) in task.procs.iter().enumerate() {
             let mut now = end_compute;
             for &k in &outbound[t] {
                 let m = &prog.messages[k];
@@ -167,14 +194,33 @@ pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
                     task_phase_times[t].2 += cost;
                     avail[k] = now + truth.net_delay(m.bytes);
                 }
+                if avail[k] > start {
+                    residency.push((pid as usize, start, m.bytes as f64));
+                    residency.push((pid as usize, avail[k], -(m.bytes as f64)));
+                }
             }
             clock[pid as usize] = now;
             finish = finish.max(now);
+            if local_share > 0.0 && now > involvement_start[i] {
+                residency.push((pid as usize, involvement_start[i], local_share));
+                residency.push((pid as usize, now, -local_share));
+            }
         }
         task_finish[t] = finish;
+        // Inbound payloads stay resident on their destination processor
+        // from arrival until the consuming task is done with them.
+        for &k in &inbound[t] {
+            let m = &prog.messages[k];
+            if finish > avail[k] {
+                residency.push((m.dst_proc as usize, avail[k], m.bytes as f64));
+                residency.push((m.dst_proc as usize, finish, -(m.bytes as f64)));
+            }
+        }
     }
 
     let makespan = clock.iter().copied().fold(0.0_f64, f64::max);
+    let proc_peak_bytes = sweep_residency(np, residency);
+
     SimResult {
         makespan,
         task_start,
@@ -183,7 +229,31 @@ pub fn simulate(prog: &TaskProgram, truth: &TrueMachine) -> SimResult {
         messages_sent,
         local_copies,
         task_phase_times,
+        proc_peak_bytes,
     }
+}
+
+/// Per-processor resident-set sweep over `(proc, time, ±bytes)` events;
+/// releases sort before acquisitions at equal times so back-to-back
+/// intervals do not double-count. Shared by both engines so their peak
+/// accounting agrees to the bit.
+pub(crate) fn sweep_residency(np: usize, events: Vec<(usize, f64, f64)>) -> Vec<f64> {
+    let mut per_proc: Vec<Vec<(f64, f64)>> = vec![Vec::new(); np];
+    for (p, t, d) in events {
+        per_proc[p].push((t, d));
+    }
+    let mut peaks = vec![0.0_f64; np];
+    for (p, evs) in per_proc.iter_mut().enumerate() {
+        evs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut resident = 0.0_f64;
+        for &(_, d) in evs.iter() {
+            resident += d;
+            if resident > peaks[p] {
+                peaks[p] = resident;
+            }
+        }
+    }
+    peaks
 }
 
 #[cfg(test)]
@@ -351,6 +421,29 @@ mod tests {
             mpmd.makespan,
             spmd.makespan
         );
+    }
+
+    #[test]
+    fn resident_set_accounting_tracks_kernel_arrays_and_messages() {
+        let g = complex_matmul_mdg(64, &KernelCostTable::cm5());
+        let m = Machine::cm5(16);
+        let res = psa_schedule(&g, m, &Allocation::uniform(&g, 4.0), &PsaConfig::default());
+        let r = simulate(&lower_mpmd(&g, &res.schedule), &TrueMachine::cm5(16));
+        assert_eq!(r.proc_peak_bytes.len(), 16);
+        // Every 64x64 kernel task holds at least its share of one 32 KiB
+        // array on each of its 4 processors.
+        assert!(r.peak_resident_bytes() >= 32768.0 / 4.0, "{}", r.peak_resident_bytes());
+        // And nothing can exceed all arrays + all payloads at once.
+        let all_bytes: u64 = paradigm_mdg::total_comm_bytes(&g)
+            + g.nodes().map(|(_, n)| n.meta.rows as u64 * n.meta.cols as u64 * 8).sum::<u64>();
+        assert!(r.peak_resident_bytes() <= all_bytes as f64);
+    }
+
+    #[test]
+    fn empty_program_has_zero_resident_peak() {
+        let prog = TaskProgram { procs: 2, tasks: vec![], messages: vec![] };
+        let r = simulate(&prog, &TrueMachine::ideal(2));
+        assert_eq!(r.peak_resident_bytes(), 0.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! which protects the timing bookkeeping of both implementations (the
 //! same trick as the coordinate-descent cross-check in the solver).
 
-use crate::engine::SimResult;
+use crate::engine::{sweep_residency, SimResult};
 use crate::program::{ComputeSpec, TaskProgram};
 use crate::truth::TrueMachine;
 
@@ -79,6 +79,13 @@ pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResu
     let mut messages_sent = 0usize;
     let mut local_copies = 0usize;
     let mut task_phase_times = vec![(0.0_f64, 0.0_f64, 0.0_f64); nt];
+    // Per task, per rank: [involvement start, involvement end] — the
+    // window in which the rank's share of the kernel array is resident.
+    // Message residency is reconstructed after the event loop from
+    // `task_start` / `task_finish` / `avail`, which this engine records
+    // with exactly the sweep engine's values.
+    let mut involvement: Vec<Vec<(f64, f64)>> =
+        prog.tasks.iter().map(|t| vec![(0.0_f64, 0.0_f64); t.procs.len()]).collect();
 
     let mut remaining: usize = streams.iter().map(Vec::len).sum();
     while remaining > 0 {
@@ -92,6 +99,12 @@ pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResu
                     if msgs.iter().any(|&k| avail[k].is_none()) {
                         continue;
                     }
+                    let rank = prog.tasks[t_id]
+                        .procs
+                        .iter()
+                        .position(|&x| x as usize == pid)
+                        .expect("pid belongs to the task");
+                    involvement[t_id][rank].0 = clock[pid];
                     let mut sorted = msgs.clone();
                     sorted.sort_by(|&a, &b| {
                         avail[a]
@@ -185,6 +198,12 @@ pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResu
                     }
                     clock[pid] = now;
                     task_finish[t] = task_finish[t].max(now).max(end_compute);
+                    let rank = prog.tasks[t]
+                        .procs
+                        .iter()
+                        .position(|&x| x as usize == pid)
+                        .expect("pid belongs to the task");
+                    involvement[t][rank].1 = now;
                     pc[pid] += 1;
                     remaining -= 1;
                     progressed = true;
@@ -195,6 +214,47 @@ pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResu
     }
 
     let makespan = clock.iter().copied().fold(0.0_f64, f64::max);
+
+    // Resident-set events, reconstructed with the sweep engine's exact
+    // semantics: each rank's kernel-array share over its involvement
+    // window, every payload on the source from compute start until it
+    // has left, and on the destination from arrival until the consumer
+    // finishes.
+    let mut residency: Vec<(usize, f64, f64)> = Vec::new();
+    for (t, task) in prog.tasks.iter().enumerate() {
+        let q = task.procs.len();
+        if q == 0 {
+            continue;
+        }
+        let local_share = match &task.compute {
+            ComputeSpec::Kernel { rows, cols, .. } => {
+                (*rows as f64) * (*cols as f64) * 8.0 / q as f64
+            }
+            _ => 0.0,
+        };
+        for (i, &pid) in task.procs.iter().enumerate() {
+            let (s, e) = involvement[t][i];
+            if local_share > 0.0 && e > s {
+                residency.push((pid as usize, s, local_share));
+                residency.push((pid as usize, e, -local_share));
+            }
+        }
+    }
+    for (k, m) in prog.messages.iter().enumerate() {
+        let a = avail[k].expect("all messages sent");
+        let start = task_start[m.from_task];
+        if a > start {
+            residency.push((m.src_proc as usize, start, m.bytes as f64));
+            residency.push((m.src_proc as usize, a, -(m.bytes as f64)));
+        }
+        let finish = task_finish[m.to_task];
+        if finish > a {
+            residency.push((m.dst_proc as usize, a, m.bytes as f64));
+            residency.push((m.dst_proc as usize, finish, -(m.bytes as f64)));
+        }
+    }
+    let proc_peak_bytes = sweep_residency(np, residency);
+
     SimResult {
         makespan,
         task_start,
@@ -203,6 +263,7 @@ pub fn simulate_event_driven(prog: &TaskProgram, truth: &TrueMachine) -> SimResu
         messages_sent,
         local_copies,
         task_phase_times,
+        proc_peak_bytes,
     }
 }
 
@@ -229,6 +290,12 @@ mod tests {
         }
         for (i, (x, y)) in a.task_start.iter().zip(&b.task_start).enumerate() {
             assert!((x - y).abs() < 1e-12, "task {i} start differs: {x} vs {y}");
+        }
+        for (p, (x, y)) in a.proc_peak_bytes.iter().zip(&b.proc_peak_bytes).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.max(*y)),
+                "proc {p} resident peak differs: {x} vs {y}"
+            );
         }
     }
 
