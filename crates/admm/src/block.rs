@@ -1,0 +1,510 @@
+//! Block subproblems: self-contained sub-MDGs whose objective, restricted
+//! to one partition block, reproduces the *global* `Phi` exactly at the
+//! consensus point.
+//!
+//! The paper's objective `Phi = max(A_p, C_p)` is not block-separable:
+//! `C_p` is a longest path through the whole DAG and `A_p` sums every
+//! node. Rather than teaching the solver's objective about boundary
+//! context, each block is encoded as an ordinary MDG that the unmodified
+//! [`MdgObjective`] machinery can solve:
+//!
+//! * **home nodes** keep their exact costs and *all* their global edges
+//!   (every edge incident to a home node is included);
+//! * **ghost nodes** (opposite endpoints of cut edges) join the sub-MDG
+//!   with their cost raised by a frozen correction `corr_g >= 0` — the
+//!   transfer terms of their excluded edges evaluated at the consensus
+//!   point — folded into `(alpha, tau)` so that `T'(q) = T(q) + corr_g`
+//!   for every `q`;
+//! * **entry virtuals** `ENT@v` (`alpha = 1`, `tau = ent_v`): a
+//!   constant-cost predecessor modelling the latest frozen finish time
+//!   `max(y_m + t^D)` over in-edges the sub-MDG does not contain;
+//! * **exit virtuals** `EXT@v` (`alpha = 1`, `tau = exit_v`): a
+//!   constant-cost successor modelling the longest frozen path from `v`'s
+//!   finish to STOP through out-edges the sub-MDG does not contain;
+//! * **the bypass virtual** `CB`: an isolated constant node carrying the
+//!   longest START->STOP path that avoids the block entirely, so the
+//!   sub-MDG's critical path can never dip below the rest of the
+//!   program's.
+//!
+//! `alpha = 1` makes a virtual node's processing cost independent of its
+//! (pinned) processor count, so the virtuals contribute exact constants
+//! to `C_p` and a constant to `A_p` that the block's `area_off` cancels.
+//! At the consensus point the block model evaluates to the global `Phi`
+//! bit-for-nearly-bit (`block_model_is_exact_at_consensus` pins this),
+//! which is what makes the ADMM outer loop honest: blocks descend a local
+//! model that is a faithful restriction of the true objective.
+
+use paradigm_cost::Machine;
+use paradigm_mdg::{AmdahlParams, Mdg, MdgBuilder, NodeId, TransferKind};
+use paradigm_solver::expr::{smax_pair_weights, Sharpness};
+use paradigm_solver::{MdgObjective, SolverWorkspace};
+
+use crate::partition::Partition;
+
+/// Exact per-node / per-edge sweep values of the global objective at one
+/// point — everything the block builder needs to freeze boundary context.
+#[derive(Debug, Clone)]
+pub struct GlobalSweeps {
+    /// `T_v(x)` per node (exact, true-max).
+    pub t: Vec<f64>,
+    /// `t^D_e(x)` per edge.
+    pub d: Vec<f64>,
+    /// Earliest finish times `y_v(x)` (the paper's forward recurrence).
+    pub y: Vec<f64>,
+    /// Longest remaining path `down_v(x) = T_v + max(0, max_e (t^D_e +
+    /// down_dst))` from the *start* of `v` to STOP.
+    pub down: Vec<f64>,
+    /// Exact `A_p(x)`.
+    pub a_p: f64,
+    /// Exact `C_p(x) = y_STOP`.
+    pub c_p: f64,
+}
+
+impl GlobalSweeps {
+    /// Exact `Phi(x) = max(A_p, C_p)`.
+    pub fn phi(&self) -> f64 {
+        self.a_p.max(self.c_p)
+    }
+}
+
+/// Run the exact forward/backward sweeps of `obj` at `x`.
+pub fn global_sweeps(obj: &MdgObjective<'_>, x: &[f64]) -> GlobalSweeps {
+    let g = obj.graph();
+    let t: Vec<f64> =
+        g.nodes().map(|(id, _)| obj.node_expr(id).eval(x, Sharpness::Exact)).collect();
+    let d: Vec<f64> =
+        g.edges().map(|(id, _)| obj.edge_expr(id).eval(x, Sharpness::Exact)).collect();
+    let y = g.finish_times_with(|v| t[v.0], |e| d[e.0]);
+    let mut down = vec![0.0_f64; g.node_count()];
+    for &v in g.topo_order().iter().rev() {
+        let mut tail = 0.0_f64;
+        for &e in g.out_edges(v) {
+            let w = g.edge(e).dst;
+            tail = tail.max(d[e.0] + down[w]);
+        }
+        down[v.0] = t[v.0] + tail;
+    }
+    let inv_p = 1.0 / obj.machine().procs as f64;
+    let a_p = inv_p * g.nodes().map(|(id, _)| t[id.0] * x[id.0].exp()).sum::<f64>();
+    let c_p = y[g.stop().0];
+    GlobalSweeps { t, d, y, down, a_p, c_p }
+}
+
+/// Inner (per-block) solver knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerConfig {
+    /// Smoothed-max sharpness stages, ascending.
+    pub stages: Vec<f64>,
+    /// Gradient iterations per smoothed stage.
+    pub iters_per_stage: usize,
+    /// Iterations of the final exact-max polish stage.
+    pub exact_iters: usize,
+    /// Relative improvement stopping tolerance per stage.
+    pub rel_tol: f64,
+}
+
+impl Default for InnerConfig {
+    fn default() -> Self {
+        InnerConfig {
+            stages: vec![8.0, 32.0, 128.0],
+            iters_per_stage: 40,
+            exact_iters: 20,
+            rel_tol: 1e-9,
+        }
+    }
+}
+
+/// One proximal (consensus) term of a block subproblem:
+/// `(rho/2) * (x[sub] - target)^2` with `target = z_v - u_v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsensusTerm {
+    /// Variable index in the *sub-MDG*'s node space.
+    pub sub: usize,
+    /// Proximal target `z - u`.
+    pub target: f64,
+}
+
+/// A self-contained block subproblem. Everything a worker needs — local
+/// or remote — to run the x-update; solving it is a pure function of
+/// this value, which is what makes in-process and TCP workers agree
+/// bitwise and the whole solve deterministic across thread counts.
+#[derive(Debug, Clone)]
+pub struct BlockJob {
+    /// The block's sub-MDG (home + ghost + virtual nodes).
+    pub graph: Mdg,
+    /// The full machine (processor count and transfer constants are the
+    /// global ones; `A_p`'s `1/p` must match the global scaling).
+    pub machine: Machine,
+    /// Constant added to the sub-MDG's `A_p` so the block's area model
+    /// equals the global `A_p` at the consensus point.
+    pub area_off: f64,
+    /// Current ADMM penalty weight.
+    pub rho: f64,
+    /// Start iterate in sub-MDG node space (virtuals and START/STOP 0).
+    pub x0: Vec<f64>,
+    /// Sub-MDG indices of the free variables (home + ghost nodes);
+    /// everything else stays pinned at `x0`.
+    pub free: Vec<usize>,
+    /// Proximal terms for the block's consensus variables.
+    pub cons: Vec<ConsensusTerm>,
+    /// Inner solver configuration.
+    pub inner: InnerConfig,
+}
+
+/// Result of one block x-update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSolution {
+    /// Final iterate in sub-MDG node space.
+    pub x: Vec<f64>,
+    /// Inner gradient iterations spent.
+    pub iters: usize,
+    /// Final block-model `Phi` (smoothed-exact, without the penalty).
+    pub phi_model: f64,
+}
+
+/// Index maps the coordinator keeps per block (never shipped to workers).
+#[derive(Debug, Clone)]
+pub struct BlockMaps {
+    /// Sub-MDG node id per global node id (`usize::MAX` when the global
+    /// node is not in this block's sub-MDG).
+    pub sub_of: Vec<usize>,
+    /// Global consensus node per entry of `BlockJob::cons` (same order).
+    pub cons_global: Vec<NodeId>,
+}
+
+/// Frozen transfer cost a single excluded edge contributes to one
+/// endpoint's `T`, replicating the objective's per-edge terms (see
+/// `MdgObjective::new`) at fixed processor counts. `sender` picks the
+/// `t^S` (source) or `t^R` (destination) side; `p_self` / `p_other` are
+/// the endpoint processor counts at the consensus point.
+fn frozen_edge_cost(
+    machine: &Machine,
+    transfers: &[paradigm_mdg::ArrayTransfer],
+    sender: bool,
+    p_self: f64,
+    p_other: f64,
+) -> f64 {
+    let x = &machine.xfer;
+    let mut acc = 0.0;
+    for t in transfers {
+        let l = t.bytes as f64;
+        acc += match (t.kind, sender) {
+            (TransferKind::OneD, true) => {
+                (x.t_ss).max(x.t_ss * p_other / p_self) + l * x.t_ps / p_self
+            }
+            (TransferKind::OneD, false) => {
+                (x.t_sr).max(x.t_sr * p_other / p_self) + l * x.t_pr / p_self
+            }
+            (TransferKind::TwoD, true) => x.t_ss * p_other + l * x.t_ps / p_self,
+            (TransferKind::TwoD, false) => x.t_sr * p_other + l * x.t_pr / p_self,
+        };
+    }
+    acc
+}
+
+/// Fold a non-negative constant into Amdahl parameters so the adjusted
+/// cost satisfies `T'(q) = T(q) + corr` for *every* `q`: the serial part
+/// absorbs the constant (`alpha' tau' = alpha tau + corr`) while the
+/// parallel part is preserved (`(1 - alpha') tau' = (1 - alpha) tau`).
+fn fold_constant(cost: AmdahlParams, corr: f64) -> AmdahlParams {
+    if corr <= 0.0 {
+        return cost;
+    }
+    let tau = cost.tau + corr;
+    let alpha = ((cost.alpha * cost.tau + corr) / tau).clamp(0.0, 1.0);
+    AmdahlParams::new(alpha, tau)
+}
+
+/// Build block `b`'s subproblem at the consensus point `x` (a full
+/// global-node-indexed vector; boundary entries are the current `z`).
+/// `dual` maps this block's consensus nodes to their scaled duals `u`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_block_problem(
+    g: &Mdg,
+    machine: &Machine,
+    part: &Partition,
+    b: usize,
+    sw: &GlobalSweeps,
+    x: &[f64],
+    dual: &std::collections::BTreeMap<NodeId, f64>,
+    rho: f64,
+    inner: &InnerConfig,
+) -> (BlockJob, BlockMaps) {
+    let n = g.node_count();
+    let mut in_sub = vec![false; n];
+    let mut is_home = vec![false; n];
+    for &v in &part.members[b] {
+        in_sub[v.0] = true;
+        is_home[v.0] = true;
+    }
+    // Ghosts: opposite endpoints of this block's cut edges.
+    for &e in &part.cut_edges {
+        let edge = g.edge(e);
+        if part.block_of[edge.src] == b {
+            in_sub[edge.dst] = true;
+        } else if part.block_of[edge.dst] == b {
+            in_sub[edge.src] = true;
+        }
+    }
+    let real: Vec<NodeId> = (0..n).filter(|&i| in_sub[i]).map(NodeId).collect();
+
+    // An edge belongs to the sub-MDG iff it touches a home node (both
+    // endpoints are then in the sub by construction). Ghost-ghost and
+    // ghost-outside edges are frozen into ent/exit/corr instead.
+    let included =
+        |src: usize, dst: usize| in_sub[src] && in_sub[dst] && (is_home[src] || is_home[dst]);
+
+    // Frozen entry/exit offsets and ghost corrections.
+    let mut ent = vec![0.0_f64; n];
+    let mut exit = vec![0.0_f64; n];
+    let mut corr = vec![0.0_f64; n];
+    for &v in &real {
+        let p_self = x[v.0].exp();
+        for &e in g.in_edges(v) {
+            let edge = g.edge(e);
+            if g.node(NodeId(edge.src)).is_structural() || included(edge.src, edge.dst) {
+                continue;
+            }
+            ent[v.0] = ent[v.0].max(sw.y[edge.src] + sw.d[e.0]);
+            corr[v.0] +=
+                frozen_edge_cost(machine, &edge.transfers, false, p_self, x[edge.src].exp());
+        }
+        for &e in g.out_edges(v) {
+            let edge = g.edge(e);
+            if g.node(NodeId(edge.dst)).is_structural() || included(edge.src, edge.dst) {
+                continue;
+            }
+            exit[v.0] = exit[v.0].max(sw.d[e.0] + sw.down[edge.dst]);
+            corr[v.0] +=
+                frozen_edge_cost(machine, &edge.transfers, true, p_self, x[edge.dst].exp());
+        }
+    }
+
+    // Bypass: longest START->STOP path through nodes outside the sub.
+    let mut y_out = vec![0.0_f64; n];
+    for &v in g.topo_order() {
+        if in_sub[v.0] {
+            continue;
+        }
+        let mut start = 0.0_f64;
+        for &e in g.in_edges(v) {
+            let edge = g.edge(e);
+            if !in_sub[edge.src] {
+                start = start.max(y_out[edge.src] + sw.d[e.0]);
+            }
+        }
+        y_out[v.0] = start + sw.t[v.0];
+    }
+    let c_base = y_out[g.stop().0];
+
+    // Assemble the sub-MDG: real nodes in ascending global id, then the
+    // virtuals. Builder ids shift by +1 in the finished graph.
+    let mut bld = MdgBuilder::new(format!("{}::block{}", g.name(), b));
+    let mut sub_of = vec![usize::MAX; n];
+    for &v in &real {
+        let node = g.node(v);
+        let cost = if is_home[v.0] { node.cost } else { fold_constant(node.cost, corr[v.0]) };
+        let bid = bld.compute_with_meta(node.name.clone(), cost, node.meta.clone());
+        sub_of[v.0] = bid.0 + 1;
+    }
+    let mut virt_tau = 0.0_f64; // total constant area the virtuals add
+    for (_, edge) in g.edges() {
+        if included(edge.src, edge.dst) {
+            bld.edge(
+                NodeId(sub_of[edge.src] - 1),
+                NodeId(sub_of[edge.dst] - 1),
+                edge.transfers.clone(),
+            );
+        }
+    }
+    for &v in &real {
+        if ent[v.0] > 0.0 {
+            let evid = bld.compute(format!("ENT@{}", v.0), AmdahlParams::new(1.0, ent[v.0]));
+            bld.edge(evid, NodeId(sub_of[v.0] - 1), Vec::new());
+            virt_tau += ent[v.0];
+        }
+        if exit[v.0] > 0.0 {
+            let xvid = bld.compute(format!("EXT@{}", v.0), AmdahlParams::new(1.0, exit[v.0]));
+            bld.edge(NodeId(sub_of[v.0] - 1), xvid, Vec::new());
+            virt_tau += exit[v.0];
+        }
+    }
+    if c_base > 0.0 {
+        bld.compute("CB", AmdahlParams::new(1.0, c_base));
+        virt_tau += c_base;
+    }
+    let sub_g = bld.finish().expect("block sub-MDG construction cannot fail");
+
+    // Area offset: the sub model's A_p at x0 is (1/p)(sum of real-node
+    // global T * p + virtual taus at p = 1); the offset restores the
+    // global A_p. Ghost corrections make adjusted real T equal global T
+    // at the consensus point, so global sweep values suffice here.
+    let inv_p = 1.0 / machine.procs as f64;
+    let a_sub0 = inv_p * (real.iter().map(|&v| sw.t[v.0] * x[v.0].exp()).sum::<f64>() + virt_tau);
+    let area_off = sw.a_p - a_sub0;
+
+    // Start iterate, free set, consensus terms.
+    let mut x0 = vec![0.0_f64; sub_g.node_count()];
+    let mut free = Vec::with_capacity(real.len());
+    let mut cons = Vec::new();
+    let mut cons_global = Vec::new();
+    for &v in &real {
+        let si = sub_of[v.0];
+        x0[si] = x[v.0];
+        free.push(si);
+        if part.is_boundary(v) {
+            let u = dual.get(&v).copied().unwrap_or(0.0);
+            cons.push(ConsensusTerm { sub: si, target: x[v.0] - u });
+            cons_global.push(v);
+        }
+    }
+
+    (
+        BlockJob {
+            graph: sub_g,
+            machine: *machine,
+            area_off,
+            rho,
+            x0,
+            free,
+            cons,
+            inner: inner.clone(),
+        },
+        BlockMaps { sub_of, cons_global },
+    )
+}
+
+/// Solve one block subproblem: projected gradient with Armijo
+/// backtracking on `smax(area_off + A_p, C_p) + (rho/2) sum (x_i -
+/// target_i)^2` over the box `[0, ln p]`, moving only the free
+/// variables. A pure function of `job` — no randomness, no
+/// time-dependence — so every backend produces the identical result.
+pub fn solve_block_job(job: &BlockJob, ws: &mut SolverWorkspace) -> Result<BlockSolution, String> {
+    let obj = MdgObjective::try_new(&job.graph, job.machine)?;
+    let n = obj.num_vars();
+    let ub = obj.x_upper();
+    let mut is_free = vec![false; n];
+    for &i in &job.free {
+        if i >= n {
+            return Err(format!("free index {i} out of range for {n} sub variables"));
+        }
+        is_free[i] = true;
+    }
+    for c in &job.cons {
+        if c.sub >= n {
+            return Err(format!("consensus index {} out of range", c.sub));
+        }
+        if !c.target.is_finite() {
+            return Err(format!("non-finite consensus target for sub variable {}", c.sub));
+        }
+    }
+    if !(job.rho.is_finite() && job.rho >= 0.0) {
+        return Err(format!("invalid rho {}", job.rho));
+    }
+    let mut x: Vec<f64> = job.x0.clone();
+    if x.len() != n {
+        return Err(format!("x0 length {} != {} sub variables", x.len(), n));
+    }
+    for (i, xi) in x.iter_mut().enumerate() {
+        if is_free[i] {
+            *xi = xi.clamp(0.0, ub);
+        }
+    }
+
+    let mut grad_a = Vec::new();
+    let mut grad_c = Vec::new();
+    let mut grad = vec![0.0_f64; n];
+    let mut trial = vec![0.0_f64; n];
+    let mut iters = 0usize;
+    let mut phi_model = f64::INFINITY;
+
+    // Penalized objective value + gradient at `x`.
+    let eval_grad = |x: &[f64],
+                     sharp: Sharpness,
+                     grad: &mut [f64],
+                     grad_a: &mut Vec<f64>,
+                     grad_c: &mut Vec<f64>,
+                     ws: &mut SolverWorkspace|
+     -> (f64, f64) {
+        let parts = obj.eval_grad_parts_with(x, sharp, &mut ws.scratch, grad_a, grad_c);
+        let a = (job.area_off + parts.a_p).max(0.0);
+        let (phi, wa, wc) = smax_pair_weights(a, parts.c_p, sharp);
+        let mut f = phi;
+        for j in 0..grad.len() {
+            grad[j] = if is_free[j] { wa * grad_a[j] + wc * grad_c[j] } else { 0.0 };
+        }
+        for c in &job.cons {
+            let diff = x[c.sub] - c.target;
+            f += 0.5 * job.rho * diff * diff;
+            grad[c.sub] += job.rho * diff;
+        }
+        (f, phi)
+    };
+    // Penalized objective value only (line-search probes).
+    let eval_val = |x: &[f64], sharp: Sharpness, ws: &mut SolverWorkspace| -> f64 {
+        let parts = obj.eval_with(x, sharp, &mut ws.scratch);
+        let a = (job.area_off + parts.a_p).max(0.0);
+        let (phi, _, _) = smax_pair_weights(a, parts.c_p, sharp);
+        let mut f = phi;
+        for c in &job.cons {
+            let diff = x[c.sub] - c.target;
+            f += 0.5 * job.rho * diff * diff;
+        }
+        f
+    };
+
+    let mut stages: Vec<(Sharpness, usize)> = job
+        .inner
+        .stages
+        .iter()
+        .map(|&s| (Sharpness::Smooth(s), job.inner.iters_per_stage))
+        .collect();
+    stages.push((Sharpness::Exact, job.inner.exact_iters));
+    for (sharp, max_iters) in stages {
+        let mut step = 0.25_f64;
+        let (mut f_cur, phi_cur) = eval_grad(&x, sharp, &mut grad, &mut grad_a, &mut grad_c, ws);
+        phi_model = phi_cur;
+        for _ in 0..max_iters {
+            iters += 1;
+            let mut accepted = false;
+            for _ in 0..40 {
+                for j in 0..n {
+                    trial[j] =
+                        if is_free[j] { (x[j] - step * grad[j]).clamp(0.0, ub) } else { x[j] };
+                }
+                let f_new = eval_val(&trial, sharp, ws);
+                let decrease: f64 = grad
+                    .iter()
+                    .zip(x.iter().zip(trial.iter()))
+                    .map(|(g, (xi, ti))| g * (xi - ti))
+                    .sum();
+                if f_new <= f_cur - 1e-4 * decrease && f_new.is_finite() {
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+                if step < 1e-14 {
+                    break;
+                }
+            }
+            if !accepted {
+                break;
+            }
+            let moved: f64 =
+                x.iter().zip(trial.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            x.copy_from_slice(&trial);
+            let (f_new, phi_new) = eval_grad(&x, sharp, &mut grad, &mut grad_a, &mut grad_c, ws);
+            let improve = f_cur - f_new;
+            f_cur = f_new;
+            phi_model = phi_new;
+            step = (step * 1.8).min(4.0);
+            if improve <= job.inner.rel_tol * f_cur.abs() && moved < 1e-10 {
+                break;
+            }
+        }
+    }
+    if !phi_model.is_finite() {
+        return Err(format!("block solve produced non-finite model Phi {phi_model}"));
+    }
+    Ok(BlockSolution { x, iters, phi_model })
+}

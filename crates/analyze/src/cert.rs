@@ -42,7 +42,7 @@ use std::fmt;
 use paradigm_mdg::dot::dot_escape;
 use paradigm_mdg::json::{parse, Json, JsonError};
 use paradigm_solver::expr::{Expr, Monomial};
-use paradigm_solver::MdgObjective;
+use paradigm_solver::{FallbackTier, MdgObjective};
 
 use crate::posynomial::{check_monomial, Certificate, ExprClass, ObjectiveCertificate, Rule};
 use crate::resources::{analyze_resources, ResourceAnalysis};
@@ -175,6 +175,25 @@ pub fn certificate_json(obj: &MdgObjective<'_>, oc: &ObjectiveCertificate) -> Js
     ])
 }
 
+/// [`certificate_json`] plus a record of which solver tier produced the
+/// allocation the certificate accompanies (`"solver_tier"`). Emitted by
+/// pipelines that solved before certifying — the distributed
+/// consensus-ADMM tier in particular — so an auditor reading the
+/// certificate knows what optimality claim the `Phi` intervals back.
+pub fn certificate_json_with_tier(
+    obj: &MdgObjective<'_>,
+    oc: &ObjectiveCertificate,
+    tier: FallbackTier,
+) -> Json {
+    match certificate_json(obj, oc) {
+        Json::Obj(mut members) => {
+            members.push(("solver_tier".into(), Json::str(tier.as_str())));
+            Json::Obj(members)
+        }
+        other => other,
+    }
+}
+
 /// Render the static resource analysis as the certificate's `"memory"`
 /// section. Everything the checker needs to re-derive the intervals —
 /// the per-node footprint components — is embedded, so the section is
@@ -276,6 +295,9 @@ pub enum CertDefect {
     /// disagrees with what interval arithmetic re-derives from the
     /// claimed footprints).
     Memory(String),
+    /// The optional `"solver_tier"` field names a tier this checker
+    /// does not know.
+    UnknownTier(String),
 }
 
 impl fmt::Display for CertDefect {
@@ -302,6 +324,12 @@ impl fmt::Display for CertDefect {
                 write!(f, "claimed {field} count {claimed} but the document contains {derived}")
             }
             CertDefect::Memory(m) => write!(f, "memory section inconsistent: {m}"),
+            CertDefect::UnknownTier(t) => {
+                write!(
+                    f,
+                    "unknown solver tier \"{t}\" (expected none, admm, coordinate, or equal-split)"
+                )
+            }
         }
     }
 }
@@ -380,6 +408,11 @@ pub struct CertSummary {
     /// Number of re-validated memory residency claims; `None` for a
     /// version-1 document (which carries no memory section).
     pub memory_nodes: Option<u64>,
+    /// Which solver tier the document records as having produced the
+    /// accompanying allocation (`"admm"` for the distributed consensus
+    /// solver); `None` when the optional `"solver_tier"` field is
+    /// absent.
+    pub solver_tier: Option<String>,
 }
 
 impl fmt::Display for CertSummary {
@@ -393,7 +426,11 @@ impl fmt::Display for CertSummary {
         match self.memory_nodes {
             Some(n) => write!(f, "; {n} memory residency claims re-validated"),
             None => write!(f, "; v1 document, no memory claims"),
+        }?;
+        if let Some(tier) = &self.solver_tier {
+            write!(f, "; solved via {tier} tier")?;
         }
+        Ok(())
     }
 }
 
@@ -649,6 +686,27 @@ pub fn check_certificate(doc: &Json) -> Result<CertSummary, CertFailure> {
         None
     };
 
+    // The optional solver-tier record. Any version may carry it; when
+    // present it must name a tier this build knows, so a certificate
+    // cannot smuggle in an unauditable optimality claim.
+    let solver_tier = match doc.get("solver_tier") {
+        None => None,
+        Some(v) => {
+            let t = v.as_str().ok_or_else(|| {
+                CertFailure::document("\"solver_tier\" must be a string when present")
+            })?;
+            if !["none", "admm", "coordinate", "equal-split"].contains(&t) {
+                return Err(CertFailure {
+                    part: None,
+                    path: Vec::new(),
+                    defect: CertDefect::UnknownTier(t.to_string()),
+                    subtree: None,
+                });
+            }
+            Some(t.to_string())
+        }
+    };
+
     Ok(CertSummary {
         graph,
         procs,
@@ -656,6 +714,7 @@ pub fn check_certificate(doc: &Json) -> Result<CertSummary, CertFailure> {
         edge_trees: edges.len() as u64,
         monomials: leaves,
         memory_nodes,
+        solver_tier,
     })
 }
 
@@ -874,6 +933,45 @@ mod tests {
         // num_vars counts all 5 nodes (START/STOP included); residency
         // claims cover only the 3 compute nodes.
         assert_eq!(summary.memory_nodes, Some(3), "one residency claim per compute node");
+    }
+
+    #[test]
+    fn solver_tier_field_round_trips_and_unknown_tiers_are_rejected() {
+        let g = example_fig1_mdg();
+        let obj = MdgObjective::new(&g, Machine::cm5(4));
+        let oc = certify_objective(&obj).expect("fig1 certifies");
+
+        // Absent field: accepted, no tier recorded.
+        let summary = check_certificate(&certificate_json(&obj, &oc)).unwrap();
+        assert_eq!(summary.solver_tier, None);
+
+        // The ADMM tier: accepted, recorded, rendered.
+        let doc = certificate_json_with_tier(&obj, &oc, FallbackTier::Admm);
+        let summary = check_certificate(&doc).expect("admm-tier certificate must verify");
+        assert_eq!(summary.solver_tier.as_deref(), Some("admm"));
+        assert!(summary.to_string().contains("solved via admm tier"), "{summary}");
+
+        // Every tier this build can produce is accepted.
+        for tier in [FallbackTier::Primary, FallbackTier::Coordinate, FallbackTier::EqualSplit] {
+            let doc = certificate_json_with_tier(&obj, &oc, tier);
+            let summary = check_certificate(&doc).unwrap_or_else(|e| panic!("{tier:?}: {e}"));
+            assert_eq!(summary.solver_tier.as_deref(), Some(tier.as_str()));
+        }
+
+        // A made-up tier is a typed rejection, not a silent pass.
+        let mut doc = certificate_json_with_tier(&obj, &oc, FallbackTier::Admm);
+        let set_tier = |doc: &mut Json, v: Json| {
+            let Json::Obj(members) = doc else { unreachable!() };
+            members.iter_mut().find(|(k, _)| k == "solver_tier").unwrap().1 = v;
+        };
+        set_tier(&mut doc, Json::str("oracle"));
+        let err = check_certificate(&doc).unwrap_err();
+        assert!(matches!(err.defect, CertDefect::UnknownTier(ref t) if t == "oracle"), "{err}");
+
+        // A mistyped field is a document-level rejection.
+        set_tier(&mut doc, Json::num(3.0));
+        let err = check_certificate(&doc).unwrap_err();
+        assert!(matches!(err.defect, CertDefect::Document(_)), "{err}");
     }
 
     #[test]

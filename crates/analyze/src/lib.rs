@@ -38,8 +38,9 @@ pub mod resources;
 pub mod schedule_check;
 
 pub use cert::{
-    certificate_dot, certificate_json, check_certificate, check_certificate_text, memory_json,
-    CertDefect, CertFailure, CertPart, CertSummary, CERT_VERSION,
+    certificate_dot, certificate_json, certificate_json_with_tier, check_certificate,
+    check_certificate_text, memory_json, CertDefect, CertFailure, CertPart, CertSummary,
+    CERT_VERSION,
 };
 pub use diff::unified_diff;
 pub use lint::{

@@ -26,6 +26,8 @@ pub enum Command {
         svg: bool,
         /// Run the post-PSA reallocation refinement.
         refine: bool,
+        /// Force the consensus-ADMM distributed solver tier.
+        admm: bool,
     },
     /// `simulate <file> -p N [...]`: compile, lower, execute.
     Simulate {
@@ -144,6 +146,9 @@ pub enum Command {
         /// Audit every `N`th completed response with an independent
         /// schedule re-verification (0 = off).
         audit_rate: u64,
+        /// Accept `admm_block` frames (the distributed-ADMM worker
+        /// role).
+        worker: bool,
     },
     /// `bench-serve [--clients N] [--rounds N] [--workers N]
     /// [--max-queue-wait ms]`: run the closed-loop load generator
@@ -171,6 +176,29 @@ pub enum Command {
         /// Compare against a baseline `BENCH_solver.json`; the run fails
         /// (exit 1) if the n=256 random-MDG `eval_grad` median regresses
         /// more than 3x.
+        baseline: Option<String>,
+    },
+    /// `partition <file> [--blocks N] [-p N]`: run the multilevel MDG
+    /// partitioner and print the block map, cut summary, and balance.
+    Partition {
+        /// MDG file path.
+        file: String,
+        /// Machine size (node weights scale with the allocation box).
+        procs: u32,
+        /// Force a block count (default: the solver's size heuristic).
+        blocks: Option<usize>,
+    },
+    /// `bench-admm [--quick] [--out <path>] [--baseline <path>]`: run
+    /// the consensus-ADMM benchmark over seeded large MDGs and emit the
+    /// `BENCH_admm.json` report.
+    BenchAdmm {
+        /// Trim graph sizes and repetitions — the CI smoke configuration.
+        quick: bool,
+        /// Write the JSON report here (in addition to stdout).
+        out: Option<String>,
+        /// Compare against a baseline `BENCH_admm.json`; the run fails
+        /// (exit 1) on a >3x wall-clock regression or any lost
+        /// convergence.
         baseline: Option<String>,
     },
     /// `help`.
@@ -202,7 +230,8 @@ paradigm — convex-programming allocation & PSA scheduling for MDGs
 
 USAGE:
   paradigm info <file.mdg>
-  paradigm compile <file.mdg> -p <procs> [--pb <n>] [--hlf] [--refine] [--gantt] [--csv] [--svg]
+  paradigm compile <file.mdg> -p <procs> [--pb <n>] [--hlf] [--refine] [--admm]
+                              [--gantt] [--csv] [--svg]
   paradigm simulate <file.mdg> -p <procs> [--spmd] [--trace]
   paradigm calibrate [-p <procs>]
   paradigm build <file.mini>
@@ -214,10 +243,12 @@ USAGE:
   paradigm analyze resources <file.mdg|--gallery> [-p <procs>] [--machine <spec>] [--mem-mb <n>]
                              [--json] [-D]
   paradigm analyze check-cert <cert.json>
+  paradigm partition <file.mdg> [--blocks <n>] [-p <procs>]
   paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
-                 [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>]
+                 [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>] [--worker]
   paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>] [--max-queue-wait <ms>]
   paradigm bench-solve [--quick] [--out <path>] [--baseline <path>]
+  paradigm bench-admm [--quick] [--out <path>] [--baseline <path>]
   paradigm help
 
 Chaos plans are comma-separated key=value items, e.g.
@@ -411,6 +442,7 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             let mut max_queue_wait_ms = None;
             let mut chaos = None;
             let mut audit_rate = 0u64;
+            let mut worker = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--port" => {
@@ -434,10 +466,20 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                     "--audit-rate" => {
                         audit_rate = parse_count(flag, take_value(flag, &mut it)?, true)? as u64;
                     }
+                    "--worker" => worker = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos, audit_rate }
+            Command::Serve {
+                port,
+                workers,
+                cache,
+                queue,
+                max_queue_wait_ms,
+                chaos,
+                audit_rate,
+                worker,
+            }
         }
         "bench-serve" => {
             let (mut clients, mut rounds, mut workers) = (4usize, 25usize, 4usize);
@@ -470,6 +512,35 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             }
             Command::BenchSolve { quick, out, baseline }
         }
+        "partition" => {
+            let file = it.next().ok_or(UsageError("partition needs a file".into()))?.to_string();
+            let mut procs = 16u32;
+            let mut blocks = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "-p" | "--procs" => procs = parse_procs(take_value(flag, &mut it)?)?,
+                    "--blocks" => {
+                        blocks = Some(parse_count(flag, take_value(flag, &mut it)?, false)?);
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::Partition { file, procs, blocks }
+        }
+        "bench-admm" => {
+            let mut quick = false;
+            let mut out = None;
+            let mut baseline = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--quick" => quick = true,
+                    "--out" => out = Some(take_value(flag, &mut it)?.to_string()),
+                    "--baseline" => baseline = Some(take_value(flag, &mut it)?.to_string()),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::BenchAdmm { quick, out, baseline }
+        }
         "calibrate" => {
             let mut procs = 64u32;
             while let Some(flag) = it.next() {
@@ -484,8 +555,8 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             let file = it.next().ok_or(UsageError("compile needs a file".into()))?.to_string();
             let mut procs = None;
             let mut pb = None;
-            let (mut hlf, mut gantt, mut csv, mut svg, mut refine) =
-                (false, false, false, false, false);
+            let (mut hlf, mut gantt, mut csv, mut svg, mut refine, mut admm) =
+                (false, false, false, false, false, false);
             while let Some(flag) = it.next() {
                 match flag {
                     "-p" | "--procs" => procs = Some(parse_procs(take_value(flag, &mut it)?)?),
@@ -495,11 +566,12 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                     "--csv" => csv = true,
                     "--svg" => svg = true,
                     "--refine" => refine = true,
+                    "--admm" => admm = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
             let procs = procs.ok_or(UsageError("compile needs -p <procs>".into()))?;
-            Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine }
+            Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine, admm }
         }
         "simulate" => {
             let file = it.next().ok_or(UsageError("simulate needs a file".into()))?.to_string();
@@ -546,6 +618,7 @@ mod tests {
                 csv: false,
                 svg: false,
                 refine: false,
+                admm: false,
             }
         );
     }
@@ -678,6 +751,7 @@ mod tests {
                 max_queue_wait_ms: None,
                 chaos: None,
                 audit_rate: 0,
+                worker: false,
             }
         );
         let p = parse_args(&[
@@ -704,6 +778,7 @@ mod tests {
                 max_queue_wait_ms: Some(250),
                 chaos: None,
                 audit_rate: 0,
+                worker: false,
             }
         );
         assert!(parse_args(&["serve", "--port", "banana"]).is_err());
@@ -846,6 +921,59 @@ mod tests {
         let Command::Serve { audit_rate, .. } = p.command else { panic!("not serve") };
         assert_eq!(audit_rate, 10);
         assert!(parse_args(&["serve", "--audit-rate", "x"]).is_err());
+    }
+
+    #[test]
+    fn compile_admm_flag_parses() {
+        let p = parse_args(&["compile", "g.mdg", "-p", "64", "--admm"]).unwrap();
+        let Command::Compile { admm, .. } = p.command else { panic!("not compile") };
+        assert!(admm);
+    }
+
+    #[test]
+    fn serve_worker_flag_parses() {
+        let p = parse_args(&["serve", "--worker", "--port", "0"]).unwrap();
+        let Command::Serve { worker, port, .. } = p.command else { panic!("not serve") };
+        assert!(worker);
+        assert_eq!(port, 0);
+    }
+
+    #[test]
+    fn partition_command_parses() {
+        let p = parse_args(&["partition", "g.mdg", "--blocks", "8", "-p", "64"]).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Partition { file: "g.mdg".into(), procs: 64, blocks: Some(8) }
+        );
+        let p = parse_args(&["partition", "g.mdg"]).unwrap();
+        assert_eq!(p.command, Command::Partition { file: "g.mdg".into(), procs: 16, blocks: None });
+        assert!(parse_args(&["partition"]).is_err());
+        assert!(parse_args(&["partition", "g.mdg", "--blocks", "0"]).is_err());
+        assert!(parse_args(&["partition", "g.mdg", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn bench_admm_command_parses() {
+        let p = parse_args(&["bench-admm"]).unwrap();
+        assert_eq!(p.command, Command::BenchAdmm { quick: false, out: None, baseline: None });
+        let p = parse_args(&[
+            "bench-admm",
+            "--quick",
+            "--out",
+            "BENCH_admm.json",
+            "--baseline",
+            "ci/bench-admm-baseline.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::BenchAdmm {
+                quick: true,
+                out: Some("BENCH_admm.json".into()),
+                baseline: Some("ci/bench-admm-baseline.json".into()),
+            }
+        );
+        assert!(parse_args(&["bench-admm", "--wat"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! `paradigm bench-admm` — the tracked consensus-ADMM benchmark.
+//!
+//! Partitions and solves seeded large MDGs with the distributed
+//! consensus-ADMM tier and emits `BENCH_admm.json`, so the scaling
+//! trajectory (wall clock, rounds to convergence, residuals, solution
+//! quality) is recorded in CI rather than anecdotal. Per case it
+//! records:
+//!
+//! * `wall_ms` — one end-to-end `solve_admm_in_process` call, including
+//!   partitioning;
+//! * `blocks` / `cut_edges` — what the multilevel partitioner produced;
+//! * `outer_rounds`, `inner_iters`, `polish_iters` — coordinator effort;
+//! * `primal_residual` / `dual_residual` / `converged` — the consensus
+//!   stopping state;
+//! * `phi` and, on cases small enough to also solve densely,
+//!   `phi_vs_dense` — the ADMM objective over the single-problem
+//!   optimum (1.0 = parity; the convergence tests pin this at ≤ 1.01).
+//!
+//! `--baseline <path>` compares against a checked-in snapshot and fails
+//! (exit 1) when the gate case loses convergence or its wall clock
+//! regresses more than 5x — coarse enough to survive CI machine noise,
+//! tight enough to catch algorithmic regressions.
+
+use std::time::Instant;
+
+use paradigm_admm::{solve_admm_in_process, AdmmConfig};
+use paradigm_cost::Machine;
+use paradigm_mdg::{fork_join_mdg, random_layered_mdg, Mdg, RandomMdgConfig};
+use paradigm_serve::{parse_json, Json};
+use paradigm_solver::{allocate, SolverConfig};
+
+use crate::commands::{CliError, CmdOutput};
+
+/// Random-MDG seed; fixed so the benchmark graphs are reproducible.
+const SEED: u64 = 1994;
+
+/// Factor by which the gate case's wall clock may exceed the baseline
+/// before `--baseline` fails the run. Looser than bench-solve's gate:
+/// an ADMM solve is seconds, not microseconds, and CI machines vary.
+const REGRESSION_FACTOR: f64 = 5.0;
+
+/// The case name the `--baseline` gate keys on (the largest graph the
+/// quick configuration runs).
+const GATE_CASE: &str = "random-8192";
+
+/// Dense reference solves are only affordable below this node count.
+const DENSE_LIMIT: usize = 3000;
+
+struct CaseReport {
+    name: String,
+    compute_nodes: usize,
+    edges: usize,
+    blocks: usize,
+    cut_edges: usize,
+    outer_rounds: usize,
+    inner_iters: usize,
+    polish_iters: usize,
+    wall_ms: f64,
+    phi: f64,
+    primal_residual: f64,
+    dual_residual: f64,
+    converged: bool,
+    /// `phi / dense_phi` when a dense reference ran, else None.
+    phi_vs_dense: Option<f64>,
+}
+
+/// Run the benchmark; `quick` drops the largest graphs (CI smoke).
+pub fn run_bench_admm(
+    quick: bool,
+    out_path: Option<&str>,
+    baseline: Option<&str>,
+) -> Result<CmdOutput, CliError> {
+    let machine = Machine::cm5(256);
+    let mut graphs: Vec<(String, Mdg)> = vec![
+        ("fork-join".into(), fork_join_mdg(8, 24, 7)),
+        ("random-2048".into(), random_layered_mdg(&RandomMdgConfig::sized(2048), SEED)),
+        ("random-8192".into(), random_layered_mdg(&RandomMdgConfig::sized(8192), SEED)),
+    ];
+    if !quick {
+        graphs.push((
+            "random-100k".into(),
+            random_layered_mdg(&RandomMdgConfig::sized(100_000), SEED),
+        ));
+    }
+    let cases: Vec<CaseReport> =
+        graphs.iter().map(|(name, g)| bench_case(name, g, machine)).collect();
+
+    let json = render_json(quick, &cases);
+    let mut text = render_table(quick, &cases);
+    if let Some(path) = out_path {
+        std::fs::write(path, &json).map_err(CliError::Io)?;
+        text.push_str(&format!("\nwrote {path}\n"));
+    } else {
+        text.push('\n');
+        text.push_str(&json);
+    }
+
+    let mut failed = false;
+    if let Some(bpath) = baseline {
+        match check_baseline(bpath, &cases) {
+            Ok(line) => text.push_str(&line),
+            Err(line) => {
+                text.push_str(&line);
+                failed = true;
+            }
+        }
+    }
+    Ok(CmdOutput { text, failed })
+}
+
+fn bench_case(name: &str, g: &Mdg, machine: Machine) -> CaseReport {
+    let t0 = Instant::now();
+    let res = solve_admm_in_process(g, machine, &AdmmConfig::default(), 0)
+        .unwrap_or_else(|e| panic!("admm solve of {name} failed: {e}"));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let phi_vs_dense = (g.compute_node_count() <= DENSE_LIMIT).then(|| {
+        let dense = allocate(g, machine, &SolverConfig::fast());
+        res.phi.phi / dense.phi.phi
+    });
+    CaseReport {
+        name: name.to_string(),
+        compute_nodes: g.compute_node_count(),
+        edges: g.edge_count(),
+        blocks: res.blocks,
+        cut_edges: res.cut_edges,
+        outer_rounds: res.outer_iters,
+        inner_iters: res.inner_iters,
+        polish_iters: res.polish_iters,
+        wall_ms,
+        phi: res.phi.phi,
+        primal_residual: res.primal_residual,
+        dual_residual: res.dual_residual,
+        converged: res.converged,
+        phi_vs_dense,
+    }
+}
+
+fn render_table(quick: bool, cases: &[CaseReport]) -> String {
+    let mut out = format!("bench-admm ({})\n", if quick { "quick" } else { "full" });
+    out.push_str(&format!(
+        "{:<14} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>10} {:>10} {:>10} {:>5} {:>9}\n",
+        "case",
+        "nodes",
+        "edges",
+        "blocks",
+        "cut",
+        "outer",
+        "wall_ms",
+        "phi",
+        "r_primal",
+        "r_dual",
+        "conv",
+        "vs_dense"
+    ));
+    for c in cases {
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9.0} {:>10.4} {:>10.2e} {:>10.2e} {:>5} {:>9}\n",
+            c.name,
+            c.compute_nodes,
+            c.edges,
+            c.blocks,
+            c.cut_edges,
+            c.outer_rounds,
+            c.wall_ms,
+            c.phi,
+            c.primal_residual,
+            c.dual_residual,
+            if c.converged { "yes" } else { "NO" },
+            c.phi_vs_dense.map_or("-".into(), |r| format!("{r:.4}")),
+        ));
+    }
+    out
+}
+
+/// The `BENCH_admm.json` document: version 1, one case per line so
+/// diffs against the checked-in baseline stay readable.
+fn render_json(quick: bool, cases: &[CaseReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let mut fields = vec![
+            ("name".into(), Json::str(&c.name)),
+            ("compute_nodes".into(), Json::num(c.compute_nodes as f64)),
+            ("edges".into(), Json::num(c.edges as f64)),
+            ("blocks".into(), Json::num(c.blocks as f64)),
+            ("cut_edges".into(), Json::num(c.cut_edges as f64)),
+            ("outer_rounds".into(), Json::num(c.outer_rounds as f64)),
+            ("inner_iters".into(), Json::num(c.inner_iters as f64)),
+            ("polish_iters".into(), Json::num(c.polish_iters as f64)),
+            ("wall_ms".into(), Json::num(round3(c.wall_ms))),
+            ("phi".into(), Json::num(round6(c.phi))),
+            ("primal_residual".into(), Json::num(c.primal_residual)),
+            ("dual_residual".into(), Json::num(c.dual_residual)),
+            ("converged".into(), Json::Bool(c.converged)),
+        ];
+        if let Some(r) = c.phi_vs_dense {
+            fields.push(("phi_vs_dense".into(), Json::num(round6(r))));
+        }
+        out.push_str("    ");
+        out.push_str(&Json::Obj(fields).render());
+        out.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+/// Compare against a checked-in baseline. `Ok` carries the pass line,
+/// `Err` the failure line (which flips the exit code to 1).
+fn check_baseline(path: &str, cases: &[CaseReport]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("baseline: FAILED to read {path}: {e}\n"))?;
+    let doc = parse_json(&text).map_err(|e| format!("baseline: FAILED to parse {path}: {e}\n"))?;
+    let base = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .and_then(|cs| cs.iter().find(|c| c.get("name").and_then(Json::as_str) == Some(GATE_CASE)))
+        .and_then(|c| c.get("wall_ms"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("baseline: FAILED — no `{GATE_CASE}` wall_ms in {path}\n"))?;
+    let cur = cases
+        .iter()
+        .find(|c| c.name == GATE_CASE)
+        .ok_or_else(|| format!("baseline: FAILED — current run has no `{GATE_CASE}` case\n"))?;
+    if !cur.converged {
+        return Err(format!("baseline: REGRESSION — {GATE_CASE} no longer converges\n"));
+    }
+    let limit = base * REGRESSION_FACTOR;
+    if cur.wall_ms > limit {
+        Err(format!(
+            "baseline: REGRESSION — {GATE_CASE} wall {:.0} ms > {REGRESSION_FACTOR}x baseline {base:.0} ms\n",
+            cur.wall_ms
+        ))
+    } else {
+        Ok(format!(
+            "baseline: ok — {GATE_CASE} converged, wall {:.0} ms within {REGRESSION_FACTOR}x of baseline {base:.0} ms\n",
+            cur.wall_ms
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case() -> CaseReport {
+        CaseReport {
+            name: GATE_CASE.into(),
+            compute_nodes: 8192,
+            edges: 20000,
+            blocks: 16,
+            cut_edges: 900,
+            outer_rounds: 40,
+            inner_iters: 120_000,
+            polish_iters: 60,
+            wall_ms: 2000.0,
+            phi: 12.5,
+            primal_residual: 5e-5,
+            dual_residual: 8e-5,
+            converged: true,
+            phi_vs_dense: None,
+        }
+    }
+
+    #[test]
+    fn json_document_parses_and_round_trips_fields() {
+        let json = render_json(true, &[tiny_case()]);
+        let doc = parse_json(&json).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        let cases = doc.get("cases").and_then(Json::as_arr).expect("cases array");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].get("name").and_then(Json::as_str), Some(GATE_CASE));
+        assert_eq!(cases[0].get("wall_ms").and_then(Json::as_f64), Some(2000.0));
+        assert_eq!(cases[0].get("converged").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn baseline_gate_checks_wall_clock_and_convergence() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("paradigm-bench-admm-baseline-{}.json", std::process::id()));
+        std::fs::write(&path, render_json(true, &[tiny_case()])).unwrap();
+        let p = path.to_string_lossy().into_owned();
+
+        let ok = check_baseline(&p, &[tiny_case()]).expect("within limit");
+        assert!(ok.contains("baseline: ok"), "{ok}");
+
+        let mut slow = tiny_case();
+        slow.wall_ms = 11_000.0;
+        let err = check_baseline(&p, &[slow]).expect_err("beyond limit");
+        assert!(err.contains("REGRESSION"), "{err}");
+
+        let mut diverged = tiny_case();
+        diverged.converged = false;
+        let err = check_baseline(&p, &[diverged]).expect_err("lost convergence");
+        assert!(err.contains("no longer converges"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_case_on_a_small_graph_produces_sane_numbers() {
+        let g = fork_join_mdg(4, 8, 3);
+        let c = bench_case("smoke", &g, Machine::cm5(32));
+        assert!(c.wall_ms > 0.0);
+        assert!(c.blocks >= 1);
+        assert!(c.converged, "tiny fork-join must converge");
+        let ratio = c.phi_vs_dense.expect("dense reference ran");
+        assert!(ratio <= 1.02, "admm within 2% of dense on a tiny graph, got {ratio}");
+    }
+}

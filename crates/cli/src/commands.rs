@@ -3,6 +3,7 @@
 //! prints the result.
 
 use crate::args::{Command, USAGE};
+use paradigm_admm::{partition_mdg, PartitionOptions};
 use paradigm_analyze::{
     analyze_resources, analyze_schedule, apply_fixes, certificate_dot, certificate_json,
     certify_objective, check_certificate_text, has_errors, lint_mdg, memory_json, memory_lint_set,
@@ -10,7 +11,10 @@ use paradigm_analyze::{
 };
 use paradigm_core::calibrate::{calibrate, CalibrationConfig};
 use paradigm_core::report::render_calibration;
-use paradigm_core::{compile, gallery_graph, machine_from_spec, CompileConfig, GALLERY_NAMES};
+use paradigm_core::{
+    compile, gallery_graph, machine_from_spec, try_solve_pipeline, CompileConfig, SolveSpec,
+    GALLERY_NAMES,
+};
 use paradigm_cost::{Machine, MdgWeights};
 use paradigm_mdg::stats::MdgStats;
 use paradigm_mdg::{
@@ -126,9 +130,12 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             let cal = calibrate(&truth, &CalibrationConfig::default());
             Ok(CmdOutput::clean(render_calibration(&cal)))
         }
-        Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine } => {
+        Command::Compile { file, procs, pb, hlf, gantt, csv, svg, refine, admm } => {
             let g = load(file)?;
             let machine = Machine::cm5(*procs);
+            if *admm {
+                return Ok(compile_admm(&g, machine, *pb, *hlf, *gantt, *csv, *svg, *refine));
+            }
             let cfg = CompileConfig {
                 psa: PsaConfig {
                     pb: *pb,
@@ -305,7 +312,16 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
                 Err(failure) => Ok(CmdOutput { text: format!("{failure}\n"), failed: true }),
             }
         }
-        Command::Serve { port, workers, cache, queue, max_queue_wait_ms, chaos, audit_rate } => {
+        Command::Serve {
+            port,
+            workers,
+            cache,
+            queue,
+            max_queue_wait_ms,
+            chaos,
+            audit_rate,
+            worker,
+        } => {
             let mut service = ServeConfig::default();
             if *workers > 0 {
                 service.workers = *workers;
@@ -315,6 +331,7 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             service.max_queue_wait = max_queue_wait_ms.map(std::time::Duration::from_millis);
             service.chaos = chaos.clone();
             service.audit_rate = *audit_rate;
+            service.worker = *worker;
             if let Some(plan) = &service.chaos {
                 println!("paradigm-serve chaos plan active: {plan:?}");
             }
@@ -323,7 +340,8 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             let addr = server.local_addr().map_err(CliError::Io)?;
             // Printed immediately: `run` blocks until shutdown, and
             // clients need the (possibly OS-assigned) port to connect.
-            println!("paradigm-serve listening on {addr} (NDJSON; ^C or {{\"op\":\"shutdown\"}} to stop)");
+            let role = if *worker { " [admm worker]" } else { "" };
+            println!("paradigm-serve listening on {addr}{role} (NDJSON; ^C or {{\"op\":\"shutdown\"}} to stop)");
             let stats = server.run();
             Ok(CmdOutput::clean(stats.render()))
         }
@@ -339,7 +357,96 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             });
             Ok(CmdOutput::clean(report.render()))
         }
+        Command::Partition { file, procs, blocks } => {
+            let g = load(file)?;
+            let opts = match blocks {
+                Some(b) => PartitionOptions::with_blocks(&g, *b),
+                None => PartitionOptions::default(),
+            };
+            let part = partition_mdg(&g, &opts);
+            let mut out = format!(
+                "partitioned `{}` ({} compute nodes) for a {}-processor machine\n",
+                g.name(),
+                g.compute_node_count(),
+                procs
+            );
+            out.push_str(&part.render(&g));
+            Ok(CmdOutput::clean(out))
+        }
+        Command::BenchAdmm { quick, out, baseline } => {
+            crate::bench_admm::run_bench_admm(*quick, out.as_deref(), baseline.as_deref())
+        }
     }
+}
+
+/// `compile --admm`: route the solve through the distributed
+/// consensus-ADMM tier and render the pipeline's view of the result
+/// (same allocation table and schedule summary as the dense path, plus
+/// the coordinator's convergence diagnostics).
+#[allow(clippy::too_many_arguments)]
+fn compile_admm(
+    g: &Mdg,
+    machine: Machine,
+    pb: Option<u32>,
+    hlf: bool,
+    gantt: bool,
+    csv: bool,
+    svg: bool,
+    refine: bool,
+) -> CmdOutput {
+    let spec = SolveSpec {
+        machine,
+        policy: if hlf { SchedPolicy::HighestLevelFirst } else { SchedPolicy::LowestEst },
+        pb,
+        refine,
+        fast_solver: true,
+        simulate: false,
+        admm: true,
+    };
+    let out = match try_solve_pipeline(g, &spec) {
+        Ok(out) => out,
+        Err(e) => return CmdOutput { text: format!("admm solve failed: {e}\n"), failed: true },
+    };
+    let mut text = format!(
+        "compiled `{}` for {} processors via consensus ADMM (PB = {})\n",
+        g.name(),
+        machine.procs,
+        out.pb
+    );
+    text.push_str(&format!(
+        "Phi = {:.6} s, T_psa = {:.6} s ({:+.2}% above Phi)\n",
+        out.phi, out.t_psa, out.deviation_percent
+    ));
+    if let Some(stats) = &out.admm {
+        text.push_str(&format!(
+            "admm: {} blocks ({} cut edges), {} outer rounds, {} inner + {} polish iters\n",
+            stats.blocks, stats.cut_edges, stats.outer_iters, stats.inner_iters, stats.polish_iters
+        ));
+        text.push_str(&format!(
+            "admm: primal residual {:.3e}, dual residual {:.3e}{}\n",
+            stats.primal_residual,
+            stats.dual_residual,
+            if stats.converged { "" } else { " (NOT converged; fell back or hit max rounds)" }
+        ));
+    }
+    text.push_str("\nallocation:\n");
+    for a in &out.alloc {
+        text.push_str(&format!("  {:<24} {:>8.3} -> {}\n", a.node, a.continuous, a.procs));
+    }
+    text.push_str(&format!("\nschedule utilization {:.1}%\n", 100.0 * out.utilization));
+    if gantt {
+        text.push('\n');
+        text.push_str(&out.schedule.gantt(g, 64));
+    }
+    if csv {
+        text.push('\n');
+        text.push_str(&to_csv(&out.schedule, g));
+    }
+    if svg {
+        text.push('\n');
+        text.push_str(&gantt_svg(&out.schedule, g));
+    }
+    CmdOutput { text, failed: out.admm.as_ref().is_some_and(|s| !s.converged) }
 }
 
 /// The built-in graphs swept by `analyze --gallery` (the same set the
@@ -589,10 +696,10 @@ mod tests {
         assert!(!res.failed, "gallery must be clean even under -D");
         let out = res.text;
         // One header per gallery graph, each certified and clean.
-        assert_eq!(out.matches("== `").count(), 7, "{out}");
+        assert_eq!(out.matches("== `").count(), 9, "{out}");
         assert_eq!(
             out.matches("objective: Phi certified generalized-posynomial").count(),
-            7,
+            9,
             "{out}"
         );
         assert!(!out.contains("REFUTED"), "{out}");
@@ -724,7 +831,7 @@ mod tests {
         let parsed = parse_args(&["analyze", "resources", "--gallery", "-p", "16", "-D"]).unwrap();
         let res = run(&parsed.command).unwrap();
         assert!(!res.failed, "{}", res.text);
-        assert_eq!(res.text.matches("resource analysis:").count(), 7, "{}", res.text);
+        assert_eq!(res.text.matches("resource analysis:").count(), 9, "{}", res.text);
         assert!(!res.text.contains("INFEASIBLE"), "{}", res.text);
     }
 

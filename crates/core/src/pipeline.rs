@@ -15,16 +15,26 @@
 use crate::compile::{
     compile_resilient, compile_with_solve, run_mpmd, try_compile, CompileConfig, Compiled,
 };
+use paradigm_admm::{solve_admm_in_process, AdmmConfig, AdmmResult};
 use paradigm_cost::Machine;
 use paradigm_mdg::hash::Fnv128;
 use paradigm_mdg::{
-    block_lu_mdg, complex_matmul_mdg, example_fig1_mdg, fft_2d_mdg, stencil_mdg, strassen_mdg,
-    strassen_mdg_multilevel, structural_hash, KernelCostTable, Mdg,
+    block_lu_mdg, complex_matmul_mdg, example_fig1_mdg, fft_2d_mdg, fork_join_mdg,
+    random_layered_mdg, stencil_mdg, strassen_mdg, strassen_mdg_multilevel, structural_hash,
+    KernelCostTable, Mdg, RandomMdgConfig,
 };
 use paradigm_sched::{idle_profile, SchedPolicy};
 use paradigm_sim::TrueMachine;
-use paradigm_solver::{equal_split_allocation, FallbackTier, SolverConfig, SolverError};
+use paradigm_solver::{
+    equal_split_allocation, AllocationResult, FallbackTier, SolverConfig, SolverError,
+};
 use std::fmt;
+
+/// Compute-node count at which [`solve_pipeline`] routes the allocation
+/// through the distributed consensus-ADMM solver instead of the dense
+/// projected-gradient solver (a single dense tape past this size
+/// dominates solve time; the partitioned solve parallelizes it).
+pub const ADMM_NODE_THRESHOLD: usize = 4096;
 
 /// Everything (besides the graph) that a pipeline solve depends on.
 /// Two requests with equal specs and structurally equal graphs produce
@@ -44,6 +54,10 @@ pub struct SolveSpec {
     /// Also execute the MPMD lowering on the ground-truth simulator and
     /// report the measured makespan.
     pub simulate: bool,
+    /// Force the consensus-ADMM solver tier regardless of graph size
+    /// (graphs above [`ADMM_NODE_THRESHOLD`] compute nodes route through
+    /// it automatically).
+    pub admm: bool,
 }
 
 impl SolveSpec {
@@ -57,6 +71,7 @@ impl SolveSpec {
             refine: false,
             fast_solver: true,
             simulate: false,
+            admm: false,
         }
     }
 
@@ -88,6 +103,43 @@ pub struct AllocEntry {
     pub procs: u32,
 }
 
+/// Consensus-ADMM solve diagnostics, reported when the allocation came
+/// from the distributed solver tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmStats {
+    /// Partition blocks solved per outer round.
+    pub blocks: usize,
+    /// Cut (consensus-coupled) edges in the partition.
+    pub cut_edges: usize,
+    /// Outer consensus iterations executed.
+    pub outer_iters: usize,
+    /// Inner block-solver gradient iterations, summed.
+    pub inner_iters: usize,
+    /// Coordinator-side exact polish steps.
+    pub polish_iters: usize,
+    /// Final RMS primal residual (log-allocation units).
+    pub primal_residual: f64,
+    /// Final RMS consensus drift (log-allocation units).
+    pub dual_residual: f64,
+    /// Whether both residuals dropped below the tolerance.
+    pub converged: bool,
+}
+
+impl AdmmStats {
+    fn from_result(r: &AdmmResult) -> Self {
+        AdmmStats {
+            blocks: r.blocks,
+            cut_edges: r.cut_edges,
+            outer_iters: r.outer_iters,
+            inner_iters: r.inner_iters,
+            polish_iters: r.polish_iters,
+            primal_residual: r.primal_residual,
+            dual_residual: r.dual_residual,
+            converged: r.converged,
+        }
+    }
+}
+
 /// Owned, thread-shareable result of one pipeline solve.
 #[derive(Debug, Clone)]
 pub struct SolveOutput {
@@ -116,6 +168,8 @@ pub struct SolveOutput {
     /// The PSA schedule itself, so downstream consumers (e.g. the serve
     /// layer's sampled audits) can re-verify the result independently.
     pub schedule: paradigm_sched::Schedule,
+    /// Consensus-ADMM diagnostics when `degraded == FallbackTier::Admm`.
+    pub admm: Option<AdmmStats>,
 }
 
 /// Why a pipeline solve could not run.
@@ -183,7 +237,34 @@ fn output_from_compiled(g: &Mdg, spec: &SolveSpec, c: &Compiled) -> SolveOutput 
         sim_makespan,
         degraded: c.solve.tier,
         schedule: c.psa.schedule.clone(),
+        admm: None,
     }
+}
+
+/// Whether this `(graph, spec)` pair routes through the consensus-ADMM
+/// solver tier: explicitly via `spec.admm`, or automatically when the
+/// graph outgrows the dense solver.
+pub fn routes_through_admm(g: &Mdg, spec: &SolveSpec) -> bool {
+    spec.admm || g.compute_node_count() >= ADMM_NODE_THRESHOLD
+}
+
+/// Run the consensus-ADMM tier and package the allocation for the
+/// compile tail.
+fn admm_allocation(
+    g: &Mdg,
+    spec: &SolveSpec,
+) -> Result<(AllocationResult, AdmmStats), SolverError> {
+    let cfg = AdmmConfig::default();
+    let res = solve_admm_in_process(g, spec.machine, &cfg, 0)?;
+    let stats = AdmmStats::from_result(&res);
+    let solve = AllocationResult {
+        alloc: res.alloc,
+        phi: res.phi,
+        iterations: res.inner_iters + res.polish_iters,
+        starts: res.blocks,
+        tier: FallbackTier::Admm,
+    };
+    Ok((solve, stats))
 }
 
 /// Run the full pipeline for one graph under one spec, walking the
@@ -194,6 +275,16 @@ fn output_from_compiled(g: &Mdg, spec: &SolveSpec, c: &Compiled) -> SolveOutput 
 /// Panics if the spec is invalid (callers should [`SolveSpec::validate`]
 /// first) or the graph triggers a pipeline assertion.
 pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
+    if routes_through_admm(g, spec) {
+        // The ADMM tier degrades to the dense resilient ladder on
+        // failure rather than panicking, mirroring the ladder's spirit.
+        if let Ok((solve, stats)) = admm_allocation(g, spec) {
+            let c = compile_with_solve(g, spec.machine, &compile_config(spec), solve);
+            let mut out = output_from_compiled(g, spec, &c);
+            out.admm = Some(stats);
+            return out;
+        }
+    }
     let c = compile_resilient(g, spec.machine, &compile_config(spec));
     output_from_compiled(g, spec, &c)
 }
@@ -204,6 +295,13 @@ pub fn solve_pipeline(g: &Mdg, spec: &SolveSpec) -> SolveOutput {
 /// breaker can see *why* a solve failed.
 pub fn try_solve_pipeline(g: &Mdg, spec: &SolveSpec) -> Result<SolveOutput, PipelineError> {
     spec.validate().map_err(PipelineError::InvalidSpec)?;
+    if routes_through_admm(g, spec) {
+        let (solve, stats) = admm_allocation(g, spec)?;
+        let c = compile_with_solve(g, spec.machine, &compile_config(spec), solve);
+        let mut out = output_from_compiled(g, spec, &c);
+        out.admm = Some(stats);
+        return Ok(out);
+    }
     let c = try_compile(g, spec.machine, &compile_config(spec))?;
     Ok(output_from_compiled(g, spec, &c))
 }
@@ -240,6 +338,7 @@ pub fn solve_fingerprint(g: &Mdg, spec: &SolveSpec) -> u128 {
     h.write_u64(u64::from(spec.refine));
     h.write_u64(u64::from(spec.fast_solver));
     h.write_u64(u64::from(spec.simulate));
+    h.write_u64(u64::from(spec.admm));
     h.finish()
 }
 
@@ -264,8 +363,17 @@ pub fn machine_from_spec(spec: &str, procs: u32) -> Option<Machine> {
 /// Names of the built-in gallery graphs served by [`gallery_graph`]
 /// (also `paradigm analyze --gallery` and the serve protocol's
 /// `"gallery"` field).
-pub const GALLERY_NAMES: [&str; 7] =
-    ["fig1", "cmm", "strassen", "strassen-ml", "fft2d", "block-lu", "stencil"];
+pub const GALLERY_NAMES: [&str; 9] = [
+    "fig1",
+    "cmm",
+    "strassen",
+    "strassen-ml",
+    "fft2d",
+    "block-lu",
+    "stencil",
+    "random-layered",
+    "fork-join",
+];
 
 /// Build one built-in gallery graph by name, at the workloads' standard
 /// sizes (CM-5 cost table).
@@ -279,6 +387,11 @@ pub fn gallery_graph(name: &str) -> Option<Mdg> {
         "fft2d" => Some(fft_2d_mdg(64, 4, &t)),
         "block-lu" => Some(block_lu_mdg(4, 32, &t)),
         "stencil" => Some(stencil_mdg(64, 2, 3, &t)),
+        // Seeded synthetic large-graph generators (ADMM's home turf) at
+        // gallery-friendly sizes that the dense solver still handles, so
+        // the two tiers can be cross-checked on the same graphs.
+        "random-layered" => Some(random_layered_mdg(&RandomMdgConfig::sized(192), 11)),
+        "fork-join" => Some(fork_join_mdg(6, 12, 5)),
         _ => None,
     }
 }
@@ -327,6 +440,7 @@ mod tests {
             SolveSpec { refine: true, ..base.clone() },
             SolveSpec { fast_solver: false, ..base.clone() },
             SolveSpec { simulate: true, ..base.clone() },
+            SolveSpec { admm: true, ..base.clone() },
         ] {
             assert_ne!(fp, solve_fingerprint(&g, &other), "{other:?}");
         }
@@ -398,6 +512,26 @@ mod tests {
         // Equal split is a real schedule, just a worse one.
         let best = solve_pipeline(&g, &SolveSpec::new(Machine::cm5(16)));
         assert!(out.t_psa >= best.t_psa * 0.99, "{} vs {}", out.t_psa, best.t_psa);
+    }
+
+    #[test]
+    fn admm_flag_forces_the_distributed_tier() {
+        let g = gallery_graph("fork-join").unwrap();
+        let machine = Machine::cm5(32);
+        let spec = SolveSpec { admm: true, ..SolveSpec::new(machine) };
+        let out = try_solve_pipeline(&g, &spec).expect("admm pipeline");
+        assert_eq!(out.degraded, FallbackTier::Admm);
+        let stats = out.admm.expect("admm stats reported");
+        assert!(stats.converged, "r={} s={}", stats.primal_residual, stats.dual_residual);
+        assert!(stats.blocks >= 1 && stats.outer_iters >= 1);
+        // The distributed tier lands near the dense tier on the same graph.
+        let dense = solve_pipeline(&g, &SolveSpec::new(machine));
+        assert_eq!(dense.degraded, FallbackTier::Primary);
+        assert!(dense.admm.is_none());
+        assert!(out.phi <= dense.phi * 1.01 + 1e-9, "admm {} dense {}", out.phi, dense.phi);
+        // Below the size threshold, nothing auto-routes.
+        assert!(!routes_through_admm(&g, &SolveSpec::new(machine)));
+        assert!(routes_through_admm(&g, &spec));
     }
 
     #[test]

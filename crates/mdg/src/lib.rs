@@ -65,7 +65,7 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use node::{
     AmdahlParams, ArrayTransfer, Edge, LoopClass, LoopMeta, Node, NodeKind, TransferKind,
 };
-pub use random::{random_layered_mdg, RandomMdgConfig};
+pub use random::{fork_join_mdg, random_layered_mdg, RandomMdgConfig};
 pub use stats::MdgStats;
 pub use textfmt::{from_text, to_text};
 pub use transform::{fuse_serial_chains, transitive_reduction};

@@ -50,6 +50,29 @@ impl Default for RandomMdgConfig {
     }
 }
 
+impl RandomMdgConfig {
+    /// A configuration producing roughly `nodes` compute nodes in a
+    /// fixed-width layered shape — the scalable input family for the
+    /// distributed ADMM solver (10^2 .. 10^5 nodes and beyond). The
+    /// layer width grows slowly with size so huge instances stay
+    /// plausibly wide rather than degenerating into one long chain;
+    /// edge probability shrinks with width to keep average fan-in
+    /// (and thus the edge count) roughly constant per node.
+    pub fn sized(nodes: usize) -> Self {
+        let nodes = nodes.max(8);
+        // width ~ 8 at 100 nodes, ~16 at 10^4, ~32 at 10^5.
+        let width = (2.0 * (nodes as f64).sqrt().sqrt()).round().clamp(4.0, 32.0) as usize;
+        let layers = nodes.div_ceil(width).max(2);
+        RandomMdgConfig {
+            layers,
+            width_min: width,
+            width_max: width,
+            edge_prob: (4.0 / width as f64).min(0.5),
+            ..RandomMdgConfig::default()
+        }
+    }
+}
+
 /// Generate a random layered MDG. Deterministic for a given `seed`.
 pub fn random_layered_mdg(cfg: &RandomMdgConfig, seed: u64) -> Mdg {
     assert!(cfg.layers >= 1, "need at least one layer");
@@ -73,7 +96,9 @@ pub fn random_layered_mdg(cfg: &RandomMdgConfig, seed: u64) -> Mdg {
     }
 
     let transfer = |rng: &mut StdRng| -> Vec<ArrayTransfer> {
-        let bytes = rng.random_range(cfg.bytes_range.0..=cfg.bytes_range.1);
+        // Round down to whole f64 elements so generated graphs pass the
+        // `edge-unit-sanity` lint (transfers model f64 arrays).
+        let bytes = rng.random_range(cfg.bytes_range.0..=cfg.bytes_range.1) / 8 * 8;
         let kind = if rng.random::<f64>() < cfg.two_d_prob {
             TransferKind::TwoD
         } else {
@@ -113,10 +138,75 @@ pub fn random_layered_mdg(cfg: &RandomMdgConfig, seed: u64) -> Mdg {
     b.finish().expect("layered construction is acyclic by layer ordering")
 }
 
+/// Generate a seeded fork-join MDG: `stages` sequential stages, each a
+/// scatter node fanning out to `width` parallel workers that all join
+/// into the next stage's scatter. The classic data-parallel skeleton
+/// (and the ADMM partitioner's best case: stage boundaries are natural
+/// min-cuts). Deterministic for a given `seed`; compute node count is
+/// `stages * (width + 2) + 1`.
+pub fn fork_join_mdg(stages: usize, width: usize, seed: u64) -> Mdg {
+    assert!(stages >= 1, "need at least one stage");
+    assert!(width >= 1, "need at least one worker per stage");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = MdgBuilder::new(format!("fork-join-s{stages}-w{width}-r{seed}"));
+
+    let xfer = |rng: &mut StdRng| -> Vec<ArrayTransfer> {
+        vec![ArrayTransfer::new(rng.random_range(1u64 << 10..=1 << 16) / 8 * 8, TransferKind::OneD)]
+    };
+    // Serial-ish scatter/gather nodes, parallel-friendly workers.
+    let scatter_cost = |rng: &mut StdRng| {
+        AmdahlParams::new(rng.random_range(0.3..=0.6), rng.random_range(0.02..=0.1))
+    };
+    let worker_cost = |rng: &mut StdRng| {
+        AmdahlParams::new(rng.random_range(0.02..=0.1), rng.random_range(0.2..=1.0))
+    };
+
+    let mut prev_join: Option<crate::graph::NodeId> = None;
+    for s in 0..stages {
+        let scatter = b.compute(format!("S{s}scatter"), scatter_cost(&mut rng));
+        if let Some(j) = prev_join {
+            b.edge(j, scatter, xfer(&mut rng));
+        }
+        let join = b.compute(format!("S{s}join"), scatter_cost(&mut rng));
+        for w in 0..width {
+            let worker = b.compute(format!("S{s}W{w}"), worker_cost(&mut rng));
+            b.edge(scatter, worker, xfer(&mut rng));
+            b.edge(worker, join, xfer(&mut rng));
+        }
+        prev_join = Some(join);
+    }
+    let tail = b.compute("gather", scatter_cost(&mut rng));
+    if let Some(j) = prev_join {
+        b.edge(j, tail, xfer(&mut rng));
+    }
+    b.finish().expect("fork-join construction is acyclic by stage ordering")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::validate::check_invariants;
+
+    #[test]
+    fn sized_config_hits_the_requested_scale() {
+        for target in [100usize, 1_000, 10_000] {
+            let g = random_layered_mdg(&RandomMdgConfig::sized(target), 42);
+            let n = g.compute_node_count();
+            assert!(n >= target * 9 / 10 && n <= target * 11 / 10 + 40, "target {target}, got {n}");
+            check_invariants(&g).unwrap_or_else(|e| panic!("target {target}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fork_join_shape_and_determinism() {
+        let g = fork_join_mdg(3, 4, 7);
+        assert_eq!(g.compute_node_count(), 3 * (4 + 2) + 1);
+        check_invariants(&g).unwrap();
+        let h = fork_join_mdg(3, 4, 7);
+        assert_eq!(crate::hash::structural_hash(&g), crate::hash::structural_hash(&h));
+        let other = fork_join_mdg(3, 4, 8);
+        assert_ne!(crate::hash::structural_hash(&g), crate::hash::structural_hash(&other));
+    }
 
     #[test]
     fn random_graphs_are_valid() {

@@ -16,8 +16,13 @@
 //!   with backpressure and per-request queueing deadlines;
 //!   [`Service::submit`] is the synchronous in-process API.
 //! * [`protocol`] — the line-delimited JSON request/response protocol
-//!   (ops `solve`, `stats`, `ping`, `shutdown`), built on the
-//!   hand-rolled [`json`] reader/writer — the crate stays std-only.
+//!   (ops `solve`, `stats`, `ping`, `shutdown`, plus `admm_block` on
+//!   worker nodes), built on the hand-rolled [`json`] reader/writer —
+//!   the crate stays std-only.
+//! * [`worker`] — the distributed-ADMM worker role: wire codecs for
+//!   consensus-ADMM block subproblems and [`TcpBlockBackend`], the
+//!   coordinator-side backend that fans x-updates out to
+//!   `paradigm serve --worker` nodes.
 //! * [`server`] — the `std::net::TcpListener` front end with graceful
 //!   (SIGINT-safe on unix) drain.
 //! * [`metrics`] — request/hit/miss/dedup counters and a log₂ latency
@@ -47,6 +52,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod worker;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -58,3 +64,4 @@ pub use metrics::{Metrics, MetricsSnapshot, HIST_BUCKETS};
 pub use protocol::{handle_line, parse_request, Request};
 pub use server::{Server, ServerConfig};
 pub use service::{ServeConfig, ServeError, Service, SolveResponse};
+pub use worker::TcpBlockBackend;

@@ -4,27 +4,36 @@
 //! Grammar (field order free; unknown fields rejected to catch typos):
 //!
 //! ```text
-//! request   = solve | stats | ping | shutdown
+//! request   = solve | admm_block | stats | ping | shutdown
 //! solve     = { "op":"solve", graph-src, "procs":int?, "machine":str?,
 //!               "policy":("est"|"hlf")?, "pb":int?, "refine":bool?,
-//!               "full_solver":bool?, "simulate":bool?, "deadline_ms":int? }
+//!               "full_solver":bool?, "simulate":bool?, "admm":bool?,
+//!               "deadline_ms":int? }
 //! graph-src = "gallery": name            ; built-in workload, or
 //!           | "graph": mdg-text          ; inline MDG text format
 //! stats     = { "op":"stats" }
 //! ping      = { "op":"ping" }
 //! shutdown  = { "op":"shutdown" }
+//! admm_block = see the [`crate::worker`] module — a consensus-ADMM
+//!              block subproblem; only honoured by `serve --worker`
+//!              nodes.
 //!
 //! response  = { "ok":true, ... } | { "ok":false, "error":str }
 //! ```
 //!
 //! Defaults: `procs` 16, `machine` `"cm5"`, `policy` `"est"`, `pb`
-//! automatic (Corollary 1), `refine`/`simulate` false, fast solver.
-//! A solve response carries `phi`, `t_psa`, `pb`, `deviation_percent`,
-//! `utilization`, the allocation table, `cached`/`deduplicated` flags,
-//! and the service latency in microseconds.
+//! automatic (Corollary 1), `refine`/`simulate`/`admm` false, fast
+//! solver. A solve response carries `phi`, `t_psa`, `pb`,
+//! `deviation_percent`, `utilization`, the allocation table,
+//! `cached`/`deduplicated` flags, and the service latency in
+//! microseconds; solves routed through the distributed tier add an
+//! `admm` object with the coordinator's iteration counts and final
+//! residuals.
 
 use crate::json::{parse, Json};
 use crate::service::{ServeError, Service, SolveResponse};
+use crate::worker::{block_solution_response, parse_block_job};
+use paradigm_admm::{solve_block_job, BlockJob};
 use paradigm_core::{gallery_graph, machine_from_spec, SolveSpec, GALLERY_NAMES, MACHINE_SPECS};
 use paradigm_mdg::{from_text, Mdg};
 use paradigm_sched::SchedPolicy;
@@ -42,6 +51,11 @@ pub enum Request {
         spec: SolveSpec,
         /// Max time the job may spend queued.
         deadline: Option<Duration>,
+    },
+    /// Solve one consensus-ADMM block subproblem (worker role only).
+    AdmmBlock {
+        /// The self-contained block x-update job.
+        job: Box<BlockJob>,
     },
     /// Return the metrics snapshot.
     Stats,
@@ -70,11 +84,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "solve" => parse_solve(&doc, members),
+        "admm_block" => {
+            parse_block_job(&doc, members).map(|job| Request::AdmmBlock { job: Box::new(job) })
+        }
         other => Err(format!("unknown op `{other}`")),
     }
 }
 
-const SOLVE_FIELDS: [&str; 10] = [
+const SOLVE_FIELDS: [&str; 11] = [
     "op",
     "gallery",
     "graph",
@@ -85,6 +102,7 @@ const SOLVE_FIELDS: [&str; 10] = [
     "refine",
     "full_solver",
     "simulate",
+    "admm",
 ];
 
 fn parse_solve(doc: &Json, members: &[(String, Json)]) -> Result<Request, String> {
@@ -154,6 +172,7 @@ fn parse_solve(doc: &Json, members: &[(String, Json)]) -> Result<Request, String
         refine: flag("refine")?,
         fast_solver: !flag("full_solver")?,
         simulate: flag("simulate")?,
+        admm: flag("admm")?,
     };
     Ok(Request::Solve { graph: Arc::new(graph), spec, deadline })
 }
@@ -215,6 +234,21 @@ pub fn solve_response(r: &SolveResponse) -> Json {
     if r.output.degraded.is_degraded() {
         members.push(("degraded".into(), Json::str(r.output.degraded.as_str())));
     }
+    if let Some(stats) = &r.output.admm {
+        members.push((
+            "admm".into(),
+            Json::Obj(vec![
+                ("blocks".into(), Json::num(stats.blocks as f64)),
+                ("cut_edges".into(), Json::num(stats.cut_edges as f64)),
+                ("outer_iters".into(), Json::num(stats.outer_iters as f64)),
+                ("inner_iters".into(), Json::num(stats.inner_iters as f64)),
+                ("polish_iters".into(), Json::num(stats.polish_iters as f64)),
+                ("primal_residual".into(), Json::num(stats.primal_residual)),
+                ("dual_residual".into(), Json::num(stats.dual_residual)),
+                ("converged".into(), Json::Bool(stats.converged)),
+            ]),
+        ));
+    }
     Json::Obj(members)
 }
 
@@ -238,6 +272,23 @@ pub fn dispatch(service: &Service, request: &Request) -> Json {
             match service.submit_with_deadline(Arc::clone(graph), spec.clone(), *deadline) {
                 Ok(r) => solve_response(&r),
                 Err(e) => serve_error_response(&e),
+            }
+        }
+        Request::AdmmBlock { job } => {
+            if !service.worker_enabled() {
+                return error_response_with(
+                    "admm_block requires worker mode (start with `serve --worker`)",
+                    "not-a-worker",
+                    false,
+                );
+            }
+            // Block solves bypass the queue and cache: they are the
+            // inner loop of a distributed solve, change every round,
+            // and the coordinator already paces its own requests.
+            let mut ws = paradigm_solver::workspace::acquire();
+            match solve_block_job(job, &mut ws) {
+                Ok(sol) => block_solution_response(&sol),
+                Err(e) => error_response_with(&e, "invalid", false),
             }
         }
     }

@@ -63,6 +63,10 @@ pub struct ServeConfig {
     /// the `audit_fail` metric, print the full report to stderr, and
     /// are kept for [`Service::first_audit_failure`].
     pub audit_rate: u64,
+    /// Accept `admm_block` sub-problem frames (the distributed ADMM
+    /// worker role). Off by default: a scheduling front-end has no
+    /// business solving raw block sub-problems for strangers.
+    pub worker: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +81,7 @@ impl Default for ServeConfig {
             chaos: None,
             breaker: BreakerConfig::default(),
             audit_rate: 0,
+            worker: false,
         }
     }
 }
@@ -349,6 +354,12 @@ impl Service {
         }
         self.inner.not_empty.notify_one();
         slot.wait()
+    }
+
+    /// True if this service accepts `admm_block` frames (started with
+    /// [`ServeConfig::worker`] set — the `serve --worker` role).
+    pub fn worker_enabled(&self) -> bool {
+        self.inner.cfg.worker
     }
 
     /// Current metrics.

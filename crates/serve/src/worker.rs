@@ -1,0 +1,402 @@
+//! The distributed-ADMM worker role: wire codecs for block subproblems
+//! and the coordinator-side TCP backend.
+//!
+//! A `paradigm serve --worker` node accepts `admm_block` frames — one
+//! self-contained [`BlockJob`] each — solves them with
+//! [`paradigm_admm::solve_block_job`], and returns the block iterate.
+//! Because a block solve is a pure function of the job value, and the
+//! frame codec round-trips every number exactly (`f64` is rendered in
+//! shortest round-trip form on both sides), a TCP worker produces
+//! *bitwise* the same [`BlockSolution`] as the in-process backend. The
+//! consensus coordinator therefore converges identically whether its
+//! x-updates run on local threads or on a rack of workers.
+//!
+//! Frame grammar (one JSON object per line, like the rest of the
+//! protocol; unknown fields rejected):
+//!
+//! ```text
+//! admm_block = { "op":"admm_block", "graph":mdg-text,
+//!                "machine":{ "procs":int, "t_ss":num, "t_ps":num,
+//!                            "t_sr":num, "t_pr":num, "t_n":num,
+//!                            "mem_bytes":int },
+//!                "area_off":num, "rho":num,
+//!                "x0":[num...], "free":[int...],
+//!                "cons":[{"sub":int,"target":num}...],
+//!                "inner":{ "stages":[num...], "iters_per_stage":int,
+//!                          "exact_iters":int, "rel_tol":num } }
+//! response   = { "ok":true, "x":[num...], "iters":int, "phi_model":num }
+//! ```
+
+use crate::client::{Client, ClientError, RetryPolicy};
+use crate::json::Json;
+use paradigm_admm::{BlockBackend, BlockJob, BlockSolution, ConsensusTerm, InnerConfig};
+use paradigm_cost::{Machine, TransferParams};
+use paradigm_mdg::{from_text, to_text};
+use std::net::SocketAddr;
+
+/// Encode one block subproblem as an `admm_block` request frame.
+pub fn block_job_request(job: &BlockJob) -> Json {
+    let machine = Json::Obj(vec![
+        ("procs".into(), Json::num(f64::from(job.machine.procs))),
+        ("t_ss".into(), Json::num(job.machine.xfer.t_ss)),
+        ("t_ps".into(), Json::num(job.machine.xfer.t_ps)),
+        ("t_sr".into(), Json::num(job.machine.xfer.t_sr)),
+        ("t_pr".into(), Json::num(job.machine.xfer.t_pr)),
+        ("t_n".into(), Json::num(job.machine.xfer.t_n)),
+        ("mem_bytes".into(), Json::num(job.machine.mem_bytes as f64)),
+    ]);
+    let cons: Vec<Json> = job
+        .cons
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("sub".into(), Json::num(c.sub as f64)),
+                ("target".into(), Json::num(c.target)),
+            ])
+        })
+        .collect();
+    let inner = Json::Obj(vec![
+        ("stages".into(), Json::Arr(job.inner.stages.iter().map(|&s| Json::num(s)).collect())),
+        ("iters_per_stage".into(), Json::num(job.inner.iters_per_stage as f64)),
+        ("exact_iters".into(), Json::num(job.inner.exact_iters as f64)),
+        ("rel_tol".into(), Json::num(job.inner.rel_tol)),
+    ]);
+    Json::Obj(vec![
+        ("op".into(), Json::str("admm_block")),
+        ("graph".into(), Json::str(to_text(&job.graph))),
+        ("machine".into(), machine),
+        ("area_off".into(), Json::num(job.area_off)),
+        ("rho".into(), Json::num(job.rho)),
+        ("x0".into(), Json::Arr(job.x0.iter().map(|&v| Json::num(v)).collect())),
+        ("free".into(), Json::Arr(job.free.iter().map(|&i| Json::num(i as f64)).collect())),
+        ("cons".into(), Json::Arr(cons)),
+        ("inner".into(), inner),
+    ])
+}
+
+const ADMM_BLOCK_FIELDS: [&str; 9] =
+    ["op", "graph", "machine", "area_off", "rho", "x0", "free", "cons", "inner"];
+
+fn finite(doc: &Json, key: &str) -> Result<f64, String> {
+    let v = doc
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field `{key}`"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("`{key}` must be finite"))
+    }
+}
+
+fn index(doc: &Json, key: &str) -> Result<usize, String> {
+    let v = doc
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))?;
+    usize::try_from(v).map_err(|_| format!("`{key}` out of range"))
+}
+
+fn num_array(doc: &Json, key: &str) -> Result<Vec<f64>, String> {
+    let arr = doc
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field `{key}`"))?;
+    arr.iter()
+        .map(|v| v.as_f64().filter(|n| n.is_finite()))
+        .collect::<Option<Vec<f64>>>()
+        .ok_or_else(|| format!("`{key}` must be an array of finite numbers"))
+}
+
+fn index_array(doc: &Json, key: &str, bound: usize) -> Result<Vec<usize>, String> {
+    let arr = doc
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field `{key}`"))?;
+    let out = arr
+        .iter()
+        .map(|v| v.as_u64().and_then(|n| usize::try_from(n).ok()))
+        .collect::<Option<Vec<usize>>>()
+        .ok_or_else(|| format!("`{key}` must be an array of non-negative integers"))?;
+    if let Some(&bad) = out.iter().find(|&&i| i >= bound) {
+        return Err(format!("`{key}` index {bad} out of range (graph has {bound} nodes)"));
+    }
+    Ok(out)
+}
+
+/// Decode an `admm_block` request frame into a runnable [`BlockJob`].
+pub fn parse_block_job(doc: &Json, members: &[(String, Json)]) -> Result<BlockJob, String> {
+    for (key, _) in members {
+        if !ADMM_BLOCK_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` in admm_block request"));
+        }
+    }
+    let text = doc
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or("`graph` must be a string (MDG text format)")?;
+    let graph = from_text(text).map_err(|e| format!("bad block graph: {e}"))?;
+    let n = graph.node_count();
+
+    let m = doc.get("machine").ok_or("missing object field `machine`")?;
+    let Json::Obj(m_members) = m else { return Err("`machine` must be an object".into()) };
+    for (key, _) in m_members {
+        if !["procs", "t_ss", "t_ps", "t_sr", "t_pr", "t_n", "mem_bytes"].contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` in machine"));
+        }
+    }
+    let procs = m.get("procs").and_then(Json::as_u64).ok_or("`procs` must be an integer")?;
+    let procs =
+        u32::try_from(procs).ok().filter(|&p| p >= 1).ok_or("`procs` must be in 1..=2^32-1")?;
+    let xfer = TransferParams {
+        t_ss: finite(m, "t_ss")?,
+        t_ps: finite(m, "t_ps")?,
+        t_sr: finite(m, "t_sr")?,
+        t_pr: finite(m, "t_pr")?,
+        t_n: finite(m, "t_n")?,
+    };
+    if [xfer.t_ss, xfer.t_ps, xfer.t_sr, xfer.t_pr, xfer.t_n].iter().any(|&v| v < 0.0) {
+        return Err("machine transfer parameters must be non-negative".into());
+    }
+    let mem_bytes = m
+        .get("mem_bytes")
+        .and_then(Json::as_u64)
+        .filter(|&b| b > 0)
+        .ok_or("`mem_bytes` must be a positive integer")?;
+    let machine = Machine { procs, xfer, mem_bytes };
+
+    let x0 = num_array(doc, "x0")?;
+    if x0.len() != n {
+        return Err(format!("`x0` has {} entries, graph has {n} nodes", x0.len()));
+    }
+    let free = index_array(doc, "free", n)?;
+
+    let cons_arr = doc.get("cons").and_then(Json::as_arr).ok_or("missing array field `cons`")?;
+    let mut cons = Vec::with_capacity(cons_arr.len());
+    for c in cons_arr {
+        let Json::Obj(c_members) = c else { return Err("`cons` entries must be objects".into()) };
+        for (key, _) in c_members {
+            if !["sub", "target"].contains(&key.as_str()) {
+                return Err(format!("unknown field `{key}` in cons entry"));
+            }
+        }
+        let sub = index(c, "sub")?;
+        if sub >= n {
+            return Err(format!("cons index {sub} out of range (graph has {n} nodes)"));
+        }
+        cons.push(ConsensusTerm { sub, target: finite(c, "target")? });
+    }
+
+    let i = doc.get("inner").ok_or("missing object field `inner`")?;
+    let Json::Obj(i_members) = i else { return Err("`inner` must be an object".into()) };
+    for (key, _) in i_members {
+        if !["stages", "iters_per_stage", "exact_iters", "rel_tol"].contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` in inner"));
+        }
+    }
+    let inner = InnerConfig {
+        stages: num_array(i, "stages")?,
+        iters_per_stage: index(i, "iters_per_stage")?,
+        exact_iters: index(i, "exact_iters")?,
+        rel_tol: finite(i, "rel_tol")?,
+    };
+
+    let rho = finite(doc, "rho")?;
+    if rho <= 0.0 {
+        return Err("`rho` must be positive".into());
+    }
+    Ok(BlockJob { graph, machine, area_off: finite(doc, "area_off")?, rho, x0, free, cons, inner })
+}
+
+/// Encode a finished block solve as the `admm_block` success response.
+pub fn block_solution_response(sol: &BlockSolution) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("x".into(), Json::Arr(sol.x.iter().map(|&v| Json::num(v)).collect())),
+        ("iters".into(), Json::num(sol.iters as f64)),
+        ("phi_model".into(), Json::num(sol.phi_model)),
+    ])
+}
+
+/// Decode a worker's `admm_block` response (the coordinator side).
+pub fn parse_block_solution(doc: &Json) -> Result<BlockSolution, String> {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = doc.get("error").and_then(Json::as_str).unwrap_or("unlabelled failure");
+        return Err(format!("worker refused block: {msg}"));
+    }
+    Ok(BlockSolution {
+        x: num_array(doc, "x")?,
+        iters: index(doc, "iters")?,
+        phi_model: finite(doc, "phi_model")?,
+    })
+}
+
+/// A [`BlockBackend`] that ships block subproblems to `serve --worker`
+/// nodes over the NDJSON protocol.
+///
+/// Jobs are split into contiguous chunks, one per worker (the same
+/// strategy as the in-process backend), and each worker's share is
+/// driven from its own coordinator thread, so a round's wall-clock is
+/// the slowest worker's share rather than the sum. The assignment is a
+/// pure function of the job order and worker count, which keeps the
+/// distributed solve deterministic: re-running with the same worker
+/// list replays the identical placement.
+pub struct TcpBlockBackend {
+    clients: Vec<Client>,
+}
+
+impl TcpBlockBackend {
+    /// Connect lazily to one worker per address (the TCP connection is
+    /// opened on first use). Panics if `addrs` is empty.
+    pub fn new(addrs: &[SocketAddr]) -> TcpBlockBackend {
+        assert!(!addrs.is_empty(), "need at least one worker address");
+        TcpBlockBackend {
+            clients: addrs.iter().map(|&a| Client::new(a, RetryPolicy::default())).collect(),
+        }
+    }
+
+    fn round_trip(client: &mut Client, job: &BlockJob) -> Result<BlockSolution, String> {
+        let line = block_job_request(job).render();
+        let doc = client.request(&line).map_err(|e: ClientError| e.to_string())?;
+        parse_block_solution(&doc)
+    }
+}
+
+impl BlockBackend for TcpBlockBackend {
+    fn solve_blocks(&mut self, jobs: Vec<BlockJob>) -> Result<Vec<BlockSolution>, String> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let k = self.clients.len().min(jobs.len());
+        let per = jobs.len().div_ceil(k);
+        let mut slots: Vec<Option<Result<BlockSolution, String>>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        std::thread::scope(|scope| {
+            let mut shares = jobs.chunks(per);
+            let mut outs = slots.chunks_mut(per);
+            for client in self.clients.iter_mut().take(k) {
+                let (Some(share), Some(out)) = (shares.next(), outs.next()) else { break };
+                scope.spawn(move || {
+                    for (job, slot) in share.iter().zip(out.iter_mut()) {
+                        *slot = Some(Self::round_trip(client, job));
+                    }
+                });
+            }
+        });
+        let mut solutions = Vec::with_capacity(jobs.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(sol)) => solutions.push(sol),
+                Some(Err(e)) => return Err(format!("block {i}: {e}")),
+                None => return Err(format!("block {i}: no worker picked it up")),
+            }
+        }
+        Ok(solutions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::protocol::handle_line;
+    use crate::service::{ServeConfig, Service};
+    use paradigm_admm::{build_block_problem, global_sweeps, partition_mdg, PartitionOptions};
+    use paradigm_cost::Machine;
+    use paradigm_mdg::{fork_join_mdg, Mdg};
+    use paradigm_solver::objective::MdgObjective;
+
+    fn sample_jobs(g: &Mdg, machine: &Machine, blocks: usize) -> Vec<BlockJob> {
+        let obj = MdgObjective::try_new(g, *machine).expect("objective");
+        let part = partition_mdg(g, &PartitionOptions::with_blocks(g, blocks));
+        let x = vec![0.5_f64; g.node_count()];
+        let sw = global_sweeps(&obj, &x);
+        let inner = InnerConfig::default();
+        (0..part.members.len())
+            .map(|b| {
+                let dual = std::collections::BTreeMap::new();
+                build_block_problem(g, machine, &part, b, &sw, &x, &dual, 0.7, &inner).0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_job_frames_roundtrip_exactly() {
+        let g = fork_join_mdg(4, 6, 3);
+        let machine = Machine::cm5(32);
+        for job in sample_jobs(&g, &machine, 3) {
+            let frame = block_job_request(&job).render();
+            let doc = parse(&frame).expect("frame parses");
+            let Json::Obj(members) = &doc else { panic!("not an object") };
+            let back = parse_block_job(&doc, members).expect("job decodes");
+            // Bitwise equality on every number: this is what lets TCP
+            // and in-process backends agree exactly.
+            assert_eq!(back.machine, job.machine);
+            assert_eq!(back.area_off.to_bits(), job.area_off.to_bits());
+            assert_eq!(back.rho.to_bits(), job.rho.to_bits());
+            assert_eq!(back.x0.len(), job.x0.len());
+            for (a, b) in back.x0.iter().zip(&job.x0) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(back.free, job.free);
+            assert_eq!(back.cons, job.cons);
+            assert_eq!(back.inner, job.inner);
+            assert_eq!(back.graph.node_count(), job.graph.node_count());
+            assert_eq!(back.graph.edge_count(), job.graph.edge_count());
+        }
+    }
+
+    #[test]
+    fn worker_solves_what_in_process_solves() {
+        let g = fork_join_mdg(4, 6, 3);
+        let machine = Machine::cm5(32);
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            cache_capacity: 4,
+            queue_capacity: 4,
+            worker: true,
+            ..ServeConfig::default()
+        });
+        for job in sample_jobs(&g, &machine, 3) {
+            let mut ws = paradigm_solver::workspace::acquire();
+            let local = paradigm_admm::solve_block_job(&job, &mut ws).expect("local solve");
+            let (resp, _) = handle_line(&svc, &block_job_request(&job).render());
+            let sol = parse_block_solution(&parse(&resp).expect("json")).expect("remote solve");
+            assert_eq!(sol.iters, local.iters);
+            assert_eq!(sol.phi_model.to_bits(), local.phi_model.to_bits());
+            for (a, b) in sol.x.iter().zip(&local.x) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn non_worker_service_refuses_block_frames() {
+        let g = fork_join_mdg(2, 3, 2);
+        let machine = Machine::cm5(8);
+        let job = sample_jobs(&g, &machine, 2).remove(0);
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            cache_capacity: 4,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        });
+        let (resp, _) = handle_line(&svc, &block_job_request(&job).render());
+        let doc = parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("not-a-worker"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn malformed_block_frames_rejected() {
+        for bad in [
+            r#"{"op":"admm_block"}"#,
+            r#"{"op":"admm_block","graph":"mdg x","wat":1}"#,
+            r#"{"op":"admm_block","graph":"not an mdg","machine":{"procs":4,"t_ss":1,"t_ps":1,"t_sr":1,"t_pr":1,"t_n":0,"mem_bytes":1024},"area_off":0,"rho":1,"x0":[],"free":[],"cons":[],"inner":{"stages":[8],"iters_per_stage":1,"exact_iters":1,"rel_tol":0.1}}"#,
+        ] {
+            assert!(crate::protocol::parse_request(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Distributed ADMM over real worker processes: two `serve --worker`
+//! style servers on ephemeral localhost ports solve block sub-problems
+//! for a consensus coordinator driving them through
+//! [`TcpBlockBackend`].
+//!
+//! The always-run test pins the contract on a mid-size graph: the TCP
+//! run must converge below the residual tolerance and agree *bitwise*
+//! with the in-process backend (block solves are pure functions of the
+//! job, and the NDJSON frames round-trip every float exactly). The
+//! `#[ignore]`d tests are the CI `admm-smoke` job (10^4 compute nodes)
+//! and the 10^5-node acceptance run; both also push the solution
+//! through the full pipeline and the independent schedule auditor.
+
+use std::net::SocketAddr;
+
+use paradigm_admm::{solve_admm, solve_admm_in_process, AdmmConfig};
+use paradigm_core::{try_solve_pipeline, SolveSpec};
+use paradigm_cost::Machine;
+use paradigm_mdg::{random_layered_mdg, Mdg, RandomMdgConfig};
+use paradigm_serve::audit::audit_solve_output;
+use paradigm_serve::{ServeConfig, Server, ServerConfig, TcpBlockBackend};
+
+const SEED: u64 = 1994;
+
+/// Bind one ADMM worker on an ephemeral port; returns its address and
+/// the running server thread (shut down via the returned flag).
+fn spawn_worker() -> (
+    SocketAddr,
+    std::thread::JoinHandle<paradigm_serve::MetricsSnapshot>,
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+) {
+    let server = Server::bind(ServerConfig {
+        service: ServeConfig {
+            workers: 2,
+            cache_capacity: 8,
+            queue_capacity: 8,
+            worker: true,
+            ..ServeConfig::default()
+        },
+        port: 0,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let run = std::thread::spawn(move || server.run());
+    (addr, run, flag)
+}
+
+/// Solve `g` once over TCP workers and once in-process; assert both
+/// converge under `cfg.eps` and agree bitwise, then return the TCP
+/// result for further checks.
+fn solve_both_ways(g: &Mdg, machine: Machine, cfg: &AdmmConfig) -> paradigm_admm::AdmmResult {
+    let (addr_a, run_a, flag_a) = spawn_worker();
+    let (addr_b, run_b, flag_b) = spawn_worker();
+
+    let mut backend = TcpBlockBackend::new(&[addr_a, addr_b]);
+    let tcp = solve_admm(g, machine, cfg, &mut backend).expect("tcp admm solve");
+    let local = solve_admm_in_process(g, machine, cfg, 0).expect("in-process admm solve");
+
+    assert!(
+        tcp.converged,
+        "tcp run must converge (r={:.3e}, s={:.3e})",
+        tcp.primal_residual, tcp.dual_residual
+    );
+    assert!(tcp.primal_residual < cfg.eps && tcp.dual_residual < cfg.eps);
+    assert_eq!(tcp.outer_iters, local.outer_iters, "backends must walk the same trajectory");
+    assert_eq!(tcp.phi.phi.to_bits(), local.phi.phi.to_bits(), "objective must agree bitwise");
+    for (a, b) in tcp.alloc.as_slice().iter().zip(local.alloc.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "allocations must agree bitwise");
+    }
+
+    for flag in [flag_a, flag_b] {
+        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    // Wake the accept loops so the shutdown flag is observed.
+    for addr in [addr_a, addr_b] {
+        let _ = std::net::TcpStream::connect(addr);
+    }
+    run_a.join().expect("worker a thread");
+    run_b.join().expect("worker b thread");
+    tcp
+}
+
+/// Full-pipeline ADMM solve plus the independent schedule audit — the
+/// "zero audit failures" half of the smoke contract.
+fn pipeline_audits_clean(g: &Mdg, machine: Machine) {
+    let spec = SolveSpec { admm: true, ..SolveSpec::new(machine) };
+    let out = try_solve_pipeline(g, &spec).expect("admm pipeline");
+    let stats = out.admm.as_ref().expect("pipeline must route through admm");
+    assert!(stats.converged, "pipeline admm solve must converge");
+    let rep = audit_solve_output(g, &spec, &out);
+    assert!(rep.is_clean(), "audit failures:\n{}", rep.render());
+}
+
+#[test]
+fn tcp_workers_agree_bitwise_with_in_process_backend() {
+    let g = random_layered_mdg(&RandomMdgConfig::sized(200), SEED);
+    // Force a multi-block partition at this size so consensus rounds
+    // (not just a single-block solve) cross the wire, and accept a
+    // looser tolerance: this test's contract is bitwise TCP =
+    // in-process agreement on the whole trajectory, not deep
+    // convergence (the ignored smoke/acceptance tests cover that), and
+    // it must stay debug-profile friendly for the plain test suite.
+    let mut cfg = AdmmConfig::default();
+    cfg.partition.target_block_nodes = 64;
+    cfg.eps = 1e-3;
+    solve_both_ways(&g, Machine::cm5(64), &cfg);
+}
+
+/// The CI `admm-smoke` job: a 10^4-compute-node seeded graph solved in
+/// worker mode over localhost TCP, converging with zero audit failures.
+/// Heavy — run explicitly with `--ignored` (release profile advised).
+#[test]
+#[ignore = "heavy: CI admm-smoke job runs this with --ignored in release"]
+fn admm_smoke_ten_thousand_nodes_over_tcp() {
+    let g = random_layered_mdg(&RandomMdgConfig::sized(10_000), SEED);
+    let machine = Machine::cm5(256);
+    solve_both_ways(&g, machine, &AdmmConfig::default());
+    pipeline_audits_clean(&g, machine);
+}
+
+/// The issue's acceptance run: a 10^5-node seeded random-layered MDG
+/// partitioned and solved to primal/dual residual < 1e-4, in-process
+/// and via worker TCP. Very heavy — run manually with `--ignored` in
+/// release.
+#[test]
+#[ignore = "very heavy: acceptance run, execute manually with --ignored in release"]
+fn acceptance_hundred_thousand_nodes_over_tcp() {
+    let g = random_layered_mdg(&RandomMdgConfig::sized(100_000), SEED);
+    let res = solve_both_ways(&g, Machine::cm5(1024), &AdmmConfig::default());
+    assert!(res.primal_residual < 1e-4 && res.dual_residual < 1e-4);
+}

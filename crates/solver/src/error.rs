@@ -19,6 +19,10 @@ use std::time::Duration;
 pub enum FallbackTier {
     /// The projected-gradient solver succeeded (no degradation).
     Primary,
+    /// The distributed consensus-ADMM solver produced the allocation
+    /// (a peer of `Primary` for graphs too large for one dense solve,
+    /// not a degradation rung).
+    Admm,
     /// Fell back to gradient-free coordinate descent.
     Coordinate,
     /// Fell back to the analytic equal-split allocation.
@@ -30,14 +34,16 @@ impl FallbackTier {
     pub fn as_str(self) -> &'static str {
         match self {
             FallbackTier::Primary => "none",
+            FallbackTier::Admm => "admm",
             FallbackTier::Coordinate => "coordinate",
             FallbackTier::EqualSplit => "equal-split",
         }
     }
 
-    /// True for any tier below the primary solver.
+    /// True for any tier below the primary solver. The ADMM tier is an
+    /// alternative full-quality path, not a degradation.
     pub fn is_degraded(self) -> bool {
-        self != FallbackTier::Primary
+        !matches!(self, FallbackTier::Primary | FallbackTier::Admm)
     }
 }
 
@@ -108,9 +114,11 @@ mod tests {
     #[test]
     fn tier_labels_are_stable() {
         assert_eq!(FallbackTier::Primary.as_str(), "none");
+        assert_eq!(FallbackTier::Admm.as_str(), "admm");
         assert_eq!(FallbackTier::Coordinate.as_str(), "coordinate");
         assert_eq!(FallbackTier::EqualSplit.as_str(), "equal-split");
         assert!(!FallbackTier::Primary.is_degraded());
+        assert!(!FallbackTier::Admm.is_degraded());
         assert!(FallbackTier::Coordinate.is_degraded());
         assert!(FallbackTier::EqualSplit.is_degraded());
     }
