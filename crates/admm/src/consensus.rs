@@ -69,6 +69,13 @@ pub struct AdmmConfig {
     pub inner: InnerConfig,
     /// Enable residual-balancing rho adaptation.
     pub adapt_rho: bool,
+    /// Bounded-staleness consensus: when positive, a block whose fresh
+    /// solution is lost this round (worker crash, deadline miss, every
+    /// retry failed) is served its *last* solution for up to this many
+    /// consecutive rounds instead of failing the solve. `0` keeps the
+    /// strict synchronous barrier: any lost block aborts the solve, and
+    /// results stay bitwise identical across backends.
+    pub max_stale: usize,
 }
 
 impl Default for AdmmConfig {
@@ -81,6 +88,7 @@ impl Default for AdmmConfig {
             max_outer: 400,
             inner: InnerConfig::default(),
             adapt_rho: true,
+            max_stale: 0,
         }
     }
 }
@@ -92,13 +100,48 @@ impl AdmmConfig {
     }
 }
 
+/// Cumulative fault-recovery counters a [`BlockBackend`] may report.
+/// All zero for backends with nothing to recover from (in-process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendFaultStats {
+    /// Block jobs re-enqueued after a failed or timed-out attempt.
+    pub blocks_retried: u64,
+    /// Re-enqueued jobs completed by a *different* worker than the one
+    /// that failed them (work stealing across the fleet).
+    pub blocks_stolen: u64,
+    /// Per-worker circuit-breaker trips: a worker quarantined after
+    /// repeated failures (half-open re-probes may readmit it later).
+    pub workers_quarantined: u64,
+    /// Whole-backend downgrades taken by a wrapper such as
+    /// [`FailoverBackend`] (e.g. TCP fleet → in-process).
+    pub backend_downgrades: u64,
+}
+
 /// Where block x-updates run. Implementations must place solution `i`
 /// at index `i` of the returned vector (same order as `jobs`).
 pub trait BlockBackend {
     /// Solve every job; the call is allowed to run them in any order or
     /// in parallel, but each solution must be the pure
     /// [`solve_block_job`] result for its job.
-    fn solve_blocks(&mut self, jobs: Vec<BlockJob>) -> Result<Vec<BlockSolution>, String>;
+    fn solve_blocks(&mut self, jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String>;
+
+    /// Fault-tolerant variant for bounded-staleness consensus rounds:
+    /// per-job outcomes, where `None` marks a job that could not be
+    /// solved this round (worker crashed, deadline missed, every retry
+    /// failed). `Err` is reserved for total collapse — no job could be
+    /// attempted at all. The default delegates to the strict
+    /// all-or-nothing [`BlockBackend::solve_blocks`].
+    fn solve_blocks_partial(
+        &mut self,
+        jobs: &[BlockJob],
+    ) -> Result<Vec<Option<BlockSolution>>, String> {
+        Ok(self.solve_blocks(jobs)?.into_iter().map(Some).collect())
+    }
+
+    /// Fault-recovery counters accumulated so far (for reporting).
+    fn fault_stats(&self) -> BackendFaultStats {
+        BackendFaultStats::default()
+    }
 }
 
 /// Scoped-thread backend: splits jobs into contiguous chunks over at
@@ -113,7 +156,7 @@ pub struct InProcessBackend {
 }
 
 impl BlockBackend for InProcessBackend {
-    fn solve_blocks(&mut self, jobs: Vec<BlockJob>) -> Result<Vec<BlockSolution>, String> {
+    fn solve_blocks(&mut self, jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String> {
         let total = jobs.len();
         if total == 0 {
             return Ok(Vec::new());
@@ -129,37 +172,92 @@ impl BlockBackend for InProcessBackend {
             return jobs.iter().map(|j| solve_block_job(j, &mut ws)).collect();
         }
         let chunk_len = total.div_ceil(workers);
-        let mut chunks: Vec<Vec<(usize, BlockJob)>> = Vec::new();
-        for (i, job) in jobs.into_iter().enumerate() {
-            if chunks.last().is_none_or(|c| c.len() == chunk_len) {
-                chunks.push(Vec::with_capacity(chunk_len));
-            }
-            chunks.last_mut().expect("chunk pushed above").push((i, job));
-        }
         let joined = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
+            let handles: Vec<_> = jobs
+                .chunks(chunk_len)
                 .map(|chunk| {
                     scope.spawn(move || {
                         let mut ws = workspace::acquire();
-                        chunk
-                            .into_iter()
-                            .map(|(i, job)| (i, solve_block_job(&job, &mut ws)))
-                            .collect::<Vec<_>>()
+                        chunk.iter().map(|job| solve_block_job(job, &mut ws)).collect::<Vec<_>>()
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         });
-        let mut slots: Vec<Option<BlockSolution>> = Vec::with_capacity(total);
-        slots.resize_with(total, || None);
+        // Chunks are contiguous and joined in spawn order, so flattening
+        // preserves the job order.
+        let mut out = Vec::with_capacity(total);
         for r in joined {
-            let pairs = r.map_err(|_| "block solve thread panicked".to_string())?;
-            for (i, sol) in pairs {
-                slots[i] = Some(sol?);
+            let sols = r.map_err(|_| "block solve thread panicked".to_string())?;
+            for sol in sols {
+                out.push(sol?);
             }
         }
-        Ok(slots.into_iter().map(|s| s.expect("every chunk reported")).collect())
+        Ok(out)
+    }
+}
+
+/// Graceful-degradation wrapper: run block rounds through `primary`
+/// until it fails outright (e.g. the whole TCP worker fleet is
+/// quarantined or unreachable), then demote — permanently, for this
+/// solve — to the in-process backend. This is the distributed tier's
+/// rung on the fallback ladder: TCP fleet → in-process → (in the
+/// pipeline) dense tiers. Downgrades are counted in
+/// [`BackendFaultStats::backend_downgrades`] and surface in
+/// [`AdmmResult`].
+pub struct FailoverBackend<P: BlockBackend> {
+    primary: P,
+    fallback: InProcessBackend,
+    demoted: bool,
+    downgrades: u64,
+}
+
+impl<P: BlockBackend> FailoverBackend<P> {
+    /// Wrap `primary`, falling back to `fallback` on total failure.
+    pub fn new(primary: P, fallback: InProcessBackend) -> FailoverBackend<P> {
+        FailoverBackend { primary, fallback, demoted: false, downgrades: 0 }
+    }
+
+    /// True once the primary backend has been abandoned for this solve.
+    pub fn demoted(&self) -> bool {
+        self.demoted
+    }
+
+    fn demote(&mut self, err: &str) {
+        self.demoted = true;
+        self.downgrades += 1;
+        eprintln!("admm: primary block backend failed ({err}); downgrading to in-process");
+    }
+}
+
+impl<P: BlockBackend> BlockBackend for FailoverBackend<P> {
+    fn solve_blocks(&mut self, jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String> {
+        if !self.demoted {
+            match self.primary.solve_blocks(jobs) {
+                Ok(sols) => return Ok(sols),
+                Err(e) => self.demote(&e),
+            }
+        }
+        self.fallback.solve_blocks(jobs)
+    }
+
+    fn solve_blocks_partial(
+        &mut self,
+        jobs: &[BlockJob],
+    ) -> Result<Vec<Option<BlockSolution>>, String> {
+        if !self.demoted {
+            match self.primary.solve_blocks_partial(jobs) {
+                Ok(slots) => return Ok(slots),
+                Err(e) => self.demote(&e),
+            }
+        }
+        self.fallback.solve_blocks_partial(jobs)
+    }
+
+    fn fault_stats(&self) -> BackendFaultStats {
+        let mut stats = self.primary.fault_stats();
+        stats.backend_downgrades += self.downgrades;
+        stats
     }
 }
 
@@ -187,6 +285,19 @@ pub struct AdmmResult {
     pub blocks: usize,
     /// Number of cut edges (consensus-coupled transfers).
     pub cut_edges: usize,
+    /// Block jobs re-enqueued after a failed attempt (backend-reported).
+    pub blocks_retried: u64,
+    /// Re-enqueued jobs completed by a different worker (work stealing).
+    pub blocks_stolen: u64,
+    /// Round slots served a stale (reused) block solution.
+    pub blocks_stale: u64,
+    /// Longest consecutive stale streak any single block experienced;
+    /// bounded by [`AdmmConfig::max_stale`] by construction.
+    pub max_block_stale_rounds: usize,
+    /// Per-worker circuit-breaker trips (backend-reported).
+    pub workers_quarantined: u64,
+    /// Whole-backend downgrades (e.g. TCP fleet → in-process).
+    pub backend_downgrades: u64,
     /// Tier label for downstream reporting (always `Admm`).
     pub tier: FallbackTier,
 }
@@ -337,6 +448,18 @@ pub fn solve_admm<B: BlockBackend>(
     let mut accel = true;
     let mut last_gain = f64::INFINITY;
 
+    // Bounded-staleness bookkeeping (`cfg.max_stale > 0`): the last
+    // fresh solution per block, each block's consecutive-stale streak,
+    // and the totals reported in the result. Reuse is well-defined
+    // because a block's sub-graph and variable maps are fixed for the
+    // whole solve — only the frozen context and penalties move between
+    // rounds, so a previous iterate is still a feasible (merely stale)
+    // x-update.
+    let mut last_sols: Vec<Option<BlockSolution>> = vec![None; part.blocks];
+    let mut stale_streak = vec![0usize; part.blocks];
+    let mut blocks_stale = 0u64;
+    let mut max_block_stale_rounds = 0usize;
+
     for _ in 0..cfg.max_outer {
         outer_iters += 1;
         let sw = global_sweeps(&obj, &x);
@@ -351,7 +474,47 @@ pub fn solve_admm<B: BlockBackend>(
             jobs.push(job);
             maps.push(map);
         }
-        let sols = backend.solve_blocks(jobs).map_err(SolverError::StartPanicked)?;
+        let sols: Vec<BlockSolution> = if cfg.max_stale == 0 {
+            // Strict synchronous barrier: any lost block aborts, and the
+            // round is bitwise identical across backends.
+            backend.solve_blocks(&jobs).map_err(SolverError::StartPanicked)?
+        } else {
+            let partial =
+                backend.solve_blocks_partial(&jobs).map_err(SolverError::StartPanicked)?;
+            if partial.len() != part.blocks {
+                return Err(SolverError::StartPanicked(format!(
+                    "backend returned {} solutions for {} blocks",
+                    partial.len(),
+                    part.blocks
+                )));
+            }
+            let mut filled = Vec::with_capacity(part.blocks);
+            for (b, slot) in partial.into_iter().enumerate() {
+                match slot {
+                    Some(sol) => {
+                        stale_streak[b] = 0;
+                        last_sols[b] = Some(sol.clone());
+                        filled.push(sol);
+                    }
+                    None if stale_streak[b] < cfg.max_stale && last_sols[b].is_some() => {
+                        stale_streak[b] += 1;
+                        max_block_stale_rounds = max_block_stale_rounds.max(stale_streak[b]);
+                        blocks_stale += 1;
+                        let prev = last_sols[b].clone().expect("checked is_some");
+                        // A reused iterate did no fresh inner work.
+                        filled.push(BlockSolution { iters: 0, ..prev });
+                    }
+                    None => {
+                        return Err(SolverError::StartPanicked(format!(
+                            "block {b} lost with stale budget exhausted \
+                             (max_stale {}, streak {}, round {outer_iters})",
+                            cfg.max_stale, stale_streak[b]
+                        )));
+                    }
+                }
+            }
+            filled
+        };
         if sols.len() != part.blocks {
             return Err(SolverError::StartPanicked(format!(
                 "backend returned {} solutions for {} blocks",
@@ -599,6 +762,7 @@ pub fn solve_admm<B: BlockBackend>(
 
     consider(&x, &mut best);
     let (alloc, phi) = best.expect("at least one iterate was scored");
+    let fstats = backend.fault_stats();
     Ok(AdmmResult {
         alloc,
         phi,
@@ -610,6 +774,12 @@ pub fn solve_admm<B: BlockBackend>(
         converged,
         blocks: part.blocks,
         cut_edges: part.cut_edges.len(),
+        blocks_retried: fstats.blocks_retried,
+        blocks_stolen: fstats.blocks_stolen,
+        blocks_stale,
+        max_block_stale_rounds,
+        workers_quarantined: fstats.workers_quarantined,
+        backend_downgrades: fstats.backend_downgrades,
         tier: FallbackTier::Admm,
     })
 }
@@ -755,5 +925,149 @@ mod tests {
         assert!(solve_admm_in_process(&g, machine, &bad_relax, 1).is_err());
         let bad_rho = AdmmConfig { rho0: 0.0, ..AdmmConfig::default() };
         assert!(solve_admm_in_process(&g, machine, &bad_rho, 1).is_err());
+    }
+
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministically drops block solutions after the first round,
+    /// simulating deadline misses / worker crashes under stale mode.
+    struct FlakyBackend {
+        inner: InProcessBackend,
+        seed: u64,
+        drop_p: f64,
+        round: u64,
+    }
+
+    impl BlockBackend for FlakyBackend {
+        fn solve_blocks(&mut self, jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String> {
+            self.inner.solve_blocks(jobs)
+        }
+
+        fn solve_blocks_partial(
+            &mut self,
+            jobs: &[BlockJob],
+        ) -> Result<Vec<Option<BlockSolution>>, String> {
+            let sols = self.inner.solve_blocks(jobs)?;
+            self.round += 1;
+            let round = self.round;
+            Ok(sols
+                .into_iter()
+                .enumerate()
+                .map(|(b, sol)| {
+                    // Never drop in round 1: there is no previous
+                    // solution to reuse yet.
+                    let h = splitmix64(self.seed ^ round.wrapping_mul(0x9e3b) ^ b as u64);
+                    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                    (round == 1 || u >= self.drop_p).then_some(sol)
+                })
+                .collect())
+        }
+    }
+
+    /// Property of the bounded-staleness mode, over several fault seeds:
+    /// a solve either completes with every block's consecutive stale
+    /// streak within `max_stale`, or fails with the typed budget-
+    /// exhausted error — it never silently runs a block staler than the
+    /// budget. At least one seed must exercise actual stale reuse.
+    #[test]
+    fn stale_rounds_never_exceed_the_budget() {
+        let g = fork_join_mdg(6, 10, 5);
+        let machine = Machine::cm5(32);
+        let cfg = AdmmConfig { max_stale: 2, ..AdmmConfig::with_blocks(&g, 4) };
+        let dense = allocate(&g, machine, &SolverConfig::fast());
+        let mut saw_stale = false;
+        for seed in 0..6u64 {
+            let mut backend = FlakyBackend {
+                inner: InProcessBackend { threads: 1 },
+                seed,
+                drop_p: 0.25,
+                round: 0,
+            };
+            match solve_admm(&g, machine, &cfg, &mut backend) {
+                Ok(res) => {
+                    assert!(
+                        res.max_block_stale_rounds <= cfg.max_stale,
+                        "seed {seed}: stale streak {} exceeds budget {}",
+                        res.max_block_stale_rounds,
+                        cfg.max_stale
+                    );
+                    saw_stale |= res.blocks_stale > 0;
+                    if res.blocks_stale > 0 {
+                        // The relaxed guarantee: stale rounds may slow
+                        // convergence but not degrade the answer beyond
+                        // the gallery tolerance.
+                        assert!(
+                            res.phi.phi <= dense.phi.phi * 1.01 + 1e-9,
+                            "seed {seed}: stale admm {} vs dense {}",
+                            res.phi.phi,
+                            dense.phi.phi
+                        );
+                    }
+                }
+                Err(e) => {
+                    assert!(
+                        e.to_string().contains("stale budget exhausted"),
+                        "seed {seed}: unexpected failure {e}"
+                    );
+                }
+            }
+        }
+        assert!(saw_stale, "at least one seed must exercise stale reuse");
+    }
+
+    /// Strict mode must not tolerate a lost block: the same flaky
+    /// backend that stale mode absorbs aborts a `max_stale = 0` solve.
+    #[test]
+    fn strict_mode_aborts_on_a_lost_block() {
+        struct LoseOne {
+            inner: InProcessBackend,
+        }
+        impl BlockBackend for LoseOne {
+            fn solve_blocks(&mut self, _jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String> {
+                Err("block 0: worker crashed".into())
+            }
+            fn solve_blocks_partial(
+                &mut self,
+                jobs: &[BlockJob],
+            ) -> Result<Vec<Option<BlockSolution>>, String> {
+                let mut slots: Vec<Option<BlockSolution>> =
+                    self.inner.solve_blocks(jobs)?.into_iter().map(Some).collect();
+                slots[0] = None;
+                Ok(slots)
+            }
+        }
+        let g = fork_join_mdg(6, 10, 5);
+        let machine = Machine::cm5(32);
+        let cfg = AdmmConfig::with_blocks(&g, 4);
+        let mut backend = LoseOne { inner: InProcessBackend { threads: 1 } };
+        assert!(solve_admm(&g, machine, &cfg, &mut backend).is_err());
+    }
+
+    /// A primary backend that collapses entirely demotes to in-process,
+    /// records the downgrade, and still produces the bitwise in-process
+    /// answer (the fallback runs every round from the start).
+    #[test]
+    fn failover_backend_downgrades_and_matches_in_process() {
+        struct DeadFleet;
+        impl BlockBackend for DeadFleet {
+            fn solve_blocks(&mut self, _jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String> {
+                Err("all workers quarantined".into())
+            }
+        }
+        let g = fork_join_mdg(6, 10, 5);
+        let machine = Machine::cm5(32);
+        let cfg = AdmmConfig::with_blocks(&g, 4);
+        let mut backend = FailoverBackend::new(DeadFleet, InProcessBackend { threads: 1 });
+        let res = solve_admm(&g, machine, &cfg, &mut backend).expect("failover solve");
+        assert!(backend.demoted());
+        assert_eq!(res.backend_downgrades, 1);
+        let local = solve_admm_in_process(&g, machine, &cfg, 1).expect("in-process");
+        assert_eq!(res.phi.phi.to_bits(), local.phi.phi.to_bits());
+        assert_eq!(res.alloc.as_slice(), local.alloc.as_slice());
     }
 }

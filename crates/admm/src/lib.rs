@@ -33,6 +33,7 @@ pub use block::{
     ConsensusTerm, GlobalSweeps, InnerConfig,
 };
 pub use consensus::{
-    solve_admm, solve_admm_in_process, AdmmConfig, AdmmResult, BlockBackend, InProcessBackend,
+    solve_admm, solve_admm_in_process, AdmmConfig, AdmmResult, BackendFaultStats, BlockBackend,
+    FailoverBackend, InProcessBackend,
 };
 pub use partition::{partition_mdg, Partition, PartitionOptions};

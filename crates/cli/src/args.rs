@@ -149,6 +149,18 @@ pub enum Command {
         /// Accept `admm_block` frames (the distributed-ADMM worker
         /// role).
         worker: bool,
+        /// Route ADMM-tier solves through these TCP worker addresses
+        /// (empty = in-process backend).
+        admm_workers: Vec<std::net::SocketAddr>,
+        /// Bounded-staleness budget per ADMM block (0 = strict
+        /// synchronous barrier).
+        admm_stale: usize,
+        /// Per-block-job deadline in milliseconds (None = fleet
+        /// default).
+        block_deadline_ms: Option<u64>,
+        /// Append-only file persisting the auditor's first-failure
+        /// record across restarts.
+        audit_log: Option<String>,
     },
     /// `bench-serve [--clients N] [--rounds N] [--workers N]
     /// [--max-queue-wait ms]`: run the closed-loop load generator
@@ -200,6 +212,20 @@ pub enum Command {
         /// (exit 1) on a >3x wall-clock regression or any lost
         /// convergence.
         baseline: Option<String>,
+        /// Spawn this many local TCP workers and run the gate case
+        /// through the fleet backend (0 = in-process only).
+        fleet: usize,
+        /// Fault-injection plan applied to one fleet worker (chaos
+        /// drill; requires `--fleet`).
+        chaos: Option<paradigm_serve::FaultPlan>,
+        /// Kill one fleet worker this many milliseconds into the fleet
+        /// solve (requires `--fleet`).
+        kill_after_ms: Option<u64>,
+        /// Bounded-staleness budget for the fleet solve (0 = strict).
+        admm_stale: usize,
+        /// Per-block-job deadline in milliseconds (None = fleet
+        /// default).
+        block_deadline_ms: Option<u64>,
     },
     /// `help`.
     Help,
@@ -245,14 +271,26 @@ USAGE:
   paradigm analyze check-cert <cert.json>
   paradigm partition <file.mdg> [--blocks <n>] [-p <procs>]
   paradigm serve [--port <n>] [--workers <n>] [--cache <n>] [--queue <n>]
-                 [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>] [--worker]
+                 [--max-queue-wait <ms>] [--chaos <plan>] [--audit-rate <n>]
+                 [--audit-log <path>] [--worker]
+                 [--admm-workers <addr,addr,...>] [--admm-stale <n>] [--block-deadline-ms <ms>]
   paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>] [--max-queue-wait <ms>]
   paradigm bench-solve [--quick] [--out <path>] [--baseline <path>]
   paradigm bench-admm [--quick] [--out <path>] [--baseline <path>]
+                      [--fleet <n>] [--chaos <plan>] [--kill-after-ms <ms>]
+                      [--admm-stale <n>] [--block-deadline-ms <ms>]
   paradigm help
 
 Chaos plans are comma-separated key=value items, e.g.
   --chaos seed=42,panic=0.3,slow=0.2:50,stall=0.1:20,drop=0.1,truncate=0.05
+Worker-level ADMM faults use the block-* sites, e.g.
+  --chaos seed=7,block-crash=0.2,block-slow=0.3:40,block-drop=0.1,block-truncate=0.05
+
+Distributed ADMM: start workers with `serve --worker`, then point a
+coordinator at them with `--admm-workers`. `--admm-stale 0` keeps the
+strict synchronous barrier (bitwise-identical to in-process);
+`--admm-stale N` lets a round reuse a block's last solution for up to N
+rounds when its fresh solve misses `--block-deadline-ms`.
 
 Graph inputs may be .mdg files (graph text format) or .mini files
 (matrix-program language, compiled on the fly).
@@ -303,6 +341,23 @@ fn parse_count(flag: &str, v: &str, zero_ok: bool) -> Result<usize, UsageError> 
         return Err(UsageError(format!("{flag} must be positive")));
     }
     Ok(n)
+}
+
+/// Parse a comma-separated worker address list (`host:port,...`).
+fn parse_addr_list(v: &str) -> Result<Vec<std::net::SocketAddr>, UsageError> {
+    let addrs: Vec<std::net::SocketAddr> = v
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| UsageError(format!("bad worker address `{}` (want host:port)", s)))
+        })
+        .collect::<Result<_, _>>()?;
+    if addrs.is_empty() {
+        return Err(UsageError("--admm-workers needs at least one host:port address".into()));
+    }
+    Ok(addrs)
 }
 
 /// Parse `argv[1..]`.
@@ -443,6 +498,10 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             let mut chaos = None;
             let mut audit_rate = 0u64;
             let mut worker = false;
+            let mut admm_workers = Vec::new();
+            let mut admm_stale = 0usize;
+            let mut block_deadline_ms = None;
+            let mut audit_log = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--port" => {
@@ -466,9 +525,23 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                     "--audit-rate" => {
                         audit_rate = parse_count(flag, take_value(flag, &mut it)?, true)? as u64;
                     }
+                    "--audit-log" => audit_log = Some(take_value(flag, &mut it)?.to_string()),
                     "--worker" => worker = true,
+                    "--admm-workers" => admm_workers = parse_addr_list(take_value(flag, &mut it)?)?,
+                    "--admm-stale" => {
+                        admm_stale = parse_count(flag, take_value(flag, &mut it)?, true)?;
+                    }
+                    "--block-deadline-ms" => {
+                        block_deadline_ms =
+                            Some(parse_count(flag, take_value(flag, &mut it)?, false)? as u64);
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
+            }
+            if admm_workers.is_empty() && (admm_stale != 0 || block_deadline_ms.is_some()) {
+                return Err(UsageError(
+                    "--admm-stale/--block-deadline-ms need --admm-workers".into(),
+                ));
             }
             Command::Serve {
                 port,
@@ -479,6 +552,10 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                 chaos,
                 audit_rate,
                 worker,
+                admm_workers,
+                admm_stale,
+                block_deadline_ms,
+                audit_log,
             }
         }
         "bench-serve" => {
@@ -531,15 +608,58 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             let mut quick = false;
             let mut out = None;
             let mut baseline = None;
+            let mut fleet = 0usize;
+            let mut chaos = None;
+            let mut kill_after_ms = None;
+            let mut admm_stale = 0usize;
+            let mut block_deadline_ms = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--quick" => quick = true,
                     "--out" => out = Some(take_value(flag, &mut it)?.to_string()),
                     "--baseline" => baseline = Some(take_value(flag, &mut it)?.to_string()),
+                    "--fleet" => fleet = parse_count(flag, take_value(flag, &mut it)?, true)?,
+                    "--chaos" => {
+                        let v = take_value(flag, &mut it)?;
+                        chaos = Some(
+                            paradigm_serve::FaultPlan::parse(v)
+                                .map_err(|e| UsageError(format!("bad chaos plan: {e}")))?,
+                        );
+                    }
+                    "--kill-after-ms" => {
+                        kill_after_ms =
+                            Some(parse_count(flag, take_value(flag, &mut it)?, true)? as u64);
+                    }
+                    "--admm-stale" => {
+                        admm_stale = parse_count(flag, take_value(flag, &mut it)?, true)?;
+                    }
+                    "--block-deadline-ms" => {
+                        block_deadline_ms =
+                            Some(parse_count(flag, take_value(flag, &mut it)?, false)? as u64);
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Command::BenchAdmm { quick, out, baseline }
+            if fleet == 0
+                && (chaos.is_some()
+                    || kill_after_ms.is_some()
+                    || admm_stale != 0
+                    || block_deadline_ms.is_some())
+            {
+                return Err(UsageError(
+                    "--chaos/--kill-after-ms/--admm-stale/--block-deadline-ms need --fleet".into(),
+                ));
+            }
+            Command::BenchAdmm {
+                quick,
+                out,
+                baseline,
+                fleet,
+                chaos,
+                kill_after_ms,
+                admm_stale,
+                block_deadline_ms,
+            }
         }
         "calibrate" => {
             let mut procs = 64u32;
@@ -752,6 +872,10 @@ mod tests {
                 chaos: None,
                 audit_rate: 0,
                 worker: false,
+                admm_workers: vec![],
+                admm_stale: 0,
+                block_deadline_ms: None,
+                audit_log: None,
             }
         );
         let p = parse_args(&[
@@ -779,6 +903,10 @@ mod tests {
                 chaos: None,
                 audit_rate: 0,
                 worker: false,
+                admm_workers: vec![],
+                admm_stale: 0,
+                block_deadline_ms: None,
+                audit_log: None,
             }
         );
         assert!(parse_args(&["serve", "--port", "banana"]).is_err());
@@ -955,7 +1083,19 @@ mod tests {
     #[test]
     fn bench_admm_command_parses() {
         let p = parse_args(&["bench-admm"]).unwrap();
-        assert_eq!(p.command, Command::BenchAdmm { quick: false, out: None, baseline: None });
+        assert_eq!(
+            p.command,
+            Command::BenchAdmm {
+                quick: false,
+                out: None,
+                baseline: None,
+                fleet: 0,
+                chaos: None,
+                kill_after_ms: None,
+                admm_stale: 0,
+                block_deadline_ms: None,
+            }
+        );
         let p = parse_args(&[
             "bench-admm",
             "--quick",
@@ -971,9 +1111,79 @@ mod tests {
                 quick: true,
                 out: Some("BENCH_admm.json".into()),
                 baseline: Some("ci/bench-admm-baseline.json".into()),
+                fleet: 0,
+                chaos: None,
+                kill_after_ms: None,
+                admm_stale: 0,
+                block_deadline_ms: None,
             }
         );
         assert!(parse_args(&["bench-admm", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn bench_admm_fleet_flags_parse_and_require_fleet() {
+        let p = parse_args(&[
+            "bench-admm",
+            "--quick",
+            "--fleet",
+            "3",
+            "--chaos",
+            "seed=7,block-crash=0.5",
+            "--kill-after-ms",
+            "50",
+            "--admm-stale",
+            "2",
+            "--block-deadline-ms",
+            "500",
+        ])
+        .unwrap();
+        let Command::BenchAdmm {
+            fleet, chaos, kill_after_ms, admm_stale, block_deadline_ms, ..
+        } = p.command
+        else {
+            panic!("not bench-admm")
+        };
+        assert_eq!(fleet, 3);
+        assert_eq!(chaos.unwrap().block_crash, 0.5);
+        assert_eq!(kill_after_ms, Some(50));
+        assert_eq!(admm_stale, 2);
+        assert_eq!(block_deadline_ms, Some(500));
+        assert!(parse_args(&["bench-admm", "--kill-after-ms", "50"]).is_err(), "needs --fleet");
+        assert!(parse_args(&["bench-admm", "--admm-stale", "1"]).is_err(), "needs --fleet");
+        assert!(
+            parse_args(&["bench-admm", "--fleet", "2", "--block-deadline-ms", "0"]).is_err(),
+            "deadline must be positive"
+        );
+    }
+
+    #[test]
+    fn serve_fleet_flags_parse() {
+        let p = parse_args(&[
+            "serve",
+            "--admm-workers",
+            "127.0.0.1:9001,127.0.0.1:9002",
+            "--admm-stale",
+            "3",
+            "--block-deadline-ms",
+            "750",
+            "--audit-log",
+            "audit.log",
+        ])
+        .unwrap();
+        let Command::Serve { admm_workers, admm_stale, block_deadline_ms, audit_log, .. } =
+            p.command
+        else {
+            panic!("not serve")
+        };
+        assert_eq!(admm_workers.len(), 2);
+        assert_eq!(admm_workers[0], "127.0.0.1:9001".parse().unwrap());
+        assert_eq!(admm_stale, 3);
+        assert_eq!(block_deadline_ms, Some(750));
+        assert_eq!(audit_log.as_deref(), Some("audit.log"));
+        assert!(parse_args(&["serve", "--admm-workers", "not-an-addr"]).is_err());
+        assert!(parse_args(&["serve", "--admm-workers", ","]).is_err(), "empty list");
+        assert!(parse_args(&["serve", "--admm-stale", "2"]).is_err(), "needs --admm-workers");
     }
 
     #[test]

@@ -6,27 +6,46 @@
 //! quality) is recorded in CI rather than anecdotal. Per case it
 //! records:
 //!
-//! * `wall_ms` — one end-to-end `solve_admm_in_process` call, including
-//!   partitioning;
+//! * `wall_ms` — one end-to-end ADMM solve, including partitioning;
 //! * `blocks` / `cut_edges` — what the multilevel partitioner produced;
 //! * `outer_rounds`, `inner_iters`, `polish_iters` — coordinator effort;
 //! * `primal_residual` / `dual_residual` / `converged` — the consensus
 //!   stopping state;
 //! * `phi` and, on cases small enough to also solve densely,
 //!   `phi_vs_dense` — the ADMM objective over the single-problem
-//!   optimum (1.0 = parity; the convergence tests pin this at ≤ 1.01).
+//!   optimum (1.0 = parity; the convergence tests pin this at ≤ 1.01);
+//! * fault-tolerance counters (`blocks_retried`, `blocks_stolen`,
+//!   `blocks_stale`, `workers_quarantined`, `backend_downgrades`) —
+//!   zero on a healthy in-process run, nonzero under fleet chaos.
+//!
+//! With `--fleet <n>` the benchmark spawns `n` in-process
+//! `serve --worker` nodes on ephemeral localhost ports and routes every
+//! block x-update through [`TcpBlockBackend`] (wrapped in a
+//! [`FailoverBackend`], mirroring production `serve` wiring). The
+//! cluster chaos drill: `--chaos <plan>` arms worker 0 with seeded
+//! block-level faults, and `--kill-after-ms <ms>` shuts the last worker
+//! down mid-gate-case — the run must still complete, converge, and
+//! report nonzero retry/steal counts.
 //!
 //! `--baseline <path>` compares against a checked-in snapshot and fails
 //! (exit 1) when the gate case loses convergence or its wall clock
 //! regresses more than 5x — coarse enough to survive CI machine noise,
 //! tight enough to catch algorithmic regressions.
 
-use std::time::Instant;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use paradigm_admm::{solve_admm_in_process, AdmmConfig};
+use paradigm_admm::{
+    solve_admm, solve_admm_in_process, AdmmConfig, AdmmResult, FailoverBackend, InProcessBackend,
+};
 use paradigm_cost::Machine;
 use paradigm_mdg::{fork_join_mdg, random_layered_mdg, Mdg, RandomMdgConfig};
-use paradigm_serve::{parse_json, Json};
+use paradigm_serve::{
+    parse_json, FaultPlan, FleetConfig, Json, MetricsSnapshot, ServeConfig, Server, ServerConfig,
+    TcpBlockBackend,
+};
 use paradigm_solver::{allocate, SolverConfig};
 
 use crate::commands::{CliError, CmdOutput};
@@ -40,11 +59,48 @@ const SEED: u64 = 1994;
 const REGRESSION_FACTOR: f64 = 5.0;
 
 /// The case name the `--baseline` gate keys on (the largest graph the
-/// quick configuration runs).
+/// quick configuration runs). `--kill-after-ms` arms its kill timer at
+/// the start of this case so the chaos drill lands mid-solve.
 const GATE_CASE: &str = "random-8192";
 
 /// Dense reference solves are only affordable below this node count.
 const DENSE_LIMIT: usize = 3000;
+
+/// Everything `bench-admm` can be asked to do (mirrors the CLI flags).
+pub struct BenchAdmmOpts {
+    /// Drop the largest graphs (CI smoke).
+    pub quick: bool,
+    /// Write `BENCH_admm.json` here instead of stdout.
+    pub out: Option<String>,
+    /// Compare the gate case against this checked-in snapshot.
+    pub baseline: Option<String>,
+    /// Spawn this many local worker nodes and solve through them
+    /// (0 = in-process backend, the tracked-number configuration).
+    pub fleet: usize,
+    /// Seeded fault plan armed on worker 0 (fleet mode only).
+    pub chaos: Option<FaultPlan>,
+    /// Shut the last worker down this long after the gate case starts.
+    pub kill_after_ms: Option<u64>,
+    /// Bounded-staleness budget per block (0 = strict barrier).
+    pub admm_stale: usize,
+    /// Per-block-job deadline override in milliseconds.
+    pub block_deadline_ms: Option<u64>,
+}
+
+impl Default for BenchAdmmOpts {
+    fn default() -> Self {
+        BenchAdmmOpts {
+            quick: true,
+            out: None,
+            baseline: None,
+            fleet: 0,
+            chaos: None,
+            kill_after_ms: None,
+            admm_stale: 0,
+            block_deadline_ms: None,
+        }
+    }
+}
 
 struct CaseReport {
     name: String,
@@ -62,32 +118,93 @@ struct CaseReport {
     converged: bool,
     /// `phi / dense_phi` when a dense reference ran, else None.
     phi_vs_dense: Option<f64>,
+    blocks_retried: u64,
+    blocks_stolen: u64,
+    blocks_stale: u64,
+    workers_quarantined: u64,
+    backend_downgrades: u64,
 }
 
-/// Run the benchmark; `quick` drops the largest graphs (CI smoke).
-pub fn run_bench_admm(
-    quick: bool,
-    out_path: Option<&str>,
-    baseline: Option<&str>,
-) -> Result<CmdOutput, CliError> {
+/// How a case's block x-updates are executed.
+enum Runner<'a> {
+    /// The default tracked configuration: threaded solves in this
+    /// process.
+    InProcess,
+    /// Fan out over a TCP worker fleet, wrapped in a failover to the
+    /// in-process backend (mirrors `serve` wiring).
+    Fleet { addrs: &'a [SocketAddr], deadline: Duration },
+}
+
+/// Run the benchmark per `opts`; see the module docs for the report.
+pub fn run_bench_admm(opts: &BenchAdmmOpts) -> Result<CmdOutput, CliError> {
     let machine = Machine::cm5(256);
+    let admm_cfg = AdmmConfig { max_stale: opts.admm_stale, ..AdmmConfig::default() };
+    let deadline =
+        opts.block_deadline_ms.map_or(FleetConfig::default().block_deadline, Duration::from_millis);
+
     let mut graphs: Vec<(String, Mdg)> = vec![
         ("fork-join".into(), fork_join_mdg(8, 24, 7)),
         ("random-2048".into(), random_layered_mdg(&RandomMdgConfig::sized(2048), SEED)),
         ("random-8192".into(), random_layered_mdg(&RandomMdgConfig::sized(8192), SEED)),
     ];
-    if !quick {
+    if !opts.quick {
         graphs.push((
             "random-100k".into(),
             random_layered_mdg(&RandomMdgConfig::sized(100_000), SEED),
         ));
     }
-    let cases: Vec<CaseReport> =
-        graphs.iter().map(|(name, g)| bench_case(name, g, machine)).collect();
 
-    let json = render_json(quick, &cases);
-    let mut text = render_table(quick, &cases);
-    if let Some(path) = out_path {
+    let fleet = if opts.fleet > 0 {
+        Some(spawn_fleet(opts.fleet, opts.chaos.clone()).map_err(CliError::Io)?)
+    } else {
+        None
+    };
+
+    let mut text = String::new();
+    if let Some(f) = &fleet {
+        text.push_str(&format!(
+            "fleet: {} worker(s) on localhost{}{}\n",
+            f.addrs.len(),
+            if opts.chaos.is_some() { ", chaos armed on worker 0" } else { "" },
+            opts.kill_after_ms.map_or(String::new(), |ms| format!(
+                ", killing worker {} after {ms} ms of {GATE_CASE}",
+                f.addrs.len() - 1
+            )),
+        ));
+    }
+
+    let mut cases: Vec<CaseReport> = Vec::with_capacity(graphs.len());
+    for (name, g) in &graphs {
+        // Arm the kill timer as the gate case starts, so the worker
+        // dies mid-solve of the case the acceptance gate watches.
+        if name == GATE_CASE {
+            if let (Some(ms), Some(f)) = (opts.kill_after_ms, fleet.as_ref()) {
+                let flag = Arc::clone(f.flags.last().expect("fleet is non-empty"));
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    flag.store(true, Ordering::Relaxed);
+                });
+            }
+        }
+        let runner = match &fleet {
+            Some(f) => Runner::Fleet { addrs: &f.addrs, deadline },
+            None => Runner::InProcess,
+        };
+        cases.push(bench_case(name, g, machine, &admm_cfg, &runner)?);
+    }
+
+    text.push_str(&render_table(opts.quick, &cases));
+    if let Some(f) = fleet {
+        for (i, snap) in f.shutdown().into_iter().enumerate() {
+            text.push_str(&format!(
+                "worker {i}: blocks-solved {}  requests {}\n",
+                snap.blocks_solved, snap.requests
+            ));
+        }
+    }
+
+    let json = render_json(opts.quick, opts.fleet, &cases);
+    if let Some(path) = &opts.out {
         std::fs::write(path, &json).map_err(CliError::Io)?;
         text.push_str(&format!("\nwrote {path}\n"));
     } else {
@@ -96,7 +213,7 @@ pub fn run_bench_admm(
     }
 
     let mut failed = false;
-    if let Some(bpath) = baseline {
+    if let Some(bpath) = &opts.baseline {
         match check_baseline(bpath, &cases) {
             Ok(line) => text.push_str(&line),
             Err(line) => {
@@ -108,16 +225,69 @@ pub fn run_bench_admm(
     Ok(CmdOutput { text, failed })
 }
 
-fn bench_case(name: &str, g: &Mdg, machine: Machine) -> CaseReport {
+/// A locally-spawned worker fleet: ephemeral-port `serve --worker`
+/// nodes, each with its own accept-loop thread.
+struct FleetHandles {
+    addrs: Vec<SocketAddr>,
+    flags: Vec<Arc<AtomicBool>>,
+    joins: Vec<std::thread::JoinHandle<MetricsSnapshot>>,
+}
+
+/// Spawn `n` worker nodes; `chaos`, when given, is armed on worker 0
+/// only, so the rest of the fleet can absorb its injected failures.
+fn spawn_fleet(n: usize, chaos: Option<FaultPlan>) -> std::io::Result<FleetHandles> {
+    let mut fleet = FleetHandles {
+        addrs: Vec::with_capacity(n),
+        flags: Vec::with_capacity(n),
+        joins: Vec::with_capacity(n),
+    };
+    for i in 0..n {
+        let server = Server::bind(ServerConfig {
+            service: ServeConfig {
+                workers: 2,
+                cache_capacity: 8,
+                queue_capacity: 8,
+                worker: true,
+                chaos: if i == 0 { chaos.clone() } else { None },
+                ..ServeConfig::default()
+            },
+            port: 0,
+        })?;
+        fleet.addrs.push(server.local_addr()?);
+        fleet.flags.push(server.shutdown_flag());
+        fleet.joins.push(std::thread::spawn(move || server.run()));
+    }
+    Ok(fleet)
+}
+
+impl FleetHandles {
+    /// Raise every shutdown flag and join the accept loops, returning
+    /// each worker's final metrics (killed workers report what they
+    /// solved before dying).
+    fn shutdown(self) -> Vec<MetricsSnapshot> {
+        for flag in &self.flags {
+            flag.store(true, Ordering::Relaxed);
+        }
+        self.joins.into_iter().map(|j| j.join().expect("worker accept loop panicked")).collect()
+    }
+}
+
+fn bench_case(
+    name: &str,
+    g: &Mdg,
+    machine: Machine,
+    cfg: &AdmmConfig,
+    runner: &Runner<'_>,
+) -> Result<CaseReport, CliError> {
     let t0 = Instant::now();
-    let res = solve_admm_in_process(g, machine, &AdmmConfig::default(), 0)
-        .unwrap_or_else(|e| panic!("admm solve of {name} failed: {e}"));
+    let res = run_case(g, machine, cfg, runner)
+        .map_err(|e| CliError::Config(format!("admm solve of {name} failed: {e}")))?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let phi_vs_dense = (g.compute_node_count() <= DENSE_LIMIT).then(|| {
         let dense = allocate(g, machine, &SolverConfig::fast());
         res.phi.phi / dense.phi.phi
     });
-    CaseReport {
+    Ok(CaseReport {
         name: name.to_string(),
         compute_nodes: g.compute_node_count(),
         edges: g.edge_count(),
@@ -132,6 +302,31 @@ fn bench_case(name: &str, g: &Mdg, machine: Machine) -> CaseReport {
         dual_residual: res.dual_residual,
         converged: res.converged,
         phi_vs_dense,
+        blocks_retried: res.blocks_retried,
+        blocks_stolen: res.blocks_stolen,
+        blocks_stale: res.blocks_stale,
+        workers_quarantined: res.workers_quarantined,
+        backend_downgrades: res.backend_downgrades,
+    })
+}
+
+fn run_case(
+    g: &Mdg,
+    machine: Machine,
+    cfg: &AdmmConfig,
+    runner: &Runner<'_>,
+) -> Result<AdmmResult, String> {
+    match runner {
+        Runner::InProcess => solve_admm_in_process(g, machine, cfg, 0).map_err(|e| e.to_string()),
+        Runner::Fleet { addrs, deadline } => {
+            let tcp = TcpBlockBackend::with_config(
+                addrs,
+                FleetConfig { block_deadline: *deadline, ..FleetConfig::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            let mut backend = FailoverBackend::new(tcp, InProcessBackend::default());
+            solve_admm(g, machine, cfg, &mut backend).map_err(|e| e.to_string())
+        }
     }
 }
 
@@ -168,16 +363,33 @@ fn render_table(quick: bool, cases: &[CaseReport]) -> String {
             if c.converged { "yes" } else { "NO" },
             c.phi_vs_dense.map_or("-".into(), |r| format!("{r:.4}")),
         ));
+        let faults = c.blocks_retried
+            + c.blocks_stolen
+            + c.blocks_stale
+            + c.workers_quarantined
+            + c.backend_downgrades;
+        if faults > 0 {
+            out.push_str(&format!(
+                "  faults: retried {}  stolen {}  stale {}  quarantined {}  downgrades {}\n",
+                c.blocks_retried,
+                c.blocks_stolen,
+                c.blocks_stale,
+                c.workers_quarantined,
+                c.backend_downgrades,
+            ));
+        }
     }
     out
 }
 
-/// The `BENCH_admm.json` document: version 1, one case per line so
+/// The `BENCH_admm.json` document: version 2 (v1 plus the
+/// fault-tolerance counters and the `fleet` size), one case per line so
 /// diffs against the checked-in baseline stay readable.
-fn render_json(quick: bool, cases: &[CaseReport]) -> String {
+fn render_json(quick: bool, fleet: usize, cases: &[CaseReport]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"fleet\": {fleet},\n"));
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         let mut fields = vec![
@@ -194,6 +406,11 @@ fn render_json(quick: bool, cases: &[CaseReport]) -> String {
             ("primal_residual".into(), Json::num(c.primal_residual)),
             ("dual_residual".into(), Json::num(c.dual_residual)),
             ("converged".into(), Json::Bool(c.converged)),
+            ("blocks_retried".into(), Json::num(c.blocks_retried as f64)),
+            ("blocks_stolen".into(), Json::num(c.blocks_stolen as f64)),
+            ("blocks_stale".into(), Json::num(c.blocks_stale as f64)),
+            ("workers_quarantined".into(), Json::num(c.workers_quarantined as f64)),
+            ("backend_downgrades".into(), Json::num(c.backend_downgrades as f64)),
         ];
         if let Some(r) = c.phi_vs_dense {
             fields.push(("phi_vs_dense".into(), Json::num(round6(r))));
@@ -215,7 +432,8 @@ fn round6(v: f64) -> f64 {
 }
 
 /// Compare against a checked-in baseline. `Ok` carries the pass line,
-/// `Err` the failure line (which flips the exit code to 1).
+/// `Err` the failure line (which flips the exit code to 1). Reads only
+/// fields present since schema v1, so v1 baselines keep working.
 fn check_baseline(path: &str, cases: &[CaseReport]) -> Result<String, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("baseline: FAILED to read {path}: {e}\n"))?;
@@ -268,27 +486,38 @@ mod tests {
             dual_residual: 8e-5,
             converged: true,
             phi_vs_dense: None,
+            blocks_retried: 3,
+            blocks_stolen: 2,
+            blocks_stale: 1,
+            workers_quarantined: 1,
+            backend_downgrades: 0,
         }
     }
 
     #[test]
     fn json_document_parses_and_round_trips_fields() {
-        let json = render_json(true, &[tiny_case()]);
+        let json = render_json(true, 3, &[tiny_case()]);
         let doc = parse_json(&json).expect("valid JSON");
-        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("fleet").and_then(Json::as_u64), Some(3));
         let cases = doc.get("cases").and_then(Json::as_arr).expect("cases array");
         assert_eq!(cases.len(), 1);
         assert_eq!(cases[0].get("name").and_then(Json::as_str), Some(GATE_CASE));
         assert_eq!(cases[0].get("wall_ms").and_then(Json::as_f64), Some(2000.0));
         assert_eq!(cases[0].get("converged").and_then(Json::as_bool), Some(true));
+        assert_eq!(cases[0].get("blocks_retried").and_then(Json::as_u64), Some(3));
+        assert_eq!(cases[0].get("blocks_stolen").and_then(Json::as_u64), Some(2));
+        assert_eq!(cases[0].get("blocks_stale").and_then(Json::as_u64), Some(1));
+        assert_eq!(cases[0].get("workers_quarantined").and_then(Json::as_u64), Some(1));
+        assert_eq!(cases[0].get("backend_downgrades").and_then(Json::as_u64), Some(0));
     }
 
     #[test]
     fn baseline_gate_checks_wall_clock_and_convergence() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("paradigm-bench-admm-baseline-{}.json", std::process::id()));
-        std::fs::write(&path, render_json(true, &[tiny_case()])).unwrap();
+        std::fs::write(&path, render_json(true, 0, &[tiny_case()])).unwrap();
         let p = path.to_string_lossy().into_owned();
 
         let ok = check_baseline(&p, &[tiny_case()]).expect("within limit");
@@ -309,11 +538,53 @@ mod tests {
     #[test]
     fn bench_case_on_a_small_graph_produces_sane_numbers() {
         let g = fork_join_mdg(4, 8, 3);
-        let c = bench_case("smoke", &g, Machine::cm5(32));
+        let c =
+            bench_case("smoke", &g, Machine::cm5(32), &AdmmConfig::default(), &Runner::InProcess)
+                .expect("tiny solve succeeds");
         assert!(c.wall_ms > 0.0);
         assert!(c.blocks >= 1);
         assert!(c.converged, "tiny fork-join must converge");
+        assert_eq!(c.blocks_retried + c.blocks_stolen + c.backend_downgrades, 0);
         let ratio = c.phi_vs_dense.expect("dense reference ran");
         assert!(ratio <= 1.02, "admm within 2% of dense on a tiny graph, got {ratio}");
+    }
+
+    #[test]
+    fn bench_case_through_a_tiny_local_fleet_matches_in_process() {
+        let g = fork_join_mdg(4, 8, 3);
+        let cfg = AdmmConfig::default();
+        let local = bench_case("smoke", &g, Machine::cm5(32), &cfg, &Runner::InProcess).unwrap();
+        let fleet = spawn_fleet(2, None).expect("spawn two local workers");
+        let dist = bench_case(
+            "smoke",
+            &g,
+            Machine::cm5(32),
+            &cfg,
+            &Runner::Fleet { addrs: &fleet.addrs, deadline: Duration::from_secs(30) },
+        )
+        .expect("fleet solve succeeds");
+        let snaps = fleet.shutdown();
+        assert_eq!(dist.phi.to_bits(), local.phi.to_bits(), "strict mode is bitwise-identical");
+        assert_eq!(dist.backend_downgrades, 0, "healthy fleet never downgrades");
+        let solved: u64 = snaps.iter().map(|s| s.blocks_solved).sum();
+        assert!(solved >= 1, "workers actually solved blocks, got {solved}");
+    }
+
+    /// Heavy end-to-end chaos drill (the acceptance-gate scenario):
+    /// three workers, worker 0 armed with block faults, the last worker
+    /// killed mid-gate-case — the run must complete and converge.
+    /// `cargo test -p paradigm-cli --release -- --ignored` runs it.
+    #[test]
+    #[ignore = "multi-second end-to-end fleet benchmark"]
+    fn fleet_chaos_run_completes_and_reports_recovery() {
+        let out = run_bench_admm(&BenchAdmmOpts {
+            fleet: 3,
+            chaos: Some(FaultPlan::parse("block-crash=0.15,seed=7").expect("valid plan")),
+            kill_after_ms: Some(200),
+            ..BenchAdmmOpts::default()
+        })
+        .expect("chaos bench completes without intervention");
+        assert!(!out.failed, "no baseline gate was requested");
+        assert!(out.text.contains("faults: retried"), "fault counters surfaced:\n{}", out.text);
     }
 }

@@ -24,7 +24,7 @@ use paradigm_sched::{
     gantt_svg, idle_profile, spmd_schedule, task_parallel_schedule, to_csv, PsaConfig, SchedPolicy,
     Schedule,
 };
-use paradigm_serve::{run_bench, BenchConfig, ServeConfig, Server, ServerConfig};
+use paradigm_serve::{run_bench, AdmmFleetSpec, BenchConfig, ServeConfig, Server, ServerConfig};
 use paradigm_sim::{compare_schedule_vs_sim, lower_spmd, render_trace, simulate, TrueMachine};
 use paradigm_solver::MdgObjective;
 
@@ -37,6 +37,9 @@ pub enum CliError {
     Parse(paradigm_mdg::textfmt::ParseError),
     /// Mini-language front-end problem.
     Front(paradigm_front::FrontError),
+    /// Bad runtime configuration or an internal failure that is not a
+    /// findings verdict (exit code 2, like usage errors).
+    Config(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Front(e) => write!(f, "front-end error: {e}"),
+            CliError::Config(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -321,6 +325,10 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             chaos,
             audit_rate,
             worker,
+            admm_workers,
+            admm_stale,
+            block_deadline_ms,
+            audit_log,
         } => {
             let mut service = ServeConfig::default();
             if *workers > 0 {
@@ -332,6 +340,15 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             service.chaos = chaos.clone();
             service.audit_rate = *audit_rate;
             service.worker = *worker;
+            service.audit_log = audit_log.as_ref().map(std::path::PathBuf::from);
+            if !admm_workers.is_empty() {
+                let mut fleet = AdmmFleetSpec::new(admm_workers.clone());
+                fleet.max_stale = *admm_stale;
+                if let Some(ms) = block_deadline_ms {
+                    fleet.block_deadline = std::time::Duration::from_millis(*ms);
+                }
+                service.fleet = Some(fleet);
+            }
             if let Some(plan) = &service.chaos {
                 println!("paradigm-serve chaos plan active: {plan:?}");
             }
@@ -342,6 +359,17 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             // clients need the (possibly OS-assigned) port to connect.
             let role = if *worker { " [admm worker]" } else { "" };
             println!("paradigm-serve listening on {addr}{role} (NDJSON; ^C or {{\"op\":\"shutdown\"}} to stop)");
+            if !admm_workers.is_empty() {
+                println!(
+                    "paradigm-serve admm fleet: {} worker(s), max-stale {}, block deadline {:?}",
+                    admm_workers.len(),
+                    admm_stale,
+                    block_deadline_ms.map_or_else(
+                        || paradigm_serve::FleetConfig::default().block_deadline,
+                        std::time::Duration::from_millis
+                    )
+                );
+            }
             let stats = server.run();
             Ok(CmdOutput::clean(stats.render()))
         }
@@ -373,9 +401,25 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             out.push_str(&part.render(&g));
             Ok(CmdOutput::clean(out))
         }
-        Command::BenchAdmm { quick, out, baseline } => {
-            crate::bench_admm::run_bench_admm(*quick, out.as_deref(), baseline.as_deref())
-        }
+        Command::BenchAdmm {
+            quick,
+            out,
+            baseline,
+            fleet,
+            chaos,
+            kill_after_ms,
+            admm_stale,
+            block_deadline_ms,
+        } => crate::bench_admm::run_bench_admm(&crate::bench_admm::BenchAdmmOpts {
+            quick: *quick,
+            out: out.clone(),
+            baseline: baseline.clone(),
+            fleet: *fleet,
+            chaos: chaos.clone(),
+            kill_after_ms: *kill_after_ms,
+            admm_stale: *admm_stale,
+            block_deadline_ms: *block_deadline_ms,
+        }),
     }
 }
 

@@ -50,8 +50,9 @@ pub use experiments::{
 };
 pub use pipeline::{
     gallery_graph, machine_from_spec, routes_through_admm, solve_fingerprint, solve_pipeline,
-    solve_pipeline_degraded, try_solve_pipeline, AdmmStats, AllocEntry, PipelineError, SolveOutput,
-    SolveSpec, ADMM_NODE_THRESHOLD, GALLERY_NAMES, MACHINE_SPECS,
+    solve_pipeline_degraded, try_solve_pipeline, try_solve_pipeline_with_backend, AdmmStats,
+    AllocEntry, PipelineError, SolveOutput, SolveSpec, ADMM_NODE_THRESHOLD, GALLERY_NAMES,
+    MACHINE_SPECS,
 };
 pub use programs::TestProgram;
 

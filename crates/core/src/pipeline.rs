@@ -15,7 +15,7 @@
 use crate::compile::{
     compile_resilient, compile_with_solve, run_mpmd, try_compile, CompileConfig, Compiled,
 };
-use paradigm_admm::{solve_admm_in_process, AdmmConfig, AdmmResult};
+use paradigm_admm::{solve_admm, AdmmConfig, AdmmResult, BlockBackend, InProcessBackend};
 use paradigm_cost::Machine;
 use paradigm_mdg::hash::Fnv128;
 use paradigm_mdg::{
@@ -123,6 +123,20 @@ pub struct AdmmStats {
     pub dual_residual: f64,
     /// Whether both residuals dropped below the tolerance.
     pub converged: bool,
+    /// Block jobs retried on another attempt after a worker fault.
+    pub blocks_retried: u64,
+    /// Block jobs completed by a different worker than the one that
+    /// first failed them (work stealing across the fleet).
+    pub blocks_stolen: u64,
+    /// Rounds that reused a block's previous solution because the fresh
+    /// one missed the deadline (bounded-staleness mode only).
+    pub blocks_stale: u64,
+    /// Longest consecutive stale streak any single block reached.
+    pub max_block_stale_rounds: usize,
+    /// Worker circuit-breaker open transitions (quarantine events).
+    pub workers_quarantined: u64,
+    /// Backend downgrades taken (e.g. TCP fleet → in-process).
+    pub backend_downgrades: u64,
 }
 
 impl AdmmStats {
@@ -136,6 +150,12 @@ impl AdmmStats {
             primal_residual: r.primal_residual,
             dual_residual: r.dual_residual,
             converged: r.converged,
+            blocks_retried: r.blocks_retried,
+            blocks_stolen: r.blocks_stolen,
+            blocks_stale: r.blocks_stale,
+            max_block_stale_rounds: r.max_block_stale_rounds,
+            workers_quarantined: r.workers_quarantined,
+            backend_downgrades: r.backend_downgrades,
         }
     }
 }
@@ -248,14 +268,15 @@ pub fn routes_through_admm(g: &Mdg, spec: &SolveSpec) -> bool {
     spec.admm || g.compute_node_count() >= ADMM_NODE_THRESHOLD
 }
 
-/// Run the consensus-ADMM tier and package the allocation for the
-/// compile tail.
-fn admm_allocation(
+/// Run the consensus-ADMM tier through an explicit block backend and
+/// package the allocation for the compile tail.
+fn admm_allocation_with<B: BlockBackend>(
     g: &Mdg,
     spec: &SolveSpec,
+    cfg: &AdmmConfig,
+    backend: &mut B,
 ) -> Result<(AllocationResult, AdmmStats), SolverError> {
-    let cfg = AdmmConfig::default();
-    let res = solve_admm_in_process(g, spec.machine, &cfg, 0)?;
+    let res = solve_admm(g, spec.machine, cfg, backend)?;
     let stats = AdmmStats::from_result(&res);
     let solve = AllocationResult {
         alloc: res.alloc,
@@ -265,6 +286,14 @@ fn admm_allocation(
         tier: FallbackTier::Admm,
     };
     Ok((solve, stats))
+}
+
+/// Run the consensus-ADMM tier with the default in-process backend.
+fn admm_allocation(
+    g: &Mdg,
+    spec: &SolveSpec,
+) -> Result<(AllocationResult, AdmmStats), SolverError> {
+    admm_allocation_with(g, spec, &AdmmConfig::default(), &mut InProcessBackend::default())
 }
 
 /// Run the full pipeline for one graph under one spec, walking the
@@ -297,6 +326,31 @@ pub fn try_solve_pipeline(g: &Mdg, spec: &SolveSpec) -> Result<SolveOutput, Pipe
     spec.validate().map_err(PipelineError::InvalidSpec)?;
     if routes_through_admm(g, spec) {
         let (solve, stats) = admm_allocation(g, spec)?;
+        let c = compile_with_solve(g, spec.machine, &compile_config(spec), solve);
+        let mut out = output_from_compiled(g, spec, &c);
+        out.admm = Some(stats);
+        return Ok(out);
+    }
+    let c = try_compile(g, spec.machine, &compile_config(spec))?;
+    Ok(output_from_compiled(g, spec, &c))
+}
+
+/// Like [`try_solve_pipeline`], but the consensus-ADMM tier (when the
+/// pair routes through it) runs on the caller's [`BlockBackend`] and
+/// [`AdmmConfig`] instead of the defaults. The serving layer uses this
+/// to drive a TCP worker fleet — wrapped in a failover backend — from
+/// the same pipeline the cache and auditor already understand. Requests
+/// that do not route through ADMM behave exactly like
+/// [`try_solve_pipeline`].
+pub fn try_solve_pipeline_with_backend<B: BlockBackend>(
+    g: &Mdg,
+    spec: &SolveSpec,
+    admm_cfg: &AdmmConfig,
+    backend: &mut B,
+) -> Result<SolveOutput, PipelineError> {
+    spec.validate().map_err(PipelineError::InvalidSpec)?;
+    if routes_through_admm(g, spec) {
+        let (solve, stats) = admm_allocation_with(g, spec, admm_cfg, backend)?;
         let c = compile_with_solve(g, spec.machine, &compile_config(spec), solve);
         let mut out = output_from_compiled(g, spec, &c);
         out.admm = Some(stats);

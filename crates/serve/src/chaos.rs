@@ -23,6 +23,17 @@
 //!   writing the response, forcing clients onto their retry path.
 //! * **truncated frame** — the handler writes only a prefix of the
 //!   response line, exercising client-side parse-failure retries.
+//!
+//! Worker-level faults for the distributed ADMM tier (`admm_block`
+//! frames only), exercising the coordinator's retry/steal/quarantine
+//! machinery:
+//!
+//! * **block crash** — the worker dies mid-block-solve (the connection
+//!   thread panics, so the coordinator sees EOF with no response).
+//! * **block slow** — a straggler block solve, long enough to trip the
+//!   coordinator's per-job deadline when one is set.
+//! * **block drop / block truncate** — the `admm_block` response frame
+//!   is severed or cut short on the wire.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -50,6 +61,16 @@ pub struct FaultPlan {
     pub conn_drop: f64,
     /// Probability the server truncates the response frame.
     pub truncate: f64,
+    /// Probability a worker crashes mid-block-solve (`admm_block` only).
+    pub block_crash: f64,
+    /// Probability a block solve straggles (`admm_block` only).
+    pub block_slow: f64,
+    /// How long a straggling block solve sleeps.
+    pub block_slow_ms: u64,
+    /// Probability an `admm_block` response connection is dropped.
+    pub block_drop: f64,
+    /// Probability an `admm_block` response frame is truncated.
+    pub block_truncate: f64,
 }
 
 impl FaultPlan {
@@ -59,11 +80,19 @@ impl FaultPlan {
     /// seed=42,panic=0.5,panic-after=3,slow=0.3:50,stall=0.2:20,drop=0.1,truncate=0.1
     /// ```
     ///
-    /// `slow` and `stall` take an optional `:<ms>` duration suffix
-    /// (defaults: 50 ms slow, 20 ms stall). Unknown keys and
-    /// out-of-range probabilities are errors.
+    /// Worker-level faults for the ADMM tier use the same grammar:
+    ///
+    /// ```text
+    /// block-crash=0.3,block-slow=0.2:30,block-drop=0.1,block-truncate=0.1
+    /// ```
+    ///
+    /// `slow`, `stall`, and `block-slow` take an optional `:<ms>`
+    /// duration suffix (defaults: 50 ms slow, 20 ms stall, 30 ms
+    /// block-slow). Unknown keys and out-of-range probabilities are
+    /// errors.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let mut plan = FaultPlan { slow_ms: 50, stall_ms: 20, ..FaultPlan::default() };
+        let mut plan =
+            FaultPlan { slow_ms: 50, stall_ms: 20, block_slow_ms: 30, ..FaultPlan::default() };
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let (key, value) =
                 item.split_once('=').ok_or_else(|| format!("expected key=value, got `{item}`"))?;
@@ -109,6 +138,16 @@ impl FaultPlan {
                 }
                 "drop" => plan.conn_drop = prob(value)?,
                 "truncate" => plan.truncate = prob(value)?,
+                "block-crash" => plan.block_crash = prob(value)?,
+                "block-slow" => {
+                    let (p, ms) = prob_ms(value)?;
+                    plan.block_slow = p;
+                    if let Some(ms) = ms {
+                        plan.block_slow_ms = ms;
+                    }
+                }
+                "block-drop" => plan.block_drop = prob(value)?,
+                "block-truncate" => plan.block_truncate = prob(value)?,
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
@@ -122,6 +161,10 @@ impl FaultPlan {
             && self.queue_stall == 0.0
             && self.conn_drop == 0.0
             && self.truncate == 0.0
+            && self.block_crash == 0.0
+            && self.block_slow == 0.0
+            && self.block_drop == 0.0
+            && self.block_truncate == 0.0
     }
 }
 
@@ -134,6 +177,10 @@ pub struct Chaos {
     stall_draws: AtomicU64,
     drop_draws: AtomicU64,
     truncate_draws: AtomicU64,
+    block_crash_draws: AtomicU64,
+    block_slow_draws: AtomicU64,
+    block_drop_draws: AtomicU64,
+    block_truncate_draws: AtomicU64,
     /// Faults actually injected (all sites combined).
     injected: AtomicU64,
 }
@@ -224,6 +271,32 @@ impl Chaos {
     /// Should the server write only a prefix of the response frame?
     pub fn truncate_frame(&self) -> bool {
         self.draw(5, &self.truncate_draws, self.plan.truncate)
+    }
+
+    /// Crash the worker mid-block-solve if the plan says so. The panic
+    /// kills the connection handler thread, so the coordinator sees EOF
+    /// with no response — a worker dying with the job on its bench.
+    pub fn maybe_block_crash(&self) {
+        if self.draw(6, &self.block_crash_draws, self.plan.block_crash) {
+            panic!("chaos: injected block-solve crash");
+        }
+    }
+
+    /// Straggle the block solve if the plan says so.
+    pub fn maybe_block_slow(&self) {
+        if self.draw(7, &self.block_slow_draws, self.plan.block_slow) {
+            std::thread::sleep(Duration::from_millis(self.plan.block_slow_ms));
+        }
+    }
+
+    /// Should this `admm_block` response connection be severed?
+    pub fn drop_block_frame(&self) -> bool {
+        self.draw(8, &self.block_drop_draws, self.plan.block_drop)
+    }
+
+    /// Should this `admm_block` response frame be truncated?
+    pub fn truncate_block_frame(&self) -> bool {
+        self.draw(9, &self.block_truncate_draws, self.plan.block_truncate)
     }
 }
 
@@ -328,9 +401,37 @@ mod tests {
             c.maybe_panic();
             c.maybe_slow();
             c.maybe_stall();
+            c.maybe_block_crash();
+            c.maybe_block_slow();
             assert!(!c.drop_connection());
             assert!(!c.truncate_frame());
+            assert!(!c.drop_block_frame());
+            assert!(!c.truncate_block_frame());
         }
         assert_eq!(c.injected(), 0);
+    }
+
+    #[test]
+    fn parse_block_fault_keys() {
+        let p = FaultPlan::parse(
+            "seed=5,block-crash=0.3,block-slow=0.2:35,block-drop=0.1,block-truncate=0.05",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 5);
+        assert_eq!(p.block_crash, 0.3);
+        assert_eq!((p.block_slow, p.block_slow_ms), (0.2, 35));
+        assert_eq!(p.block_drop, 0.1);
+        assert_eq!(p.block_truncate, 0.05);
+        assert!(!p.is_quiet());
+        assert_eq!(FaultPlan::parse("block-slow=0.5").unwrap().block_slow_ms, 30);
+        assert!(FaultPlan::parse("block-crash=2").is_err());
+    }
+
+    #[test]
+    fn block_crash_panics_deterministically() {
+        let c = Chaos::new(FaultPlan { seed: 3, block_crash: 1.0, ..FaultPlan::default() });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.maybe_block_crash()));
+        assert!(r.is_err(), "block crash must fire at p=1");
+        assert_eq!(c.injected(), 1);
     }
 }

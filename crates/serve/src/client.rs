@@ -96,6 +96,7 @@ pub struct Client {
     retries: u64,
     reconnects: u64,
     jitter_state: u64,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -104,7 +105,24 @@ impl Client {
     /// unavailable server costs a retry, not a construction failure.
     pub fn new(addr: SocketAddr, policy: RetryPolicy) -> Client {
         let jitter_state = policy.seed;
-        Client { addr, policy, conn: None, retries: 0, reconnects: 0, jitter_state }
+        Client {
+            addr,
+            policy,
+            conn: None,
+            retries: 0,
+            reconnects: 0,
+            jitter_state,
+            read_timeout: None,
+        }
+    }
+
+    /// Bound how long one request may block waiting for a response.
+    /// A timed-out read surfaces as a transport fault (the connection
+    /// is dropped and, policy permitting, the request is retried), so
+    /// a hung server cannot stall the caller indefinitely.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Client {
+        self.read_timeout = Some(timeout);
+        self
     }
 
     /// Connect with default retries.
@@ -163,6 +181,7 @@ impl Client {
         if self.conn.is_none() {
             let stream = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
             stream.set_nodelay(true).ok();
+            stream.set_read_timeout(self.read_timeout).ok();
             self.conn = Some(BufReader::new(stream));
             self.reconnects += 1;
         }

@@ -63,5 +63,5 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{Metrics, MetricsSnapshot, HIST_BUCKETS};
 pub use protocol::{handle_line, parse_request, Request};
 pub use server::{Server, ServerConfig};
-pub use service::{ServeConfig, ServeError, Service, SolveResponse};
-pub use worker::TcpBlockBackend;
+pub use service::{AdmmFleetSpec, ServeConfig, ServeError, Service, SolveResponse};
+pub use worker::{FleetConfig, FleetError, TcpBlockBackend};

@@ -95,6 +95,21 @@ pub struct Metrics {
     pub audit_fail: AtomicU64,
     /// Cache entries evicted by the LRU bound.
     pub evictions: AtomicU64,
+    /// ADMM block sub-problems solved on this process (worker mode).
+    pub blocks_solved: AtomicU64,
+    /// ADMM block jobs re-enqueued after a worker fault (coordinator).
+    pub blocks_retried: AtomicU64,
+    /// ADMM block jobs completed by a different worker than the one
+    /// that first failed them (coordinator).
+    pub blocks_stolen: AtomicU64,
+    /// ADMM consensus rounds that reused a block's previous solution
+    /// under bounded staleness (coordinator).
+    pub blocks_stale: AtomicU64,
+    /// ADMM worker circuit-breaker open transitions (coordinator).
+    pub workers_quarantined: AtomicU64,
+    /// ADMM block-backend downgrades, e.g. TCP fleet → in-process
+    /// (coordinator).
+    pub backend_downgrades: AtomicU64,
     /// Jobs currently queued (gauge).
     pub queue_depth: AtomicU64,
     /// End-to-end latency of completed requests (enqueue → response).
@@ -136,6 +151,18 @@ pub struct MetricsSnapshot {
     pub audit_fail: u64,
     /// See [`Metrics::evictions`].
     pub evictions: u64,
+    /// See [`Metrics::blocks_solved`].
+    pub blocks_solved: u64,
+    /// See [`Metrics::blocks_retried`].
+    pub blocks_retried: u64,
+    /// See [`Metrics::blocks_stolen`].
+    pub blocks_stolen: u64,
+    /// See [`Metrics::blocks_stale`].
+    pub blocks_stale: u64,
+    /// See [`Metrics::workers_quarantined`].
+    pub workers_quarantined: u64,
+    /// See [`Metrics::backend_downgrades`].
+    pub backend_downgrades: u64,
     /// See [`Metrics::queue_depth`].
     pub queue_depth: u64,
     /// Solver workspace pool checkouts (process-global; see
@@ -168,6 +195,12 @@ impl Metrics {
             audit_pass: self.audit_pass.load(Ordering::Relaxed),
             audit_fail: self.audit_fail.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            blocks_solved: self.blocks_solved.load(Ordering::Relaxed),
+            blocks_retried: self.blocks_retried.load(Ordering::Relaxed),
+            blocks_stolen: self.blocks_stolen.load(Ordering::Relaxed),
+            blocks_stale: self.blocks_stale.load(Ordering::Relaxed),
+            workers_quarantined: self.workers_quarantined.load(Ordering::Relaxed),
+            backend_downgrades: self.backend_downgrades.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             ws_acquires,
             ws_reuses,
@@ -216,6 +249,12 @@ impl MetricsSnapshot {
             ("audit_pass".into(), Json::num(self.audit_pass as f64)),
             ("audit_fail".into(), Json::num(self.audit_fail as f64)),
             ("evictions".into(), Json::num(self.evictions as f64)),
+            ("blocks_solved".into(), Json::num(self.blocks_solved as f64)),
+            ("blocks_retried".into(), Json::num(self.blocks_retried as f64)),
+            ("blocks_stolen".into(), Json::num(self.blocks_stolen as f64)),
+            ("blocks_stale".into(), Json::num(self.blocks_stale as f64)),
+            ("workers_quarantined".into(), Json::num(self.workers_quarantined as f64)),
+            ("backend_downgrades".into(), Json::num(self.backend_downgrades as f64)),
             ("queue_depth".into(), Json::num(self.queue_depth as f64)),
             ("ws_acquires".into(), Json::num(self.ws_acquires as f64)),
             ("ws_reuses".into(), Json::num(self.ws_reuses as f64)),
@@ -245,6 +284,15 @@ impl MetricsSnapshot {
             self.avg_solve_us
         ));
         out.push_str(&format!("  audits: pass {}  fail {}\n", self.audit_pass, self.audit_fail));
+        out.push_str(&format!(
+            "  admm fleet: blocks-solved {}  retried {}  stolen {}  stale {}  quarantined {}  downgrades {}\n",
+            self.blocks_solved,
+            self.blocks_retried,
+            self.blocks_stolen,
+            self.blocks_stale,
+            self.workers_quarantined,
+            self.backend_downgrades
+        ));
         out.push_str(&format!(
             "  workspace pool: acquires {}  reuses {}\n",
             self.ws_acquires, self.ws_reuses

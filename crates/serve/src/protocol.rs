@@ -246,6 +246,12 @@ pub fn solve_response(r: &SolveResponse) -> Json {
                 ("primal_residual".into(), Json::num(stats.primal_residual)),
                 ("dual_residual".into(), Json::num(stats.dual_residual)),
                 ("converged".into(), Json::Bool(stats.converged)),
+                ("blocks_retried".into(), Json::num(stats.blocks_retried as f64)),
+                ("blocks_stolen".into(), Json::num(stats.blocks_stolen as f64)),
+                ("blocks_stale".into(), Json::num(stats.blocks_stale as f64)),
+                ("max_block_stale_rounds".into(), Json::num(stats.max_block_stale_rounds as f64)),
+                ("workers_quarantined".into(), Json::num(stats.workers_quarantined as f64)),
+                ("backend_downgrades".into(), Json::num(stats.backend_downgrades as f64)),
             ]),
         ));
     }
@@ -285,9 +291,16 @@ pub fn dispatch(service: &Service, request: &Request) -> Json {
             // Block solves bypass the queue and cache: they are the
             // inner loop of a distributed solve, change every round,
             // and the coordinator already paces its own requests.
+            if let Some(chaos) = service.chaos() {
+                chaos.maybe_block_slow();
+                chaos.maybe_block_crash();
+            }
             let mut ws = paradigm_solver::workspace::acquire();
             match solve_block_job(job, &mut ws) {
-                Ok(sol) => block_solution_response(&sol),
+                Ok(sol) => {
+                    service.record_block_solved();
+                    block_solution_response(&sol)
+                }
                 Err(e) => error_response_with(&e, "invalid", false),
             }
         }

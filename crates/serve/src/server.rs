@@ -115,6 +115,14 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
         match reader.read_until(b'\n', &mut frame) {
             Ok(0) => return, // client closed
             Ok(_) => {
+                // Remember whether this frame is a distributed-ADMM
+                // block job before the buffer is recycled: the chaos
+                // plan draws worker-level block faults from a separate
+                // stream than generic connection faults. The coordinator
+                // renders `op` first, so a prefix substring check is
+                // enough (no reparse).
+                let is_block_frame = std::str::from_utf8(&frame)
+                    .is_ok_and(|l| l.trim_start().starts_with(r#"{"op":"admm_block""#));
                 let (response, stop) = match std::str::from_utf8(&frame) {
                     Ok(line) if line.trim().is_empty() => {
                         frame.clear();
@@ -130,12 +138,19 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
                 frame.clear();
                 // Injected connection faults (chaos drills only): sever
                 // the connection or send a torn frame, so clients must
-                // exercise their reconnect/retry paths.
+                // exercise their reconnect/retry paths. Block frames
+                // draw from the worker-fault sites instead, so a fleet
+                // drill can torture `admm_block` traffic specifically.
                 if let Some(chaos) = service.chaos() {
-                    if chaos.drop_connection() {
+                    let (drop_now, truncate_now) = if is_block_frame {
+                        (chaos.drop_block_frame(), chaos.truncate_block_frame())
+                    } else {
+                        (chaos.drop_connection(), chaos.truncate_frame())
+                    };
+                    if drop_now {
                         return;
                     }
-                    if chaos.truncate_frame() {
+                    if truncate_now {
                         let cut = response.len() / 2;
                         let _ = writer.write_all(&response.as_bytes()[..cut]);
                         let _ = writer.flush();

@@ -23,12 +23,17 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::cache::{Outcome, ShardedCache};
 use crate::chaos::{Chaos, FaultPlan};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::worker::{FleetConfig, TcpBlockBackend};
+use paradigm_admm::{AdmmConfig, FailoverBackend, InProcessBackend};
 use paradigm_core::{
-    solve_fingerprint, solve_pipeline, solve_pipeline_degraded, SolveOutput, SolveSpec,
+    routes_through_admm, solve_fingerprint, solve_pipeline, solve_pipeline_degraded,
+    try_solve_pipeline_with_backend, SolveOutput, SolveSpec,
 };
 use paradigm_mdg::Mdg;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,6 +42,33 @@ use std::time::{Duration, Instant};
 /// results in the shared cache: a degraded answer must never shadow the
 /// real one once the solver recovers.
 const DEGRADED_SALT: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
+
+/// Coordinator-side configuration for routing consensus-ADMM solves
+/// through a TCP worker fleet instead of in-process threads. The fleet
+/// is wrapped in a [`FailoverBackend`], so a total fleet collapse
+/// degrades to the in-process backend rather than failing the request.
+#[derive(Debug, Clone)]
+pub struct AdmmFleetSpec {
+    /// Worker addresses (each a `serve --worker` process).
+    pub workers: Vec<SocketAddr>,
+    /// Bounded-staleness budget per block (0 = strict synchronous
+    /// barrier, bitwise-identical to the in-process backend).
+    pub max_stale: usize,
+    /// Per-block-job deadline; a worker that blows it is treated as
+    /// faulted and the block is retried elsewhere.
+    pub block_deadline: Duration,
+}
+
+impl AdmmFleetSpec {
+    /// Fleet spec with the default deadline/staleness knobs.
+    pub fn new(workers: Vec<SocketAddr>) -> AdmmFleetSpec {
+        AdmmFleetSpec {
+            workers,
+            max_stale: 0,
+            block_deadline: FleetConfig::default().block_deadline,
+        }
+    }
+}
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -67,6 +99,14 @@ pub struct ServeConfig {
     /// worker role). Off by default: a scheduling front-end has no
     /// business solving raw block sub-problems for strangers.
     pub worker: bool,
+    /// Route ADMM-tier solves through a TCP worker fleet (`None` keeps
+    /// the in-process backend).
+    pub fleet: Option<AdmmFleetSpec>,
+    /// Append-only file persisting the sampled auditor's first-failure
+    /// report across restarts: loaded on boot into
+    /// [`Service::first_audit_failure`], appended to on the first
+    /// failure each run.
+    pub audit_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +122,8 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             audit_rate: 0,
             worker: false,
+            fleet: None,
+            audit_log: None,
         }
     }
 }
@@ -226,8 +268,12 @@ struct Inner {
     cfg: ServeConfig,
     /// Completed-response counter driving audit sampling.
     audit_seq: AtomicU64,
-    /// First audit failure, verbatim, for post-mortems.
+    /// First audit failure, verbatim, for post-mortems. Seeded from
+    /// [`ServeConfig::audit_log`] on boot, so it survives restarts.
     audit_failure: Mutex<Option<String>>,
+    /// Whether this process has already appended its first failure to
+    /// the audit log (each run contributes at most one record).
+    audit_logged: AtomicBool,
 }
 
 /// The scheduling service. Cheap to share (`Arc` internally); dropped
@@ -252,7 +298,8 @@ impl Service {
             chaos: cfg.chaos.clone().filter(|p| !p.is_quiet()).map(|p| Arc::new(Chaos::new(p))),
             cfg: cfg.clone(),
             audit_seq: AtomicU64::new(0),
-            audit_failure: Mutex::new(None),
+            audit_failure: Mutex::new(cfg.audit_log.as_deref().and_then(load_first_audit_failure)),
+            audit_logged: AtomicBool::new(false),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -384,6 +431,12 @@ impl Service {
         self.inner.chaos.as_ref()
     }
 
+    /// Count one `admm_block` sub-problem solved by this process (the
+    /// worker role's side of the fleet metrics).
+    pub(crate) fn record_block_solved(&self) {
+        self.inner.metrics.blocks_solved.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current circuit-breaker state.
     pub fn breaker_state(&self) -> BreakerState {
         self.inner.breaker.state()
@@ -489,7 +542,7 @@ fn solve_job(inner: &Inner, job: &Job) -> Result<SolveResponse, ServeError> {
                 chaos.maybe_slow();
                 chaos.maybe_panic();
             }
-            solve_pipeline(&job.graph, &job.spec)
+            solve_with_configured_backend(inner, &job.graph, &job.spec)
         });
         record_outcome(inner, outcome);
         if outcome == Outcome::Miss {
@@ -543,6 +596,56 @@ fn solve_job(inner: &Inner, job: &Job) -> Result<SolveResponse, ServeError> {
             Err(ServeError::SolveFailed(msg))
         }
     }
+}
+
+/// The primary pipeline solve, routed through the configured ADMM fleet
+/// when one is set and the request takes the ADMM tier. Runs inside the
+/// cache's compute closure, so fleet fault counters fold into the
+/// metrics exactly once per fresh solve (hits and dedup-waits replay
+/// the cached answer without re-counting).
+fn solve_with_configured_backend(inner: &Inner, graph: &Mdg, spec: &SolveSpec) -> SolveOutput {
+    if let Some(fleet) = &inner.cfg.fleet {
+        if routes_through_admm(graph, spec) {
+            match solve_on_fleet(fleet, graph, spec) {
+                Ok(out) => {
+                    if let Some(stats) = &out.admm {
+                        let m = &inner.metrics;
+                        m.blocks_retried.fetch_add(stats.blocks_retried, Ordering::Relaxed);
+                        m.blocks_stolen.fetch_add(stats.blocks_stolen, Ordering::Relaxed);
+                        m.blocks_stale.fetch_add(stats.blocks_stale, Ordering::Relaxed);
+                        m.workers_quarantined
+                            .fetch_add(stats.workers_quarantined, Ordering::Relaxed);
+                        m.backend_downgrades.fetch_add(stats.backend_downgrades, Ordering::Relaxed);
+                    }
+                    return out;
+                }
+                // Fleet path failed outright (even past the in-process
+                // failover): fall through to the local pipeline, which
+                // walks the dense degradation ladder.
+                Err(e) => {
+                    inner.metrics.backend_downgrades.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("serve: fleet admm solve failed ({e}); using local pipeline");
+                }
+            }
+        }
+    }
+    solve_pipeline(graph, spec)
+}
+
+/// One ADMM-tier solve over the TCP fleet, failover included.
+fn solve_on_fleet(
+    fleet: &AdmmFleetSpec,
+    graph: &Mdg,
+    spec: &SolveSpec,
+) -> Result<SolveOutput, String> {
+    let tcp = TcpBlockBackend::with_config(
+        &fleet.workers,
+        FleetConfig { block_deadline: fleet.block_deadline, ..FleetConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut backend = FailoverBackend::new(tcp, InProcessBackend::default());
+    let admm_cfg = AdmmConfig { max_stale: fleet.max_stale, ..AdmmConfig::default() };
+    try_solve_pipeline_with_backend(graph, spec, &admm_cfg, &mut backend).map_err(|e| e.to_string())
 }
 
 /// Estimated wait a job joining behind `depth` queued jobs would face:
@@ -608,9 +711,43 @@ fn maybe_audit(inner: &Inner, job: &Job, output: &SolveOutput) {
         let rendered =
             format!("AUDIT FAILURE for graph '{}':\n{}", job.graph.name(), report.render());
         eprintln!("{rendered}");
-        let mut slot = inner.audit_failure.lock().expect("audit slot poisoned");
-        slot.get_or_insert(rendered);
+        {
+            let mut slot = inner.audit_failure.lock().expect("audit slot poisoned");
+            slot.get_or_insert(rendered.clone());
+        }
+        // Persist this run's first failure to the append-only log so a
+        // restarted service still reports it (the slot above may hold a
+        // record loaded from a previous run; the file keeps both).
+        if let Some(path) = &inner.cfg.audit_log {
+            if !inner.audit_logged.swap(true, Ordering::Relaxed) {
+                if let Err(e) = append_audit_record(path, &rendered) {
+                    eprintln!("serve: could not append audit log {}: {e}", path.display());
+                }
+            }
+        }
     }
+}
+
+/// Separator line between records in the audit failure log.
+const AUDIT_RECORD_SEP: &str = "=== audit record ===";
+
+/// First record of the append-only audit failure log, if the file
+/// exists and holds one.
+fn load_first_audit_failure(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let first = text.split(AUDIT_RECORD_SEP).map(str::trim).find(|r| !r.is_empty())?;
+    Some(first.to_string())
+}
+
+/// Append one failure record (report + separator) to the audit log,
+/// creating the file and its parent directory as needed.
+fn append_audit_record(path: &Path, rendered: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{rendered}\n{AUDIT_RECORD_SEP}")
 }
 
 #[cfg(test)]
@@ -867,6 +1004,24 @@ mod tests {
         // Whether or not the race landed, the service must stay sound.
         let r = svc.submit(fig1(), SolveSpec::new(Machine::cm5(4))).unwrap();
         assert!(r.cached);
+    }
+
+    #[test]
+    fn audit_log_loads_the_first_record_across_restarts() {
+        let path =
+            std::env::temp_dir().join(format!("paradigm-audit-log-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert!(load_first_audit_failure(&path).is_none(), "missing file loads nothing");
+        // Simulate a previous run's persisted failure.
+        append_audit_record(&path, "AUDIT FAILURE for graph 'g':\nmakespan mismatch").unwrap();
+        let svc = Service::start(ServeConfig { audit_log: Some(path.clone()), ..small_cfg() });
+        let loaded = svc.first_audit_failure().expect("record loaded on boot");
+        assert!(loaded.contains("graph 'g'"), "{loaded}");
+        drop(svc);
+        // The log is append-only: later records never shadow the first.
+        append_audit_record(&path, "AUDIT FAILURE for graph 'h':\nlater run").unwrap();
+        assert!(load_first_audit_failure(&path).unwrap().contains("graph 'g'"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -27,12 +27,18 @@
 //! response   = { "ok":true, "x":[num...], "iters":int, "phi_model":num }
 //! ```
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::client::{Client, ClientError, RetryPolicy};
 use crate::json::Json;
-use paradigm_admm::{BlockBackend, BlockJob, BlockSolution, ConsensusTerm, InnerConfig};
+use paradigm_admm::{
+    BackendFaultStats, BlockBackend, BlockJob, BlockSolution, ConsensusTerm, InnerConfig,
+};
 use paradigm_cost::{Machine, TransferParams};
 use paradigm_mdg::{from_text, to_text};
+use std::collections::VecDeque;
 use std::net::SocketAddr;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Encode one block subproblem as an `admm_block` request frame.
 pub fn block_job_request(job: &BlockJob) -> Json {
@@ -231,67 +237,406 @@ pub fn parse_block_solution(doc: &Json) -> Result<BlockSolution, String> {
     })
 }
 
-/// A [`BlockBackend`] that ships block subproblems to `serve --worker`
-/// nodes over the NDJSON protocol.
-///
-/// Jobs are split into contiguous chunks, one per worker (the same
-/// strategy as the in-process backend), and each worker's share is
-/// driven from its own coordinator thread, so a round's wall-clock is
-/// the slowest worker's share rather than the sum. The assignment is a
-/// pure function of the job order and worker count, which keeps the
-/// distributed solve deterministic: re-running with the same worker
-/// list replays the identical placement.
-pub struct TcpBlockBackend {
-    clients: Vec<Client>,
+/// Error constructing a [`TcpBlockBackend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The worker address list was empty.
+    EmptyFleet,
 }
 
-impl TcpBlockBackend {
-    /// Connect lazily to one worker per address (the TCP connection is
-    /// opened on first use). Panics if `addrs` is empty.
-    pub fn new(addrs: &[SocketAddr]) -> TcpBlockBackend {
-        assert!(!addrs.is_empty(), "need at least one worker address");
-        TcpBlockBackend {
-            clients: addrs.iter().map(|&a| Client::new(a, RetryPolicy::default())).collect(),
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::EmptyFleet => {
+                write!(f, "distributed ADMM needs at least one worker address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Fault-tolerance tuning for the coordinator's worker fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-job deadline: a block solve that has not answered within this
+    /// window counts as a failed attempt (the connection is dropped and
+    /// the job re-enqueued for another worker).
+    pub block_deadline: Duration,
+    /// Total attempts per job across the whole fleet before the job is
+    /// declared lost for this round.
+    pub max_attempts: u32,
+    /// First re-enqueue delay; doubles per attempt.
+    pub retry_base: Duration,
+    /// Re-enqueue delay ceiling.
+    pub retry_cap: Duration,
+    /// Per-worker quarantine breaker. The default window is much
+    /// tighter than the serve-path default: a worker fleet has cheap
+    /// retries elsewhere, so quarantining fast and re-probing after a
+    /// short cooldown beats patiently re-feeding a crashing worker.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            block_deadline: Duration::from_secs(30),
+            max_attempts: 4,
+            retry_base: Duration::from_millis(10),
+            retry_cap: Duration::from_millis(500),
+            breaker: BreakerConfig {
+                window: 8,
+                min_samples: 3,
+                failure_threshold: 0.5,
+                cooldown: Duration::from_millis(500),
+            },
+        }
+    }
+}
+
+/// How one block-solve attempt failed.
+enum AttemptError {
+    /// The worker misbehaved — transport fault, timeout, crash, or it
+    /// refused the worker role. Counts against that worker's breaker;
+    /// the job is re-enqueued for (preferably) another worker.
+    Worker(String),
+    /// The job itself was rejected as invalid; no worker can help, so
+    /// the job fails immediately without burning attempts.
+    Job(String),
+}
+
+struct WorkItem {
+    job_idx: usize,
+    /// Zero-based attempt counter.
+    attempt: u32,
+    /// Lane that last failed this job (steal detection).
+    last_failed_on: Option<usize>,
+    /// Exponential-backoff gate: not eligible before this instant.
+    not_before: Instant,
+}
+
+struct RoundState {
+    ready: VecDeque<WorkItem>,
+    /// Jobs not yet resolved (queued, backing off, or in flight).
+    unresolved: usize,
+    slots: Vec<Option<BlockSolution>>,
+    /// Last failure message per job (diagnostics for lost blocks).
+    errors: Vec<Option<String>>,
+    retried: u64,
+    stolen: u64,
+}
+
+/// Shared work queue for one consensus round: every lane pulls the next
+/// eligible job, so a straggler delays only its own job while healthy
+/// workers drain the rest.
+struct WorkQueue {
+    state: Mutex<RoundState>,
+    changed: Condvar,
+}
+
+/// How often a quarantined lane re-checks its breaker, and the idle
+/// re-poll bound inside [`WorkQueue::take`].
+const LANE_POLL: Duration = Duration::from_millis(20);
+
+impl WorkQueue {
+    fn new(jobs: usize) -> WorkQueue {
+        let now = Instant::now();
+        WorkQueue {
+            state: Mutex::new(RoundState {
+                ready: (0..jobs)
+                    .map(|job_idx| WorkItem {
+                        job_idx,
+                        attempt: 0,
+                        last_failed_on: None,
+                        not_before: now,
+                    })
+                    .collect(),
+                unresolved: jobs,
+                slots: vec![None; jobs],
+                errors: vec![None; jobs],
+                retried: 0,
+                stolen: 0,
+            }),
+            changed: Condvar::new(),
         }
     }
 
-    fn round_trip(client: &mut Client, job: &BlockJob) -> Result<BlockSolution, String> {
-        let line = block_job_request(job).render();
-        let doc = client.request(&line).map_err(|e: ClientError| e.to_string())?;
-        parse_block_solution(&doc)
+    fn finished(&self) -> bool {
+        self.state.lock().expect("queue poisoned").unresolved == 0
+    }
+
+    /// Pop the next eligible item; blocks while every queued item is
+    /// still backing off or in flight elsewhere; `None` once all jobs
+    /// are resolved.
+    fn take(&self) -> Option<WorkItem> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if st.unresolved == 0 {
+                return None;
+            }
+            let now = Instant::now();
+            if let Some(pos) = st.ready.iter().position(|it| it.not_before <= now) {
+                return st.ready.remove(pos);
+            }
+            let wake = st
+                .ready
+                .iter()
+                .map(|it| it.not_before.saturating_duration_since(now))
+                .min()
+                .unwrap_or(LANE_POLL)
+                .min(LANE_POLL)
+                .max(Duration::from_millis(1));
+            let (guard, _) = self.changed.wait_timeout(st, wake).expect("queue poisoned");
+            st = guard;
+        }
+    }
+
+    fn succeed(&self, item: &WorkItem, lane: usize, sol: BlockSolution) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if item.last_failed_on.is_some_and(|failed| failed != lane) {
+            st.stolen += 1;
+        }
+        st.slots[item.job_idx] = Some(sol);
+        st.unresolved -= 1;
+        self.changed.notify_all();
+    }
+
+    /// Record a failed attempt. `next_attempt` re-enqueues the job with
+    /// that attempt counter — a half-open probe failure passes the
+    /// counter through unchanged, so a dead worker's periodic re-probes
+    /// can never exhaust a job's attempt budget. `None` resolves the
+    /// job as lost.
+    fn fail(
+        &self,
+        item: WorkItem,
+        lane: usize,
+        err: String,
+        next_attempt: Option<u32>,
+        backoff: Duration,
+    ) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.errors[item.job_idx] = Some(err);
+        match next_attempt {
+            Some(attempt) => {
+                st.retried += 1;
+                st.ready.push_back(WorkItem {
+                    attempt,
+                    last_failed_on: Some(lane),
+                    not_before: Instant::now() + backoff,
+                    ..item
+                });
+            }
+            None => st.unresolved -= 1,
+        }
+        self.changed.notify_all();
+    }
+}
+
+struct Lane {
+    client: Client,
+    breaker: CircuitBreaker,
+}
+
+fn attempt_block(client: &mut Client, job: &BlockJob) -> Result<BlockSolution, AttemptError> {
+    let line = block_job_request(job).render();
+    match client.request(&line) {
+        Ok(doc) => parse_block_solution(&doc).map_err(AttemptError::Worker),
+        Err(ClientError::Rejected { kind, message }) if kind != "not-a-worker" => {
+            Err(AttemptError::Job(format!("rejected ({kind}): {message}")))
+        }
+        Err(e) => Err(AttemptError::Worker(e.to_string())),
+    }
+}
+
+/// One worker's pull loop: gate on the quarantine breaker, then pull
+/// and solve queue items until every job is resolved.
+fn run_lane(
+    lane_idx: usize,
+    lane: &mut Lane,
+    queue: &WorkQueue,
+    jobs: &[BlockJob],
+    cfg: &FleetConfig,
+) {
+    // Consecutive failed half-open probes this round. A quarantined
+    // worker whose probes keep failing eventually stops haunting the
+    // round entirely: once every lane has given up, the round resolves
+    // (and reports collapse) instead of spinning probes that can never
+    // succeed against jobs that still hold attempt budget.
+    let mut failed_probes = 0;
+    let probe_limit = cfg.max_attempts.max(1);
+    loop {
+        let mut probing = false;
+        match lane.breaker.state() {
+            BreakerState::Closed => {}
+            BreakerState::HalfOpen if lane.breaker.try_probe() => probing = true,
+            _ => {
+                // Quarantined: sit out briefly; `state()` half-opens
+                // after the cooldown.
+                if queue.finished() || failed_probes >= probe_limit {
+                    return;
+                }
+                std::thread::sleep(LANE_POLL);
+                continue;
+            }
+        }
+        let Some(item) = queue.take() else {
+            if probing {
+                lane.breaker.release_probe();
+            }
+            return;
+        };
+        match attempt_block(&mut lane.client, &jobs[item.job_idx]) {
+            Ok(sol) => {
+                lane.breaker.on_result(true);
+                failed_probes = 0;
+                queue.succeed(&item, lane_idx, sol);
+            }
+            Err(AttemptError::Job(e)) => {
+                // The worker answered fine; the job is hopeless.
+                lane.breaker.on_result(true);
+                failed_probes = 0;
+                queue.fail(item, lane_idx, e, None, Duration::ZERO);
+            }
+            Err(AttemptError::Worker(e)) => {
+                lane.breaker.on_result(false);
+                let backoff =
+                    cfg.retry_base.saturating_mul(1u32 << item.attempt.min(16)).min(cfg.retry_cap);
+                let next_attempt = if probing {
+                    failed_probes += 1;
+                    // A failed probe must not burn the job's budget:
+                    // the job was collateral in testing the worker.
+                    Some(item.attempt)
+                } else {
+                    (item.attempt + 1 < cfg.max_attempts.max(1)).then(|| item.attempt + 1)
+                };
+                queue.fail(item, lane_idx, e, next_attempt, backoff);
+            }
+        }
+    }
+}
+
+/// A [`BlockBackend`] that ships block subproblems to `serve --worker`
+/// nodes over the NDJSON protocol, surviving worker crashes, hangs, and
+/// stragglers.
+///
+/// Jobs flow through a shared work queue: each worker pulls the next
+/// eligible job, so healthy workers steal the share a crashed or slow
+/// worker would have gated under static chunking. A failed or
+/// timed-out attempt is re-enqueued with exponential backoff
+/// (preferably picked up by a different worker), and a worker that
+/// fails repeatedly is quarantined by a per-worker sliding-window
+/// circuit breaker with periodic half-open re-probes.
+///
+/// Placement is racy by design, but every block solve is a pure
+/// function of its job and the frame codec round-trips all floats
+/// exactly, so results are placement-independent: the distributed solve
+/// stays bitwise identical to the in-process backend no matter which
+/// worker solves which block, or how often a job was retried.
+pub struct TcpBlockBackend {
+    lanes: Vec<Lane>,
+    cfg: FleetConfig,
+    retried: u64,
+    stolen: u64,
+}
+
+impl TcpBlockBackend {
+    /// Connect lazily to one worker per address (each TCP connection is
+    /// opened on first use) with default [`FleetConfig`] tuning.
+    pub fn new(addrs: &[SocketAddr]) -> Result<TcpBlockBackend, FleetError> {
+        TcpBlockBackend::with_config(addrs, FleetConfig::default())
+    }
+
+    /// [`TcpBlockBackend::new`] with explicit fault-tolerance tuning.
+    pub fn with_config(
+        addrs: &[SocketAddr],
+        cfg: FleetConfig,
+    ) -> Result<TcpBlockBackend, FleetError> {
+        if addrs.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        let lanes = addrs
+            .iter()
+            .map(|&addr| Lane {
+                // One attempt per request: cross-worker retry is the
+                // queue's job, not the client's.
+                client: Client::new(addr, RetryPolicy { max_retries: 0, ..RetryPolicy::default() })
+                    .with_read_timeout(cfg.block_deadline),
+                breaker: CircuitBreaker::new(cfg.breaker.clone()),
+            })
+            .collect();
+        Ok(TcpBlockBackend { lanes, cfg, retried: 0, stolen: 0 })
+    }
+
+    /// Run one round through the fleet; per-job outcomes plus the last
+    /// failure message for each unresolved job.
+    fn run_round(
+        &mut self,
+        jobs: &[BlockJob],
+    ) -> (Vec<Option<BlockSolution>>, Vec<Option<String>>) {
+        let queue = WorkQueue::new(jobs.len());
+        let cfg = &self.cfg;
+        std::thread::scope(|scope| {
+            for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+                let queue = &queue;
+                scope.spawn(move || run_lane(lane_idx, lane, queue, jobs, cfg));
+            }
+        });
+        let st = queue.state.into_inner().expect("queue poisoned");
+        self.retried += st.retried;
+        self.stolen += st.stolen;
+        (st.slots, st.errors)
     }
 }
 
 impl BlockBackend for TcpBlockBackend {
-    fn solve_blocks(&mut self, jobs: Vec<BlockJob>) -> Result<Vec<BlockSolution>, String> {
+    fn solve_blocks(&mut self, jobs: &[BlockJob]) -> Result<Vec<BlockSolution>, String> {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        let k = self.clients.len().min(jobs.len());
-        let per = jobs.len().div_ceil(k);
-        let mut slots: Vec<Option<Result<BlockSolution, String>>> = Vec::new();
-        slots.resize_with(jobs.len(), || None);
-        std::thread::scope(|scope| {
-            let mut shares = jobs.chunks(per);
-            let mut outs = slots.chunks_mut(per);
-            for client in self.clients.iter_mut().take(k) {
-                let (Some(share), Some(out)) = (shares.next(), outs.next()) else { break };
-                scope.spawn(move || {
-                    for (job, slot) in share.iter().zip(out.iter_mut()) {
-                        *slot = Some(Self::round_trip(client, job));
-                    }
-                });
-            }
-        });
-        let mut solutions = Vec::with_capacity(jobs.len());
+        let (slots, errors) = self.run_round(jobs);
+        let mut solutions = Vec::with_capacity(slots.len());
         for (i, slot) in slots.into_iter().enumerate() {
             match slot {
-                Some(Ok(sol)) => solutions.push(sol),
-                Some(Err(e)) => return Err(format!("block {i}: {e}")),
-                None => return Err(format!("block {i}: no worker picked it up")),
+                Some(sol) => solutions.push(sol),
+                None => {
+                    let why =
+                        errors[i].clone().unwrap_or_else(|| "no worker picked it up".to_string());
+                    return Err(format!("block {i}: {why}"));
+                }
             }
         }
         Ok(solutions)
+    }
+
+    fn solve_blocks_partial(
+        &mut self,
+        jobs: &[BlockJob],
+    ) -> Result<Vec<Option<BlockSolution>>, String> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (slots, errors) = self.run_round(jobs);
+        if slots.iter().all(Option::is_none) {
+            // Total collapse: nothing for stale reuse to build on. Let a
+            // wrapper (FailoverBackend) downgrade the whole backend.
+            let why = errors
+                .iter()
+                .flatten()
+                .next()
+                .cloned()
+                .unwrap_or_else(|| "no worker answered".to_string());
+            return Err(format!("worker fleet collapsed: {why}"));
+        }
+        Ok(slots)
+    }
+
+    fn fault_stats(&self) -> BackendFaultStats {
+        BackendFaultStats {
+            blocks_retried: self.retried,
+            blocks_stolen: self.stolen,
+            workers_quarantined: self.lanes.iter().map(|l| l.breaker.opens()).sum(),
+            backend_downgrades: 0,
+        }
     }
 }
 

@@ -1,0 +1,277 @@
+//! Cluster chaos drills for the fault-tolerant distributed ADMM tier.
+//!
+//! Every test spins up real `serve --worker` servers on ephemeral
+//! localhost ports and tortures them with the seeded worker-level fault
+//! sites ([`FaultPlan`]'s `block-crash` / `block-slow` / `block-drop` /
+//! `block-truncate`), pinning the coordinator's recovery machinery:
+//!
+//! * a worker that crashes on every block solve is retried around,
+//!   stolen from, and quarantined — and the strict-mode result stays
+//!   **bitwise identical** to the in-process backend (block solves are
+//!   pure functions of the job, so placement and retries are invisible);
+//! * torn and dropped `admm_block` response frames are just another
+//!   worker fault: retried elsewhere, same bitwise contract;
+//! * total fleet collapse downgrades the pipeline's backend to the
+//!   in-process solver and records the downgrade in [`AdmmStats`];
+//! * a worker asked to shut down mid-solve finishes the block on its
+//!   bench and answers before exiting, so graceful restarts never lose
+//!   in-flight work.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use paradigm_admm::{
+    solve_admm, solve_admm_in_process, AdmmConfig, FailoverBackend, InProcessBackend,
+};
+use paradigm_core::{try_solve_pipeline, try_solve_pipeline_with_backend, SolveSpec};
+use paradigm_cost::Machine;
+use paradigm_mdg::{random_layered_mdg, Mdg, RandomMdgConfig};
+use paradigm_serve::{
+    FaultPlan, FleetConfig, MetricsSnapshot, ServeConfig, Server, ServerConfig, TcpBlockBackend,
+};
+
+const SEED: u64 = 1994;
+
+struct WorkerHandle {
+    addr: SocketAddr,
+    run: std::thread::JoinHandle<MetricsSnapshot>,
+    flag: Arc<AtomicBool>,
+}
+
+impl WorkerHandle {
+    /// Raise the shutdown flag and join the accept loop, returning the
+    /// worker's final metrics.
+    fn stop(self) -> MetricsSnapshot {
+        self.flag.store(true, Ordering::SeqCst);
+        self.run.join().expect("worker accept loop")
+    }
+}
+
+/// Bind one ADMM worker on an ephemeral port, optionally armed with a
+/// seeded fault plan.
+fn spawn_worker(chaos: Option<FaultPlan>) -> WorkerHandle {
+    let server = Server::bind(ServerConfig {
+        service: ServeConfig {
+            workers: 2,
+            cache_capacity: 8,
+            queue_capacity: 8,
+            worker: true,
+            chaos,
+            ..ServeConfig::default()
+        },
+        port: 0,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let run = std::thread::spawn(move || server.run());
+    WorkerHandle { addr, run, flag }
+}
+
+/// The fixture every drill solves: big enough to force a multi-block
+/// partition (so consensus rounds actually cross the wire) while
+/// staying debug-profile friendly.
+fn fixture() -> (Mdg, Machine, AdmmConfig) {
+    let g = random_layered_mdg(&RandomMdgConfig::sized(200), SEED);
+    let mut cfg = AdmmConfig::default();
+    cfg.partition.target_block_nodes = 64;
+    cfg.eps = 1e-3;
+    (g, Machine::cm5(64), cfg)
+}
+
+/// An address that refuses connections: bind an ephemeral listener and
+/// drop it, leaving the port closed.
+fn dead_addr() -> SocketAddr {
+    let l = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind probe port");
+    l.local_addr().unwrap()
+}
+
+/// A three-worker fleet loses worker 0 to an unconditional
+/// crash-on-block-solve fault. The round queue retries its jobs on the
+/// healthy workers (steal), the sliding-window breaker quarantines it,
+/// and — because block solves are pure — the result still agrees
+/// bitwise with the in-process backend.
+#[test]
+fn crashing_worker_is_retried_stolen_from_and_quarantined() {
+    let (g, machine, cfg) = fixture();
+    let plan = FaultPlan::parse("seed=7,block-crash=1.0").expect("valid plan");
+    let chaotic = spawn_worker(Some(plan));
+    let healthy_a = spawn_worker(None);
+    let healthy_b = spawn_worker(None);
+
+    let mut backend = TcpBlockBackend::new(&[chaotic.addr, healthy_a.addr, healthy_b.addr])
+        .expect("non-empty fleet");
+    let tcp = solve_admm(&g, machine, &cfg, &mut backend).expect("fleet survives one bad worker");
+    let local = solve_admm_in_process(&g, machine, &cfg, 0).expect("in-process solve");
+
+    assert!(tcp.converged, "chaos run must still converge");
+    assert_eq!(tcp.phi.phi.to_bits(), local.phi.phi.to_bits(), "objective must agree bitwise");
+    for (a, b) in tcp.alloc.as_slice().iter().zip(local.alloc.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "allocations must agree bitwise");
+    }
+    assert!(tcp.blocks_retried >= 1, "crashed attempts must be retried");
+    assert!(tcp.blocks_stolen >= 1, "healthy workers must steal the failed jobs");
+    assert!(tcp.workers_quarantined >= 1, "the crashing worker must trip its breaker");
+    assert_eq!(tcp.backend_downgrades, 0, "two healthy workers keep the fleet up");
+    assert_eq!(tcp.blocks_stale, 0, "strict mode never serves stale solutions");
+
+    let solved: u64 = [healthy_a.stop(), healthy_b.stop()].iter().map(|s| s.blocks_solved).sum();
+    assert!(solved > 0, "healthy workers carried the round");
+    chaotic.stop();
+}
+
+/// Dropped and truncated `admm_block` response frames are worker
+/// faults like any other: the affected jobs are re-enqueued and the
+/// strict-mode bitwise contract holds.
+#[test]
+fn torn_block_frames_are_retried_elsewhere() {
+    let (g, machine, cfg) = fixture();
+    let plan = FaultPlan::parse("seed=11,block-drop=0.7,block-truncate=0.3").expect("valid plan");
+    let torn = spawn_worker(Some(plan));
+    let healthy = spawn_worker(None);
+
+    let mut backend = TcpBlockBackend::new(&[torn.addr, healthy.addr]).expect("non-empty fleet");
+    let tcp = solve_admm(&g, machine, &cfg, &mut backend).expect("fleet survives torn frames");
+    let local = solve_admm_in_process(&g, machine, &cfg, 0).expect("in-process solve");
+
+    assert!(tcp.converged);
+    assert_eq!(tcp.phi.phi.to_bits(), local.phi.phi.to_bits(), "objective must agree bitwise");
+    assert!(tcp.blocks_retried >= 1, "torn frames must burn retries");
+
+    torn.stop();
+    healthy.stop();
+}
+
+/// When every worker is unreachable the TCP backend collapses, the
+/// pipeline's failover demotes to the in-process backend, and the
+/// downgrade is recorded in the solve's [`AdmmStats`] — output
+/// identical to a purely local pipeline run.
+#[test]
+fn fleet_collapse_downgrades_the_pipeline_to_in_process() {
+    let g = random_layered_mdg(&RandomMdgConfig::sized(200), SEED);
+    let machine = Machine::cm5(64);
+    let spec = SolveSpec { admm: true, ..SolveSpec::new(machine) };
+
+    let tcp = TcpBlockBackend::with_config(
+        &[dead_addr(), dead_addr()],
+        FleetConfig {
+            max_attempts: 2,
+            retry_base: Duration::from_millis(1),
+            retry_cap: Duration::from_millis(5),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("non-empty fleet");
+    let mut backend = FailoverBackend::new(tcp, InProcessBackend::default());
+
+    let out = try_solve_pipeline_with_backend(&g, &spec, &AdmmConfig::default(), &mut backend)
+        .expect("failover keeps the pipeline alive");
+    let local = try_solve_pipeline(&g, &spec).expect("local pipeline");
+
+    assert_eq!(out.phi.to_bits(), local.phi.to_bits(), "downgraded run must match local");
+    let stats = out.admm.expect("admm stats recorded");
+    assert_eq!(stats.backend_downgrades, 1, "exactly one TCP → in-process downgrade");
+    assert!(stats.blocks_retried >= 1, "the dead fleet burned retries before collapsing");
+    assert_eq!(local.admm.expect("local admm stats").backend_downgrades, 0);
+}
+
+/// Bounded-staleness mode under fleet-wide flakiness: every worker
+/// crashes a fraction of its block solves, so some jobs exhaust their
+/// attempts and their round slots are served from the previous
+/// solution. The stale budget invariant must hold and the final
+/// objective must stay within the gallery tolerance of the strict
+/// in-process solve.
+#[test]
+fn stale_rounds_stay_within_budget_under_fleet_chaos() {
+    let (g, machine, mut cfg) = fixture();
+    cfg.max_stale = 2;
+    let workers: Vec<WorkerHandle> = (0..3)
+        .map(|i| {
+            let plan =
+                FaultPlan::parse(&format!("seed={},block-crash=0.3", 13 + i)).expect("valid plan");
+            spawn_worker(Some(plan))
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.addr).collect();
+
+    let mut backend = TcpBlockBackend::with_config(
+        &addrs,
+        FleetConfig {
+            retry_base: Duration::from_millis(1),
+            retry_cap: Duration::from_millis(10),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("non-empty fleet");
+    let relaxed = solve_admm(&g, machine, &cfg, &mut backend).expect("stale mode absorbs crashes");
+    let strict = solve_admm_in_process(&g, machine, &AdmmConfig { max_stale: 0, ..cfg.clone() }, 0)
+        .expect("in-process solve");
+
+    assert!(
+        relaxed.max_block_stale_rounds <= cfg.max_stale,
+        "stale streaks must respect the budget: {} > {}",
+        relaxed.max_block_stale_rounds,
+        cfg.max_stale
+    );
+    assert!(relaxed.converged, "relaxed run must still converge");
+    let ratio = relaxed.phi.phi / strict.phi.phi;
+    assert!(
+        ratio <= 1.01 + 1e-9,
+        "stale-tolerant objective within 1% of strict, got ratio {ratio}"
+    );
+
+    for w in workers {
+        w.stop();
+    }
+}
+
+/// Graceful worker shutdown mid-solve, combined with the per-job
+/// deadline: the doomed worker straggles every block 5 s, blowing the
+/// coordinator's 2 s deadline, so its jobs are re-enqueued for the
+/// survivor while the worker itself — flag raised mid-solve — still
+/// finishes the block on its bench before exiting, and its final
+/// metrics report what it solved. The deadline leaves a wide margin
+/// over a healthy debug-profile block solve of this fixture, so only
+/// the straggler ever trips it.
+#[test]
+fn worker_shutdown_mid_solve_finishes_the_inflight_block() {
+    let (g, machine, cfg) = fixture();
+    // Every block on the doomed worker straggles well past the
+    // deadline, guaranteeing it is mid-solve when the flag lands.
+    let plan = FaultPlan::parse("seed=3,block-slow=1.0:5000").expect("valid plan");
+    let doomed = spawn_worker(Some(plan));
+    let survivor = spawn_worker(None);
+    let doomed_flag = Arc::clone(&doomed.flag);
+
+    let addrs = [doomed.addr, survivor.addr];
+    let (solve_g, solve_cfg) = (g.clone(), cfg.clone());
+    let solve = std::thread::spawn(move || {
+        let mut backend = TcpBlockBackend::with_config(
+            &addrs,
+            FleetConfig { block_deadline: Duration::from_secs(2), ..FleetConfig::default() },
+        )
+        .expect("non-empty fleet");
+        solve_admm(&solve_g, machine, &solve_cfg, &mut backend)
+            .expect("fleet survives the shutdown")
+    });
+    // Land the shutdown while the doomed worker is inside its first
+    // 5 s block solve (the coordinator abandons that attempt at 2 s,
+    // so the solve itself never waits on the straggler).
+    std::thread::sleep(Duration::from_millis(150));
+    doomed_flag.store(true, Ordering::SeqCst);
+
+    let tcp = solve.join().expect("solve thread");
+    let local = solve_admm_in_process(&g, machine, &cfg, 0).expect("in-process solve");
+    assert!(tcp.converged, "solve completes despite losing a worker");
+    assert_eq!(tcp.phi.phi.to_bits(), local.phi.phi.to_bits(), "objective must agree bitwise");
+    assert!(tcp.blocks_retried >= 1, "deadline-blown attempts must be retried");
+
+    let doomed_stats = doomed.stop();
+    assert!(
+        doomed_stats.blocks_solved >= 1,
+        "the in-flight block was finished and answered before exit"
+    );
+    survivor.stop();
+}

@@ -53,7 +53,7 @@ fn solve_both_ways(g: &Mdg, machine: Machine, cfg: &AdmmConfig) -> paradigm_admm
     let (addr_a, run_a, flag_a) = spawn_worker();
     let (addr_b, run_b, flag_b) = spawn_worker();
 
-    let mut backend = TcpBlockBackend::new(&[addr_a, addr_b]);
+    let mut backend = TcpBlockBackend::new(&[addr_a, addr_b]).expect("non-empty fleet");
     let tcp = solve_admm(g, machine, cfg, &mut backend).expect("tcp admm solve");
     let local = solve_admm_in_process(g, machine, cfg, 0).expect("in-process admm solve");
 
