@@ -172,7 +172,7 @@ impl BlockBackend for InProcessBackend {
             return jobs.iter().map(|j| solve_block_job(j, &mut ws)).collect();
         }
         let chunk_len = total.div_ceil(workers);
-        let joined = std::thread::scope(|scope| {
+        let joined = paradigm_race::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .chunks(chunk_len)
                 .map(|chunk| {

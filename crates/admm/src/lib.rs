@@ -27,6 +27,7 @@
 pub mod block;
 pub mod consensus;
 pub mod partition;
+pub mod race_suites;
 
 pub use block::{
     build_block_problem, global_sweeps, solve_block_job, BlockJob, BlockMaps, BlockSolution,

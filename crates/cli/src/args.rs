@@ -227,6 +227,20 @@ pub enum Command {
         /// default).
         block_deadline_ms: Option<u64>,
     },
+    /// `race [--bound <n>] [--suite <name|all>]`: run the concurrency
+    /// model-check suites over the serving/consensus/solver core. In a
+    /// normal build each suite is a single native smoke run; in a
+    /// `--cfg paradigm_race` build every interleaving up to the
+    /// preemption bound is explored and failing schedules are printed
+    /// as replayable numbered traces. Exits 0 when every suite passes,
+    /// 1 on any violation or lock-order cycle.
+    Race {
+        /// Preemption-bound override applied to every suite (`None` =
+        /// each suite's own default).
+        bound: Option<usize>,
+        /// Run only the named suite (`None` or `all` = every suite).
+        suite: Option<String>,
+    },
     /// `help`.
     Help,
 }
@@ -279,6 +293,7 @@ USAGE:
   paradigm bench-admm [--quick] [--out <path>] [--baseline <path>]
                       [--fleet <n>] [--chaos <plan>] [--kill-after-ms <ms>]
                       [--admm-stale <n>] [--block-deadline-ms <ms>]
+  paradigm race [--bound <n>] [--suite <name|all>]
   paradigm help
 
 Chaos plans are comma-separated key=value items, e.g.
@@ -291,6 +306,12 @@ coordinator at them with `--admm-workers`. `--admm-stale 0` keeps the
 strict synchronous barrier (bitwise-identical to in-process);
 `--admm-stale N` lets a round reuse a block's last solution for up to N
 rounds when its fresh solve misses `--block-deadline-ms`.
+
+Model checking: `race` runs the concurrency suites (queue, breaker,
+cache, service, consensus, pool). A normal build gives one native smoke
+run per suite; rebuild with RUSTFLAGS=\"--cfg paradigm_race\" to
+exhaustively explore every interleaving up to the preemption bound and
+get replayable numbered traces for failures (see DESIGN.md section 15).
 
 Graph inputs may be .mdg files (graph text format) or .mini files
 (matrix-program language, compiled on the fly).
@@ -661,6 +682,20 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
                 block_deadline_ms,
             }
         }
+        "race" => {
+            let mut bound = None;
+            let mut suite = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--bound" => {
+                        bound = Some(parse_count(flag, take_value(flag, &mut it)?, true)?);
+                    }
+                    "--suite" => suite = Some(take_value(flag, &mut it)?.to_string()),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Command::Race { bound, suite }
+        }
         "calibrate" => {
             let mut procs = 64u32;
             while let Some(flag) = it.next() {
@@ -721,6 +756,25 @@ mod tests {
     fn empty_argv_is_help() {
         let p = parse_args::<&str>(&[]).unwrap();
         assert_eq!(p.command, Command::Help);
+    }
+
+    #[test]
+    fn race_defaults() {
+        let p = parse_args(&["race"]).unwrap();
+        assert_eq!(p.command, Command::Race { bound: None, suite: None });
+    }
+
+    #[test]
+    fn race_full_flags() {
+        let p = parse_args(&["race", "--bound", "3", "--suite", "breaker"]).unwrap();
+        assert_eq!(p.command, Command::Race { bound: Some(3), suite: Some("breaker".into()) });
+    }
+
+    #[test]
+    fn race_rejects_bad_flags() {
+        assert!(parse_args(&["race", "--bound"]).is_err());
+        assert!(parse_args(&["race", "--bound", "x"]).is_err());
+        assert!(parse_args(&["race", "--nope"]).is_err());
     }
 
     #[test]

@@ -33,8 +33,11 @@
 //! tight enough to catch algorithmic regressions.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+// Shim import, not std: `Server::shutdown_flag` hands back the shim's
+// `AtomicBool`, which is a distinct type under `--cfg paradigm_race`.
+use paradigm_race::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use paradigm_admm::{

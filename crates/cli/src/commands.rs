@@ -401,6 +401,7 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             out.push_str(&part.render(&g));
             Ok(CmdOutput::clean(out))
         }
+        Command::Race { bound, suite } => run_race(*bound, suite.as_deref()),
         Command::BenchAdmm {
             quick,
             out,
@@ -421,6 +422,92 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             block_deadline_ms: *block_deadline_ms,
         }),
     }
+}
+
+/// `race`: run the concurrency model-check suites from every checked
+/// crate, one summary line per suite, plus the full replayable numbered
+/// trace and lock-order diagnostics for any failure.
+fn run_race(bound: Option<usize>, which: Option<&str>) -> Result<CmdOutput, CliError> {
+    use std::fmt::Write as _;
+    let mut suites: Vec<paradigm_race::Suite> = Vec::new();
+    suites.extend(paradigm_serve::race_suites::suites());
+    suites.extend(paradigm_admm::race_suites::suites());
+    suites.extend(paradigm_solver::race_suites::suites());
+    if let Some(name) = which.filter(|n| *n != "all") {
+        let known: Vec<&str> = suites.iter().map(|s| s.name).collect();
+        suites.retain(|s| s.name == name);
+        if suites.is_empty() {
+            return Err(CliError::Config(format!(
+                "unknown suite `{name}` (have: {}, all)",
+                known.join(", ")
+            )));
+        }
+    }
+    let mut text = String::new();
+    if paradigm_race::model_enabled() {
+        let _ = writeln!(
+            text,
+            "model checking: exhaustive interleaving exploration (--cfg paradigm_race)"
+        );
+    } else {
+        let _ = writeln!(
+            text,
+            "model checking: native smoke runs only — rebuild with \
+             RUSTFLAGS=\"--cfg paradigm_race\" to explore interleavings"
+        );
+    }
+    // Suites assert invariants with panics, and exploration visits the
+    // failing schedule (and its replay) on purpose; silence the default
+    // panic hook so explored failures do not spam stderr. The violation
+    // report carries the message and the full trace.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failed = false;
+    for s in &suites {
+        let mut cfg = s.config.clone();
+        if let Some(b) = bound {
+            cfg.preemptions = b;
+        }
+        let report = (s.run)(&cfg);
+        let _ = writeln!(text, "{}   {}", report.summary(), s.about);
+        let cycles = report.lock_order.cycles();
+        if !cycles.is_empty() {
+            for c in &cycles {
+                let _ = writeln!(text, "  lock-order cycle: {}", c.join(" -> "));
+            }
+            let _ = write!(text, "{}", report.lock_order.render());
+        }
+        if let Some(v) = &report.violation {
+            let _ = writeln!(text, "\nfailing schedule for suite `{}`:", report.name);
+            for line in v.render_trace().lines() {
+                let _ = writeln!(text, "  {line}");
+            }
+            match report.replay_consistent {
+                Some(true) => {
+                    let _ = writeln!(
+                        text,
+                        "  replay: recorded schedule reproduces this trace deterministically"
+                    );
+                }
+                Some(false) => {
+                    let _ = writeln!(
+                        text,
+                        "  replay: WARNING — re-running the schedule diverged \
+                         (nondeterministic closure?)"
+                    );
+                }
+                None => {}
+            }
+        }
+        if !report.passed() {
+            failed = true;
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    if !failed {
+        let _ = writeln!(text, "all {} suite(s) passed; lock-order graphs acyclic", suites.len());
+    }
+    Ok(CmdOutput { text, failed })
 }
 
 /// `compile --admm`: route the solve through the distributed

@@ -1,0 +1,485 @@
+//! The explorer: exhaustive bounded DFS over schedules (model builds), or a
+//! single native smoke run (normal builds).
+
+use crate::report::{Config, Report};
+
+/// Explore every interleaving of `f` up to the configured bounds.
+///
+/// In a `--cfg paradigm_race` build this enumerates schedules with DFS +
+/// sleep-set partial-order reduction and an iterative preemption bound; `f`
+/// must be deterministic given a schedule (use `race::time`, no real I/O or
+/// RNG seeded from wall time). In a normal build it runs `f` once natively
+/// and reports a smoke result.
+pub fn explore<F>(name: &str, cfg: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync,
+{
+    imp::explore(name, cfg, &f)
+}
+
+/// Re-run `f` under exactly one recorded schedule (the `schedule` field of a
+/// [`crate::Violation`]): the task id chosen at every branching decision
+/// point. Deterministic: the same trace is produced every time.
+pub fn replay<F>(name: &str, cfg: &Config, f: F, schedule: &[usize]) -> Report
+where
+    F: Fn() + Send + Sync,
+{
+    imp::replay(name, cfg, &f, schedule)
+}
+
+#[cfg(not(paradigm_race))]
+mod imp {
+    use super::*;
+    use crate::report::{Violation, ViolationKind};
+
+    fn run_once(name: &str, f: &(dyn Fn() + Send + Sync)) -> Report {
+        let mut report = Report::new(name, false);
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))).join()
+        });
+        report.schedules = 1;
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(p)) | Err(p) => {
+                let message = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                report.violation = Some(Violation {
+                    kind: ViolationKind::Panic,
+                    message,
+                    trace: Vec::new(),
+                    schedule: Vec::new(),
+                });
+            }
+        }
+        report
+    }
+
+    pub(super) fn explore(name: &str, _cfg: &Config, f: &(dyn Fn() + Send + Sync)) -> Report {
+        run_once(name, f)
+    }
+
+    pub(super) fn replay(
+        name: &str,
+        _cfg: &Config,
+        f: &(dyn Fn() + Send + Sync),
+        _schedule: &[usize],
+    ) -> Report {
+        run_once(name, f)
+    }
+}
+
+#[cfg(paradigm_race)]
+mod imp {
+    use super::*;
+    use crate::lockorder::LockOrderGraph;
+    use crate::report::{Violation, ViolationKind};
+    use crate::sched::{self, independent, Ctx, ExecState, Execution, Pending, Sig, TaskId};
+    use std::sync::{Arc, MutexGuard};
+
+    /// One branching decision point on the DFS stack.
+    struct Frame {
+        /// Enabled (task, sig) pairs at this point, ascending task id.
+        options: Vec<(TaskId, Sig)>,
+        /// Index into `options` currently being explored.
+        chosen: usize,
+        /// Sleep set inherited on entry to this state.
+        sleep_at_entry: Vec<(TaskId, Sig)>,
+        /// Options whose subtrees are fully explored (sleep for siblings).
+        explored: Vec<(TaskId, Sig)>,
+        /// Task that ran immediately before this decision.
+        prev: Option<TaskId>,
+        /// Preemptions consumed along the path up to this decision.
+        preemptions_before: usize,
+    }
+
+    enum Mode<'a> {
+        Explore(&'a mut Vec<Frame>),
+        Replay(&'a [usize]),
+    }
+
+    #[derive(Default)]
+    struct RunOutcome {
+        violation: Option<Violation>,
+        pruned: bool,
+        capped: bool,
+        events: usize,
+        schedule: Vec<usize>,
+        lock_order: LockOrderGraph,
+    }
+
+    pub(super) fn explore(name: &str, cfg: &Config, f: &(dyn Fn() + Send + Sync)) -> Report {
+        let mut report = Report::new(name, true);
+        let mut frames: Vec<Frame> = Vec::new();
+        loop {
+            let out = run_execution(f, cfg, Mode::Explore(&mut frames));
+            report.schedules += 1;
+            report.max_events_seen = report.max_events_seen.max(out.events);
+            report.lock_order.merge(&out.lock_order);
+            if out.pruned {
+                report.pruned += 1;
+            }
+            if out.capped {
+                report.depth_capped += 1;
+            }
+            if let Some(v) = out.violation {
+                // Prove determinism: replay the recorded schedule and compare
+                // traces event-for-event.
+                let replayed = run_execution(f, cfg, Mode::Replay(&v.schedule));
+                let consistent = replayed
+                    .violation
+                    .as_ref()
+                    .map(|rv| rv.trace == v.trace && rv.kind == v.kind)
+                    .unwrap_or(false);
+                report.replay_consistent = Some(consistent);
+                report.violation = Some(v);
+                return report;
+            }
+            if report.schedules >= cfg.max_schedules {
+                report.truncated = true;
+                return report;
+            }
+            if !advance(&mut frames, cfg) {
+                return report;
+            }
+        }
+    }
+
+    pub(super) fn replay(
+        name: &str,
+        cfg: &Config,
+        f: &(dyn Fn() + Send + Sync),
+        schedule: &[usize],
+    ) -> Report {
+        let mut report = Report::new(name, true);
+        let out = run_execution(f, cfg, Mode::Replay(schedule));
+        report.schedules = 1;
+        report.max_events_seen = out.events;
+        report.lock_order.merge(&out.lock_order);
+        report.violation = out.violation;
+        report
+    }
+
+    /// Move the DFS to the next unexplored branch. Returns false when the
+    /// whole bounded space is exhausted.
+    fn advance(frames: &mut Vec<Frame>, cfg: &Config) -> bool {
+        while let Some(f) = frames.last_mut() {
+            let cur = f.options[f.chosen];
+            f.explored.push(cur);
+            let prev_enabled =
+                f.prev.map(|p| f.options.iter().any(|(t, _)| *t == p)).unwrap_or(false);
+            let mut next = None;
+            for (i, opt) in f.options.iter().enumerate() {
+                if f.explored.iter().any(|(t, _)| *t == opt.0) {
+                    continue;
+                }
+                if f.sleep_at_entry.iter().any(|(t, _)| *t == opt.0) {
+                    continue;
+                }
+                let cost = usize::from(prev_enabled && Some(opt.0) != f.prev);
+                if f.preemptions_before + cost > cfg.preemptions {
+                    continue;
+                }
+                next = Some(i);
+                break;
+            }
+            match next {
+                Some(i) => {
+                    f.chosen = i;
+                    return true;
+                }
+                None => {
+                    frames.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Wait until every live task is parked at a scheduling point (or
+    /// finished) and no grant is in flight.
+    fn wait_quiescent<'a>(
+        exec: &'a Execution,
+        mut st: MutexGuard<'a, ExecState>,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            let busy = st.grant_pending
+                || st.running.is_some()
+                || st.tasks.iter().any(|t| !t.finished && matches!(t.pending, Pending::Startup));
+            if !busy {
+                return st;
+            }
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Tear the execution down: unwind every unfinished task, one at a time
+    /// (single-threaded teardown keeps shim ops inside unwinding Drop impls
+    /// exclusive without the scheduler). Reverse creation order: a child is
+    /// always unwound before the parent whose stack frames own the data the
+    /// child borrows (scoped threads), so drops in the child's unwind never
+    /// touch freed memory.
+    fn abort_all(exec: &Execution) {
+        let mut st = exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+        st.aborting = true;
+        loop {
+            st = wait_quiescent(exec, st);
+            let target = st.tasks.iter().rposition(|t| !t.finished);
+            match target {
+                None => break,
+                Some(t) => {
+                    st.abort_target = Some(t);
+                    exec.cv.notify_all();
+                    while !st.tasks[t].finished {
+                        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    st.abort_target = None;
+                }
+            }
+        }
+    }
+
+    fn violation_from(
+        st: &ExecState,
+        kind: ViolationKind,
+        message: String,
+        schedule: Vec<usize>,
+    ) -> Violation {
+        Violation { kind, message, trace: st.events.clone(), schedule }
+    }
+
+    fn run_execution(f: &(dyn Fn() + Send + Sync), cfg: &Config, mut mode: Mode<'_>) -> RunOutcome {
+        let exec = Execution::new();
+        {
+            let mut st = exec.mx.lock().unwrap();
+            st.register_task("main".to_string());
+        }
+        let root_ctx = Ctx { exec: exec.clone(), task: 0 };
+        std::thread::scope(|scope| {
+            let exec_for_root = root_ctx;
+            scope.spawn(move || {
+                sched::task_main(exec_for_root, f);
+            });
+            controller(&exec, cfg, &mut mode)
+        })
+    }
+
+    fn controller(exec: &Arc<Execution>, cfg: &Config, mode: &mut Mode<'_>) -> RunOutcome {
+        let mut out = RunOutcome::default();
+        let mut decision_idx = 0usize;
+        let mut cur_sleep: Vec<(TaskId, Sig)> = Vec::new();
+        let mut prev: Option<TaskId> = None;
+        let mut preemptions = 0usize;
+        let mut schedule: Vec<usize> = Vec::new();
+
+        let mut st = exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            st = wait_quiescent(exec, st);
+
+            if let Some(e) = st.internal_error.take() {
+                out.violation =
+                    Some(violation_from(&st, ViolationKind::Internal, e, schedule.clone()));
+                break;
+            }
+            if st.tasks.iter().all(|t| t.finished) {
+                // Any panic nobody joined is a failure (mirrors
+                // std::thread::scope, which rethrows on implicit join).
+                let leaked: Vec<String> = st
+                    .tasks
+                    .iter()
+                    .filter(|t| t.panic_msg.is_some() && !t.panic_consumed)
+                    .map(|t| format!("{}: {}", t.name, t.panic_msg.clone().unwrap_or_default()))
+                    .collect();
+                if !leaked.is_empty() {
+                    out.violation = Some(violation_from(
+                        &st,
+                        ViolationKind::Panic,
+                        leaked.join("; "),
+                        schedule.clone(),
+                    ));
+                }
+                break;
+            }
+            if st.events.len() >= cfg.max_events {
+                out.capped = true;
+                break;
+            }
+
+            let enabled: Vec<(TaskId, Sig)> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(t, task)| {
+                    !task.finished && matches!(task.pending, Pending::Op(_)) && st.op_enabled(*t)
+                })
+                .map(|(t, task)| {
+                    let sig = match task.pending {
+                        Pending::Op(op) => op.sig(),
+                        _ => unreachable!(),
+                    };
+                    (t, sig)
+                })
+                .collect();
+
+            if enabled.is_empty() {
+                match st.next_deadline() {
+                    Some(d) => {
+                        st.advance_clock(d);
+                        continue;
+                    }
+                    None => {
+                        let msg = st.blocked_summary();
+                        out.violation = Some(violation_from(
+                            &st,
+                            ViolationKind::Deadlock,
+                            msg,
+                            schedule.clone(),
+                        ));
+                        break;
+                    }
+                }
+            }
+
+            // Choose the next task.
+            let chosen: TaskId = if enabled.len() == 1 {
+                enabled[0].0
+            } else {
+                let pick = match mode {
+                    Mode::Replay(plan) => {
+                        let want = plan.get(decision_idx).copied();
+                        decision_idx += 1;
+                        match want.and_then(|w| enabled.iter().find(|(t, _)| *t == w)) {
+                            Some((t, _)) => *t,
+                            None => default_pick(&enabled, prev, &[]),
+                        }
+                    }
+                    Mode::Explore(frames) => {
+                        if decision_idx < frames.len() {
+                            let fr = &frames[decision_idx];
+                            if fr.options.iter().map(|o| o.0).collect::<Vec<_>>()
+                                != enabled.iter().map(|o| o.0).collect::<Vec<_>>()
+                            {
+                                st.internal_error = Some(format!(
+                                    "non-deterministic closure: decision {} saw enabled {:?}, \
+                                     previous run saw {:?}",
+                                    decision_idx,
+                                    enabled.iter().map(|o| o.0).collect::<Vec<_>>(),
+                                    fr.options.iter().map(|o| o.0).collect::<Vec<_>>()
+                                ));
+                                continue;
+                            }
+                            // Reconstruct the sleep set exactly as stored.
+                            cur_sleep = fr.sleep_at_entry.clone();
+                            for e in &fr.explored {
+                                if !cur_sleep.iter().any(|(t, _)| *t == e.0) {
+                                    cur_sleep.push(*e);
+                                }
+                            }
+                            let pick = fr.options[fr.chosen].0;
+                            decision_idx += 1;
+                            pick
+                        } else {
+                            // Fresh frontier.
+                            let asleep: Vec<(TaskId, Sig)> = cur_sleep.clone();
+                            let selectable: Vec<(TaskId, Sig)> = enabled
+                                .iter()
+                                .copied()
+                                .filter(|(t, _)| !asleep.iter().any(|(s, _)| s == t))
+                                .collect();
+                            let prev_enabled =
+                                prev.map(|p| enabled.iter().any(|(t, _)| *t == p)).unwrap_or(false);
+                            let affordable: Vec<(TaskId, Sig)> = selectable
+                                .iter()
+                                .copied()
+                                .filter(|(t, _)| {
+                                    let cost = usize::from(prev_enabled && Some(*t) != prev);
+                                    preemptions + cost <= cfg.preemptions
+                                })
+                                .collect();
+                            if affordable.is_empty() {
+                                // Everything runnable is covered elsewhere
+                                // (sleep set) or over budget: prune.
+                                out.pruned = true;
+                                out.events = st.events.len();
+                                out.lock_order.merge(&st.lock_order);
+                                drop(st);
+                                abort_all(exec);
+                                return out;
+                            }
+                            let pick = default_pick(&affordable, prev, &asleep);
+                            let chosen_idx = enabled
+                                .iter()
+                                .position(|(t, _)| *t == pick)
+                                .expect("pick came from enabled");
+                            frames.push(Frame {
+                                options: enabled.clone(),
+                                chosen: chosen_idx,
+                                sleep_at_entry: cur_sleep.clone(),
+                                explored: Vec::new(),
+                                prev,
+                                preemptions_before: preemptions,
+                            });
+                            decision_idx += 1;
+                            pick
+                        }
+                    }
+                };
+                schedule.push(pick);
+                pick
+            };
+
+            // Preemption accounting.
+            if let Some(p) = prev {
+                if p != chosen && enabled.iter().any(|(t, _)| *t == p) {
+                    preemptions += 1;
+                }
+            }
+            // Sleep-set maintenance: the chosen op wakes every dependent
+            // sleeper and removes the chosen task itself.
+            let chosen_sig = enabled
+                .iter()
+                .find(|(t, _)| *t == chosen)
+                .map(|(_, s)| *s)
+                .expect("chosen is enabled");
+            cur_sleep.retain(|(t, s)| *t != chosen && independent(*s, chosen_sig));
+            prev = Some(chosen);
+
+            st.grant(chosen);
+            exec.cv.notify_all();
+        }
+
+        // Common exit: capture state, tear down any still-live tasks.
+        out.events = st.events.len();
+        out.schedule = schedule;
+        out.lock_order.merge(&st.lock_order);
+        if let Some(v) = out.violation.as_mut() {
+            v.schedule = out.schedule.clone();
+        }
+        let all_done = st.tasks.iter().all(|t| t.finished);
+        drop(st);
+        if !all_done {
+            abort_all(exec);
+        }
+        out
+    }
+
+    /// Default scheduling policy: keep running the previous task when
+    /// possible (minimizes preemptions, so the first schedule explored is
+    /// the "natural" one), otherwise the lowest task id.
+    fn default_pick(
+        options: &[(TaskId, Sig)],
+        prev: Option<TaskId>,
+        _asleep: &[(TaskId, Sig)],
+    ) -> TaskId {
+        if let Some(p) = prev {
+            if options.iter().any(|(t, _)| *t == p) {
+                return p;
+            }
+        }
+        options.iter().map(|(t, _)| *t).min().unwrap_or(0)
+    }
+}

@@ -1,0 +1,215 @@
+//! Dynamic lock-order graph with cycle detection.
+//!
+//! Every lock acquisition performed while other locks are held records a
+//! directed edge `held-class -> acquired-class`. Classes are the lock's
+//! *creation site* (`file:line:col` of the `Mutex::new` call), lockdep-style:
+//! all eight shard mutexes of the result cache are one class, so an
+//! AB/BA inversion between two *instances* of different classes is caught
+//! even when no explored schedule happened to interleave into the deadlock.
+//! A cycle in the aggregated graph (including a self-edge, i.e. nested
+//! acquisition of two same-class instances) is reported as a potential
+//! deadlock.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregated lock-order graph. Node names are lock classes (creation
+/// sites); edge values remember one sample acquisition site pair per edge
+/// plus how often the edge was observed.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrderGraph {
+    edges: BTreeMap<String, BTreeMap<String, EdgeInfo>>,
+}
+
+#[derive(Clone, Debug)]
+pub struct EdgeInfo {
+    /// How many acquisitions recorded this edge (across all schedules).
+    pub count: u64,
+    /// Sample: source location that acquired the second lock while holding
+    /// the first.
+    pub sample_site: String,
+}
+
+impl LockOrderGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `held -> acquired` observed at `site`.
+    pub fn add_edge(&mut self, held: &str, acquired: &str, site: &str) {
+        let e = self
+            .edges
+            .entry(held.to_string())
+            .or_default()
+            .entry(acquired.to_string())
+            .or_insert_with(|| EdgeInfo { count: 0, sample_site: site.to_string() });
+        e.count += 1;
+    }
+
+    /// Merge another graph (e.g. from one execution) into this aggregate.
+    pub fn merge(&mut self, other: &LockOrderGraph) {
+        for (from, tos) in &other.edges {
+            for (to, info) in tos {
+                let e =
+                    self.edges.entry(from.clone()).or_default().entry(to.clone()).or_insert_with(
+                        || EdgeInfo { count: 0, sample_site: info.sample_site.clone() },
+                    );
+                e.count += info.count;
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    pub fn node_count(&self) -> usize {
+        let mut nodes: BTreeSet<&str> = BTreeSet::new();
+        for (from, tos) in &self.edges {
+            nodes.insert(from);
+            for to in tos.keys() {
+                nodes.insert(to);
+            }
+        }
+        nodes.len()
+    }
+
+    /// All elementary cycles reachable in the graph, as node-name paths
+    /// (first node repeated at the end). A self-edge `A -> A` is the cycle
+    /// `[A, A]`. Deterministic order.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        // Color-based DFS collecting back edges; each back edge yields the
+        // cycle along the current DFS stack. Small graphs (tens of lock
+        // classes), so no need for Johnson's algorithm.
+        let mut cycles: Vec<Vec<String>> = Vec::new();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        for start in self.edges.keys() {
+            let mut on_path: Vec<&str> = Vec::new();
+            self.dfs_cycles(start, &mut on_path, &mut done, &mut cycles);
+        }
+        cycles.sort();
+        cycles.dedup();
+        cycles
+    }
+
+    fn dfs_cycles<'a>(
+        &'a self,
+        node: &'a str,
+        on_path: &mut Vec<&'a str>,
+        done: &mut BTreeSet<&'a str>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        if done.contains(node) {
+            return;
+        }
+        if let Some(pos) = on_path.iter().position(|n| *n == node) {
+            let mut cyc: Vec<String> = on_path[pos..].iter().map(|s| s.to_string()).collect();
+            // Canonical rotation so the same cycle found from different
+            // starts dedups.
+            let min_idx = cyc
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (*s).clone())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            cyc.rotate_left(min_idx);
+            cyc.push(cyc[0].clone());
+            cycles.push(cyc);
+            return;
+        }
+        on_path.push(node);
+        if let Some(tos) = self.edges.get(node) {
+            for to in tos.keys() {
+                self.dfs_cycles(to, on_path, done, cycles);
+            }
+        }
+        on_path.pop();
+        done.insert(node);
+    }
+
+    /// Human-readable dump: every edge, then any cycles.
+    pub fn render(&self) -> String {
+        if self.edges.is_empty() {
+            return "lock-order: no nested acquisitions observed\n".to_string();
+        }
+        let mut out =
+            format!("lock-order: {} classes, {} edges\n", self.node_count(), self.edge_count());
+        for (from, tos) in &self.edges {
+            for (to, info) in tos {
+                out.push_str(&format!(
+                    "  {} -> {}  (x{}, e.g. at {})\n",
+                    from, to, info.count, info.sample_site
+                ));
+            }
+        }
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            out.push_str("  no cycles: acyclic under every explored schedule\n");
+        } else {
+            for c in &cycles {
+                out.push_str(&format!("  CYCLE: {}\n", c.join(" -> ")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_reports_no_cycles() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge("a.rs:1", "a.rs:2", "x.rs:10");
+        g.add_edge("a.rs:2", "a.rs:3", "x.rs:11");
+        g.add_edge("a.rs:1", "a.rs:3", "x.rs:12");
+        assert!(g.cycles().is_empty());
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn abba_inversion_is_a_cycle() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge("a.rs:1", "a.rs:2", "x.rs:10");
+        g.add_edge("a.rs:2", "a.rs:1", "y.rs:20");
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec!["a.rs:1", "a.rs:2", "a.rs:1"]);
+        assert!(g.render().contains("CYCLE"));
+    }
+
+    #[test]
+    fn same_class_nesting_is_a_self_cycle() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge("shard.rs:9", "shard.rs:9", "x.rs:10");
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec!["shard.rs:9", "shard.rs:9"]);
+    }
+
+    #[test]
+    fn three_way_cycle_found_once() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge("a", "b", "s1");
+        g.add_edge("b", "c", "s2");
+        g.add_edge("c", "a", "s3");
+        assert_eq!(g.cycles().len(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge("a", "b", "s1");
+        let mut h = LockOrderGraph::new();
+        h.add_edge("a", "b", "s1");
+        h.add_edge("b", "c", "s2");
+        g.merge(&h);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.render().contains("x2"));
+    }
+}

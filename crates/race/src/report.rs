@@ -1,0 +1,242 @@
+//! Exploration configuration, results, and trace rendering.
+//!
+//! These types are available in every build (the CLI consumes them even in
+//! non-model builds, where a suite degrades to a single native smoke run).
+
+use crate::lockorder::LockOrderGraph;
+
+/// Bounds for one exploration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of preemptions per schedule. A preemption is a context
+    /// switch away from a task that was still enabled; bounding them is the
+    /// standard way to keep exploration tractable while catching almost all
+    /// real bugs (most concurrency bugs need <= 2 preemptions to manifest).
+    pub preemptions: usize,
+    /// Hard cap on the number of schedules explored; exploration stops and
+    /// the report is marked `truncated` when it is reached.
+    pub max_schedules: u64,
+    /// Hard cap on scheduling events within a single schedule; executions
+    /// that exceed it are cut and counted in `depth_capped`.
+    pub max_events: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { preemptions: 2, max_schedules: 200_000, max_events: 20_000 }
+    }
+}
+
+impl Config {
+    /// Config with a given preemption bound and the default caps.
+    pub fn with_bound(preemptions: usize) -> Self {
+        Config { preemptions, ..Config::default() }
+    }
+}
+
+/// One scheduling event in an execution trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// 1-based position in the schedule.
+    pub step: usize,
+    /// Task index (`usize::MAX` renders as the scheduler clock).
+    pub task: usize,
+    /// Task name (worker thread names are preserved).
+    pub name: String,
+    /// Operation description, e.g. `lock Mutex[crates/serve/src/worker.rs:57]`.
+    pub op: String,
+    /// Source location of the call site performing the operation.
+    pub site: String,
+}
+
+/// Why a schedule was reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A task panicked (assertion failure in an invariant, or an unhandled
+    /// panic that no join consumed).
+    Panic,
+    /// No task was runnable and no timer was pending: deadlock or lost wakeup.
+    Deadlock,
+    /// The checker itself detected an inconsistency (non-deterministic
+    /// closure, scheduler bug). Always a bug report, never ignorable.
+    Internal,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Panic => write!(f, "panic"),
+            ViolationKind::Deadlock => write!(f, "deadlock"),
+            ViolationKind::Internal => write!(f, "internal checker error"),
+        }
+    }
+}
+
+/// A failing schedule: what went wrong, the full numbered event trace, and
+/// the decision vector that deterministically reproduces it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub message: String,
+    /// Every scheduling event of the failing execution, in order.
+    pub trace: Vec<Event>,
+    /// Task chosen at each branching decision point; feed to
+    /// [`crate::replay`] to re-run exactly this schedule.
+    pub schedule: Vec<usize>,
+}
+
+impl Violation {
+    /// Render the numbered event trace.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.kind, self.message));
+        if !self.schedule.is_empty() {
+            out.push_str(&format!("schedule (task per decision point): {:?}\n", self.schedule));
+        }
+        let name_w = self.trace.iter().map(|e| e.name.len()).max().unwrap_or(4).min(24);
+        for e in &self.trace {
+            out.push_str(&format!(
+                "{:>5}. {:<name_w$}  {:<52}  at {}\n",
+                e.step,
+                e.name,
+                e.op,
+                e.site,
+                name_w = name_w,
+            ));
+        }
+        out
+    }
+}
+
+/// Result of exploring one suite closure.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Suite name this report belongs to.
+    pub name: String,
+    /// True when the model scheduler actually explored interleavings
+    /// (`--cfg paradigm_race` build). False for the native smoke fallback.
+    pub model: bool,
+    /// Number of complete schedules executed.
+    pub schedules: u64,
+    /// Schedules cut short because every runnable task was in the sleep set
+    /// (the interleaving is equivalent to one already explored).
+    pub pruned: u64,
+    /// Schedules cut by the per-execution event cap.
+    pub depth_capped: u64,
+    /// Longest observed execution, in scheduling events.
+    pub max_events_seen: usize,
+    /// Exploration hit `max_schedules` before exhausting the space.
+    pub truncated: bool,
+    /// First failing schedule found, if any.
+    pub violation: Option<Violation>,
+    /// Lock-order graph aggregated across every explored schedule.
+    pub lock_order: LockOrderGraph,
+    /// When a violation was found: whether an automatic replay of the
+    /// recorded schedule reproduced the identical trace.
+    pub replay_consistent: Option<bool>,
+}
+
+impl Report {
+    pub(crate) fn new(name: &str, model: bool) -> Self {
+        Report {
+            name: name.to_string(),
+            model,
+            schedules: 0,
+            pruned: 0,
+            depth_capped: 0,
+            max_events_seen: 0,
+            truncated: false,
+            violation: None,
+            lock_order: LockOrderGraph::new(),
+            replay_consistent: None,
+        }
+    }
+
+    /// A suite passes when no schedule violated an invariant AND the
+    /// aggregated lock-order graph is acyclic.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none() && self.lock_order.cycles().is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let mode = if self.model {
+            format!(
+                "{} schedules ({} pruned, {} depth-capped, longest {} events{})",
+                self.schedules,
+                self.pruned,
+                self.depth_capped,
+                self.max_events_seen,
+                if self.truncated { ", TRUNCATED" } else { "" },
+            )
+        } else {
+            "native smoke run (rebuild with RUSTFLAGS=\"--cfg paradigm_race\" to explore)"
+                .to_string()
+        };
+        let cycles = self.lock_order.cycles();
+        let verdict = match (&self.violation, cycles.is_empty()) {
+            (None, true) => "ok".to_string(),
+            (None, false) => format!("LOCK-ORDER CYCLE ({})", cycles.len()),
+            (Some(v), _) => format!("FAIL [{}]", v.kind),
+        };
+        format!("{:<12} {:<10} {}", self.name, verdict, mode)
+    }
+}
+
+/// A named model-check suite: an invariant-asserting closure plus the bounds
+/// it should be explored under. Each checked crate exports its own list.
+pub struct Suite {
+    pub name: &'static str,
+    pub about: &'static str,
+    pub config: Config,
+    pub run: fn(&Config) -> Report,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_renders_numbered_lines() {
+        let v = Violation {
+            kind: ViolationKind::Deadlock,
+            message: "2 tasks blocked".to_string(),
+            trace: vec![
+                Event {
+                    step: 1,
+                    task: 0,
+                    name: "main".into(),
+                    op: "lock Mutex[a.rs:1]".into(),
+                    site: "a.rs:10".into(),
+                },
+                Event {
+                    step: 2,
+                    task: 1,
+                    name: "t1".into(),
+                    op: "lock Mutex[a.rs:2]".into(),
+                    site: "a.rs:20".into(),
+                },
+            ],
+            schedule: vec![0, 1],
+        };
+        let s = v.render_trace();
+        assert!(s.contains("deadlock: 2 tasks blocked"));
+        assert!(s.contains("1. main"));
+        assert!(s.contains("2. t1"));
+        assert!(s.contains("at a.rs:20"));
+    }
+
+    #[test]
+    fn report_pass_fail() {
+        let mut r = Report::new("x", true);
+        assert!(r.passed());
+        r.violation = Some(Violation {
+            kind: ViolationKind::Panic,
+            message: "boom".into(),
+            trace: vec![],
+            schedule: vec![],
+        });
+        assert!(!r.passed());
+        assert!(r.summary().contains("FAIL [panic]"));
+    }
+}

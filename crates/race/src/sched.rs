@@ -1,0 +1,878 @@
+//! Cooperative scheduler for model builds (`--cfg paradigm_race`).
+//!
+//! One *execution* runs the closure-under-test once, on real OS threads, but
+//! with at most one task running at a time: every shim sync operation is a
+//! *scheduling point* where the task parks, announces the operation it is
+//! about to perform, and waits for the controller to grant it the baton.
+//! The controller (driven by the explorer in `explore.rs`) only makes a
+//! decision at *quiescence* — when every live task is parked — so it always
+//! sees the complete set of enabled operations and the search is exhaustive
+//! over scheduling-point interleavings.
+//!
+//! Memory model: sequentially consistent. Atomics are interleaved as whole
+//! operations; `Ordering` is accepted and traced but weak-memory reordering
+//! is not modeled. Time is a logical clock that only advances when no task is
+//! runnable ("patient timers"): a `wait_timeout` can only time out if the
+//! system would otherwise be idle, which is exactly the starvation-free
+//! abstraction the polling loops in the work queue assume.
+
+#![allow(clippy::disallowed_types)] // the scheduler itself runs on real std primitives
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::panic::Location;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use crate::lockorder::LockOrderGraph;
+use crate::report::Event;
+
+pub(crate) type TaskId = usize;
+
+/// Pseudo task id used for scheduler-generated trace events (clock advance).
+pub(crate) const CLOCK_TASK: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) struct ObjId(pub(crate) u32);
+pub(crate) const NO_OBJ: ObjId = ObjId(0);
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    Begin,
+    Yield,
+    Lock,
+    Unlock,
+    RwRead,
+    RwWrite,
+    RwUnlockRead,
+    RwUnlockWrite,
+    /// Atomically release the mutex and join the condvar's waiter queue.
+    CvWait,
+    /// Reacquire the mutex after a notify or timeout.
+    CvReacquire,
+    CvNotifyOne,
+    CvNotifyAll,
+    AtomicLoad,
+    AtomicStore,
+    AtomicRmw,
+    Join,
+    Sleep,
+}
+
+/// A pending operation announced at a scheduling point.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    /// Primary object (mutex/rwlock/cv/atomic); `NO_OBJ` for thread ops.
+    pub obj: ObjId,
+    /// Secondary object: the mutex of a `CvWait`/`CvReacquire`.
+    pub obj2: ObjId,
+    /// Join target task.
+    pub target: TaskId,
+    /// Logical-nanosecond deadline for `Sleep` / timed `CvWait`
+    /// (`u64::MAX` = none).
+    pub deadline: u64,
+    /// `Unlock`/`RwUnlockWrite`: poison the lock. `CvReacquire`: timed out.
+    pub flag: bool,
+    /// Call site of the shim operation.
+    pub site: &'static Location<'static>,
+    /// Trace annotation (e.g. the atomic `Ordering`, or the RMW op name).
+    pub note: &'static str,
+}
+
+impl Op {
+    pub(crate) fn base(kind: OpKind, site: &'static Location<'static>) -> Op {
+        Op {
+            kind,
+            obj: NO_OBJ,
+            obj2: NO_OBJ,
+            target: 0,
+            deadline: u64::MAX,
+            flag: false,
+            site,
+            note: "",
+        }
+    }
+}
+
+/// Conflict signature for sleep-set independence. Conservative: operations
+/// without a primary object (spawn/join/yield/sleep) and every time-driven
+/// operation are treated as dependent with everything.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Sig {
+    pub obj: ObjId,
+    pub write: bool,
+    pub timey: bool,
+}
+
+impl Op {
+    pub(crate) fn sig(&self) -> Sig {
+        let write = !matches!(self.kind, OpKind::AtomicLoad | OpKind::RwRead);
+        let timey = self.deadline != u64::MAX || matches!(self.kind, OpKind::Sleep);
+        Sig { obj: self.obj, write, timey }
+    }
+}
+
+/// Two operations are independent iff they provably commute from every state.
+pub(crate) fn independent(a: Sig, b: Sig) -> bool {
+    if a.timey || b.timey || a.obj == NO_OBJ || b.obj == NO_OBJ {
+        return false;
+    }
+    a.obj != b.obj || (!a.write && !b.write)
+}
+
+// ---------------------------------------------------------------------------
+// Tasks and objects
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// OS thread exists but has not parked yet (or is currently running).
+    Startup,
+    /// Parked at a scheduling point, operation announced.
+    Op(Op),
+    /// In a condvar waiter queue; not schedulable until notified/timed out.
+    CvParked {
+        cv: ObjId,
+        mutex: ObjId,
+        deadline: u64,
+        site: &'static Location<'static>,
+    },
+    Done,
+}
+
+// Op is Copy/PartialEq via derives on fields; Location comparison is by
+// value which is fine (same site compares equal).
+impl PartialEq for Op {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.obj == other.obj
+            && self.obj2 == other.obj2
+            && self.target == other.target
+            && self.deadline == other.deadline
+            && self.flag == other.flag
+    }
+}
+impl Eq for Op {}
+
+#[derive(Clone, Copy, Debug)]
+struct Held {
+    obj: ObjId,
+    class: &'static Location<'static>,
+    read: bool,
+}
+
+pub(crate) struct Task {
+    pub(crate) name: String,
+    pub(crate) pending: Pending,
+    granted: bool,
+    pub(crate) finished: bool,
+    /// Rendered panic message, for traces and violation reports.
+    pub(crate) panic_msg: Option<String>,
+    /// The raw payload, handed to whoever joins this task.
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    pub(crate) panic_consumed: bool,
+    held: Vec<Held>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ObjKind {
+    Mutex,
+    Rw,
+    Cv,
+    Atomic,
+}
+
+struct ObjInfo {
+    kind: ObjKind,
+    class: &'static Location<'static>,
+    holder: Option<TaskId>,
+    readers: Vec<TaskId>,
+    poisoned: bool,
+    waiters: VecDeque<TaskId>,
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+pub(crate) struct ExecState {
+    pub(crate) tasks: Vec<Task>,
+    objs: Vec<ObjInfo>,
+    by_addr: HashMap<usize, ObjId>,
+    pub(crate) running: Option<TaskId>,
+    pub(crate) grant_pending: bool,
+    pub(crate) aborting: bool,
+    /// One-at-a-time unwind target during abort (keeps teardown
+    /// single-threaded so shim ops during unwinding Drop impls are safe).
+    pub(crate) abort_target: Option<TaskId>,
+    pub(crate) now: u64,
+    pub(crate) events: Vec<Event>,
+    pub(crate) lock_order: LockOrderGraph,
+    pub(crate) internal_error: Option<String>,
+}
+
+pub(crate) struct Execution {
+    pub(crate) mx: StdMutex<ExecState>,
+    pub(crate) cv: StdCondvar,
+}
+
+impl Execution {
+    pub(crate) fn new() -> Arc<Execution> {
+        Arc::new(Execution {
+            mx: StdMutex::new(ExecState {
+                tasks: Vec::new(),
+                objs: Vec::new(),
+                by_addr: HashMap::new(),
+                running: None,
+                grant_pending: false,
+                aborting: false,
+                abort_target: None,
+                now: 0,
+                events: Vec::new(),
+                lock_order: LockOrderGraph::new(),
+                internal_error: None,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+}
+
+fn loc(l: &'static Location<'static>) -> String {
+    format!("{}:{}", l.file(), l.line())
+}
+
+impl ExecState {
+    pub(crate) fn register_task(&mut self, name: String) -> TaskId {
+        self.tasks.push(Task {
+            name,
+            pending: Pending::Startup,
+            granted: false,
+            finished: false,
+            panic_msg: None,
+            panic_payload: None,
+            panic_consumed: false,
+            held: Vec::new(),
+        });
+        self.tasks.len() - 1
+    }
+
+    fn obj_id(&mut self, addr: usize, kind: ObjKind, class: &'static Location<'static>) -> ObjId {
+        if let Some(id) = self.by_addr.get(&addr) {
+            return *id;
+        }
+        self.objs.push(ObjInfo {
+            kind,
+            class,
+            holder: None,
+            readers: Vec::new(),
+            poisoned: false,
+            waiters: VecDeque::new(),
+        });
+        let id = ObjId(self.objs.len() as u32);
+        self.by_addr.insert(addr, id);
+        id
+    }
+
+    fn obj(&self, id: ObjId) -> &ObjInfo {
+        &self.objs[(id.0 - 1) as usize]
+    }
+
+    fn obj_mut(&mut self, id: ObjId) -> &mut ObjInfo {
+        &mut self.objs[(id.0 - 1) as usize]
+    }
+
+    fn obj_label(&self, id: ObjId) -> String {
+        if id == NO_OBJ {
+            return String::new();
+        }
+        let o = self.obj(id);
+        let k = match o.kind {
+            ObjKind::Mutex => "Mutex",
+            ObjKind::Rw => "RwLock",
+            ObjKind::Cv => "Condvar",
+            ObjKind::Atomic => "Atomic",
+        };
+        format!("{}[{}]", k, loc(o.class))
+    }
+
+    pub(crate) fn record_event(&mut self, task: TaskId, op: &Op) {
+        let name =
+            if task == CLOCK_TASK { "(clock)".to_string() } else { self.tasks[task].name.clone() };
+        let verb = match op.kind {
+            OpKind::Begin => "start",
+            OpKind::Yield => "yield",
+            OpKind::Lock => "lock",
+            OpKind::Unlock => {
+                if op.flag {
+                    "unlock(poison)"
+                } else {
+                    "unlock"
+                }
+            }
+            OpKind::RwRead => "read-lock",
+            OpKind::RwWrite => "write-lock",
+            OpKind::RwUnlockRead => "read-unlock",
+            OpKind::RwUnlockWrite => "write-unlock",
+            OpKind::CvWait => "wait",
+            OpKind::CvReacquire => {
+                if op.flag {
+                    "wake(timeout) reacquire"
+                } else {
+                    "wake reacquire"
+                }
+            }
+            OpKind::CvNotifyOne => "notify_one",
+            OpKind::CvNotifyAll => "notify_all",
+            OpKind::AtomicLoad => "atomic load",
+            OpKind::AtomicStore => "atomic store",
+            OpKind::AtomicRmw => "atomic rmw",
+            OpKind::Join => "join",
+            OpKind::Sleep => "sleep",
+        };
+        let mut desc = verb.to_string();
+        if !op.note.is_empty() {
+            desc.push_str(&format!(" {}", op.note));
+        }
+        if op.obj != NO_OBJ {
+            desc.push_str(&format!(" {}", self.obj_label(op.obj)));
+        }
+        if op.kind == OpKind::CvWait || op.kind == OpKind::CvReacquire {
+            desc.push_str(&format!(" / {}", self.obj_label(op.obj2)));
+        }
+        if op.kind == OpKind::Join {
+            let tname = self.tasks.get(op.target).map(|t| t.name.clone()).unwrap_or_default();
+            desc.push_str(&format!(" {}", tname));
+        }
+        if op.deadline != u64::MAX {
+            desc.push_str(&format!(" (deadline {}ns)", op.deadline));
+        }
+        self.events.push(Event {
+            step: self.events.len() + 1,
+            task,
+            name,
+            op: desc,
+            site: loc(op.site),
+        });
+    }
+
+    /// Is the announced operation of task `t` enabled in the current state?
+    pub(crate) fn op_enabled(&self, t: TaskId) -> bool {
+        let op = match self.tasks[t].pending {
+            Pending::Op(op) => op,
+            _ => return false,
+        };
+        match op.kind {
+            OpKind::Lock => self.obj(op.obj).holder.is_none(),
+            OpKind::RwWrite => {
+                let o = self.obj(op.obj);
+                o.holder.is_none() && o.readers.is_empty()
+            }
+            OpKind::RwRead => self.obj(op.obj).holder.is_none(),
+            OpKind::CvReacquire => self.obj(op.obj2).holder.is_none(),
+            OpKind::Join => self.tasks[op.target].finished,
+            OpKind::Sleep => self.now >= op.deadline,
+            _ => true,
+        }
+    }
+
+    /// Earliest pending timer deadline (sleeps and timed cv waits).
+    pub(crate) fn next_deadline(&self) -> Option<u64> {
+        self.tasks
+            .iter()
+            .filter(|t| !t.finished)
+            .filter_map(|t| match t.pending {
+                Pending::Op(op) if op.kind == OpKind::Sleep => Some(op.deadline),
+                Pending::CvParked { deadline, .. } if deadline != u64::MAX => Some(deadline),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Advance the logical clock to `to`, converting timed-out condvar
+    /// waiters into mutex reacquisitions.
+    pub(crate) fn advance_clock(&mut self, to: u64) {
+        self.now = self.now.max(to);
+        let now = self.now;
+        for t in 0..self.tasks.len() {
+            if let Pending::CvParked { cv, mutex, deadline, site } = self.tasks[t].pending {
+                if deadline <= now {
+                    self.obj_mut(cv).waiters.retain(|w| *w != t);
+                    let mut op = Op::base(OpKind::CvReacquire, site);
+                    op.obj = cv;
+                    op.obj2 = mutex;
+                    op.flag = true; // timed out
+                    self.tasks[t].pending = Pending::Op(op);
+                }
+            }
+        }
+        self.events.push(Event {
+            step: self.events.len() + 1,
+            task: CLOCK_TASK,
+            name: "(clock)".to_string(),
+            op: format!("advance to {}ns", now),
+            site: String::new(),
+        });
+    }
+
+    fn record_lock_edges(&mut self, me: TaskId, acquired: ObjId, site: &'static Location<'static>) {
+        let new_class = loc(self.obj(acquired).class);
+        let held: Vec<String> = self.tasks[me].held.iter().map(|h| loc(h.class)).collect();
+        let site_s = loc(site);
+        for h in held {
+            self.lock_order.add_edge(&h, &new_class, &site_s);
+        }
+    }
+
+    /// Apply the model-state effect of task `me`'s granted operation.
+    /// Returns `Repark` for `CvWait` (the task stays parked as a waiter).
+    fn apply_effect(&mut self, me: TaskId) -> Applied {
+        let op = match self.tasks[me].pending {
+            Pending::Op(op) => op,
+            other => {
+                self.internal_error =
+                    Some(format!("grant to task {} with pending {:?}", me, other));
+                return Applied::Continue(EffectOut::default());
+            }
+        };
+        self.record_event(me, &op);
+        let mut out = EffectOut::default();
+        match op.kind {
+            OpKind::Begin
+            | OpKind::Yield
+            | OpKind::AtomicLoad
+            | OpKind::AtomicStore
+            | OpKind::AtomicRmw
+            | OpKind::Sleep => {}
+            OpKind::Lock => {
+                debug_assert!(self.obj(op.obj).holder.is_none());
+                self.record_lock_edges(me, op.obj, op.site);
+                self.obj_mut(op.obj).holder = Some(me);
+                out.poisoned = self.obj(op.obj).poisoned;
+                let class = self.obj(op.obj).class;
+                self.tasks[me].held.push(Held { obj: op.obj, class, read: false });
+            }
+            OpKind::Unlock => {
+                self.obj_mut(op.obj).holder = None;
+                if op.flag {
+                    self.obj_mut(op.obj).poisoned = true;
+                }
+                release_held(&mut self.tasks[me].held, op.obj, false);
+            }
+            OpKind::RwRead => {
+                self.record_lock_edges(me, op.obj, op.site);
+                self.obj_mut(op.obj).readers.push(me);
+                out.poisoned = self.obj(op.obj).poisoned;
+                let class = self.obj(op.obj).class;
+                self.tasks[me].held.push(Held { obj: op.obj, class, read: true });
+            }
+            OpKind::RwWrite => {
+                self.record_lock_edges(me, op.obj, op.site);
+                self.obj_mut(op.obj).holder = Some(me);
+                out.poisoned = self.obj(op.obj).poisoned;
+                let class = self.obj(op.obj).class;
+                self.tasks[me].held.push(Held { obj: op.obj, class, read: false });
+            }
+            OpKind::RwUnlockRead => {
+                self.obj_mut(op.obj).readers.retain(|r| *r != me);
+                release_held(&mut self.tasks[me].held, op.obj, true);
+            }
+            OpKind::RwUnlockWrite => {
+                self.obj_mut(op.obj).holder = None;
+                if op.flag {
+                    self.obj_mut(op.obj).poisoned = true;
+                }
+                release_held(&mut self.tasks[me].held, op.obj, false);
+            }
+            OpKind::CvWait => {
+                // Release the mutex and join the waiter queue atomically.
+                self.obj_mut(op.obj2).holder = None;
+                release_held(&mut self.tasks[me].held, op.obj2, false);
+                self.obj_mut(op.obj).waiters.push_back(me);
+                self.tasks[me].pending = Pending::CvParked {
+                    cv: op.obj,
+                    mutex: op.obj2,
+                    deadline: op.deadline,
+                    site: op.site,
+                };
+                return Applied::Repark;
+            }
+            OpKind::CvReacquire => {
+                debug_assert!(self.obj(op.obj2).holder.is_none());
+                self.record_lock_edges(me, op.obj2, op.site);
+                self.obj_mut(op.obj2).holder = Some(me);
+                out.poisoned = self.obj(op.obj2).poisoned;
+                out.timed_out = op.flag;
+                let class = self.obj(op.obj2).class;
+                self.tasks[me].held.push(Held { obj: op.obj2, class, read: false });
+            }
+            OpKind::CvNotifyOne => {
+                if let Some(w) = self.obj_mut(op.obj).waiters.pop_front() {
+                    self.wake_waiter(w);
+                }
+            }
+            OpKind::CvNotifyAll => {
+                while let Some(w) = self.obj_mut(op.obj).waiters.pop_front() {
+                    self.wake_waiter(w);
+                }
+            }
+            OpKind::Join => {
+                debug_assert!(self.tasks[op.target].finished);
+                self.tasks[op.target].panic_consumed = true;
+            }
+        }
+        self.tasks[me].pending = Pending::Startup;
+        Applied::Continue(out)
+    }
+
+    fn wake_waiter(&mut self, w: TaskId) {
+        if let Pending::CvParked { cv, mutex, site, .. } = self.tasks[w].pending {
+            let mut op = Op::base(OpKind::CvReacquire, site);
+            op.obj = cv;
+            op.obj2 = mutex;
+            self.tasks[w].pending = Pending::Op(op);
+        } else {
+            self.internal_error = Some(format!(
+                "notify woke task {} which was not cv-parked ({:?})",
+                w, self.tasks[w].pending
+            ));
+        }
+    }
+
+    /// Minimal bookkeeping for shim ops issued while a task unwinds during
+    /// abort teardown. Teardown is single-threaded (one abort target at a
+    /// time), so mutual exclusion is vacuous; we only keep holder/poison
+    /// state coherent and never park.
+    fn apply_abort_side(&mut self, me: TaskId, op: &Op) -> EffectOut {
+        let mut out = EffectOut::default();
+        match op.kind {
+            OpKind::Lock | OpKind::RwWrite | OpKind::CvReacquire => {
+                let target = if op.kind == OpKind::CvReacquire { op.obj2 } else { op.obj };
+                out.poisoned = self.obj(target).poisoned;
+            }
+            OpKind::Unlock | OpKind::RwUnlockWrite => {
+                if self.obj(op.obj).holder == Some(me) {
+                    self.obj_mut(op.obj).holder = None;
+                }
+                release_held(&mut self.tasks[me].held, op.obj, false);
+            }
+            OpKind::RwUnlockRead => {
+                self.obj_mut(op.obj).readers.retain(|r| *r != me);
+                release_held(&mut self.tasks[me].held, op.obj, true);
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Grant the baton to task `t` (controller side).
+    pub(crate) fn grant(&mut self, t: TaskId) {
+        self.tasks[t].granted = true;
+        self.grant_pending = true;
+    }
+
+    /// Human description of what each unfinished task is blocked on
+    /// (deadlock reports).
+    pub(crate) fn blocked_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for t in self.tasks.iter() {
+            if t.finished {
+                continue;
+            }
+            let what = match t.pending {
+                Pending::Op(op) => {
+                    let target = match op.kind {
+                        OpKind::CvReacquire => op.obj2,
+                        _ => op.obj,
+                    };
+                    let label = if target == NO_OBJ {
+                        match op.kind {
+                            OpKind::Join => format!("join of {}", self.tasks[op.target].name),
+                            _ => format!("{:?}", op.kind),
+                        }
+                    } else {
+                        format!("{:?} {}", op.kind, self.obj_label(target))
+                    };
+                    format!("{} blocked on {} at {}", t.name, label, loc(op.site))
+                }
+                Pending::CvParked { cv, site, .. } => format!(
+                    "{} waiting (no timeout) on {} at {}",
+                    t.name,
+                    self.obj_label(cv),
+                    loc(site)
+                ),
+                other => format!("{} in state {:?}", t.name, other),
+            };
+            parts.push(what);
+        }
+        parts.join("; ")
+    }
+}
+
+fn release_held(held: &mut Vec<Held>, obj: ObjId, read: bool) {
+    if let Some(pos) = held.iter().rposition(|h| h.obj == obj && h.read == read) {
+        held.remove(pos);
+    }
+}
+
+pub(crate) enum Applied {
+    Continue(EffectOut),
+    Repark,
+}
+
+#[derive(Default, Clone, Copy, Debug)]
+pub(crate) struct EffectOut {
+    pub poisoned: bool,
+    pub timed_out: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Task-side plumbing: TLS context, the park/grant handshake
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) task: TaskId,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static ABORT_UNWIND: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Payload used to unwind tasks when the controller tears an execution down.
+pub(crate) struct AbortToken;
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn cur_ctx() -> Ctx {
+    CTX.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        panic!(
+            "paradigm-race: a race::sync/thread/time operation ran outside a model \
+             execution. In a --cfg paradigm_race build, code using the shim \
+             primitives can only run inside race::explore (e.g. via `paradigm race`)."
+        )
+    })
+}
+
+pub(crate) fn in_model_task() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// True while this thread unwinds due to execution teardown (guards must not
+/// poison and must not park).
+pub(crate) fn unwinding_abort() -> bool {
+    ABORT_UNWIND.with(|a| a.get())
+}
+
+/// The central scheduling point. `build` resolves object ids and constructs
+/// the operation under the execution lock; the function then parks until the
+/// controller grants the operation, applies its effect, and returns.
+pub(crate) fn schedule_point(build: impl FnOnce(&mut ExecState) -> Op) -> EffectOut {
+    let ctx = cur_ctx();
+    let me = ctx.task;
+    let mut st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    let op = build(&mut st);
+    if unwinding_abort() || (st.aborting && st.abort_target == Some(me)) {
+        ABORT_UNWIND.with(|a| a.set(true));
+        return st.apply_abort_side(me, &op);
+    }
+    st.tasks[me].pending = Pending::Op(op);
+    if st.running == Some(me) {
+        st.running = None;
+    }
+    ctx.exec.cv.notify_all();
+    loop {
+        if st.aborting && st.abort_target == Some(me) {
+            ABORT_UNWIND.with(|a| a.set(true));
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        if st.tasks[me].granted {
+            st.tasks[me].granted = false;
+            match st.apply_effect(me) {
+                Applied::Continue(out) => {
+                    st.running = Some(me);
+                    st.grant_pending = false;
+                    ctx.exec.cv.notify_all();
+                    return out;
+                }
+                Applied::Repark => {
+                    st.grant_pending = false;
+                    ctx.exec.cv.notify_all();
+                    // stay in the loop: we are now a cv waiter
+                }
+            }
+        }
+        st = ctx.exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Read the logical clock (not a scheduling point: the value is a pure
+/// function of the schedule prefix, so determinism is preserved).
+pub(crate) fn now_ns() -> u64 {
+    let ctx = cur_ctx();
+    let st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    st.now
+}
+
+/// Register a lazily-created object and return its id (used by `build`
+/// closures inside `schedule_point`).
+pub(crate) fn resolve_obj(
+    st: &mut ExecState,
+    addr: usize,
+    kind: ObjKind,
+    class: &'static Location<'static>,
+) -> ObjId {
+    st.obj_id(addr, kind, class)
+}
+
+/// Forget an object when its owner is dropped, so a later allocation at the
+/// same address is not mistaken for it.
+pub(crate) fn retire_obj(addr: usize) {
+    if !in_model_task() {
+        return;
+    }
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    st.by_addr.remove(&addr);
+}
+
+/// Is the lock at `addr` poisoned? (For `into_inner`.)
+pub(crate) fn obj_poisoned(addr: usize) -> bool {
+    if !in_model_task() {
+        return false;
+    }
+    let ctx = cur_ctx();
+    let st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(id) = st.by_addr.get(&addr).copied() {
+        st.obj(id).poisoned
+    } else {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task lifecycle: spawn wrappers, finish, join
+// ---------------------------------------------------------------------------
+
+/// Register a new task and record a spawn trace event. Called by the
+/// spawning (running) task; not a scheduling point — the child simply
+/// becomes schedulable at the parent's next one. Reordering the parent's
+/// non-sync code against the child's start is invisible to the model because
+/// all shared access goes through scheduling points.
+pub(crate) fn register_child(
+    name: Option<String>,
+    site: &'static Location<'static>,
+) -> (Ctx, TaskId) {
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    let n = st.tasks.len();
+    let id = st.register_task(name.unwrap_or_else(|| format!("t{}", n)));
+    let nm = st.tasks[id].name.clone();
+    let step = st.events.len() + 1;
+    let parent = st.tasks[ctx.task].name.clone();
+    st.events.push(Event {
+        step,
+        task: ctx.task,
+        name: parent,
+        op: format!("spawn {}", nm),
+        site: loc(site),
+    });
+    (Ctx { exec: ctx.exec.clone(), task: id }, id)
+}
+
+/// Body run by every model task's OS thread.
+pub(crate) fn task_main<T>(ctx: Ctx, f: impl FnOnce() -> T) -> Option<T> {
+    set_ctx(Some(ctx.clone()));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let site = Location::caller();
+        schedule_point(move |_| Op::base(OpKind::Begin, site));
+        f()
+    }));
+    let (value, panic) = match result {
+        Ok(v) => (Some(v), None),
+        Err(p) => (None, Some(p)),
+    };
+    finish_task(&ctx, panic);
+    set_ctx(None);
+    value
+}
+
+fn finish_task(ctx: &Ctx, panic: Option<Box<dyn std::any::Any + Send>>) {
+    let mut st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    let me = ctx.task;
+    st.tasks[me].finished = true;
+    st.tasks[me].pending = Pending::Done;
+    if st.running == Some(me) {
+        st.running = None;
+    }
+    if let Some(p) = panic {
+        if p.downcast_ref::<AbortToken>().is_none() {
+            let msg = panic_message(p.as_ref());
+            let name = st.tasks[me].name.clone();
+            let step = st.events.len() + 1;
+            st.events.push(Event {
+                step,
+                task: me,
+                name,
+                op: format!("panicked: {}", msg),
+                site: String::new(),
+            });
+            st.tasks[me].panic_msg = Some(msg);
+            st.tasks[me].panic_payload = Some(p);
+        } else {
+            // Teardown unwind, not a real failure.
+            st.tasks[me].panic_consumed = true;
+        }
+    }
+    ctx.exec.cv.notify_all();
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Model-join: block until `target` finishes, consuming its panic (if any).
+/// Returns the panic payload for the caller to deliver or rethrow.
+#[track_caller]
+pub(crate) fn join_task(target: TaskId) -> Option<Box<dyn std::any::Any + Send>> {
+    let site = Location::caller();
+    schedule_point(move |_| {
+        let mut op = Op::base(OpKind::Join, site);
+        op.target = target;
+        op
+    });
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.mx.lock().unwrap_or_else(|e| e.into_inner());
+    st.tasks[target].panic_payload.take()
+}
+
+/// Scheduling point for `thread::sleep` / `yield_now`.
+#[track_caller]
+pub(crate) fn sleep_until(deadline: u64) {
+    let site = Location::caller();
+    schedule_point(move |_| {
+        let mut op = Op::base(OpKind::Sleep, site);
+        op.deadline = deadline;
+        op
+    });
+}
+
+#[track_caller]
+pub(crate) fn yield_now() {
+    let site = Location::caller();
+    schedule_point(move |_| Op::base(OpKind::Yield, site));
+}

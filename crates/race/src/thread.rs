@@ -1,0 +1,249 @@
+//! Thread shim: `spawn`, `Builder`, `scope`, `sleep`, `yield_now`.
+//!
+//! Normal builds re-export `std::thread`. Model builds run each task on a
+//! real OS thread whose every sync operation parks for the cooperative
+//! scheduler; spawn/join/sleep become model events, and `sleep` blocks on the
+//! logical clock (it only fires when no task is runnable — "patient timers").
+
+#[cfg(not(paradigm_race))]
+pub use std::thread::{
+    available_parallelism, panicking, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+    ScopedJoinHandle,
+};
+
+#[cfg(paradigm_race)]
+pub use std::thread::{available_parallelism, panicking};
+
+#[cfg(paradigm_race)]
+pub use model::{scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope, ScopedJoinHandle};
+
+#[cfg(paradigm_race)]
+mod model {
+    #![allow(clippy::disallowed_types)] // real primitives carry task results
+
+    use crate::sched::{self, TaskId};
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::panic::Location;
+    use std::sync::{Arc, Mutex as StdMutex};
+    use std::time::Duration;
+
+    type ResultSlot<T> = Arc<StdMutex<Option<T>>>;
+
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Builder {
+            Builder { name: None }
+        }
+
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        #[track_caller]
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let site = Location::caller();
+            let (ctx, task) = sched::register_child(self.name.clone(), site);
+            let slot: ResultSlot<T> = Arc::new(StdMutex::new(None));
+            let slot2 = slot.clone();
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = self.name {
+                b = b.name(n);
+            }
+            // The slot is written *inside* the model task, before the
+            // scheduler sees it finish: a joiner resumed by `join_task`
+            // must find the result already there (it has no OS handle to
+            // wait on in the scoped case, and re-checking would race).
+            let os = b.spawn(move || {
+                let _ = sched::task_main(ctx, move || {
+                    let v = f();
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                });
+            })?;
+            Ok(JoinHandle { task, os: Some(os), slot })
+        }
+    }
+
+    #[track_caller]
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn model task")
+    }
+
+    pub struct JoinHandle<T> {
+        task: TaskId,
+        os: Option<std::thread::JoinHandle<()>>,
+        slot: ResultSlot<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        #[track_caller]
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let panic = sched::join_task(self.task);
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            match panic {
+                Some(p) => Err(p),
+                None => {
+                    let v = self
+                        .slot
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("joined task finished without a result or a panic");
+                    Ok(v)
+                }
+            }
+        }
+    }
+
+    /// Scoped threads. Mirrors `std::thread::scope`: borrowing closures,
+    /// unjoined tasks joined at scope exit, and a panic from an
+    /// implicitly-joined task resumed in the scope owner. Unlike std's, this
+    /// `Scope` is not `Sync` (spawn from the owning task only) — the checked
+    /// crates only fan out from a single coordinator, so nothing is lost.
+    ///
+    /// Safety model (crossbeam-style): spawned closures are
+    /// lifetime-extended to `'static` for the underlying OS spawn. This is
+    /// sound because `scope` model-joins and OS-joins every task before
+    /// returning, and during execution teardown the scheduler unwinds tasks
+    /// in reverse creation order, so a child is always gone before the
+    /// parent frame owning its borrowed data unwinds.
+    pub struct Scope<'scope, 'env: 'scope> {
+        spawned: RefCell<Vec<TaskId>>,
+        joined: RefCell<BTreeSet<TaskId>>,
+        os: RefCell<Vec<std::thread::JoinHandle<()>>>,
+        _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+        _env: std::marker::PhantomData<&'env mut &'env ()>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        task: TaskId,
+        slot: ResultSlot<T>,
+        scope_joined: &'scope RefCell<BTreeSet<TaskId>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        #[track_caller]
+        pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let site = Location::caller();
+            let (ctx, task) = sched::register_child(None, site);
+            let slot: ResultSlot<T> = Arc::new(StdMutex::new(None));
+            let slot2 = slot.clone();
+            // Slot written before the finish event — see Builder::spawn.
+            let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                let _ = sched::task_main(ctx, move || {
+                    let v = f();
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                });
+            });
+            // SAFETY: the closure (and everything it borrows from 'scope /
+            // 'env) outlives the OS thread because scope() joins every task
+            // before returning — see the type-level comment.
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            let os = std::thread::spawn(body);
+            self.os.borrow_mut().push(os);
+            self.spawned.borrow_mut().push(task);
+            ScopedJoinHandle { task, slot, scope_joined: &self.joined }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        #[track_caller]
+        pub fn join(self) -> std::thread::Result<T> {
+            self.scope_joined.borrow_mut().insert(self.task);
+            let panic = sched::join_task(self.task);
+            match panic {
+                Some(p) => Err(p),
+                None => {
+                    let v = self
+                        .slot
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("joined task finished without a result or a panic");
+                    Ok(v)
+                }
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let s = Scope {
+            spawned: RefCell::new(Vec::new()),
+            joined: RefCell::new(BTreeSet::new()),
+            os: RefCell::new(Vec::new()),
+            _scope: std::marker::PhantomData,
+            _env: std::marker::PhantomData,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&s)));
+        if sched::unwinding_abort() {
+            // Execution teardown: children already unwound (reverse-order
+            // abort); do not block on joins, just keep unwinding.
+            match result {
+                Err(p) => std::panic::resume_unwind(p),
+                Ok(v) => return v, // unreachable in practice
+            }
+        }
+        // Implicit join of everything the closure did not join itself, in
+        // spawn order; rethrow the first implicit panic (std behavior).
+        let spawned = s.spawned.borrow().clone();
+        let joined = s.joined.borrow().clone();
+        let mut rethrow = None;
+        for task in spawned {
+            if joined.contains(&task) {
+                continue;
+            }
+            if let Some(p) = sched::join_task(task) {
+                if rethrow.is_none() {
+                    rethrow = Some(p);
+                }
+            }
+        }
+        for os in s.os.borrow_mut().drain(..) {
+            let _ = os.join();
+        }
+        match result {
+            Err(p) => std::panic::resume_unwind(p),
+            Ok(v) => {
+                if let Some(p) = rethrow {
+                    std::panic::resume_unwind(p);
+                }
+                v
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn sleep(dur: Duration) {
+        let deadline =
+            sched::now_ns().saturating_add(u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX));
+        sched::sleep_until(deadline);
+    }
+
+    #[track_caller]
+    pub fn yield_now() {
+        sched::yield_now();
+    }
+}

@@ -1,0 +1,94 @@
+//! Logical time for model builds; `std::time::Instant` otherwise.
+//!
+//! Under the model, `Instant::now()` reads a discrete-event clock in logical
+//! nanoseconds that advances only when no task is runnable, jumping straight
+//! to the earliest pending deadline ("patient timers"). Timeouts therefore
+//! never fire while useful work is possible, deadlines are deterministic
+//! functions of the schedule, and polling loops do not explode the state
+//! space with billions of empty clock ticks.
+
+#[cfg(not(paradigm_race))]
+pub use std::time::Instant;
+
+#[cfg(paradigm_race)]
+pub use model::Instant;
+
+#[cfg(paradigm_race)]
+mod model {
+    use crate::sched;
+    use std::ops::{Add, AddAssign, Sub, SubAssign};
+    use std::time::Duration;
+
+    /// Logical-clock instant (nanoseconds since execution start).
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    pub struct Instant(u64);
+
+    fn dur_ns(d: Duration) -> u64 {
+        u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    impl Instant {
+        /// Read the logical clock. Not a scheduling point: the value is a
+        /// pure function of the schedule prefix.
+        pub fn now() -> Instant {
+            Instant(sched::now_ns())
+        }
+
+        pub fn duration_since(&self, earlier: Instant) -> Duration {
+            Duration::from_nanos(self.0.saturating_sub(earlier.0))
+        }
+
+        pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+            self.duration_since(earlier)
+        }
+
+        pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+            self.0.checked_sub(earlier.0).map(Duration::from_nanos)
+        }
+
+        pub fn elapsed(&self) -> Duration {
+            Instant::now().duration_since(*self)
+        }
+
+        pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+            self.0.checked_add(dur_ns(d)).map(Instant)
+        }
+
+        pub fn checked_sub(&self, d: Duration) -> Option<Instant> {
+            self.0.checked_sub(dur_ns(d)).map(Instant)
+        }
+    }
+
+    impl Add<Duration> for Instant {
+        type Output = Instant;
+        fn add(self, d: Duration) -> Instant {
+            Instant(self.0.saturating_add(dur_ns(d)))
+        }
+    }
+
+    impl AddAssign<Duration> for Instant {
+        fn add_assign(&mut self, d: Duration) {
+            *self = *self + d;
+        }
+    }
+
+    impl Sub<Duration> for Instant {
+        type Output = Instant;
+        fn sub(self, d: Duration) -> Instant {
+            Instant(self.0.saturating_sub(dur_ns(d)))
+        }
+    }
+
+    impl SubAssign<Duration> for Instant {
+        fn sub_assign(&mut self, d: Duration) {
+            *self = *self - d;
+        }
+    }
+
+    impl Sub<Instant> for Instant {
+        type Output = Duration;
+        fn sub(self, other: Instant) -> Duration {
+            self.duration_since(other)
+        }
+    }
+}

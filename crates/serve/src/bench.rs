@@ -20,7 +20,7 @@ use crate::service::{ServeConfig, Service, SolveResponse};
 use paradigm_core::{gallery_graph, SolveSpec};
 use paradigm_cost::Machine;
 use paradigm_mdg::Mdg;
-use std::sync::atomic::{AtomicU64, Ordering};
+use paradigm_race::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

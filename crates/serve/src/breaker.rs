@@ -10,8 +10,10 @@
 //! cooldown the breaker goes **half-open** and admits exactly one probe
 //! solve; success closes it, failure re-opens it for another cooldown.
 
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use paradigm_race::plock;
+use paradigm_race::sync::Mutex;
+use paradigm_race::time::Instant;
+use std::time::Duration;
 
 /// Breaker tuning. The defaults are deliberately forgiving: half the
 /// recent window must fail before the primary path is abandoned.
@@ -115,7 +117,7 @@ impl CircuitBreaker {
     /// Current state; transparently moves Open → HalfOpen once the
     /// cooldown has elapsed.
     pub fn state(&self) -> BreakerState {
-        let mut w = self.w.lock().expect("breaker poisoned");
+        let mut w = plock(&self.w);
         self.refresh(&mut w);
         match w.mode {
             Mode::Closed => BreakerState::Closed,
@@ -128,7 +130,7 @@ impl CircuitBreaker {
     /// per half-open period; that caller must report via
     /// [`CircuitBreaker::on_result`].
     pub fn try_probe(&self) -> bool {
-        let mut w = self.w.lock().expect("breaker poisoned");
+        let mut w = plock(&self.w);
         self.refresh(&mut w);
         match w.mode {
             Mode::HalfOpen { probing: false } => {
@@ -144,7 +146,14 @@ impl CircuitBreaker {
     /// wait), so it proved nothing about the solver; the probe slot
     /// reopens for the next worker. No-op in any other state.
     pub fn release_probe(&self) {
-        let mut w = self.w.lock().expect("breaker poisoned");
+        // Seeded regression for the model checker's negative CI test:
+        // dropping the release reintroduces the historical probe-slot
+        // leak (a cache-hit probe permanently wedges the breaker
+        // half-open). Only compiled in when the extra cfg is set.
+        if cfg!(paradigm_race_seeded_probe_leak) {
+            return;
+        }
+        let mut w = plock(&self.w);
         if matches!(w.mode, Mode::HalfOpen { probing: true }) {
             w.mode = Mode::HalfOpen { probing: false };
         }
@@ -152,7 +161,7 @@ impl CircuitBreaker {
 
     /// Record one fresh-solve outcome.
     pub fn on_result(&self, ok: bool) {
-        let mut w = self.w.lock().expect("breaker poisoned");
+        let mut w = plock(&self.w);
         self.refresh(&mut w);
         match w.mode {
             Mode::HalfOpen { .. } => {
@@ -188,7 +197,7 @@ impl CircuitBreaker {
 
     /// Times the breaker has opened.
     pub fn opens(&self) -> u64 {
-        self.w.lock().expect("breaker poisoned").opens
+        plock(&self.w).opens
     }
 
     fn refresh(&self, w: &mut Window) {

@@ -23,10 +23,12 @@
 //! shard sizes this service uses is cheaper and simpler than an
 //! intrusive list.
 
+use paradigm_race::sync::atomic::{AtomicU64, Ordering};
+use paradigm_race::sync::{Condvar, Mutex};
+use paradigm_race::{plock, pwait};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// Number of independently locked shards (power of two).
 pub const SHARDS: usize = 8;
@@ -91,14 +93,7 @@ impl<V> ShardedCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.map
-                    .lock()
-                    .expect("cache shard poisoned")
-                    .values()
-                    .filter(|e| matches!(e, Entry::Ready { .. }))
-                    .count()
-            })
+            .map(|s| plock(&s.map).values().filter(|e| matches!(e, Entry::Ready { .. })).count())
             .sum()
     }
 
@@ -118,7 +113,7 @@ impl<V> ShardedCache<V> {
     /// uses this to answer from cache while the circuit breaker is open
     /// without ever blocking on the (possibly wedged) primary solver.
     pub fn get(&self, key: u128) -> Option<Arc<V>> {
-        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        let mut map = plock(&self.shard(key).map);
         match map.get_mut(&key) {
             Some(Entry::Ready { value, tick }) => {
                 *tick = self.next_tick();
@@ -141,7 +136,7 @@ impl<V> ShardedCache<V> {
     {
         let shard = self.shard(key);
         let flight = {
-            let mut map = shard.map.lock().expect("cache shard poisoned");
+            let mut map = plock(&shard.map);
             match map.get_mut(&key) {
                 Some(Entry::Ready { value, tick }) => {
                     *tick = self.next_tick();
@@ -150,9 +145,9 @@ impl<V> ShardedCache<V> {
                 Some(Entry::InFlight(flight)) => {
                     let flight = Arc::clone(flight);
                     drop(map);
-                    let mut done = flight.done.lock().expect("flight poisoned");
+                    let mut done = plock(&flight.done);
                     while done.is_none() {
-                        done = flight.cv.wait(done).expect("flight poisoned");
+                        done = pwait(&flight.cv, done);
                     }
                     return (done.clone().expect("checked above"), Outcome::DedupWait);
                 }
@@ -178,7 +173,7 @@ impl<V> ShardedCache<V> {
         // Publish to the map first (so new arrivals see Ready/absent),
         // then wake the waiters parked on the flight.
         {
-            let mut map = shard.map.lock().expect("cache shard poisoned");
+            let mut map = plock(&shard.map);
             match &result {
                 Ok(value) => {
                     map.insert(
@@ -193,7 +188,7 @@ impl<V> ShardedCache<V> {
             }
         }
         {
-            let mut done = flight.done.lock().expect("flight poisoned");
+            let mut done = plock(&flight.done);
             *done = Some(result.clone());
             flight.cv.notify_all();
         }

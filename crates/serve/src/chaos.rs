@@ -35,7 +35,7 @@
 //! * **block drop / block truncate** — the `admm_block` response frame
 //!   is severed or cut short on the wire.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use paradigm_race::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Which faults to inject, at what probability, under which seed.
@@ -252,14 +252,14 @@ impl Chaos {
     /// Sleep inside the solve if the plan says so.
     pub fn maybe_slow(&self) {
         if self.draw(2, &self.slow_draws, self.plan.slow_solve) {
-            std::thread::sleep(Duration::from_millis(self.plan.slow_ms));
+            paradigm_race::thread::sleep(Duration::from_millis(self.plan.slow_ms));
         }
     }
 
     /// Stall the worker before it pops the queue if the plan says so.
     pub fn maybe_stall(&self) {
         if self.draw(3, &self.stall_draws, self.plan.queue_stall) {
-            std::thread::sleep(Duration::from_millis(self.plan.stall_ms));
+            paradigm_race::thread::sleep(Duration::from_millis(self.plan.stall_ms));
         }
     }
 
@@ -285,7 +285,7 @@ impl Chaos {
     /// Straggle the block solve if the plan says so.
     pub fn maybe_block_slow(&self) {
         if self.draw(7, &self.block_slow_draws, self.plan.block_slow) {
-            std::thread::sleep(Duration::from_millis(self.plan.block_slow_ms));
+            paradigm_race::thread::sleep(Duration::from_millis(self.plan.block_slow_ms));
         }
     }
 

@@ -50,6 +50,9 @@ pub mod client;
 pub use paradigm_mdg::json;
 pub mod metrics;
 pub mod protocol;
+#[cfg(test)]
+mod race_proptests;
+pub mod race_suites;
 pub mod server;
 pub mod service;
 pub mod worker;

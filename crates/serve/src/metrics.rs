@@ -7,7 +7,7 @@
 //! hot path pays one uncontended atomic add per event.
 
 use crate::json::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
+use paradigm_race::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log₂ latency buckets: bucket `i` counts requests with
 /// latency in `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs

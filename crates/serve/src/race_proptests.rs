@@ -1,0 +1,114 @@
+//! Randomized work-queue fault-sequence tests.
+//!
+//! The model-check suites (`race_suites`) prove the round-ledger
+//! invariants exhaustively on tiny scripted rounds; this proptest sweeps
+//! a much wider space — any mix of worker faults, job rejections, and
+//! successes across up to 4 jobs × 4 attempts × 3 lanes, with and
+//! without backoff — on native threads, checking the same ledger
+//! invariants at round end: no job silently lost, the retry counter
+//! exactly accounts for every re-enqueue, and steals never exceed
+//! retries.
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::worker::{run_lane, AttemptError, FleetConfig, WorkQueue};
+use paradigm_race::plock;
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Worker fault: re-enqueued while attempt budget remains.
+    Fail,
+    /// Solved: fills the job's slot.
+    Ok,
+    /// Rejected by the job itself: terminal failure, no retry.
+    Reject,
+}
+
+/// Decode one outcome cell from a base-3 table seed: the digit at
+/// position `job * 4 + att` picks Fail/Ok/Reject. A single `u64` covers
+/// all 16 cells (3^16 < 2^26), keeping the strategy surface to plain
+/// integers the vendored proptest supports.
+fn cell(seed: u64, job: usize, att: u32) -> Outcome {
+    match (seed / 3u64.pow(job as u32 * 4 + att)) % 3 {
+        0 => Outcome::Fail,
+        1 => Outcome::Ok,
+        _ => Outcome::Reject,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+    #[test]
+    fn round_ledger_consistent_under_random_faults(
+        jobs in 1usize..=4,
+        attempts in 1u32..=4,
+        lanes in 1usize..=3,
+        backoff_ms in 0u64..=1,
+        table in 0u64..43_046_721, // 3^16: one base-3 digit per (job, attempt)
+    ) {
+        // Outcome is a pure function of (job, attempt) so it is
+        // lane-agnostic: whichever lane picks an item up, the round's
+        // final ledger is determined by the table alone.
+        let cell = |job: usize, att: u32| cell(table, job, att);
+        let fleet = FleetConfig {
+            block_deadline: Duration::from_secs(5),
+            max_attempts: attempts,
+            retry_base: Duration::from_millis(backoff_ms),
+            retry_cap: Duration::from_millis(backoff_ms),
+            // Quiet breaker: at most 16 samples per lane, never trips,
+            // so quarantine stays out of this test's state space.
+            breaker: BreakerConfig {
+                window: 64,
+                min_samples: 64,
+                failure_threshold: 1.0,
+                cooldown: Duration::ZERO,
+            },
+        };
+        let queue: WorkQueue<u32> = WorkQueue::new(jobs);
+        std::thread::scope(|s| {
+            for lane in 0..lanes {
+                let (queue, fleet) = (&queue, &fleet);
+                let breaker = CircuitBreaker::new(fleet.breaker.clone());
+                s.spawn(move || {
+                    run_lane(lane, &breaker, queue, fleet, |job, att| match cell(job, att) {
+                        Outcome::Ok => Ok(job as u32),
+                        Outcome::Fail => Err(AttemptError::Worker("injected fault".into())),
+                        Outcome::Reject => Err(AttemptError::Job("invalid job".into())),
+                    })
+                });
+            }
+        });
+        let st = plock(&queue.state);
+        prop_assert_eq!(st.unresolved, 0, "round must fully resolve");
+        prop_assert!(st.ready.is_empty(), "no work may remain queued");
+        let mut want_retried = 0u64;
+        for job in 0..jobs {
+            // The first non-Fail outcome within the attempt budget is
+            // terminal; every worker fault before it is one re-enqueue.
+            let terminal = (0..attempts).find(|&a| cell(job, a) != Outcome::Fail);
+            match terminal {
+                Some(a) if cell(job, a) == Outcome::Ok => {
+                    prop_assert_eq!(st.slots[job], Some(job as u32), "job {} lost", job);
+                    // `errors` keeps the *last* failure message as a
+                    // diagnostic, so it is set exactly when the success
+                    // was preceded by at least one worker fault.
+                    prop_assert_eq!(st.errors[job].is_some(), a > 0);
+                    want_retried += u64::from(a);
+                }
+                Some(a) => {
+                    prop_assert_eq!(st.slots[job], None);
+                    prop_assert!(st.errors[job].is_some(), "rejected job {} needs an error", job);
+                    want_retried += u64::from(a);
+                }
+                None => {
+                    prop_assert_eq!(st.slots[job], None);
+                    prop_assert!(st.errors[job].is_some(), "exhausted job {} needs an error", job);
+                    want_retried += u64::from(attempts - 1);
+                }
+            }
+        }
+        prop_assert_eq!(st.retried, want_retried, "retry ledger must match the fault script");
+        prop_assert!(st.stolen <= st.retried, "steals are a subset of retries");
+    }
+}

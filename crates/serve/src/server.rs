@@ -16,9 +16,9 @@
 use crate::protocol::handle_line;
 use crate::service::{ServeConfig, Service};
 use crate::MetricsSnapshot;
+use paradigm_race::sync::atomic::{AtomicBool, Ordering};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -184,7 +184,10 @@ fn handle_connection(stream: TcpStream, service: &Service, shutdown: &AtomicBool
 
 #[cfg(unix)]
 mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    // Touched from a signal handler: only async-signal-safe operations
+    // are allowed there, so this flag must stay a raw std atomic — a
+    // model scheduling point inside a signal context would deadlock.
+    use std::sync::atomic::{AtomicBool, Ordering}; // raw-sync: allow
 
     pub static RAISED: AtomicBool = AtomicBool::new(false);
 

@@ -30,13 +30,16 @@ use paradigm_core::{
     try_solve_pipeline_with_backend, SolveOutput, SolveSpec,
 };
 use paradigm_mdg::Mdg;
+use paradigm_race::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use paradigm_race::sync::{Condvar, Mutex};
+use paradigm_race::thread::JoinHandle;
+use paradigm_race::time::Instant;
+use paradigm_race::{plock, pwait, pwait_timeout};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Key salt separating degraded (equal-split) results from primary
 /// results in the shared cache: a degraded answer must never shadow the
@@ -232,18 +235,18 @@ impl ResponseSlot {
     }
 
     fn fill(&self, r: Result<SolveResponse, ServeError>) {
-        let mut slot = self.result.lock().expect("slot poisoned");
+        let mut slot = plock(&self.result);
         *slot = Some(r);
         self.cv.notify_all();
     }
 
     fn wait(&self) -> Result<SolveResponse, ServeError> {
-        let mut slot = self.result.lock().expect("slot poisoned");
+        let mut slot = plock(&self.result);
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.cv.wait(slot).expect("slot poisoned");
+            slot = pwait(&self.cv, slot);
         }
     }
 }
@@ -304,7 +307,7 @@ impl Service {
         let workers = (0..cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
+                paradigm_race::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
                     .expect("spawn worker")
@@ -334,7 +337,7 @@ impl Service {
         let key = solve_fingerprint(&graph, &spec);
         let slot = ResponseSlot::new();
         {
-            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            let mut q = plock(&self.inner.queue);
             if !q.accepting {
                 return Err(ServeError::ShuttingDown);
             }
@@ -381,11 +384,10 @@ impl Service {
                                 estimated_wait: estimate_wait(&self.inner, q.jobs.len()),
                             });
                         }
-                        let (guard, _timeout) =
-                            self.inner.not_full.wait_timeout(q, remaining).expect("queue poisoned");
+                        let (guard, _timeout) = pwait_timeout(&self.inner.not_full, q, remaining);
                         q = guard;
                     }
-                    None => q = self.inner.not_full.wait(q).expect("queue poisoned"),
+                    None => q = pwait(&self.inner.not_full, q),
                 }
             }
             q.jobs.push_back(Job {
@@ -417,7 +419,7 @@ impl Service {
     /// The first sampled-audit failure report, if any audit has failed
     /// (see [`ServeConfig::audit_rate`]).
     pub fn first_audit_failure(&self) -> Option<String> {
-        self.inner.audit_failure.lock().expect("audit slot poisoned").clone()
+        plock(&self.inner.audit_failure).clone()
     }
 
     /// Ready entries currently cached.
@@ -460,7 +462,7 @@ impl Service {
     }
 
     fn begin_drain(&self) {
-        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        let mut q = plock(&self.inner.queue);
         q.accepting = false;
         drop(q);
         self.inner.not_empty.notify_all();
@@ -483,7 +485,7 @@ fn worker_loop(inner: &Inner) {
             chaos.maybe_stall();
         }
         let job = {
-            let mut q = inner.queue.lock().expect("queue poisoned");
+            let mut q = plock(&inner.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     inner.metrics.queue_depth.store(q.jobs.len() as u64, Ordering::Relaxed);
@@ -492,7 +494,7 @@ fn worker_loop(inner: &Inner) {
                 if !q.accepting {
                     return; // drained and draining: exit
                 }
-                q = inner.not_empty.wait(q).expect("queue poisoned");
+                q = pwait(&inner.not_empty, q);
             }
         };
         inner.not_full.notify_one();
@@ -712,7 +714,7 @@ fn maybe_audit(inner: &Inner, job: &Job, output: &SolveOutput) {
             format!("AUDIT FAILURE for graph '{}':\n{}", job.graph.name(), report.render());
         eprintln!("{rendered}");
         {
-            let mut slot = inner.audit_failure.lock().expect("audit slot poisoned");
+            let mut slot = plock(&inner.audit_failure);
             slot.get_or_insert(rendered.clone());
         }
         // Persist this run's first failure to the append-only log so a

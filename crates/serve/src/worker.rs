@@ -35,10 +35,12 @@ use paradigm_admm::{
 };
 use paradigm_cost::{Machine, TransferParams};
 use paradigm_mdg::{from_text, to_text};
+use paradigm_race::sync::{Condvar, Mutex};
+use paradigm_race::time::Instant;
+use paradigm_race::{plock, pwait_timeout};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Encode one block subproblem as an `admm_block` request frame.
 pub fn block_job_request(job: &BlockJob) -> Json {
@@ -295,7 +297,7 @@ impl Default for FleetConfig {
 }
 
 /// How one block-solve attempt failed.
-enum AttemptError {
+pub(crate) enum AttemptError {
     /// The worker misbehaved — transport fault, timeout, crash, or it
     /// refused the worker role. Counts against that worker's breaker;
     /// the job is re-enqueued for (preferably) another worker.
@@ -305,41 +307,43 @@ enum AttemptError {
     Job(String),
 }
 
-struct WorkItem {
-    job_idx: usize,
+pub(crate) struct WorkItem {
+    pub(crate) job_idx: usize,
     /// Zero-based attempt counter.
-    attempt: u32,
+    pub(crate) attempt: u32,
     /// Lane that last failed this job (steal detection).
-    last_failed_on: Option<usize>,
+    pub(crate) last_failed_on: Option<usize>,
     /// Exponential-backoff gate: not eligible before this instant.
-    not_before: Instant,
+    pub(crate) not_before: Instant,
 }
 
-struct RoundState {
-    ready: VecDeque<WorkItem>,
+pub(crate) struct RoundState<S> {
+    pub(crate) ready: VecDeque<WorkItem>,
     /// Jobs not yet resolved (queued, backing off, or in flight).
-    unresolved: usize,
-    slots: Vec<Option<BlockSolution>>,
+    pub(crate) unresolved: usize,
+    pub(crate) slots: Vec<Option<S>>,
     /// Last failure message per job (diagnostics for lost blocks).
-    errors: Vec<Option<String>>,
-    retried: u64,
-    stolen: u64,
+    pub(crate) errors: Vec<Option<String>>,
+    pub(crate) retried: u64,
+    pub(crate) stolen: u64,
 }
 
 /// Shared work queue for one consensus round: every lane pulls the next
 /// eligible job, so a straggler delays only its own job while healthy
-/// workers drain the rest.
-struct WorkQueue {
-    state: Mutex<RoundState>,
-    changed: Condvar,
+/// workers drain the rest. Generic over the solution type `S` so the
+/// model-check suites can drive it with tiny scripted payloads instead
+/// of full [`BlockSolution`]s.
+pub(crate) struct WorkQueue<S> {
+    pub(crate) state: Mutex<RoundState<S>>,
+    pub(crate) changed: Condvar,
 }
 
 /// How often a quarantined lane re-checks its breaker, and the idle
 /// re-poll bound inside [`WorkQueue::take`].
 const LANE_POLL: Duration = Duration::from_millis(20);
 
-impl WorkQueue {
-    fn new(jobs: usize) -> WorkQueue {
+impl<S> WorkQueue<S> {
+    pub(crate) fn new(jobs: usize) -> WorkQueue<S> {
         let now = Instant::now();
         WorkQueue {
             state: Mutex::new(RoundState {
@@ -352,7 +356,7 @@ impl WorkQueue {
                     })
                     .collect(),
                 unresolved: jobs,
-                slots: vec![None; jobs],
+                slots: (0..jobs).map(|_| None).collect(),
                 errors: vec![None; jobs],
                 retried: 0,
                 stolen: 0,
@@ -361,15 +365,15 @@ impl WorkQueue {
         }
     }
 
-    fn finished(&self) -> bool {
-        self.state.lock().expect("queue poisoned").unresolved == 0
+    pub(crate) fn finished(&self) -> bool {
+        plock(&self.state).unresolved == 0
     }
 
     /// Pop the next eligible item; blocks while every queued item is
     /// still backing off or in flight elsewhere; `None` once all jobs
     /// are resolved.
-    fn take(&self) -> Option<WorkItem> {
-        let mut st = self.state.lock().expect("queue poisoned");
+    pub(crate) fn take(&self) -> Option<WorkItem> {
+        let mut st = plock(&self.state);
         loop {
             if st.unresolved == 0 {
                 return None;
@@ -386,13 +390,13 @@ impl WorkQueue {
                 .unwrap_or(LANE_POLL)
                 .min(LANE_POLL)
                 .max(Duration::from_millis(1));
-            let (guard, _) = self.changed.wait_timeout(st, wake).expect("queue poisoned");
+            let (guard, _) = pwait_timeout(&self.changed, st, wake);
             st = guard;
         }
     }
 
-    fn succeed(&self, item: &WorkItem, lane: usize, sol: BlockSolution) {
-        let mut st = self.state.lock().expect("queue poisoned");
+    pub(crate) fn succeed(&self, item: &WorkItem, lane: usize, sol: S) {
+        let mut st = plock(&self.state);
         if item.last_failed_on.is_some_and(|failed| failed != lane) {
             st.stolen += 1;
         }
@@ -406,7 +410,7 @@ impl WorkQueue {
     /// counter through unchanged, so a dead worker's periodic re-probes
     /// can never exhaust a job's attempt budget. `None` resolves the
     /// job as lost.
-    fn fail(
+    pub(crate) fn fail(
         &self,
         item: WorkItem,
         lane: usize,
@@ -414,7 +418,7 @@ impl WorkQueue {
         next_attempt: Option<u32>,
         backoff: Duration,
     ) {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = plock(&self.state);
         st.errors[item.job_idx] = Some(err);
         match next_attempt {
             Some(attempt) => {
@@ -450,12 +454,18 @@ fn attempt_block(client: &mut Client, job: &BlockJob) -> Result<BlockSolution, A
 
 /// One worker's pull loop: gate on the quarantine breaker, then pull
 /// and solve queue items until every job is resolved.
-fn run_lane(
+///
+/// `attempt(job_idx, attempt_no)` performs one solve attempt; the TCP
+/// backend wires it to a real worker connection, the model-check suites
+/// to a scripted outcome table. Everything fault-tolerance related —
+/// breaker gating, probe budgets, retry/backoff accounting, steal
+/// detection — lives here, under the model checker's eye.
+pub(crate) fn run_lane<S>(
     lane_idx: usize,
-    lane: &mut Lane,
-    queue: &WorkQueue,
-    jobs: &[BlockJob],
+    breaker: &CircuitBreaker,
+    queue: &WorkQueue<S>,
     cfg: &FleetConfig,
+    mut attempt: impl FnMut(usize, u32) -> Result<S, AttemptError>,
 ) {
     // Consecutive failed half-open probes this round. A quarantined
     // worker whose probes keep failing eventually stops haunting the
@@ -466,39 +476,39 @@ fn run_lane(
     let probe_limit = cfg.max_attempts.max(1);
     loop {
         let mut probing = false;
-        match lane.breaker.state() {
+        match breaker.state() {
             BreakerState::Closed => {}
-            BreakerState::HalfOpen if lane.breaker.try_probe() => probing = true,
+            BreakerState::HalfOpen if breaker.try_probe() => probing = true,
             _ => {
                 // Quarantined: sit out briefly; `state()` half-opens
                 // after the cooldown.
                 if queue.finished() || failed_probes >= probe_limit {
                     return;
                 }
-                std::thread::sleep(LANE_POLL);
+                paradigm_race::thread::sleep(LANE_POLL);
                 continue;
             }
         }
         let Some(item) = queue.take() else {
             if probing {
-                lane.breaker.release_probe();
+                breaker.release_probe();
             }
             return;
         };
-        match attempt_block(&mut lane.client, &jobs[item.job_idx]) {
+        match attempt(item.job_idx, item.attempt) {
             Ok(sol) => {
-                lane.breaker.on_result(true);
+                breaker.on_result(true);
                 failed_probes = 0;
                 queue.succeed(&item, lane_idx, sol);
             }
             Err(AttemptError::Job(e)) => {
                 // The worker answered fine; the job is hopeless.
-                lane.breaker.on_result(true);
+                breaker.on_result(true);
                 failed_probes = 0;
                 queue.fail(item, lane_idx, e, None, Duration::ZERO);
             }
             Err(AttemptError::Worker(e)) => {
-                lane.breaker.on_result(false);
+                breaker.on_result(false);
                 let backoff =
                     cfg.retry_base.saturating_mul(1u32 << item.attempt.min(16)).min(cfg.retry_cap);
                 let next_attempt = if probing {
@@ -575,13 +585,18 @@ impl TcpBlockBackend {
     ) -> (Vec<Option<BlockSolution>>, Vec<Option<String>>) {
         let queue = WorkQueue::new(jobs.len());
         let cfg = &self.cfg;
-        std::thread::scope(|scope| {
+        paradigm_race::thread::scope(|scope| {
             for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
                 let queue = &queue;
-                scope.spawn(move || run_lane(lane_idx, lane, queue, jobs, cfg));
+                let Lane { client, breaker } = lane;
+                scope.spawn(move || {
+                    run_lane(lane_idx, breaker, queue, cfg, |job_idx, _| {
+                        attempt_block(client, &jobs[job_idx])
+                    })
+                });
             }
         });
-        let st = queue.state.into_inner().expect("queue poisoned");
+        let st = queue.state.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         self.retried += st.retried;
         self.stolen += st.stolen;
         (st.slots, st.errors)

@@ -46,6 +46,7 @@ pub mod coordinate;
 pub mod error;
 pub mod expr;
 pub mod objective;
+pub mod race_suites;
 pub mod solve;
 pub mod workspace;
 

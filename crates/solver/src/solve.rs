@@ -15,11 +15,12 @@ use crate::objective::MdgObjective;
 use crate::workspace::{self, SolverWorkspace};
 use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
 use paradigm_mdg::Mdg;
+use paradigm_race::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use paradigm_race::time::Instant;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Solver tuning knobs. The defaults solve every workload in this
 /// repository to well under 1 % of the brute-force oracle.
@@ -252,7 +253,7 @@ pub fn try_allocate(
             }
             chunks.last_mut().expect("chunk pushed above").push((i, x0));
         }
-        let joined = std::thread::scope(|scope| {
+        let joined = paradigm_race::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {

@@ -22,9 +22,10 @@
 //! per iteration, so it never shows up in profiles.
 
 use crate::compiled::VarCache;
+use paradigm_race::plock;
+use paradigm_race::sync::atomic::{AtomicU64, Ordering};
+use paradigm_race::sync::Mutex;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Sweep buffers for one objective evaluation (forward value sweep,
 /// smax-weight tape, backward adjoint sweep, and the shared value stack
@@ -142,7 +143,7 @@ impl DerefMut for PooledWorkspace {
 impl Drop for PooledWorkspace {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
-            let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut pool = plock(&POOL);
             if pool.len() < POOL_CAP {
                 pool.push(ws);
             }
@@ -158,7 +159,7 @@ impl Drop for PooledWorkspace {
 pub fn acquire() -> PooledWorkspace {
     ACQUIRES.fetch_add(1, Ordering::Relaxed);
     let ws = {
-        let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut pool = plock(&POOL);
         pool.pop()
     };
     let ws = match ws {
@@ -177,6 +178,18 @@ pub fn acquire() -> PooledWorkspace {
 /// warm buffers.
 pub fn pool_counters() -> (u64, u64) {
     (ACQUIRES.load(Ordering::Relaxed), REUSES.load(Ordering::Relaxed))
+}
+
+/// Drop every pooled workspace and zero the counters. The pool is
+/// process-global; the model checker re-runs a closure under many
+/// schedules and needs each run to start from the identical empty pool,
+/// so its suites call this at the top of every execution. Harmless (but
+/// pointless) anywhere else.
+#[doc(hidden)]
+pub fn reset_pool() {
+    plock(&POOL).clear();
+    ACQUIRES.store(0, Ordering::Relaxed);
+    REUSES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
