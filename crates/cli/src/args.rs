@@ -176,9 +176,10 @@ pub enum Command {
         /// retried with backoff and counted.
         max_queue_wait_ms: Option<u64>,
     },
-    /// `bench-solve [--quick] [--out <path>] [--baseline <path>]`: run
-    /// the solver micro/end-to-end benchmark over the gallery and random
-    /// MDGs and emit the `BENCH_solver.json` report.
+    /// `bench-solve [--quick] [--out <path>] [--baseline <path>]
+    /// [--batch-k <n>]`: run the solver micro/end-to-end benchmark over
+    /// the gallery and random MDGs and emit the `BENCH_solver.json`
+    /// report.
     BenchSolve {
         /// Trim the case list (drop the largest random graph) and the
         /// repetition counts — the CI perf-smoke configuration.
@@ -189,6 +190,9 @@ pub enum Command {
         /// (exit 1) if the n=256 random-MDG `eval_grad` median regresses
         /// more than 3x.
         baseline: Option<String>,
+        /// Batch width for the batched-gradient and batched-multistart
+        /// cases (default 8).
+        batch_k: usize,
     },
     /// `partition <file> [--blocks N] [-p N]`: run the multilevel MDG
     /// partitioner and print the block map, cut summary, and balance.
@@ -289,7 +293,7 @@ USAGE:
                  [--audit-log <path>] [--worker]
                  [--admm-workers <addr,addr,...>] [--admm-stale <n>] [--block-deadline-ms <ms>]
   paradigm bench-serve [--clients <n>] [--rounds <n>] [--workers <n>] [--max-queue-wait <ms>]
-  paradigm bench-solve [--quick] [--out <path>] [--baseline <path>]
+  paradigm bench-solve [--quick] [--out <path>] [--baseline <path>] [--batch-k <n>]
   paradigm bench-admm [--quick] [--out <path>] [--baseline <path>]
                       [--fleet <n>] [--chaos <plan>] [--kill-after-ms <ms>]
                       [--admm-stale <n>] [--block-deadline-ms <ms>]
@@ -600,15 +604,23 @@ pub fn parse_args<S: AsRef<str>>(argv: &[S]) -> Result<ParsedArgs, UsageError> {
             let mut quick = false;
             let mut out = None;
             let mut baseline = None;
+            let mut batch_k = 8usize;
             while let Some(flag) = it.next() {
                 match flag {
                     "--quick" => quick = true,
                     "--out" => out = Some(take_value(flag, &mut it)?.to_string()),
                     "--baseline" => baseline = Some(take_value(flag, &mut it)?.to_string()),
+                    "--batch-k" => {
+                        let v = take_value(flag, &mut it)?;
+                        batch_k =
+                            v.parse::<usize>().ok().filter(|&k| (1..=64).contains(&k)).ok_or_else(
+                                || UsageError(format!("--batch-k must be in 1..=64, got `{v}`")),
+                            )?;
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Command::BenchSolve { quick, out, baseline }
+            Command::BenchSolve { quick, out, baseline, batch_k }
         }
         "partition" => {
             let file = it.next().ok_or(UsageError("partition needs a file".into()))?.to_string();
@@ -1010,7 +1022,10 @@ mod tests {
     #[test]
     fn bench_solve_command_parses() {
         let p = parse_args(&["bench-solve"]).unwrap();
-        assert_eq!(p.command, Command::BenchSolve { quick: false, out: None, baseline: None });
+        assert_eq!(
+            p.command,
+            Command::BenchSolve { quick: false, out: None, baseline: None, batch_k: 8 }
+        );
         let p = parse_args(&[
             "bench-solve",
             "--quick",
@@ -1018,6 +1033,8 @@ mod tests {
             "BENCH_solver.json",
             "--baseline",
             "ci/bench-solver-baseline.json",
+            "--batch-k",
+            "16",
         ])
         .unwrap();
         assert_eq!(
@@ -1026,10 +1043,14 @@ mod tests {
                 quick: true,
                 out: Some("BENCH_solver.json".into()),
                 baseline: Some("ci/bench-solver-baseline.json".into()),
+                batch_k: 16,
             }
         );
         assert!(parse_args(&["bench-solve", "--out"]).is_err());
         assert!(parse_args(&["bench-solve", "--wat"]).is_err());
+        assert!(parse_args(&["bench-solve", "--batch-k", "0"]).is_err());
+        assert!(parse_args(&["bench-solve", "--batch-k", "65"]).is_err());
+        assert!(parse_args(&["bench-solve", "--batch-k", "x"]).is_err());
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * `wall_ms` — one end-to-end ADMM solve, including partitioning;
 //! * `blocks` / `cut_edges` — what the multilevel partitioner produced;
 //! * `outer_rounds`, `inner_iters`, `polish_iters` — coordinator effort;
+//! * `block_solves` / `block_solves_per_s` — fresh block x-updates
+//!   executed (`blocks * outer_rounds` minus stale-served slots) and
+//!   their end-to-end throughput, the number the batched inner-solver
+//!   work is meant to move;
 //! * `primal_residual` / `dual_residual` / `converged` — the consensus
 //!   stopping state;
 //! * `phi` and, on cases small enough to also solve densely,
@@ -114,6 +118,11 @@ struct CaseReport {
     outer_rounds: usize,
     inner_iters: usize,
     polish_iters: usize,
+    /// Fresh block x-updates executed: `blocks * outer_rounds` minus the
+    /// round slots that were served a stale (reused) solution.
+    block_solves: u64,
+    /// `block_solves` over the case's wall clock, in solves per second.
+    block_solves_per_s: f64,
     wall_ms: f64,
     phi: f64,
     primal_residual: f64,
@@ -290,6 +299,9 @@ fn bench_case(
         let dense = allocate(g, machine, &SolverConfig::fast());
         res.phi.phi / dense.phi.phi
     });
+    let block_solves = ((res.blocks * res.outer_iters) as u64).saturating_sub(res.blocks_stale);
+    let block_solves_per_s =
+        if wall_ms > 0.0 { block_solves as f64 / (wall_ms / 1e3) } else { 0.0 };
     Ok(CaseReport {
         name: name.to_string(),
         compute_nodes: g.compute_node_count(),
@@ -299,6 +311,8 @@ fn bench_case(
         outer_rounds: res.outer_iters,
         inner_iters: res.inner_iters,
         polish_iters: res.polish_iters,
+        block_solves,
+        block_solves_per_s,
         wall_ms,
         phi: res.phi.phi,
         primal_residual: res.primal_residual,
@@ -336,13 +350,15 @@ fn run_case(
 fn render_table(quick: bool, cases: &[CaseReport]) -> String {
     let mut out = format!("bench-admm ({})\n", if quick { "quick" } else { "full" });
     out.push_str(&format!(
-        "{:<14} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>10} {:>10} {:>10} {:>5} {:>9}\n",
+        "{:<14} {:>7} {:>7} {:>6} {:>6} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>10} {:>5} {:>9}\n",
         "case",
         "nodes",
         "edges",
         "blocks",
         "cut",
         "outer",
+        "solves",
+        "blk/s",
         "wall_ms",
         "phi",
         "r_primal",
@@ -352,13 +368,15 @@ fn render_table(quick: bool, cases: &[CaseReport]) -> String {
     ));
     for c in cases {
         out.push_str(&format!(
-            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9.0} {:>10.4} {:>10.2e} {:>10.2e} {:>5} {:>9}\n",
+            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>6} {:>7} {:>8.1} {:>9.0} {:>10.4} {:>10.2e} {:>10.2e} {:>5} {:>9}\n",
             c.name,
             c.compute_nodes,
             c.edges,
             c.blocks,
             c.cut_edges,
             c.outer_rounds,
+            c.block_solves,
+            c.block_solves_per_s,
             c.wall_ms,
             c.phi,
             c.primal_residual,
@@ -385,12 +403,13 @@ fn render_table(quick: bool, cases: &[CaseReport]) -> String {
     out
 }
 
-/// The `BENCH_admm.json` document: version 2 (v1 plus the
-/// fault-tolerance counters and the `fleet` size), one case per line so
-/// diffs against the checked-in baseline stay readable.
+/// The `BENCH_admm.json` document: version 3 (v2 plus the per-round
+/// block-solve throughput pair `block_solves` / `block_solves_per_s`),
+/// one case per line so diffs against the checked-in baseline stay
+/// readable.
 fn render_json(quick: bool, fleet: usize, cases: &[CaseReport]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"version\": 2,\n");
+    out.push_str("  \"version\": 3,\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"fleet\": {fleet},\n"));
     out.push_str("  \"cases\": [\n");
@@ -404,6 +423,8 @@ fn render_json(quick: bool, fleet: usize, cases: &[CaseReport]) -> String {
             ("outer_rounds".into(), Json::num(c.outer_rounds as f64)),
             ("inner_iters".into(), Json::num(c.inner_iters as f64)),
             ("polish_iters".into(), Json::num(c.polish_iters as f64)),
+            ("block_solves".into(), Json::num(c.block_solves as f64)),
+            ("block_solves_per_s".into(), Json::num(round3(c.block_solves_per_s))),
             ("wall_ms".into(), Json::num(round3(c.wall_ms))),
             ("phi".into(), Json::num(round6(c.phi))),
             ("primal_residual".into(), Json::num(c.primal_residual)),
@@ -483,6 +504,8 @@ mod tests {
             outer_rounds: 40,
             inner_iters: 120_000,
             polish_iters: 60,
+            block_solves: 639,
+            block_solves_per_s: 319.5,
             wall_ms: 2000.0,
             phi: 12.5,
             primal_residual: 5e-5,
@@ -501,13 +524,15 @@ mod tests {
     fn json_document_parses_and_round_trips_fields() {
         let json = render_json(true, 3, &[tiny_case()]);
         let doc = parse_json(&json).expect("valid JSON");
-        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("fleet").and_then(Json::as_u64), Some(3));
         let cases = doc.get("cases").and_then(Json::as_arr).expect("cases array");
         assert_eq!(cases.len(), 1);
         assert_eq!(cases[0].get("name").and_then(Json::as_str), Some(GATE_CASE));
         assert_eq!(cases[0].get("wall_ms").and_then(Json::as_f64), Some(2000.0));
+        assert_eq!(cases[0].get("block_solves").and_then(Json::as_u64), Some(639));
+        assert_eq!(cases[0].get("block_solves_per_s").and_then(Json::as_f64), Some(319.5));
         assert_eq!(cases[0].get("converged").and_then(Json::as_bool), Some(true));
         assert_eq!(cases[0].get("blocks_retried").and_then(Json::as_u64), Some(3));
         assert_eq!(cases[0].get("blocks_stolen").and_then(Json::as_u64), Some(2));
@@ -546,6 +571,11 @@ mod tests {
                 .expect("tiny solve succeeds");
         assert!(c.wall_ms > 0.0);
         assert!(c.blocks >= 1);
+        assert!(
+            c.block_solves >= (c.blocks * c.outer_rounds) as u64 - c.blocks_stale,
+            "block_solves accounts for every non-stale round slot"
+        );
+        assert!(c.block_solves_per_s > 0.0, "throughput is positive on a completed solve");
         assert!(c.converged, "tiny fork-join must converge");
         assert_eq!(c.blocks_retried + c.blocks_stolen + c.backend_downgrades, 0);
         let ratio = c.phi_vs_dense.expect("dense reference ran");

@@ -11,6 +11,12 @@
 //!   gradient (`eval_grad_with`), the per-iteration cost of descent;
 //! * `grad_forward_us` — the retired forward-mode gradient on the same
 //!   point, kept as the speedup reference;
+//! * `eval_grad_batched_us` / `batch_grad_speedup` — per-gradient cost
+//!   of one K-wide batched sweep (`eval_grad_batch_with` over K lanes,
+//!   divided by K) and its speedup over the scalar adjoint;
+//! * `multistart_us` / `multistart_batched_us` / `multistart_speedup` —
+//!   a fixed-iteration K-point multistart stage run as K sequential
+//!   scalar descents vs one shared-tape batched `descend_multi_stage`;
 //! * `allocate_us` / `allocate_iters` — one end-to-end `try_allocate`
 //!   with [`SolverConfig::fast`];
 //! * `allocs_per_iter` — heap allocations per descent iteration after
@@ -29,8 +35,10 @@ use paradigm_cost::Machine;
 use paradigm_mdg::{random_layered_mdg, Mdg, RandomMdgConfig};
 use paradigm_serve::{parse_json, Json};
 use paradigm_solver::expr::Sharpness;
+use paradigm_solver::objective::ObjectiveParts;
 use paradigm_solver::{
-    allocation_count, descend_stage, try_allocate, MdgObjective, SolverConfig, SolverWorkspace,
+    allocation_count, descend_multi_stage, descend_stage, try_allocate, BatchWorkspace,
+    MdgObjective, SolverConfig, SolverWorkspace,
 };
 
 use crate::commands::{CliError, CmdOutput};
@@ -54,6 +62,11 @@ struct CaseReport {
     eval_grad_us: f64,
     grad_forward_us: f64,
     grad_speedup: f64,
+    eval_grad_batched_us: f64,
+    batch_grad_speedup: f64,
+    multistart_us: f64,
+    multistart_batched_us: f64,
+    multistart_speedup: f64,
     allocate_us: f64,
     allocate_iters: usize,
     allocs_per_iter: f64,
@@ -64,12 +77,13 @@ pub fn run_bench_solve(
     quick: bool,
     out_path: Option<&str>,
     baseline: Option<&str>,
+    batch_k: usize,
 ) -> Result<CmdOutput, CliError> {
     let reps = if quick { 9 } else { 25 };
     let mut cases = Vec::new();
     for name in GALLERY_NAMES {
         let g = gallery_graph(name).unwrap_or_else(|| unreachable!("gallery name {name}"));
-        cases.push(bench_case(name, &g, reps));
+        cases.push(bench_case(name, &g, reps, batch_k));
     }
     let mut sizes = vec![64usize, 128, 256];
     if !quick {
@@ -85,10 +99,10 @@ pub fn run_bench_solve(
             },
             SEED,
         );
-        cases.push(bench_case(&format!("random-{n}"), &g, reps));
+        cases.push(bench_case(&format!("random-{n}"), &g, reps, batch_k));
     }
 
-    let json = render_json(quick, &cases);
+    let json = render_json(quick, batch_k, &cases);
     let mut text = render_table(quick, reps, &cases);
     if let Some(path) = out_path {
         std::fs::write(path, &json).map_err(CliError::Io)?;
@@ -112,7 +126,7 @@ pub fn run_bench_solve(
 }
 
 /// Measure one graph. All medians are in microseconds.
-fn bench_case(name: &str, g: &Mdg, reps: usize) -> CaseReport {
+fn bench_case(name: &str, g: &Mdg, reps: usize, batch_k: usize) -> CaseReport {
     let obj = MdgObjective::new(g, Machine::cm5(64));
     let n = obj.num_vars();
     let ub = obj.x_upper();
@@ -136,6 +150,52 @@ fn bench_case(name: &str, g: &Mdg, reps: usize) -> CaseReport {
     let grad_forward_us = median_us(reps, || {
         let (parts, grad) = obj.eval_grad_forward(&x, sharp);
         std::hint::black_box((parts.phi, grad.len()));
+    });
+
+    // K-wide batched gradient: one shared-tape sweep over `batch_k`
+    // lane points, reported per gradient (total / K).
+    let k = batch_k.max(1);
+    let mut bw = BatchWorkspace::new();
+    let mut xs = vec![0.0_f64; n * k];
+    for l in 0..k {
+        for j in 0..n {
+            xs[j * k + l] = (x[j] + 0.015 * (l as f64)).min(ub);
+        }
+    }
+    let mut bgrads = Vec::new();
+    let mut parts = vec![ObjectiveParts { phi: 0.0, a_p: 0.0, c_p: 0.0 }; k];
+    obj.eval_grad_batch_with(&xs, k, sharp, &mut bw.scratch, &mut bgrads, &mut parts);
+    let eval_grad_batched_us = median_us(reps, || {
+        obj.eval_grad_batch_with(&xs, k, sharp, &mut bw.scratch, &mut bgrads, &mut parts);
+        std::hint::black_box(parts[0].phi);
+    }) / k as f64;
+
+    // Fixed-iteration multistart stage over the same K start points:
+    // K sequential scalar descents vs one batched `descend_multi_stage`.
+    // rel_tol 0 keeps every lane running the full iteration budget so
+    // the two paths do the same number of gradient steps.
+    const MS_ITERS: usize = 20;
+    let starts: Vec<Vec<f64>> = (0..k).map(|l| (0..n).map(|j| xs[j * k + l]).collect()).collect();
+    // Warm the scalar path, then both measured paths restart from the
+    // same fresh start points each sample.
+    let mut warm = starts[0].clone();
+    let _ = descend_stage(&obj, &mut warm, sharp, MS_ITERS, 0.0, &mut ws);
+    let ms_reps = reps.min(7);
+    let multistart_us = median_us_once(ms_reps, || {
+        let mut total = 0usize;
+        for s in &starts {
+            let mut p = s.clone();
+            total += descend_stage(&obj, &mut p, sharp, MS_ITERS, 0.0, &mut ws);
+            std::hint::black_box(p[0]);
+        }
+        std::hint::black_box(total);
+    });
+    let mut points = starts.clone();
+    let _ = descend_multi_stage(&obj, &mut points, sharp, MS_ITERS, 0.0, &mut bw);
+    let multistart_batched_us = median_us_once(ms_reps, || {
+        let mut points = starts.clone();
+        let iters = descend_multi_stage(&obj, &mut points, sharp, MS_ITERS, 0.0, &mut bw);
+        std::hint::black_box((iters, points[0][0]));
     });
 
     // Allocations per descent iteration, after a warm-up stage has sized
@@ -162,6 +222,19 @@ fn bench_case(name: &str, g: &Mdg, reps: usize) -> CaseReport {
         eval_grad_us,
         grad_forward_us,
         grad_speedup: if eval_grad_us > 0.0 { grad_forward_us / eval_grad_us } else { 0.0 },
+        eval_grad_batched_us,
+        batch_grad_speedup: if eval_grad_batched_us > 0.0 {
+            eval_grad_us / eval_grad_batched_us
+        } else {
+            0.0
+        },
+        multistart_us,
+        multistart_batched_us,
+        multistart_speedup: if multistart_batched_us > 0.0 {
+            multistart_us / multistart_batched_us
+        } else {
+            0.0
+        },
         allocate_us,
         allocate_iters: res.iterations,
         allocs_per_iter,
@@ -185,6 +258,20 @@ fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Median wall time of `reps` single runs of `f`, in microseconds — for
+/// workloads (whole multistart stages) long enough to time unlooped.
+fn median_us_once(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
 /// Human-readable summary table.
 fn render_table(quick: bool, reps: usize, cases: &[CaseReport]) -> String {
     let mut out = format!(
@@ -192,7 +279,7 @@ fn render_table(quick: bool, reps: usize, cases: &[CaseReport]) -> String {
         if quick { "quick" } else { "full" }
     );
     out.push_str(&format!(
-        "{:<18} {:>6} {:>6} {:>10} {:>10} {:>10} {:>8} {:>12} {:>7} {:>11}\n",
+        "{:<18} {:>6} {:>6} {:>10} {:>10} {:>10} {:>8} {:>10} {:>8} {:>12} {:>12} {:>8} {:>12} {:>7} {:>11}\n",
         "case",
         "nodes",
         "edges",
@@ -200,13 +287,18 @@ fn render_table(quick: bool, reps: usize, cases: &[CaseReport]) -> String {
         "grad_us",
         "fwd_us",
         "speedup",
+        "bgrad_us",
+        "bspeed",
+        "multi_us",
+        "bmulti_us",
+        "mspeed",
         "allocate_us",
         "iters",
         "allocs/iter"
     ));
     for c in cases {
         out.push_str(&format!(
-            "{:<18} {:>6} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>7.1}x {:>12.0} {:>7} {:>11.2}\n",
+            "{:<18} {:>6} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>7.1}x {:>10.2} {:>7.1}x {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>7} {:>11.2}\n",
             c.name,
             c.compute_nodes,
             c.edges,
@@ -214,6 +306,11 @@ fn render_table(quick: bool, reps: usize, cases: &[CaseReport]) -> String {
             c.eval_grad_us,
             c.grad_forward_us,
             c.grad_speedup,
+            c.eval_grad_batched_us,
+            c.batch_grad_speedup,
+            c.multistart_us,
+            c.multistart_batched_us,
+            c.multistart_speedup,
             c.allocate_us,
             c.allocate_iters,
             c.allocs_per_iter
@@ -222,13 +319,15 @@ fn render_table(quick: bool, reps: usize, cases: &[CaseReport]) -> String {
     out
 }
 
-/// The `BENCH_solver.json` document: version 1, one object per case,
-/// one case per line so diffs against the checked-in baseline stay
+/// The `BENCH_solver.json` document: version 2 (adds the batched
+/// gradient and multistart columns plus the batch width), one object per
+/// case, one case per line so diffs against the checked-in baseline stay
 /// readable.
-fn render_json(quick: bool, cases: &[CaseReport]) -> String {
+fn render_json(quick: bool, batch_k: usize, cases: &[CaseReport]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"batch_k\": {batch_k},\n"));
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         let case = Json::Obj(vec![
@@ -239,6 +338,11 @@ fn render_json(quick: bool, cases: &[CaseReport]) -> String {
             ("eval_grad_us".into(), Json::num(round3(c.eval_grad_us))),
             ("grad_forward_us".into(), Json::num(round3(c.grad_forward_us))),
             ("grad_speedup".into(), Json::num(round3(c.grad_speedup))),
+            ("eval_grad_batched_us".into(), Json::num(round3(c.eval_grad_batched_us))),
+            ("batch_grad_speedup".into(), Json::num(round3(c.batch_grad_speedup))),
+            ("multistart_us".into(), Json::num(round3(c.multistart_us))),
+            ("multistart_batched_us".into(), Json::num(round3(c.multistart_batched_us))),
+            ("multistart_speedup".into(), Json::num(round3(c.multistart_speedup))),
             ("allocate_us".into(), Json::num(round3(c.allocate_us))),
             ("allocate_iters".into(), Json::num(c.allocate_iters as f64)),
             ("allocs_per_iter".into(), Json::num(round3(c.allocs_per_iter))),
@@ -299,6 +403,11 @@ mod tests {
             eval_grad_us: 2.0,
             grad_forward_us: 12.0,
             grad_speedup: 6.0,
+            eval_grad_batched_us: 0.5,
+            batch_grad_speedup: 4.0,
+            multistart_us: 800.0,
+            multistart_batched_us: 250.0,
+            multistart_speedup: 3.2,
             allocate_us: 100.0,
             allocate_iters: 10,
             allocs_per_iter: 0.0,
@@ -307,22 +416,26 @@ mod tests {
 
     #[test]
     fn json_document_parses_and_round_trips_fields() {
-        let json = render_json(true, &[tiny_case()]);
+        let json = render_json(true, 8, &[tiny_case()]);
         let doc = parse_json(&json).expect("valid JSON");
-        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("batch_k").and_then(Json::as_u64), Some(8));
         let cases = doc.get("cases").and_then(Json::as_arr).expect("cases array");
         assert_eq!(cases.len(), 1);
         assert_eq!(cases[0].get("name").and_then(Json::as_str), Some(GATE_CASE));
         assert_eq!(cases[0].get("eval_grad_us").and_then(Json::as_f64), Some(2.0));
         assert_eq!(cases[0].get("grad_speedup").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(cases[0].get("eval_grad_batched_us").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(cases[0].get("batch_grad_speedup").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(cases[0].get("multistart_speedup").and_then(Json::as_f64), Some(3.2));
     }
 
     #[test]
     fn baseline_gate_passes_within_3x_and_fails_beyond() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("paradigm-bench-baseline-{}.json", std::process::id()));
-        std::fs::write(&path, render_json(true, &[tiny_case()])).unwrap();
+        std::fs::write(&path, render_json(true, 8, &[tiny_case()])).unwrap();
         let p = path.to_string_lossy().into_owned();
 
         // Current 2.0 vs baseline 2.0: within 3x.
@@ -346,10 +459,13 @@ mod tests {
     #[test]
     fn bench_case_on_fig1_produces_sane_numbers() {
         let g = paradigm_mdg::example_fig1_mdg();
-        let c = bench_case("fig1", &g, 3);
+        let c = bench_case("fig1", &g, 3, 4);
         assert_eq!(c.compute_nodes, 3);
         assert!(c.eval_us > 0.0 && c.eval_grad_us > 0.0 && c.grad_forward_us > 0.0);
         assert!(c.grad_speedup > 0.0);
+        assert!(c.eval_grad_batched_us > 0.0 && c.batch_grad_speedup > 0.0);
+        assert!(c.multistart_us > 0.0 && c.multistart_batched_us > 0.0);
+        assert!(c.multistart_speedup > 0.0);
         assert!(c.allocate_iters > 0);
         // In-process the counting allocator is not installed, so the
         // counter never moves.

@@ -373,8 +373,13 @@ pub fn run(command: &Command) -> Result<CmdOutput, CliError> {
             let stats = server.run();
             Ok(CmdOutput::clean(stats.render()))
         }
-        Command::BenchSolve { quick, out, baseline } => {
-            crate::bench_solve::run_bench_solve(*quick, out.as_deref(), baseline.as_deref())
+        Command::BenchSolve { quick, out, baseline, batch_k } => {
+            crate::bench_solve::run_bench_solve(
+                *quick,
+                out.as_deref(),
+                baseline.as_deref(),
+                *batch_k,
+            )
         }
         Command::BenchServe { clients, rounds, workers, max_queue_wait_ms } => {
             let report = run_bench(&BenchConfig {

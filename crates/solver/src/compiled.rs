@@ -46,11 +46,11 @@ pub struct VarCache {
     /// it directly.
     pub(crate) e: Vec<f64>,
     /// `1 / exp(x_j)`.
-    inv: Vec<f64>,
+    pub(crate) inv: Vec<f64>,
     /// `sqrt(exp(x_j))`; filled only when `halves` is requested.
-    sq: Vec<f64>,
+    pub(crate) sq: Vec<f64>,
     /// `1 / sqrt(exp(x_j))`; same lifecycle as `sq`.
-    isq: Vec<f64>,
+    pub(crate) isq: Vec<f64>,
 }
 
 impl VarCache {
@@ -114,7 +114,7 @@ fn mono_val(terms: &[(u32, f64)], coeff: f64, x: &[f64], cache: Option<&VarCache
 /// One post-order instruction. `Mono` pushes a value; `Sum`/`Max` pop
 /// their `k` children and push the reduction.
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     /// `coeff * exp(Σ a_j x_j)` over `terms[lo..hi]`.
     Mono { coeff: f64, lo: u32, hi: u32 },
     /// Sum of the top `k` stack values, in push order.
@@ -131,11 +131,11 @@ enum Op {
 /// [`crate::workspace::EvalScratch`]).
 #[derive(Debug, Clone)]
 pub struct CompiledExpr {
-    ops: Vec<Op>,
+    pub(crate) ops: Vec<Op>,
     /// `(variable index, exponent)` pairs of every monomial, contiguous.
-    terms: Vec<(u32, f64)>,
+    pub(crate) terms: Vec<(u32, f64)>,
     /// Total `max` weight slots (Σ k over `Max` ops).
-    wts_len: usize,
+    pub(crate) wts_len: usize,
 }
 
 impl CompiledExpr {
@@ -390,7 +390,7 @@ pub(crate) fn smax_fast(vals: &[f64], sharp: Sharpness) -> f64 {
 /// small positive integer (the annealing schedule's 4/16/64/256 all
 /// are), `powf` otherwise.
 #[inline]
-fn pow_sharp(b: f64, s: f64) -> f64 {
+pub(crate) fn pow_sharp(b: f64, s: f64) -> f64 {
     if s.fract() == 0.0 && (1.0..=512.0).contains(&s) {
         b.powi(s as i32)
     } else {
@@ -401,7 +401,7 @@ fn pow_sharp(b: f64, s: f64) -> f64 {
 /// `v^{1/s}`: repeated hardware `sqrt` when `s` is a power of two (the
 /// annealing schedule's are), `powf` otherwise.
 #[inline]
-fn root_sharp(v: f64, s: f64) -> f64 {
+pub(crate) fn root_sharp(v: f64, s: f64) -> f64 {
     if s.fract() == 0.0 && (2.0..=512.0).contains(&s) && (s as u32).is_power_of_two() {
         let mut r = v;
         let mut k = s as u32;

@@ -39,6 +39,7 @@
 //!   zero-allocation test and the `bench-solve` allocs/iter metric.
 
 pub mod alloc_count;
+pub mod batch;
 pub mod bruteforce;
 pub mod compiled;
 pub mod convexity;
@@ -58,7 +59,10 @@ pub use error::{FallbackTier, SolverError};
 pub use expr::{Expr, Monomial};
 pub use objective::MdgObjective;
 pub use solve::{
-    allocate, allocate_resilient, descend_stage, equal_split_allocation, optimality_residual,
-    try_allocate, AllocationResult, SolverConfig,
+    allocate, allocate_resilient, descend_multi_stage, descend_stage, equal_split_allocation,
+    optimality_residual, try_allocate, AllocationResult, SolverConfig,
 };
-pub use workspace::{EvalScratch, PooledWorkspace, SolverWorkspace};
+pub use workspace::{
+    BatchEvalScratch, BatchWorkspace, EvalScratch, PooledBatchWorkspace, PooledWorkspace,
+    SolverWorkspace,
+};

@@ -13,9 +13,10 @@
 //! final reported numbers because allocations are always re-scored with
 //! `paradigm-cost`'s exact evaluator.
 
+use crate::batch::{lanes_add, smax_batch, smax_batch_val};
 use crate::compiled::{smax_weights_fast, CompiledExpr};
 use crate::expr::{smax_pair_weights, smax_weights, Expr, Monomial, Sharpness};
-use crate::workspace::{self, EvalScratch};
+use crate::workspace::{self, BatchEvalScratch, EvalScratch};
 use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
 use paradigm_mdg::{EdgeId, Mdg, NodeId, TransferKind};
 
@@ -352,13 +353,387 @@ impl<'g> MdgObjective<'g> {
     ) -> ObjectiveParts {
         let (parts, _, _) = self.forward_sweep(x, sharp, scratch);
         let n = self.g.node_count();
+        // One 2-lane multi-seed sweep replaces the two sequential scalar
+        // sweeps: lane 0 carries the A_p seed, lane 1 the C_p seed. The
+        // multi-seed kernels replay the same scalar tape with the same
+        // per-lane arithmetic, so each lane is bit-identical to its
+        // scalar counterpart.
+        let mut mg = std::mem::take(&mut scratch.multi_grad);
+        mg.clear();
+        mg.resize(2 * n, 0.0);
+        self.backward_sweep_multi(2, &[0.0, 1.0], &[1.0, 0.0], scratch, &mut mg);
         grad_a.clear();
         grad_a.resize(n, 0.0);
-        self.backward_sweep(0.0, 1.0, scratch, grad_a);
         grad_c.clear();
         grad_c.resize(n, 0.0);
-        self.backward_sweep(1.0, 0.0, scratch, grad_c);
+        for j in 0..n {
+            grad_a[j] = mg[2 * j];
+            grad_c[j] = mg[2 * j + 1];
+        }
+        scratch.multi_grad = mg;
         parts
+    }
+
+    /// Batched [`MdgObjective::eval_with`]: evaluates `k` lane-major
+    /// points at once (`xs[j*k + l]` is variable `j` of lane `l`),
+    /// writing one [`ObjectiveParts`] per lane. At
+    /// [`Sharpness::Exact`] each lane is routed through the scalar
+    /// sweep (gather/scatter) so exact `max` tie-breaking stays
+    /// bit-identical to the scalar path.
+    pub fn eval_batch_with(
+        &self,
+        xs: &[f64],
+        k: usize,
+        sharp: Sharpness,
+        scratch: &mut BatchEvalScratch,
+        parts: &mut [ObjectiveParts],
+    ) {
+        let n = self.g.node_count();
+        debug_assert_eq!(xs.len(), n * k);
+        debug_assert_eq!(parts.len(), k);
+        if matches!(sharp, Sharpness::Exact) {
+            let BatchEvalScratch { scalar, x_tmp, .. } = scratch;
+            x_tmp.resize(n, 0.0);
+            for (l, p) in parts.iter_mut().enumerate() {
+                for j in 0..n {
+                    x_tmp[j] = xs[j * k + l];
+                }
+                *p = self.eval_with(x_tmp, sharp, scalar);
+            }
+            return;
+        }
+        scratch.ensure(n, self.g.edge_count(), k);
+        let t = &self.tapes;
+        let BatchEvalScratch { y, stack, var_cache, area, .. } = scratch;
+        var_cache.fill(xs, n, k, t.needs_halves);
+        let inv_p = 1.0 / self.machine.procs as f64;
+        for &v in self.g.topo_order() {
+            let vk = v.0 * k;
+            let in_edges = self.g.in_edges(v);
+            let base = stack.len();
+            for &e in in_edges {
+                let m = self.g.edge(e).src;
+                t.edge[e.0].eval_batch(k, sharp, stack, var_cache);
+                let top = stack.len() - k;
+                lanes_add(&mut stack[top..], &y[m * k..(m + 1) * k]);
+            }
+            let kk = in_edges.len();
+            if kk > 0 {
+                let sl = stack.len();
+                stack.resize(sl + 4 * k, 0.0);
+                let (cands, scr) = stack[base..].split_at_mut(kk * k);
+                smax_batch_val(k, kk, sharp, cands, scr);
+                y[vk..vk + k].copy_from_slice(&cands[..k]);
+            }
+            stack.truncate(base);
+            t.node[v.0].eval_batch(k, sharp, stack, var_cache);
+            let top = stack.len() - k;
+            let tv = &stack[top..];
+            for l in 0..k {
+                area[l] += tv[l] * var_cache.e[vk + l];
+            }
+            lanes_add(&mut y[vk..vk + k], &stack[top..]);
+            stack.truncate(base);
+        }
+        let stop = self.g.stop().0;
+        for (l, p) in parts.iter_mut().enumerate() {
+            let a_p = inv_p * area[l];
+            let c_p = y[stop * k + l];
+            let (phi, _, _) = smax_pair_weights(a_p, c_p, sharp);
+            *p = ObjectiveParts { phi, a_p, c_p };
+        }
+    }
+
+    /// Batched [`MdgObjective::eval_grad_with`]: one shared-tape
+    /// forward/backward sweep computes `k` objective values and their
+    /// gradients at once. `grads` is resized to `n_vars * k`
+    /// (lane-major, `grads[j*k + l]`) and overwritten; allocation-free
+    /// after warm-up given a warm `scratch`. At [`Sharpness::Exact`]
+    /// each lane runs the scalar reverse-mode path (see
+    /// [`MdgObjective::eval_batch_with`]).
+    pub fn eval_grad_batch_with(
+        &self,
+        xs: &[f64],
+        k: usize,
+        sharp: Sharpness,
+        scratch: &mut BatchEvalScratch,
+        grads: &mut Vec<f64>,
+        parts: &mut [ObjectiveParts],
+    ) {
+        let n = self.g.node_count();
+        debug_assert_eq!(xs.len(), n * k);
+        debug_assert_eq!(parts.len(), k);
+        grads.clear();
+        grads.resize(n * k, 0.0);
+        if matches!(sharp, Sharpness::Exact) {
+            let BatchEvalScratch { scalar, x_tmp, grad_tmp, .. } = scratch;
+            x_tmp.resize(n, 0.0);
+            for (l, p) in parts.iter_mut().enumerate() {
+                for j in 0..n {
+                    x_tmp[j] = xs[j * k + l];
+                }
+                *p = self.eval_grad_with(x_tmp, sharp, scalar, grad_tmp);
+                for j in 0..n {
+                    grads[j * k + l] = grad_tmp[j];
+                }
+            }
+            return;
+        }
+        self.forward_sweep_batch(xs, k, sharp, scratch, parts);
+        self.backward_sweep_batch(k, scratch, grads);
+    }
+
+    /// Batched forward sweep: lane-major counterpart of
+    /// [`MdgObjective::forward_sweep`]. Fills the K-wide finish times,
+    /// expression tapes, and DAG-level `smax` weights in `scratch`,
+    /// writes per-lane parts, and leaves the per-lane `Phi` combination
+    /// weights in `scratch.a_seed` / `scratch.c_seed` for the backward
+    /// sweep. Smooth sharpness only — exact mode bypasses at the entry
+    /// points.
+    fn forward_sweep_batch(
+        &self,
+        xs: &[f64],
+        k: usize,
+        sharp: Sharpness,
+        scratch: &mut BatchEvalScratch,
+        parts: &mut [ObjectiveParts],
+    ) {
+        debug_assert!(matches!(sharp, Sharpness::Smooth(_)));
+        let n = self.g.node_count();
+        scratch.ensure(n, self.g.edge_count(), k);
+        let t = &self.tapes;
+        scratch.ensure_tape(t.total_vals, t.total_wts, k);
+        let BatchEvalScratch {
+            y,
+            tape_w,
+            stack,
+            t_val,
+            tape_vals,
+            tape_wts,
+            var_cache,
+            area,
+            c_seed,
+            a_seed,
+            ..
+        } = scratch;
+        var_cache.fill(xs, n, k, t.needs_halves);
+        let inv_p = 1.0 / self.machine.procs as f64;
+        for &v in self.g.topo_order() {
+            let vk = v.0 * k;
+            let in_edges = self.g.in_edges(v);
+            let base = stack.len();
+            for &e in in_edges {
+                let m = self.g.edge(e).src;
+                let (vo, wo) = t.edge_off[e.0];
+                let c = &t.edge[e.0];
+                c.eval_tape_batch(
+                    k,
+                    sharp,
+                    stack,
+                    &mut tape_vals[vo * k..(vo + c.vals_len()) * k],
+                    &mut tape_wts[wo * k..(wo + c.wts_len()) * k],
+                    var_cache,
+                );
+                let top = stack.len() - k;
+                lanes_add(&mut stack[top..], &y[m * k..(m + 1) * k]);
+            }
+            // Candidate smax: weights land in a scratch region pushed
+            // above the candidates, then scatter to the edge tape rows.
+            let kk = in_edges.len();
+            if kk > 0 {
+                let sl = stack.len();
+                stack.resize(sl + kk * k + 3 * k, 0.0);
+                let (cands, rest) = stack[base..].split_at_mut(kk * k);
+                let (wreg, scr) = rest.split_at_mut(kk * k);
+                smax_batch(k, kk, sharp, cands, wreg, scr);
+                for (i, &e) in in_edges.iter().enumerate() {
+                    tape_w[e.0 * k..(e.0 + 1) * k].copy_from_slice(&wreg[i * k..(i + 1) * k]);
+                }
+                y[vk..vk + k].copy_from_slice(&cands[..k]);
+            }
+            stack.truncate(base);
+            let (vo, wo) = t.node_off[v.0];
+            let c = &t.node[v.0];
+            c.eval_tape_batch(
+                k,
+                sharp,
+                stack,
+                &mut tape_vals[vo * k..(vo + c.vals_len()) * k],
+                &mut tape_wts[wo * k..(wo + c.wts_len()) * k],
+                var_cache,
+            );
+            let top = stack.len() - k;
+            let tv = &stack[top..];
+            t_val[vk..vk + k].copy_from_slice(tv);
+            for l in 0..k {
+                area[l] += tv[l] * var_cache.e[vk + l];
+            }
+            lanes_add(&mut y[vk..vk + k], &stack[top..]);
+            stack.truncate(base);
+        }
+        let stop = self.g.stop().0;
+        for (l, p) in parts.iter_mut().enumerate() {
+            let a_p = inv_p * area[l];
+            let c_p = y[stop * k + l];
+            let (phi, w_a, w_c) = smax_pair_weights(a_p, c_p, sharp);
+            *p = ObjectiveParts { phi, a_p, c_p };
+            a_seed[l] = w_a;
+            c_seed[l] = w_c;
+        }
+    }
+
+    /// Batched backward sweep: pushes the per-lane `Phi` seeds recorded
+    /// by [`MdgObjective::forward_sweep_batch`] through the lane-major
+    /// tapes, accumulating into `grads` (`n_vars * k`, zeroed by the
+    /// caller). The scalar sweep's skip-if-zero guards become
+    /// all-lanes-zero guards; per lane this only ever adds exact `+0.0`
+    /// terms (adjoints and tape values are nonnegative), so each lane
+    /// matches its scalar counterpart.
+    fn backward_sweep_batch(&self, k: usize, scratch: &mut BatchEvalScratch, grads: &mut [f64]) {
+        let t = &self.tapes;
+        let BatchEvalScratch {
+            adjoint,
+            tape_w,
+            stack,
+            t_val,
+            tape_vals,
+            tape_wts,
+            var_cache,
+            a_tmp,
+            seed_tmp,
+            c_seed,
+            a_seed,
+            ..
+        } = scratch;
+        let inv_p = 1.0 / self.machine.procs as f64;
+        for a in adjoint.iter_mut() {
+            *a = 0.0;
+        }
+        let stop = self.g.stop().0;
+        adjoint[stop * k..(stop + 1) * k].copy_from_slice(c_seed);
+        for &v in self.g.topo_order().iter().rev() {
+            let vk = v.0 * k;
+            a_tmp.copy_from_slice(&adjoint[vk..vk + k]);
+            for l in 0..k {
+                let w_area = a_seed[l] * inv_p;
+                let e_v = var_cache.e[vk + l];
+                grads[vk + l] += w_area * t_val[vk + l] * e_v;
+                seed_tmp[l] = a_tmp[l] + w_area * e_v;
+            }
+            let (vo, wo) = t.node_off[v.0];
+            let c = &t.node[v.0];
+            c.backprop_batch(
+                k,
+                seed_tmp,
+                &tape_vals[vo * k..(vo + c.vals_len()) * k],
+                &tape_wts[wo * k..(wo + c.wts_len()) * k],
+                grads,
+                stack,
+            );
+            for &e in self.g.in_edges(v) {
+                let ek = e.0 * k;
+                for l in 0..k {
+                    seed_tmp[l] = a_tmp[l] * tape_w[ek + l];
+                }
+                let m = self.g.edge(e).src;
+                let (vo, wo) = t.edge_off[e.0];
+                let c = &t.edge[e.0];
+                c.backprop_batch(
+                    k,
+                    seed_tmp,
+                    &tape_vals[vo * k..(vo + c.vals_len()) * k],
+                    &tape_wts[wo * k..(wo + c.wts_len()) * k],
+                    grads,
+                    stack,
+                );
+                lanes_add(&mut adjoint[m * k..(m + 1) * k], seed_tmp);
+            }
+        }
+    }
+
+    /// Multi-seed backward sweep over one **scalar** tape (recorded by
+    /// [`MdgObjective::forward_sweep`]): pushes `k` independent
+    /// `(c_seed, area_seed)` lane pairs through a single reverse walk,
+    /// accumulating into the lane-major `grads` (`n_vars * k`, zeroed
+    /// by the caller). Every per-lane operation is the exact arithmetic
+    /// of a scalar [`MdgObjective::backward_sweep`] call with that
+    /// lane's seeds, so lanes are bit-identical to sequential scalar
+    /// sweeps; the shared-tape `w == 0` edge skip is lane-uniform.
+    fn backward_sweep_multi(
+        &self,
+        k: usize,
+        c_seeds: &[f64],
+        area_seeds: &[f64],
+        scratch: &mut EvalScratch,
+        grads: &mut [f64],
+    ) {
+        let t = &self.tapes;
+        let n = self.g.node_count();
+        let EvalScratch {
+            tape_w,
+            stack,
+            t_val,
+            tape_vals,
+            tape_wts,
+            var_cache,
+            multi_adj,
+            multi_tmp,
+            ..
+        } = scratch;
+        multi_adj.clear();
+        multi_adj.resize(n * k, 0.0);
+        multi_tmp.clear();
+        multi_tmp.resize(3 * k, 0.0);
+        let (wa, rest) = multi_tmp.split_at_mut(k);
+        let (a_tmp, seed) = rest.split_at_mut(k);
+        let inv_p = 1.0 / self.machine.procs as f64;
+        for l in 0..k {
+            wa[l] = area_seeds[l] * inv_p;
+        }
+        let stop = self.g.stop().0;
+        multi_adj[stop * k..(stop + 1) * k].copy_from_slice(c_seeds);
+        for &v in self.g.topo_order().iter().rev() {
+            let vk = v.0 * k;
+            a_tmp.copy_from_slice(&multi_adj[vk..vk + k]);
+            let e_v = var_cache.e[v.0];
+            for l in 0..k {
+                grads[vk + l] += wa[l] * t_val[v.0] * e_v;
+                seed[l] = a_tmp[l] + wa[l] * e_v;
+            }
+            let (vo, wo) = t.node_off[v.0];
+            let c = &t.node[v.0];
+            c.backprop_multi(
+                k,
+                seed,
+                &tape_vals[vo..vo + c.vals_len()],
+                &tape_wts[wo..wo + c.wts_len()],
+                grads,
+                stack,
+            );
+            for &e in self.g.in_edges(v) {
+                let w = tape_w[e.0];
+                if w == 0.0 {
+                    continue;
+                }
+                for l in 0..k {
+                    seed[l] = a_tmp[l] * w;
+                }
+                let m = self.g.edge(e).src;
+                let (vo, wo) = t.edge_off[e.0];
+                let c = &t.edge[e.0];
+                c.backprop_multi(
+                    k,
+                    seed,
+                    &tape_vals[vo..vo + c.vals_len()],
+                    &tape_wts[wo..wo + c.wts_len()],
+                    grads,
+                    stack,
+                );
+                for l in 0..k {
+                    multi_adj[m * k + l] += seed[l];
+                }
+            }
+        }
     }
 
     /// Forward sweep of the reverse-mode pass: fills `scratch.y` with

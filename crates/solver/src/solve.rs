@@ -12,7 +12,7 @@ use crate::coordinate::{allocate_coordinate, CoordinateConfig};
 use crate::error::{FallbackTier, SolverError};
 use crate::expr::Sharpness;
 use crate::objective::MdgObjective;
-use crate::workspace::{self, SolverWorkspace};
+use crate::workspace::{self, BatchWorkspace, SolverWorkspace};
 use paradigm_cost::{Allocation, Machine, MdgWeights, PhiBreakdown};
 use paradigm_mdg::Mdg;
 use paradigm_race::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -95,6 +95,13 @@ pub struct AllocationResult {
     /// back).
     pub tier: FallbackTier,
 }
+
+/// Lane width of the batched multistart: starts are grouped into fixed
+/// consecutive chunks of this many lanes, each chunk descending through
+/// one shared-tape batched gradient per iteration. Eight lanes fill one
+/// AVX-512 register per kernel chunk (see [`crate::batch`]) and match
+/// the default start count (3 deterministic + 5 random rounds up to 8).
+const BATCH_K: usize = 8;
 
 /// Shared watchdog budget checked by every descent iteration.
 struct Budget {
@@ -208,59 +215,80 @@ pub fn try_allocate(
         s[g.stop().0] = 0.0;
     }
 
-    let run_one = |x0: Vec<f64>| -> (Vec<f64>, usize) {
-        // Pooled workspace: warm buffers across starts and across solves
-        // (serve workers re-hit the same pool on every cache miss).
-        let mut ws = workspace::acquire();
-        let mut x = x0;
-        let mut iters = 0;
+    // Starts run through the K-wide batched descent in fixed
+    // consecutive chunks of `BATCH_K`: all smooth annealing stages of a
+    // chunk share one batched tape sweep per iteration (lane l = start
+    // `chunk_base + l`, fixed), then each lane gets its scalar
+    // exact-max polish. The lane assignment and chunk boundaries are
+    // identical in the serial and parallel paths — and lane arithmetic
+    // is lane-independent — so parallel multistart stays
+    // bitwise-identical to serial.
+    let run_chunk = |chunk: Vec<(usize, Vec<f64>)>| -> Vec<(usize, (Vec<f64>, usize))> {
+        // Pooled batch workspace: warm lane-major buffers across chunks
+        // and across solves (serve workers re-hit the same pool on
+        // every cache miss).
+        let mut bw = workspace::acquire_batch();
+        let k = chunk.len();
         let mut stages = cfg.sharpness_schedule.clone();
         stages.sort_by(f64::total_cmp);
-        let mut sharps: Vec<Sharpness> = stages.into_iter().map(Sharpness::Smooth).collect();
-        sharps.push(Sharpness::Exact);
-        for sharp in sharps {
-            iters += descend(
+        bw.ensure_lanes(n, k);
+        for (l, (_, x0)) in chunk.iter().enumerate() {
+            for (j, &v) in x0.iter().enumerate() {
+                bw.xs[j * k + l] = v;
+            }
+        }
+        let mut lane_totals = vec![0usize; k];
+        for s in stages {
+            descend_multi(
                 &obj,
-                &mut x,
-                sharp,
+                k,
+                Sharpness::Smooth(s),
                 cfg.max_iters_per_stage,
                 cfg.rel_tol,
                 ub,
                 &budget,
-                &mut ws,
+                &mut bw,
             );
+            for (tot, &it) in lane_totals.iter_mut().zip(&bw.lane_iters) {
+                *tot += it;
+            }
         }
-        (x, iters)
+        let mut out = Vec::with_capacity(k);
+        for (l, (i, x0)) in chunk.into_iter().enumerate() {
+            let mut x = x0;
+            for (j, v) in x.iter_mut().enumerate() {
+                *v = bw.xs[j * k + l];
+            }
+            let it = descend(
+                &obj,
+                &mut x,
+                Sharpness::Exact,
+                cfg.max_iters_per_stage,
+                cfg.rel_tol,
+                ub,
+                &budget,
+                &mut bw.inner,
+            );
+            out.push((i, (x, lane_totals[l] + it)));
+        }
+        out
     };
 
-    // Each start's computation is a pure function of its start vector
-    // (the budget watchdog aside), so the parallel path only changes
-    // *where* a start runs, never what it computes: starts are split
-    // into contiguous chunks over at most `available_parallelism`
-    // scoped threads and the results are reassembled in start order,
-    // giving bitwise-identical output to the serial path.
     let total = starts.len();
-    let results: Vec<(Vec<f64>, usize)> = if cfg.parallel && total > 1 {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .clamp(1, total);
-        let chunk_len = total.div_ceil(workers);
-        let mut chunks: Vec<Vec<(usize, Vec<f64>)>> = Vec::with_capacity(workers);
-        for (i, x0) in starts.into_iter().enumerate() {
-            if chunks.last().is_none_or(|c| c.len() == chunk_len) {
-                chunks.push(Vec::with_capacity(chunk_len));
-            }
-            chunks.last_mut().expect("chunk pushed above").push((i, x0));
+    let mut chunks: Vec<Vec<(usize, Vec<f64>)>> = Vec::with_capacity(total.div_ceil(BATCH_K));
+    for (i, x0) in starts.into_iter().enumerate() {
+        if chunks.last().is_none_or(|c| c.len() == BATCH_K) {
+            chunks.push(Vec::with_capacity(BATCH_K));
         }
+        chunks.last_mut().expect("chunk pushed above").push((i, x0));
+    }
+    let results: Vec<(Vec<f64>, usize)> = if cfg.parallel && chunks.len() > 1 {
         let joined = paradigm_race::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    let run_one = &run_one;
-                    scope.spawn(move || {
-                        chunk.into_iter().map(|(i, x0)| (i, run_one(x0))).collect::<Vec<_>>()
-                    })
+                    let run_chunk = &run_chunk;
+                    scope.spawn(move || run_chunk(chunk))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
@@ -286,7 +314,12 @@ pub fn try_allocate(
         }
         slots.into_iter().map(|s| s.expect("every start chunk reported")).collect()
     } else {
-        starts.into_iter().map(run_one).collect()
+        let mut out: Vec<(usize, (Vec<f64>, usize))> = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(run_chunk(chunk));
+        }
+        out.sort_by_key(|&(i, _)| i);
+        out.into_iter().map(|(_, v)| v).collect()
     };
 
     let mut best: Option<(Allocation, PhiBreakdown)> = None;
@@ -495,6 +528,184 @@ fn descend(
         }
         if improve <= rel_tol * parts.phi.abs() && improve >= 0.0 && moved < 1e-9 {
             break;
+        }
+    }
+    iters
+}
+
+/// K-wide batched projected-gradient descent at fixed sharpness: every
+/// lane is one independent descent trajectory, and each iteration runs
+/// one batched `eval_grad` (shared tape, lane-major kernels) plus up to
+/// 40 batched line-search probes across all still-active lanes.
+///
+/// Per lane, the arithmetic is the scalar [`descend`] loop verbatim —
+/// same Armijo test, same step halving/growth, same stop conditions —
+/// and every lane's values depend only on its own slots, so a lane's
+/// trajectory is independent of which other starts share its batch.
+/// Converged ("finished") lanes are frozen: their iterates stop moving,
+/// and the batched sweeps simply recompute their (identical) gradients
+/// alongside the active lanes.
+///
+/// Expects `bw.xs` to hold the lane-major start points; leaves the
+/// final iterates there. Per-lane iteration counts land in
+/// `bw.lane_iters`; the return value is their sum (== budget charge).
+#[allow(clippy::too_many_arguments)]
+fn descend_multi(
+    obj: &MdgObjective<'_>,
+    k: usize,
+    sharp: Sharpness,
+    max_iters: usize,
+    rel_tol: f64,
+    ub: f64,
+    budget: &Budget,
+    bw: &mut BatchWorkspace,
+) -> usize {
+    let n = obj.num_vars();
+    bw.ensure_lanes(n, k);
+    let BatchWorkspace {
+        scratch,
+        xs,
+        grads,
+        grads_new,
+        trials,
+        phis,
+        steps,
+        moved,
+        finished,
+        accepted,
+        lane_iters,
+        parts,
+        parts_new,
+        ..
+    } = bw;
+    let mut iters_total = 0;
+    obj.eval_grad_batch_with(xs, k, sharp, scratch, grads, parts);
+    for (p, f) in parts.iter().zip(phis.iter_mut()) {
+        *f = p.phi;
+    }
+    for _ in 0..max_iters {
+        if finished.iter().all(|&f| f) || budget.exhausted() {
+            break;
+        }
+        let active = finished.iter().filter(|&&f| !f).count();
+        budget.used.fetch_add(active, Ordering::Relaxed);
+        iters_total += active;
+        for (it, &f) in lane_iters.iter_mut().zip(finished.iter()) {
+            if !f {
+                *it += 1;
+            }
+        }
+        // Batched backtracking line search: each probe round recomputes
+        // the trial of every lane still searching, then one batched
+        // evaluation scores all of them. A lane stops probing once it
+        // accepts or its step underflows (same 1e-14 floor and 40-probe
+        // cap as the scalar loop).
+        accepted[..k].copy_from_slice(&finished[..k]);
+        trials.copy_from_slice(xs);
+        for _ in 0..40 {
+            let mut any = false;
+            for l in 0..k {
+                if accepted[l] || steps[l] < 1e-14 {
+                    continue;
+                }
+                any = true;
+                for j in 0..n {
+                    trials[j * k + l] =
+                        (xs[j * k + l] - steps[l] * grads[j * k + l]).clamp(0.0, ub);
+                }
+            }
+            if !any {
+                break;
+            }
+            obj.eval_batch_with(trials, k, sharp, scratch, parts_new);
+            for l in 0..k {
+                if accepted[l] || steps[l] < 1e-14 {
+                    continue;
+                }
+                let f_new = parts_new[l].phi;
+                let mut decrease = 0.0;
+                for j in 0..n {
+                    decrease += grads[j * k + l] * (xs[j * k + l] - trials[j * k + l]);
+                }
+                if f_new <= phis[l] - 1e-4 * decrease && f_new.is_finite() {
+                    accepted[l] = true;
+                } else {
+                    steps[l] *= 0.5;
+                }
+            }
+        }
+        for l in 0..k {
+            if finished[l] {
+                continue;
+            }
+            if !accepted[l] {
+                finished[l] = true;
+                continue;
+            }
+            let mut mv = 0.0_f64;
+            for j in 0..n {
+                mv = mv.max((xs[j * k + l] - trials[j * k + l]).abs());
+            }
+            moved[l] = mv;
+            for j in 0..n {
+                xs[j * k + l] = trials[j * k + l];
+            }
+        }
+        if finished.iter().all(|&f| f) {
+            break;
+        }
+        obj.eval_grad_batch_with(xs, k, sharp, scratch, grads_new, parts_new);
+        std::mem::swap(grads, grads_new);
+        for l in 0..k {
+            if finished[l] {
+                continue;
+            }
+            let improve = phis[l] - parts_new[l].phi;
+            phis[l] = parts_new[l].phi;
+            parts[l] = parts_new[l];
+            steps[l] = (steps[l] * 1.8).min(4.0);
+            if improve <= rel_tol * phis[l].abs()
+                && (moved[l] < 1e-12 || (improve >= 0.0 && moved[l] < 1e-9))
+            {
+                finished[l] = true;
+            }
+        }
+    }
+    iters_total
+}
+
+/// Public batched single-stage descent entry point with no watchdog:
+/// gathers `points` into lane-major layout, runs [`descend_multi`] at
+/// one fixed sharpness out of the caller's batch workspace, and
+/// scatters the final iterates back. Returns the summed iteration
+/// count. Used by the `bench-solve` batched cases and the batched
+/// allocation-free test; the solver proper goes through
+/// [`try_allocate`].
+pub fn descend_multi_stage(
+    obj: &MdgObjective<'_>,
+    points: &mut [Vec<f64>],
+    sharp: Sharpness,
+    max_iters: usize,
+    rel_tol: f64,
+    bw: &mut BatchWorkspace,
+) -> usize {
+    let n = obj.num_vars();
+    let k = points.len();
+    if k == 0 {
+        return 0;
+    }
+    let budget = Budget::new(None, None);
+    bw.ensure_lanes(n, k);
+    for (l, p) in points.iter().enumerate() {
+        debug_assert_eq!(p.len(), n);
+        for (j, &v) in p.iter().enumerate() {
+            bw.xs[j * k + l] = v;
+        }
+    }
+    let iters = descend_multi(obj, k, sharp, max_iters, rel_tol, obj.x_upper(), &budget, bw);
+    for (l, p) in points.iter_mut().enumerate() {
+        for (j, v) in p.iter_mut().enumerate() {
+            *v = bw.xs[j * k + l];
         }
     }
     iters

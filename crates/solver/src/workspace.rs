@@ -21,7 +21,9 @@
 //! [`POOL_CAP`] entries; contention is one lock per *solve start*, not
 //! per iteration, so it never shows up in profiles.
 
+use crate::batch::BatchVarCache;
 use crate::compiled::VarCache;
+use crate::objective::ObjectiveParts;
 use paradigm_race::plock;
 use paradigm_race::sync::atomic::{AtomicU64, Ordering};
 use paradigm_race::sync::Mutex;
@@ -56,6 +58,15 @@ pub struct EvalScratch {
     /// Per-variable `exp(x_j)` caches filled once per smoothed
     /// objective call (see [`VarCache`]).
     pub(crate) var_cache: VarCache,
+    /// Adjoint stack of the multi-seed backward sweep (the `Φ` and
+    /// `A_p`/`C_p` seed lanes pushed through one scalar tape together).
+    pub(crate) multi_adj: Vec<f64>,
+    /// Lane-major gradient accumulator of the multi-seed backward
+    /// sweep (`n_vars * lanes`).
+    pub(crate) multi_grad: Vec<f64>,
+    /// Per-lane temporaries of the multi-seed backward sweep
+    /// (`3 * lanes`: area weights | adjoint row copy | seed row).
+    pub(crate) multi_tmp: Vec<f64>,
 }
 
 impl EvalScratch {
@@ -80,6 +91,166 @@ impl EvalScratch {
     pub(crate) fn ensure_tape(&mut self, vals: usize, wts: usize) {
         self.tape_vals.resize(vals, 0.0);
         self.tape_wts.resize(wts, 0.0);
+    }
+}
+
+/// Lane-major sweep buffers for one K-wide batched objective
+/// evaluation: the structure-of-arrays counterpart of [`EvalScratch`].
+/// Every per-node / per-edge / per-op buffer holds `k` lanes per slot
+/// (`slot * k + lane`), so the batched forward and backward sweeps in
+/// `objective` run elementwise lane kernels over contiguous rows.
+///
+/// Also embeds a scalar [`EvalScratch`] plus gather/scatter temporaries
+/// for the exact-mode (`s = ∞`) bypass, which runs each lane through the
+/// scalar sweep to keep exact `max` tie-breaking bit-identical.
+#[derive(Debug, Default)]
+pub struct BatchEvalScratch {
+    /// Current lane count (set by [`BatchEvalScratch::ensure`]).
+    pub(crate) k: usize,
+    /// Per-node, per-lane finish times of the forward `C_p` sweep.
+    pub(crate) y: Vec<f64>,
+    /// Per-node, per-lane adjoints of the backward sweep.
+    pub(crate) adjoint: Vec<f64>,
+    /// Per-edge, per-lane `smax` weights (the DAG-level tape).
+    pub(crate) tape_w: Vec<f64>,
+    /// Shared k-wide-slot value stack (expression `max` candidates and
+    /// the per-node candidate rows of the DAG recurrence).
+    pub(crate) stack: Vec<f64>,
+    /// Per-node, per-lane `T_v` values, reused by the fused `A_p` pass.
+    pub(crate) t_val: Vec<f64>,
+    /// Lane-major per-op values of every compiled expression.
+    pub(crate) tape_vals: Vec<f64>,
+    /// Lane-major per-`max` gradient weights.
+    pub(crate) tape_wts: Vec<f64>,
+    /// Batched per-variable `exp(x_j)` caches (see [`BatchVarCache`]).
+    pub(crate) var_cache: BatchVarCache,
+    /// Per-lane `A_p` numerator accumulator of the forward sweep.
+    pub(crate) area: Vec<f64>,
+    /// Per-lane adjoint-row copy of the backward sweep (breaks the
+    /// aliasing between a node's adjoint row and its predecessors').
+    pub(crate) a_tmp: Vec<f64>,
+    /// Per-lane node-seed row of the backward sweep.
+    pub(crate) seed_tmp: Vec<f64>,
+    /// Per-lane `C_p` seed weights (`w_c` from the top-level smax).
+    pub(crate) c_seed: Vec<f64>,
+    /// Per-lane `A_p` seed weights (`w_a`).
+    pub(crate) a_seed: Vec<f64>,
+    /// Scalar sweep buffers for the exact-mode per-lane bypass.
+    pub(crate) scalar: EvalScratch,
+    /// Gather buffer (`n_vars`) for one lane's point in the bypass.
+    pub(crate) x_tmp: Vec<f64>,
+    /// Scatter buffer (`n_vars`) for one lane's gradient in the bypass.
+    pub(crate) grad_tmp: Vec<f64>,
+}
+
+impl BatchEvalScratch {
+    /// Resize the lane-major sweep buffers for a graph with `nodes`
+    /// nodes and `edges` edges at lane count `k`, and zero them.
+    /// Capacity is retained across calls.
+    pub(crate) fn ensure(&mut self, nodes: usize, edges: usize, k: usize) {
+        fn fit(v: &mut Vec<f64>, len: usize) {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+        self.k = k;
+        fit(&mut self.y, nodes * k);
+        fit(&mut self.adjoint, nodes * k);
+        fit(&mut self.tape_w, edges * k);
+        fit(&mut self.t_val, nodes * k);
+        fit(&mut self.area, k);
+        fit(&mut self.a_tmp, k);
+        fit(&mut self.seed_tmp, k);
+        fit(&mut self.c_seed, k);
+        fit(&mut self.a_seed, k);
+    }
+
+    /// Resize the lane-major expression tapes to an objective's total
+    /// compiled sizes. No zeroing: the forward sweep overwrites every
+    /// slot it later reads.
+    pub(crate) fn ensure_tape(&mut self, vals: usize, wts: usize, k: usize) {
+        self.tape_vals.resize(vals * k, 0.0);
+        self.tape_wts.resize(wts * k, 0.0);
+    }
+}
+
+/// Preallocated buffers for one batched solver thread: the lane-major
+/// [`BatchEvalScratch`] plus the K-wide descent loop's per-lane iterate,
+/// gradient, and line-search state, plus a scalar [`SolverWorkspace`]
+/// for the per-lane exact-polish stage and other scalar tail work.
+///
+/// Acquire one from the batch pool with [`acquire_batch`]; pass it by
+/// `&mut` to the batched `MdgObjective` entry points and to
+/// `descend_multi_stage`.
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
+    /// Batched objective sweep buffers.
+    pub scratch: BatchEvalScratch,
+    /// Scalar workspace for per-lane scalar phases (exact polish,
+    /// residuals) without a second pool checkout.
+    pub inner: SolverWorkspace,
+    /// Lane-major current iterates (`n_vars * k`).
+    pub(crate) xs: Vec<f64>,
+    /// Lane-major gradients at the current iterates.
+    pub(crate) grads: Vec<f64>,
+    /// Lane-major gradients at the accepted trial iterates.
+    pub(crate) grads_new: Vec<f64>,
+    /// Lane-major trial iterates. Public so callers batching their own
+    /// line searches (e.g. ADMM block solves) can stage candidates here.
+    pub trials: Vec<f64>,
+    /// Per-lane objective values at the current iterates.
+    pub(crate) phis: Vec<f64>,
+    /// Per-lane line-search step sizes.
+    pub(crate) steps: Vec<f64>,
+    /// Per-lane last accepted move magnitude (∞-norm).
+    pub(crate) moved: Vec<f64>,
+    /// Per-lane convergence flags (a finished lane is frozen).
+    pub(crate) finished: Vec<bool>,
+    /// Per-lane line-search accept flags for the current iteration.
+    pub(crate) accepted: Vec<bool>,
+    /// Per-lane iteration counts for the current stage.
+    pub(crate) lane_iters: Vec<usize>,
+    /// Per-lane objective parts at the current iterates.
+    pub(crate) parts: Vec<ObjectiveParts>,
+    /// Per-lane objective parts at the trial iterates. Public for the
+    /// same external line-search batching as `trials`.
+    pub parts_new: Vec<ObjectiveParts>,
+}
+
+impl BatchWorkspace {
+    /// An empty batch workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// Size the K-wide descent state for `n` variables and `k` lanes and
+    /// reset the per-lane loop state (step 0.25, nothing finished).
+    /// `xs` is resized but its contents are preserved, so callers may
+    /// gather points first or re-enter for a new annealing stage without
+    /// losing the iterates. Capacity is retained across calls.
+    pub fn ensure_lanes(&mut self, n: usize, k: usize) {
+        fn fit(v: &mut Vec<f64>, len: usize) {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+        self.xs.resize(n * k, 0.0);
+        fit(&mut self.grads, n * k);
+        fit(&mut self.grads_new, n * k);
+        fit(&mut self.trials, n * k);
+        fit(&mut self.phis, k);
+        fit(&mut self.moved, k);
+        self.steps.clear();
+        self.steps.resize(k, 0.25);
+        self.finished.clear();
+        self.finished.resize(k, false);
+        self.accepted.clear();
+        self.accepted.resize(k, false);
+        self.lane_iters.clear();
+        self.lane_iters.resize(k, 0);
+        let zero = ObjectiveParts { phi: 0.0, a_p: 0.0, c_p: 0.0 };
+        self.parts.clear();
+        self.parts.resize(k, zero);
+        self.parts_new.clear();
+        self.parts_new.resize(k, zero);
     }
 }
 
@@ -180,6 +351,67 @@ pub fn pool_counters() -> (u64, u64) {
     (ACQUIRES.load(Ordering::Relaxed), REUSES.load(Ordering::Relaxed))
 }
 
+static BATCH_POOL: Mutex<Vec<BatchWorkspace>> = Mutex::new(Vec::new());
+static BATCH_ACQUIRES: AtomicU64 = AtomicU64::new(0);
+static BATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// A batch workspace checked out of the global batch pool; returned on
+/// drop. Same discipline as [`PooledWorkspace`].
+#[derive(Debug)]
+pub struct PooledBatchWorkspace {
+    ws: Option<BatchWorkspace>,
+}
+
+impl Deref for PooledBatchWorkspace {
+    type Target = BatchWorkspace;
+    fn deref(&self) -> &BatchWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledBatchWorkspace {
+    fn deref_mut(&mut self) -> &mut BatchWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledBatchWorkspace {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            let mut pool = plock(&BATCH_POOL);
+            if pool.len() < POOL_CAP {
+                pool.push(ws);
+            }
+        }
+    }
+}
+
+/// Check a [`BatchWorkspace`] out of the global batch pool (creating a
+/// cold one when the pool is empty). Batch workspaces are pooled
+/// separately from scalar ones: their lane-major buffers are `k` times
+/// larger, so mixing the free lists would hand K-wide allocations to
+/// scalar callers that never need them.
+pub fn acquire_batch() -> PooledBatchWorkspace {
+    BATCH_ACQUIRES.fetch_add(1, Ordering::Relaxed);
+    let ws = {
+        let mut pool = plock(&BATCH_POOL);
+        pool.pop()
+    };
+    let ws = match ws {
+        Some(w) => {
+            BATCH_REUSES.fetch_add(1, Ordering::Relaxed);
+            w
+        }
+        None => BatchWorkspace::new(),
+    };
+    PooledBatchWorkspace { ws: Some(ws) }
+}
+
+/// Lifetime counters of the batch pool: `(acquires, reuses)`.
+pub fn batch_pool_counters() -> (u64, u64) {
+    (BATCH_ACQUIRES.load(Ordering::Relaxed), BATCH_REUSES.load(Ordering::Relaxed))
+}
+
 /// Drop every pooled workspace and zero the counters. The pool is
 /// process-global; the model checker re-runs a closure under many
 /// schedules and needs each run to start from the identical empty pool,
@@ -190,6 +422,9 @@ pub fn reset_pool() {
     plock(&POOL).clear();
     ACQUIRES.store(0, Ordering::Relaxed);
     REUSES.store(0, Ordering::Relaxed);
+    plock(&BATCH_POOL).clear();
+    BATCH_ACQUIRES.store(0, Ordering::Relaxed);
+    BATCH_REUSES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -211,6 +446,38 @@ mod tests {
         assert!(a1 >= a0 + 2);
         assert!(r1 >= 1, "second acquire should reuse a released workspace");
         drop(ws);
+    }
+
+    #[test]
+    fn batch_pool_recycles_workspaces() {
+        let (a0, _) = batch_pool_counters();
+        {
+            let mut ws = acquire_batch();
+            ws.scratch.ensure(8, 12, 4);
+            ws.ensure_lanes(8, 4);
+            assert_eq!(ws.scratch.y.len(), 32);
+            assert_eq!(ws.scratch.tape_w.len(), 48);
+            assert_eq!(ws.xs.len(), 32);
+            assert!(ws.steps.iter().all(|&s| s == 0.25));
+        }
+        let ws = acquire_batch();
+        let (a1, r1) = batch_pool_counters();
+        assert!(a1 >= a0 + 2);
+        assert!(r1 >= 1, "second acquire should reuse a released batch workspace");
+        drop(ws);
+    }
+
+    #[test]
+    fn ensure_lanes_preserves_iterates() {
+        let mut ws = BatchWorkspace::new();
+        ws.ensure_lanes(3, 2);
+        ws.xs[5] = 7.5;
+        ws.finished[1] = true;
+        ws.steps[0] = 1e-10;
+        ws.ensure_lanes(3, 2);
+        assert_eq!(ws.xs[5], 7.5, "iterates survive a stage re-entry");
+        assert!(!ws.finished[1], "loop state resets per stage");
+        assert_eq!(ws.steps[0], 0.25);
     }
 
     #[test]

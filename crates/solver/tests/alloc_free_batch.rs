@@ -1,0 +1,57 @@
+//! Asserts the K-wide batched descent loop's zero-allocation guarantee
+//! with a counting global allocator.
+//!
+//! This file deliberately contains a single `#[test]` — the counter is
+//! process-global, and a second test running on a sibling thread would
+//! pollute the delta.
+
+use paradigm_cost::Machine;
+use paradigm_mdg::{random_layered_mdg, RandomMdgConfig};
+use paradigm_solver::expr::Sharpness;
+use paradigm_solver::{
+    allocation_count, descend_multi_stage, BatchWorkspace, CountingAllocator, MdgObjective,
+};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn batched_descent_iterations_are_allocation_free_after_warmup() {
+    let cfg =
+        RandomMdgConfig { layers: 8, width_min: 8, width_max: 8, ..RandomMdgConfig::default() };
+    let g = random_layered_mdg(&cfg, 42);
+    let obj = MdgObjective::new(&g, Machine::cm5(64));
+    let n = obj.num_vars();
+    let ub = obj.x_upper();
+    let k = 8usize;
+    let mut bw = BatchWorkspace::new();
+
+    let fresh_points = |offset: f64| -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|l| (0..n).map(|j| (offset + 0.03 * (l + j % 5) as f64).min(ub)).collect())
+            .collect()
+    };
+
+    // Warm-up: first iterations size every lane-major buffer, the
+    // batched tapes, and the scalar exact-bypass scratch.
+    let mut points = fresh_points(ub / 2.0);
+    let warm = descend_multi_stage(&obj, &mut points, Sharpness::Smooth(8.0), 10, 0.0, &mut bw);
+    let warm_exact = descend_multi_stage(&obj, &mut points, Sharpness::Exact, 5, 0.0, &mut bw);
+    assert!(warm > 0 && warm_exact > 0, "warm-up stages must iterate");
+
+    // Measured run: restart from fresh lane points (same dimensions) and
+    // let the loop run; with warm buffers zero heap allocations are
+    // permitted across every sharpness tier, including the scalar-bypass
+    // exact stage.
+    let mut points = fresh_points(ub / 3.0);
+    for sharp in [Sharpness::Smooth(8.0), Sharpness::Smooth(64.0), Sharpness::Exact] {
+        let before = allocation_count();
+        let iters = descend_multi_stage(&obj, &mut points, sharp, 50, 0.0, &mut bw);
+        let delta = allocation_count() - before;
+        assert!(iters > 0, "{sharp:?}: measured stage must iterate");
+        assert_eq!(
+            delta, 0,
+            "{sharp:?}: batched descent performed {delta} heap allocations over {iters} lane iterations"
+        );
+    }
+}
